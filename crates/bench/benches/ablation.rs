@@ -1,0 +1,40 @@
+//! Wall-clock cost of the design alternatives (the ratio/quality side is
+//! measured by the `ablation` binary; this bench covers speed).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use datagen::{DatasetId, Resolution};
+use fpsnr_bench::dataset_fields;
+use szlike::{EntropyCoder, ErrorBound, LosslessBackend, PredictorKind, SzConfig};
+
+fn bench_ablation(c: &mut Criterion) {
+    let atm = dataset_fields(DatasetId::Atm, Resolution::Small, 1);
+    let field = &atm.iter().find(|f| f.0 == "TS").unwrap().1;
+    let bytes_in = (field.len() * 4) as u64;
+    let base = SzConfig::new(ErrorBound::ValueRangeRel(1e-3));
+
+    let mut group = c.benchmark_group("ablation_compress");
+    group.throughput(Throughput::Bytes(bytes_in));
+    group.bench_function("baseline_huffman_l1_lz", |b| {
+        b.iter(|| szlike::compress(field, &base).unwrap())
+    });
+    group.bench_function("auto_intervals", |b| {
+        let cfg = base.with_auto_intervals(true);
+        b.iter(|| szlike::compress(field, &cfg).unwrap())
+    });
+    group.bench_function("range_coder", |b| {
+        let cfg = base.with_entropy(EntropyCoder::Range);
+        b.iter(|| szlike::compress(field, &cfg).unwrap())
+    });
+    group.bench_function("lorenzo2", |b| {
+        let cfg = base.with_predictor(PredictorKind::Lorenzo2);
+        b.iter(|| szlike::compress(field, &cfg).unwrap())
+    });
+    group.bench_function("no_lossless", |b| {
+        let cfg = base.with_lossless(LosslessBackend::None);
+        b.iter(|| szlike::compress(field, &cfg).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Snapshot-scale batch compression: serial vs parallel over many fields —
+//! the CESM "100+ fields per dump" scenario that motivates the paper.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datagen::{DatasetId, Resolution};
+use fpsnr_bench::dataset_fields;
+use fpsnr_core::batch::run_batch;
+use fpsnr_core::fixed_psnr::FixedPsnrOptions;
+
+fn bench_batch(c: &mut Criterion) {
+    let fields = dataset_fields(DatasetId::Atm, Resolution::Small, 1);
+    let total_bytes: usize = fields.iter().map(|(_, f)| f.len() * 4).sum();
+    let opts = FixedPsnrOptions::default();
+
+    let mut group = c.benchmark_group("batch_79_atm_fields");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(total_bytes as u64));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| run_batch(&fields, 80.0, &opts, threads));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch);
+criterion_main!(benches);

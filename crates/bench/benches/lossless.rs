@@ -1,0 +1,78 @@
+//! Throughput of the lossless toolkit (the GZIP stand-in and the Huffman
+//! stage it wraps).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use losslesskit::huffman::HuffmanCodec;
+use losslesskit::lz77::Effort;
+use losslesskit::{deflate_like, freq};
+
+fn make_compressible(n: usize) -> Vec<u8> {
+    // Huffman-coded quantization codes look like this: long runs of a few
+    // hot byte values with occasional excursions.
+    (0..n)
+        .map(|i| match i % 97 {
+            0..=69 => 0x80u8,
+            70..=89 => 0x7f,
+            90..=95 => 0x81,
+            _ => (i / 97) as u8,
+        })
+        .collect()
+}
+
+fn bench_lossless(c: &mut Criterion) {
+    let data = make_compressible(1 << 20);
+
+    let mut group = c.benchmark_group("lz_compress");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    for effort in [Effort::Fast, Effort::Default, Effort::Best] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{effort:?}")),
+            &data,
+            |b, d| {
+                b.iter(|| deflate_like::lz_compress_with(d, effort));
+            },
+        );
+    }
+    group.finish();
+
+    let compressed = deflate_like::lz_compress(&data);
+    let mut group = c.benchmark_group("lz_decompress");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("default", |b| {
+        b.iter(|| deflate_like::lz_decompress(&compressed).unwrap());
+    });
+    group.finish();
+
+    // Huffman over a 65536-symbol alphabet, SZ-style peaked distribution.
+    let center = 32768u32;
+    let symbols: Vec<u32> = (0..1_000_000u32)
+        .map(|i| (center as i64 + ((i.wrapping_mul(2654435761)) % 31) as i64 - 15) as u32)
+        .collect();
+    let counts = freq::count_dense(&symbols, 65536);
+    let mut group = c.benchmark_group("huffman");
+    group.throughput(Throughput::Elements(symbols.len() as u64));
+    group.bench_function("build_encode_1M_codes", |b| {
+        b.iter(|| {
+            let codec = HuffmanCodec::from_counts(&counts);
+            let mut w = losslesskit::BitWriter::new();
+            codec.encode(&symbols, &mut w);
+            w.finish()
+        });
+    });
+    let codec = HuffmanCodec::from_counts(&counts);
+    let mut w = losslesskit::BitWriter::new();
+    codec.encode(&symbols, &mut w);
+    let stream = w.finish();
+    group.bench_function("decode_1M_codes", |b| {
+        b.iter(|| {
+            let mut r = losslesskit::BitReader::new(&stream);
+            let mut out = Vec::new();
+            codec.decode(&mut r, symbols.len(), &mut out).unwrap();
+            out
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lossless);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Throughput of the SZ-like codec (compress/decompress, 2-D and 3-D).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datagen::{DatasetId, Resolution};
+use fpsnr_bench::dataset_fields;
+use ndfield::Field;
+use szlike::{ErrorBound, SzConfig};
+
+fn bench_szlike(c: &mut Criterion) {
+    let atm = dataset_fields(DatasetId::Atm, Resolution::Small, 1);
+    let hurricane = dataset_fields(DatasetId::Hurricane, Resolution::Small, 1);
+    let cases: Vec<(&str, &Field<f32>)> = vec![
+        ("atm_2d_TS", &atm.iter().find(|f| f.0 == "TS").unwrap().1),
+        ("hurricane_3d_P", &hurricane.iter().find(|f| f.0 == "P").unwrap().1),
+    ];
+    let cfg = SzConfig::new(ErrorBound::ValueRangeRel(1e-3));
+
+    let mut group = c.benchmark_group("szlike_compress");
+    for (name, field) in &cases {
+        group.throughput(Throughput::Bytes((field.len() * 4) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(name), field, |b, f| {
+            b.iter(|| szlike::compress(f, &cfg).unwrap());
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("szlike_decompress");
+    for (name, field) in &cases {
+        let bytes = szlike::compress(field, &cfg).unwrap();
+        group.throughput(Throughput::Bytes((field.len() * 4) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &bytes, |b, bytes| {
+            b.iter(|| szlike::decompress::<f32>(bytes).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_szlike);
+criterion_main!(benches);

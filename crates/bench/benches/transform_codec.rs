@@ -1,0 +1,43 @@
+//! Throughput of the orthogonal-transform codec, against szlike on the
+//! same field (the prediction-vs-transform design-space the paper's §II
+//! surveys).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use datagen::{DatasetId, Resolution};
+use fpsnr_bench::dataset_fields;
+use fpsnr_transform::{transform_compress, transform_decompress, TransformConfig};
+use szlike::{ErrorBound, SzConfig};
+
+fn bench_transform(c: &mut Criterion) {
+    let atm = dataset_fields(DatasetId::Atm, Resolution::Small, 1);
+    let field = &atm.iter().find(|f| f.0 == "TS").unwrap().1;
+    let bytes_in = (field.len() * 4) as u64;
+
+    let mut group = c.benchmark_group("transform_vs_prediction");
+    group.throughput(Throughput::Bytes(bytes_in));
+    group.bench_function("transform_compress_b4", |b| {
+        let cfg = TransformConfig::new(ErrorBound::ValueRangeRel(1e-3));
+        b.iter(|| transform_compress(field, &cfg).unwrap());
+    });
+    group.bench_function("transform_compress_b8", |b| {
+        let cfg = TransformConfig::new(ErrorBound::ValueRangeRel(1e-3)).with_block(8);
+        b.iter(|| transform_compress(field, &cfg).unwrap());
+    });
+    group.bench_function("szlike_compress", |b| {
+        let cfg = SzConfig::new(ErrorBound::ValueRangeRel(1e-3));
+        b.iter(|| szlike::compress(field, &cfg).unwrap());
+    });
+    group.finish();
+
+    let cfg = TransformConfig::new(ErrorBound::ValueRangeRel(1e-3));
+    let compressed = transform_compress(field, &cfg).unwrap();
+    let mut group = c.benchmark_group("transform_decompress");
+    group.throughput(Throughput::Bytes(bytes_in));
+    group.bench_function("b4", |b| {
+        b.iter(|| transform_decompress::<f32>(&compressed).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_transform);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Supporting analysis for §III–IV: how accurate is the Eq. 7 PSNR
+//! estimate across bound magnitudes, and does the error grow with bin size
+//! (the paper's explanation for the low-target overshoot)?
+//!
+//! For each data set and each target, compares:
+//! - Eq. 7's *predicted* PSNR for the derived bound, and
+//! - the *measured* PSNR after an actual compress/decompress cycle.
+//!
+//! ```text
+//! cargo run -p fpsnr-bench --bin est_accuracy
+//! ```
+
+use datagen::DatasetId;
+use fpsnr_bench::{dataset_fields, resolution_from_env, seed_from_env, TABLE2_TARGETS};
+use fpsnr_core::{ebrel_for_psnr, psnr_sz_estimate};
+use fpsnr_metrics::Distortion;
+use ndfield::Field;
+use szlike::{ErrorBound, SzConfig};
+
+fn main() {
+    let res = resolution_from_env();
+    let seed = seed_from_env();
+    println!("ESTIMATION ACCURACY: Eq. 7 predicted vs measured PSNR ({res:?})");
+    println!();
+
+    for id in DatasetId::ALL {
+        let fields = dataset_fields(id, res, seed);
+        println!("--- {} ({} fields, first 2 shown per target) ---", id.name(), fields.len());
+        println!(
+            "{:>8} {:<20} {:>10} {:>10} {:>9} {:>12}",
+            "target", "field", "predicted", "measured", "dev dB", "bins used"
+        );
+        for &target in &TABLE2_TARGETS {
+            let ebrel = ebrel_for_psnr(target);
+            for (name, field) in fields.iter().take(2) {
+                let vr = field.value_range();
+                let predicted = psnr_sz_estimate(vr, ebrel * vr);
+                let cfg = SzConfig::new(ErrorBound::ValueRangeRel(ebrel));
+                let Ok(bytes) = szlike::compress(field, &cfg) else {
+                    continue;
+                };
+                let back: Field<f32> = szlike::decompress(&bytes).expect("decompress");
+                let measured = Distortion::between(field, &back).psnr();
+                // Bins the value range spans at this bound: vr / (2 eb).
+                let spanned = (1.0 / (2.0 * ebrel)).round() as u64;
+                println!(
+                    "{:>8.0} {:<20} {:>10.2} {:>10.2} {:>9.2} {:>12}",
+                    target,
+                    name,
+                    predicted,
+                    measured,
+                    measured - predicted,
+                    spanned
+                );
+            }
+        }
+        println!();
+    }
+    println!(
+        "Expected shape (paper §V): deviation positive (measured >= predicted) and\n\
+         shrinking as the target grows — the midpoint-uniform model is pessimistic\n\
+         when bins are wide because real prediction errors peak inside the central\n\
+         bin, and becomes exact as bins shrink."
+    );
+}

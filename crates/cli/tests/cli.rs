@@ -1,0 +1,223 @@
+//! End-to-end tests driving the `fpsnr` binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn fpsnr() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fpsnr"))
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fpsnr_cli_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mk tmpdir");
+    dir
+}
+
+fn write_test_field(path: &std::path::Path, rows: usize, cols: usize) {
+    let mut bytes = Vec::with_capacity(rows * cols * 4);
+    for i in 0..rows {
+        for j in 0..cols {
+            let v = ((i as f32 * 0.1).sin() + (j as f32 * 0.07).cos()) * 8.0;
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    std::fs::write(path, bytes).expect("write raw");
+}
+
+#[test]
+fn help_lists_commands() {
+    let out = fpsnr().arg("help").output().expect("run");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for cmd in ["compress", "decompress", "analyze", "gen", "eval"] {
+        assert!(text.contains(cmd), "help missing {cmd}");
+    }
+}
+
+#[test]
+fn compress_decompress_analyze_cycle() {
+    let dir = tmpdir("cycle");
+    let raw = dir.join("in.raw");
+    let szr = dir.join("out.szr");
+    let back = dir.join("back.raw");
+    write_test_field(&raw, 40, 50);
+
+    let out = fpsnr()
+        .args([
+            "compress", "-i", raw.to_str().unwrap(), "-o", szr.to_str().unwrap(),
+            "--type", "f32", "--dims", "40x50", "--mode", "psnr:80", "--verify",
+        ])
+        .output()
+        .expect("run compress");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("eb_rel"), "no Eq. 8 trace: {text}");
+    assert!(text.contains("PSNR"), "no verify output: {text}");
+
+    let out = fpsnr()
+        .args([
+            "decompress", "-i", szr.to_str().unwrap(), "-o", back.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run decompress");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(
+        std::fs::metadata(&back).unwrap().len(),
+        40 * 50 * 4,
+        "decompressed size mismatch"
+    );
+
+    let out = fpsnr()
+        .args([
+            "analyze", "-i", raw.to_str().unwrap(), "-r", back.to_str().unwrap(),
+            "--type", "f32", "--dims", "40x50",
+        ])
+        .output()
+        .expect("run analyze");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("PSNR"), "analyze output: {text}");
+
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn abs_mode_round_trip() {
+    let dir = tmpdir("abs");
+    let raw = dir.join("in.raw");
+    let szr = dir.join("out.szr");
+    write_test_field(&raw, 16, 16);
+    let out = fpsnr()
+        .args([
+            "compress", "-i", raw.to_str().unwrap(), "-o", szr.to_str().unwrap(),
+            "--type", "f32", "--dims", "16x16", "--mode", "abs:0.01",
+        ])
+        .output()
+        .expect("run");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn gen_writes_manifest_and_fields() {
+    let dir = tmpdir("gen");
+    let out = fpsnr()
+        .args([
+            "gen", "--dataset", "nyx", "--res", "small",
+            "--out-dir", dir.to_str().unwrap(), "--seed", "7",
+        ])
+        .output()
+        .expect("run gen");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let manifest = std::fs::read_to_string(dir.join("MANIFEST")).expect("manifest");
+    assert!(manifest.contains("baryon_density.f32"));
+    let meta = std::fs::metadata(dir.join("baryon_density.f32")).expect("field file");
+    assert_eq!(meta.len(), 16 * 16 * 16 * 4);
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn eval_reports_summary() {
+    let out = fpsnr()
+        .args([
+            "eval", "--dataset", "nyx", "--psnr", "60", "--res", "small",
+            "--seed", "3", "--quiet",
+        ])
+        .output()
+        .expect("run eval");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("AVG"), "no summary: {text}");
+    assert!(text.contains("meet-rate"));
+}
+
+#[test]
+fn budget_mode_fits_requested_size() {
+    let dir = tmpdir("budget");
+    let raw = dir.join("in.raw");
+    let szr = dir.join("out.szr");
+    write_test_field(&raw, 64, 64);
+    let budget = 4096usize; // 1/4 of raw
+    let out = fpsnr()
+        .args([
+            "compress", "-i", raw.to_str().unwrap(), "-o", szr.to_str().unwrap(),
+            "--type", "f32", "--dims", "64x64",
+            "--mode", &format!("budget:{budget}"),
+        ])
+        .output()
+        .expect("run");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let size = std::fs::metadata(&szr).unwrap().len() as usize;
+    assert!(size <= budget, "container {size} > budget {budget}");
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn transform_codec_cycle() {
+    let dir = tmpdir("xfm");
+    let raw = dir.join("in.raw");
+    let szr = dir.join("out.xfm");
+    let back = dir.join("back.raw");
+    write_test_field(&raw, 32, 32);
+    let out = fpsnr()
+        .args([
+            "compress", "-i", raw.to_str().unwrap(), "-o", szr.to_str().unwrap(),
+            "--type", "f32", "--dims", "32x32", "--mode", "psnr:70",
+            "--transform", "--verify",
+        ])
+        .output()
+        .expect("run");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = fpsnr()
+        .args(["decompress", "-i", szr.to_str().unwrap(), "-o", back.to_str().unwrap()])
+        .output()
+        .expect("run");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(std::fs::metadata(&back).unwrap().len(), 32 * 32 * 4);
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn f64_compress_decompress_cycle() {
+    let dir = tmpdir("f64");
+    let raw = dir.join("in.raw");
+    let szr = dir.join("out.szr");
+    let back = dir.join("back.raw");
+    let mut bytes = Vec::new();
+    for i in 0..400usize {
+        let v = (i as f64 * 0.01).sin() * 3.0;
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    std::fs::write(&raw, bytes).expect("write raw");
+
+    let out = fpsnr()
+        .args([
+            "compress", "-i", raw.to_str().unwrap(), "-o", szr.to_str().unwrap(),
+            "--type", "f64", "--dims", "20x20", "--mode", "psnr:90", "--verify",
+        ])
+        .output()
+        .expect("run");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = fpsnr()
+        .args(["decompress", "-i", szr.to_str().unwrap(), "-o", back.to_str().unwrap()])
+        .output()
+        .expect("run");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(std::fs::metadata(&back).unwrap().len(), 400 * 8);
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn bad_arguments_exit_nonzero_with_message() {
+    let out = fpsnr().args(["compress", "--bogus"]).output().expect("run");
+    assert!(!out.status.success());
+    assert!(!out.stderr.is_empty());
+
+    let out = fpsnr()
+        .args(["eval", "--dataset", "marsclimate", "--psnr", "60"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown dataset"));
+}

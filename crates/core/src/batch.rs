@@ -1,0 +1,113 @@
+//! Parallel multi-field fixed-PSNR runs.
+//!
+//! The paper's motivating pain is snapshot-scale: CESM writes 100+ fields
+//! per dump and each would previously need its own trial-and-error bound
+//! tuning. With Eq. 8 the per-field work is a single compression, and
+//! fields are independent — a textbook parallel map, run here on the
+//! crossbeam-backed runtime.
+
+use crate::fixed_psnr::{compress_fixed_psnr, FixedPsnrOptions};
+use fpsnr_metrics::summary::{DatasetSummary, FieldOutcome};
+use fpsnr_parallel::par_map;
+use ndfield::{Field, Scalar};
+
+/// Run verified fixed-PSNR compression over every named field, in parallel,
+/// returning per-field outcomes in input order.
+///
+/// Fields whose compression fails (degenerate bounds) are reported with
+/// `achieved_psnr = NaN` rather than aborting the batch — one bad field
+/// must not sink a 79-field snapshot.
+pub fn run_batch<T: Scalar>(
+    fields: &[(String, Field<T>)],
+    target_psnr: f64,
+    opts: &FixedPsnrOptions,
+    threads: usize,
+) -> Vec<FieldOutcome> {
+    par_map(fields, threads, |(name, field)| {
+        match compress_fixed_psnr(field, target_psnr, opts) {
+            Ok(run) => FieldOutcome {
+                field: name.clone(),
+                ..run.outcome
+            },
+            Err(_) => FieldOutcome {
+                field: name.clone(),
+                target_psnr,
+                achieved_psnr: f64::NAN,
+                ratio: 0.0,
+            },
+        }
+    })
+}
+
+/// [`run_batch`] plus aggregation into one Table II cell.
+pub fn run_batch_summary<T: Scalar>(
+    dataset: &str,
+    fields: &[(String, Field<T>)],
+    target_psnr: f64,
+    opts: &FixedPsnrOptions,
+    threads: usize,
+) -> (Vec<FieldOutcome>, DatasetSummary) {
+    let outcomes = run_batch(fields, target_psnr, opts, threads);
+    let summary = DatasetSummary::aggregate(dataset, target_psnr, &outcomes);
+    (outcomes, summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(n: usize) -> Vec<(String, Field<f32>)> {
+        (0..n)
+            .map(|k| {
+                let field = Field::from_fn_2d(48, 48, move |i, j| {
+                    ((i as f32 * 0.1 + k as f32).sin() + (j as f32 * 0.08).cos()) * (k + 1) as f32
+                });
+                (format!("field_{k}"), field)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_outcomes_in_input_order() {
+        let fields = snapshot(8);
+        let outs = run_batch(&fields, 60.0, &FixedPsnrOptions::default(), 4);
+        assert_eq!(outs.len(), 8);
+        for (k, o) in outs.iter().enumerate() {
+            assert_eq!(o.field, format!("field_{k}"));
+            assert!(o.achieved_psnr.is_finite());
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let fields = snapshot(6);
+        let opts = FixedPsnrOptions::default();
+        let serial = run_batch(&fields, 70.0, &opts, 1);
+        let parallel = run_batch(&fields, 70.0, &opts, 4);
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.field, b.field);
+            assert_eq!(a.achieved_psnr, b.achieved_psnr);
+            assert_eq!(a.ratio, b.ratio);
+        }
+    }
+
+    #[test]
+    fn summary_reflects_batch() {
+        let fields = snapshot(5);
+        let (outs, summary) =
+            run_batch_summary("TEST", &fields, 80.0, &FixedPsnrOptions::default(), 2);
+        assert_eq!(summary.n_fields, 5);
+        assert_eq!(summary.dataset, "TEST");
+        let mean: f64 =
+            outs.iter().map(|o| o.achieved_psnr).sum::<f64>() / outs.len() as f64;
+        assert!((summary.avg - mean).abs() < 1e-9);
+        // Smooth synthetic fields at 80 dB land near target.
+        assert!((summary.avg - 80.0).abs() < 5.0, "avg {}", summary.avg);
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let fields: Vec<(String, Field<f32>)> = vec![];
+        assert!(run_batch(&fields, 60.0, &FixedPsnrOptions::default(), 4).is_empty());
+    }
+}

@@ -1,0 +1,82 @@
+//! PSNR ↔ error-bound inversions (paper Eq. 7–8).
+//!
+//! The whole fixed-PSNR mode is Eq. 8: given a target PSNR, the
+//! value-range-relative bound to hand to unmodified SZ is
+//! `eb_rel = √3 · 10^(−PSNR/20)`.
+
+use crate::distortion::psnr_sz_estimate;
+
+/// Eq. 8: value-range-relative error bound achieving (approximately) the
+/// target PSNR under SZ's uniform quantization.
+///
+/// ```
+/// let eb = fpsnr_core::ebrel_for_psnr(40.0);
+/// assert!((eb - 3.0f64.sqrt() * 1e-2).abs() < 1e-12);
+/// // Exact inverse of the Eq. 7 forward direction:
+/// assert!((fpsnr_core::psnr_for_ebrel(eb) - 40.0).abs() < 1e-9);
+/// ```
+pub fn ebrel_for_psnr(target_psnr: f64) -> f64 {
+    3.0f64.sqrt() * 10.0f64.powf(-target_psnr / 20.0)
+}
+
+/// Absolute error bound achieving the target PSNR on data with value range
+/// `vr` (Eq. 8 scaled by the range).
+pub fn ebabs_for_psnr(target_psnr: f64, vr: f64) -> f64 {
+    ebrel_for_psnr(target_psnr) * vr
+}
+
+/// Forward direction (Eq. 7 in relative form): PSNR predicted for a given
+/// value-range-relative bound. Exact inverse of [`ebrel_for_psnr`].
+pub fn psnr_for_ebrel(ebrel: f64) -> f64 {
+    // Eq. 7 with vr/eb_abs = 1/eb_rel.
+    psnr_sz_estimate(1.0, ebrel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_reference_points() {
+        // PSNR = 20·log10(1/ebrel) + 10·log10 3  ⇔  ebrel = √3·10^(−PSNR/20)
+        // Spot values: PSNR 40 ⇒ ebrel = √3·10⁻² ≈ 0.01732.
+        let e = ebrel_for_psnr(40.0);
+        assert!((e - 0.017320508).abs() < 1e-8, "{e}");
+        // PSNR 120 ⇒ √3·1e-6.
+        assert!((ebrel_for_psnr(120.0) - 1.7320508e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inversion_is_exact() {
+        for target in [20.0, 40.0, 60.0, 80.0, 100.0, 120.0] {
+            let eb = ebrel_for_psnr(target);
+            let back = psnr_for_ebrel(eb);
+            assert!((back - target).abs() < 1e-9, "{target} -> {eb} -> {back}");
+        }
+    }
+
+    #[test]
+    fn ebabs_scales_with_range() {
+        let vr = 250.0;
+        assert!((ebabs_for_psnr(60.0, vr) - ebrel_for_psnr(60.0) * vr).abs() < 1e-12);
+    }
+
+    #[test]
+    fn higher_target_means_tighter_bound() {
+        assert!(ebrel_for_psnr(100.0) < ebrel_for_psnr(50.0));
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_over_continuum(target in 1.0f64..200.0) {
+            let back = psnr_for_ebrel(ebrel_for_psnr(target));
+            prop_assert!((back - target).abs() < 1e-8);
+        }
+
+        #[test]
+        fn ebrel_monotone_decreasing(a in 1.0f64..199.0, d in 0.01f64..50.0) {
+            prop_assert!(ebrel_for_psnr(a + d) < ebrel_for_psnr(a));
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Quantizer distortion estimation (paper §III–IV, Eq. 2–7).
+//!
+//! The estimators here answer: *given only the quantizer geometry (and, for
+//! non-uniform grids, the error pdf), what MSE/PSNR will the decompressed
+//! data show?* Theorems 1 and 2 license transferring that estimate from the
+//! quantized domain (prediction errors / transform coefficients) to the
+//! reconstructed data.
+
+use fpsnr_metrics::Histogram;
+
+/// Eq. 3 (general bins): expected MSE of midpoint quantization given bins
+/// of width `δᵢ` whose midpoints see probability **density** `P(mᵢ)`.
+/// Each bin contributes `P(mᵢ)·δᵢ³/12` (the paper folds its symmetric ×2
+/// and one-sided sum into the same expression; this version takes *all*
+/// bins so asymmetric layouts work too).
+pub fn mse_general_bins(bins: &[(f64, f64)]) -> f64 {
+    bins.iter()
+        .map(|&(width, density)| density * width * width * width / 12.0)
+        .sum()
+}
+
+/// Eq. 3 evaluated against an *empirical* pdf: estimate the MSE of a
+/// uniform quantizer with bin width `delta` applied to samples whose
+/// distribution is captured by `hist`. Histogram bins are treated as the
+/// quantization bins' density probes.
+pub fn mse_from_histogram(hist: &Histogram, delta: f64) -> f64 {
+    // Re-bin the empirical density onto the quantizer's grid width: the
+    // per-bin mass is density × delta, each mass quantizes with variance
+    // δ²/12. Using the histogram's own bins as probes is exact when the
+    // histogram is at least as fine as the quantizer.
+    let mut mse = 0.0;
+    for i in 0..hist.bins() {
+        let mass = hist.fraction(i);
+        mse += mass * delta * delta / 12.0;
+    }
+    mse
+}
+
+/// Uniform-quantizer MSE, the distribution-free limit behind Eq. 6:
+/// `MSE = δ²/12`.
+pub fn mse_uniform(delta: f64) -> f64 {
+    delta * delta / 12.0
+}
+
+/// Eq. 6: predicted PSNR of uniform quantization with bin width `delta` on
+/// data with value range `vr`: `PSNR = 20·log₁₀(vr/δ) + 10·log₁₀ 12`.
+pub fn psnr_uniform_estimate(vr: f64, delta: f64) -> f64 {
+    20.0 * (vr / delta).log10() + 10.0 * 12.0f64.log10()
+}
+
+/// Eq. 7: predicted PSNR of SZ with absolute bound `eb_abs` (SZ's bin width
+/// is `δ = 2·eb_abs`): `PSNR = 20·log₁₀(vr/eb) + 10·log₁₀ 3`.
+pub fn psnr_sz_estimate(vr: f64, eb_abs: f64) -> f64 {
+    20.0 * (vr / eb_abs).log10() + 10.0 * 3.0f64.log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_mse_is_delta_sq_over_12() {
+        assert!((mse_uniform(0.2) - 0.04 / 12.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn eq6_and_eq7_are_consistent() {
+        // Eq. 7 is Eq. 6 with δ = 2·eb: the two must agree identically.
+        let (vr, eb) = (37.5, 1e-3);
+        let via6 = psnr_uniform_estimate(vr, 2.0 * eb);
+        let via7 = psnr_sz_estimate(vr, eb);
+        assert!((via6 - via7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq7_reference_value() {
+        // vr/eb = 1e4 ⇒ PSNR = 80 + 10·log10(3) ≈ 84.771 dB.
+        let p = psnr_sz_estimate(1.0, 1e-4);
+        assert!((p - (80.0 + 10.0 * 3.0f64.log10())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn general_bins_reduce_to_uniform() {
+        // Uniform bins with total probability 1: Σ P(mᵢ)·δ = 1, all δ equal
+        // ⇒ MSE = δ²/12 exactly.
+        let delta = 0.5;
+        let n = 40;
+        let density = 1.0 / (n as f64 * delta);
+        let bins: Vec<(f64, f64)> = (0..n).map(|_| (delta, density)).collect();
+        assert!((mse_general_bins(&bins) - mse_uniform(delta)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn general_bins_match_numeric_integration_for_gaussian() {
+        // Quantize a standard Gaussian with non-uniform bins (finer near
+        // zero). Eq. 3 vs direct numeric integration of (x − mᵢ)²·φ(x).
+        let phi = |x: f64| (-x * x / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt();
+        // Bin edges: dense near 0, coarser outward, covering [-4, 4].
+        let mut edges = vec![-4.0, -2.5, -1.5, -0.8, -0.3, 0.0, 0.3, 0.8, 1.5, 2.5, 4.0];
+        edges.dedup();
+        let mut eq3 = 0.0;
+        let mut exact = 0.0;
+        for w in edges.windows(2) {
+            let (lo, hi) = (w[0], w[1]);
+            let width = hi - lo;
+            let mid = (lo + hi) / 2.0;
+            eq3 += phi(mid) * width * width * width / 12.0;
+            // numeric ∫ (x-mid)² φ(x) dx over the bin
+            let steps = 2000;
+            let h = width / steps as f64;
+            let mut acc = 0.0;
+            for s in 0..steps {
+                let x = lo + (s as f64 + 0.5) * h;
+                acc += (x - mid) * (x - mid) * phi(x) * h;
+            }
+            exact += acc;
+        }
+        let rel = (eq3 - exact).abs() / exact;
+        assert!(rel < 0.15, "Eq.3 off by {rel} (eq3 {eq3}, exact {exact})");
+    }
+
+    #[test]
+    fn histogram_estimate_matches_uniform_when_mass_sums_to_one() {
+        let samples: Vec<f64> = (0..10_000).map(|i| (i as f64 * 0.001).sin()).collect();
+        let hist = Histogram::auto(&samples, 256);
+        let delta = 0.01;
+        let est = mse_from_histogram(&hist, delta);
+        assert!((est - mse_uniform(delta)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn psnr_increases_as_delta_shrinks() {
+        let vr = 10.0;
+        let p1 = psnr_uniform_estimate(vr, 0.1);
+        let p2 = psnr_uniform_estimate(vr, 0.01);
+        assert!((p2 - p1 - 20.0).abs() < 1e-9, "10x finer ⇒ +20 dB");
+    }
+}

@@ -1,0 +1,275 @@
+//! The fixed-PSNR driver (paper §IV, the released tool).
+//!
+//! The paper's approach is deliberately minimal — three steps:
+//!
+//! 1. take the user's target PSNR,
+//! 2. derive the value-range-relative bound via Eq. 8
+//!    ([`crate::bound::ebrel_for_psnr`]),
+//! 3. run the *unmodified* SZ pipeline with that bound.
+//!
+//! The only overhead versus a plain SZ invocation is evaluating Eq. 8 —
+//! one `powf` — which the `overhead` benchmark confirms is unmeasurable.
+//!
+//! [`compress_fixed_psnr`] additionally decompresses and measures the
+//! achieved PSNR, returning the [`fpsnr_metrics::summary::FieldOutcome`]
+//! the evaluation aggregates; [`compress_fixed_psnr_only`] is the
+//! production path (compress, don't verify).
+
+use crate::bound::{ebrel_for_psnr, psnr_for_ebrel};
+use fpsnr_metrics::summary::FieldOutcome;
+use fpsnr_metrics::{Distortion, RateStats};
+use fpsnr_transform::{transform_compress, transform_decompress, TransformConfig};
+use ndfield::{Field, Scalar};
+use szlike::{compress_with_detail, decompress, ErrorBound, LosslessBackend, SzConfig, SzError};
+
+/// Knobs forwarded to the underlying compressor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FixedPsnrOptions {
+    /// Quantization-bin cap (`2n`), SZ default 65536.
+    pub quant_bins: usize,
+    /// SZ 1.4's adaptive interval selection (default on — the paper builds
+    /// on stock SZ 1.4, whose `predThreshold`-driven selection is enabled
+    /// by default).
+    pub auto_intervals: bool,
+    /// Lossless backend for the final stage.
+    pub lossless: LosslessBackend,
+}
+
+impl Default for FixedPsnrOptions {
+    fn default() -> Self {
+        FixedPsnrOptions {
+            quant_bins: 65536,
+            auto_intervals: true,
+            lossless: LosslessBackend::Lz,
+        }
+    }
+}
+
+impl FixedPsnrOptions {
+    fn sz_config(&self, target_psnr: f64) -> SzConfig {
+        SzConfig::new(ErrorBound::ValueRangeRel(ebrel_for_psnr(target_psnr)))
+            .with_quant_bins(self.quant_bins)
+            .with_auto_intervals(self.auto_intervals)
+            .with_lossless(self.lossless)
+    }
+}
+
+/// Everything a verified fixed-PSNR run produced.
+#[derive(Debug, Clone)]
+pub struct FixedPsnrRun {
+    /// The compressed container.
+    pub bytes: Vec<u8>,
+    /// The bound Eq. 8 derived from the target.
+    pub derived_ebrel: f64,
+    /// PSNR the model predicts for that bound (Eq. 7) — equals the target
+    /// by construction, kept for report symmetry.
+    pub predicted_psnr: f64,
+    /// Measured outcome (achieved PSNR, ratio).
+    pub outcome: FieldOutcome,
+    /// Size accounting.
+    pub rate: RateStats,
+}
+
+/// Fixed-PSNR compression *without* verification — the paper's production
+/// path (steps 1–3 only; the single-pass promise).
+///
+/// # Errors
+/// [`SzError`] propagated from the SZ pipeline (degenerate bounds etc.).
+pub fn compress_fixed_psnr_only<T: Scalar>(
+    field: &Field<T>,
+    target_psnr: f64,
+    opts: &FixedPsnrOptions,
+) -> Result<Vec<u8>, SzError> {
+    validate_target(target_psnr)?;
+    szlike::compress(field, &opts.sz_config(target_psnr))
+}
+
+/// Fixed-PSNR compression followed by decompression and PSNR measurement —
+/// what the paper's evaluation does for every field.
+///
+/// # Errors
+/// [`SzError`] propagated from the SZ pipeline.
+pub fn compress_fixed_psnr<T: Scalar>(
+    field: &Field<T>,
+    target_psnr: f64,
+    opts: &FixedPsnrOptions,
+) -> Result<FixedPsnrRun, SzError> {
+    validate_target(target_psnr)?;
+    let ebrel = ebrel_for_psnr(target_psnr);
+    let cfg = opts.sz_config(target_psnr);
+    let (bytes, detail) = compress_with_detail(field, &cfg)?;
+    let back: Field<T> = decompress(&bytes)?;
+    let dist = Distortion::between(field, &back);
+    let rate = RateStats::new(field.len(), T::BYTES, bytes.len());
+    let outcome = FieldOutcome {
+        field: String::new(),
+        target_psnr,
+        achieved_psnr: dist.psnr(),
+        ratio: rate.ratio(),
+    };
+    let _ = detail;
+    Ok(FixedPsnrRun {
+        bytes,
+        derived_ebrel: ebrel,
+        predicted_psnr: psnr_for_ebrel(ebrel),
+        outcome,
+        rate,
+    })
+}
+
+/// Fixed-PSNR through the *orthogonal-transform* codec (Theorem 2 / 3):
+/// identical Eq. 8 derivation, but the bound feeds the blockwise DCT
+/// codec's coefficient quantizer.
+///
+/// # Errors
+/// [`SzError`] propagated from the transform codec.
+pub fn compress_fixed_psnr_transform<T: Scalar>(
+    field: &Field<T>,
+    target_psnr: f64,
+) -> Result<FixedPsnrRun, SzError> {
+    validate_target(target_psnr)?;
+    let ebrel = ebrel_for_psnr(target_psnr);
+    let cfg = TransformConfig::new(ErrorBound::ValueRangeRel(ebrel));
+    let bytes = transform_compress(field, &cfg)?;
+    let back: Field<T> = transform_decompress(&bytes)?;
+    let dist = Distortion::between(field, &back);
+    let rate = RateStats::new(field.len(), T::BYTES, bytes.len());
+    let outcome = FieldOutcome {
+        field: String::new(),
+        target_psnr,
+        achieved_psnr: dist.psnr(),
+        ratio: rate.ratio(),
+    };
+    Ok(FixedPsnrRun {
+        bytes,
+        derived_ebrel: ebrel,
+        predicted_psnr: psnr_for_ebrel(ebrel),
+        outcome,
+        rate,
+    })
+}
+
+fn validate_target(target_psnr: f64) -> Result<(), SzError> {
+    if !(target_psnr.is_finite() && target_psnr > 0.0) {
+        return Err(SzError::BadBound(format!(
+            "target PSNR must be finite and positive, got {target_psnr}"
+        )));
+    }
+    // Eq. 8 with PSNR < ~9.5 dB yields eb_rel > 1/√3·... beyond the value
+    // range itself; SZ degenerates. The paper evaluates ≥ 20 dB.
+    if target_psnr < 5.0 {
+        return Err(SzError::BadBound(format!(
+            "target PSNR {target_psnr} dB is below the usable regime"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn climate_like(rows: usize, cols: usize) -> Field<f32> {
+        Field::from_fn_2d(rows, cols, |i, j| {
+            let x = i as f32 * 0.11;
+            let y = j as f32 * 0.13;
+            20.0 * (x.sin() + (y * 0.7).cos()) + 3.0 * ((x * 3.7).sin() * (y * 2.9).cos())
+        })
+    }
+
+    #[test]
+    fn achieves_target_within_paper_tolerance() {
+        let field = climate_like(120, 140);
+        for target in [40.0, 60.0, 80.0] {
+            let run =
+                compress_fixed_psnr(&field, target, &FixedPsnrOptions::default()).unwrap();
+            let dev = run.outcome.achieved_psnr - target;
+            // Paper: deviation within 0.1–5.0 dB on average; a single
+            // smooth field lands well inside ±5 dB.
+            assert!(
+                (-1.0..=6.0).contains(&dev),
+                "target {target}: achieved {} (dev {dev})",
+                run.outcome.achieved_psnr
+            );
+        }
+    }
+
+    #[test]
+    fn accuracy_improves_with_target() {
+        // Paper observation: the higher the demanded PSNR, the smaller the
+        // deviation (finer bins ⇒ better midpoint model).
+        let field = climate_like(150, 150);
+        let dev = |t: f64| {
+            let run = compress_fixed_psnr(&field, t, &FixedPsnrOptions::default()).unwrap();
+            (run.outcome.achieved_psnr - t).abs()
+        };
+        let low = dev(30.0);
+        let high = dev(100.0);
+        assert!(
+            high <= low + 0.5,
+            "deviation did not shrink: 30 dB → {low}, 100 dB → {high}"
+        );
+    }
+
+    #[test]
+    fn derived_bound_matches_eq8() {
+        let field = climate_like(40, 40);
+        let run = compress_fixed_psnr(&field, 70.0, &FixedPsnrOptions::default()).unwrap();
+        assert!((run.derived_ebrel - ebrel_for_psnr(70.0)).abs() < 1e-15);
+        assert!((run.predicted_psnr - 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn production_path_equals_verified_path_bytes() {
+        let field = climate_like(64, 64);
+        let opts = FixedPsnrOptions::default();
+        let a = compress_fixed_psnr_only(&field, 80.0, &opts).unwrap();
+        let b = compress_fixed_psnr(&field, 80.0, &opts).unwrap();
+        assert_eq!(a, b.bytes);
+    }
+
+    #[test]
+    fn transform_variant_achieves_target() {
+        let field = climate_like(96, 96);
+        let run = compress_fixed_psnr_transform(&field, 60.0).unwrap();
+        let dev = run.outcome.achieved_psnr - 60.0;
+        assert!(
+            (-2.0..=8.0).contains(&dev),
+            "transform achieved {} (dev {dev})",
+            run.outcome.achieved_psnr
+        );
+    }
+
+    #[test]
+    fn bad_targets_rejected() {
+        let field = climate_like(8, 8);
+        let opts = FixedPsnrOptions::default();
+        for bad in [f64::NAN, -10.0, 0.0, 3.0] {
+            assert!(
+                compress_fixed_psnr_only(&field, bad, &opts).is_err(),
+                "target {bad} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn higher_target_means_larger_output() {
+        let field = climate_like(100, 100);
+        let opts = FixedPsnrOptions::default();
+        let lo = compress_fixed_psnr_only(&field, 40.0, &opts).unwrap();
+        let hi = compress_fixed_psnr_only(&field, 110.0, &opts).unwrap();
+        assert!(
+            hi.len() > lo.len(),
+            "110 dB ({}) not larger than 40 dB ({})",
+            hi.len(),
+            lo.len()
+        );
+    }
+
+    #[test]
+    fn constant_field_meets_any_target_exactly() {
+        let field = Field::from_vec(ndfield::Shape::D2(16, 16), vec![3.0f32; 256]);
+        let run = compress_fixed_psnr(&field, 80.0, &FixedPsnrOptions::default()).unwrap();
+        assert_eq!(run.outcome.achieved_psnr, f64::INFINITY);
+    }
+}

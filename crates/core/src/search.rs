@@ -1,0 +1,165 @@
+//! The pre-paper baseline: iterate the compressor until the PSNR lands.
+//!
+//! §I of the paper motivates fixed-PSNR by what users previously had to do:
+//! "run the lossy compressor multiple times each with different error-bound
+//! settings, a tedious and time-consuming task". This module implements
+//! that baseline faithfully — bisection on `log₁₀(eb_rel)` with a
+//! compress + decompress + measure cycle per probe — so the
+//! `search_vs_fixed` experiment can quantify exactly how many full
+//! compressor invocations Eq. 8 eliminates.
+
+use fpsnr_metrics::Distortion;
+use ndfield::{Field, Scalar};
+use szlike::{compress, decompress, ErrorBound, SzConfig, SzError};
+
+/// Result of the iterative-search baseline.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// The final compressed container.
+    pub bytes: Vec<u8>,
+    /// Bound the search converged to.
+    pub final_ebrel: f64,
+    /// Achieved PSNR at the final bound.
+    pub achieved_psnr: f64,
+    /// Full compress+decompress+measure cycles consumed.
+    pub invocations: usize,
+    /// Whether the tolerance was met before the iteration cap.
+    pub converged: bool,
+}
+
+/// Bisection search for a bound whose achieved PSNR lies within
+/// `tolerance_db` *above* the target (the user wants "at least the target,
+/// but not wastefully more").
+///
+/// Starts from the bracket `eb_rel ∈ [10⁻⁹, 0.5]` — PSNRs roughly in
+/// (6, 185) dB — which covers every realistic demand.
+///
+/// # Errors
+/// [`SzError`] propagated from the compressor.
+pub fn search_to_target_psnr<T: Scalar>(
+    field: &Field<T>,
+    target_psnr: f64,
+    tolerance_db: f64,
+    max_invocations: usize,
+) -> Result<SearchResult, SzError> {
+    // log10 bracket: lo = tightest bound (highest PSNR).
+    let mut lo = -9.0f64;
+    let mut hi = -0.3f64;
+    let mut invocations = 0usize;
+    let mut best: Option<(f64, f64, Vec<u8>)> = None; // (ebrel, psnr, bytes)
+
+    let probe = |ebrel: f64, invocations: &mut usize| -> Result<(f64, Vec<u8>), SzError> {
+        *invocations += 1;
+        let cfg = SzConfig::new(ErrorBound::ValueRangeRel(ebrel));
+        let bytes = compress(field, &cfg)?;
+        let back: Field<T> = decompress(&bytes)?;
+        Ok((Distortion::between(field, &back).psnr(), bytes))
+    };
+
+    while invocations < max_invocations {
+        let mid = (lo + hi) / 2.0;
+        let ebrel = 10.0f64.powf(mid);
+        let (psnr, bytes) = probe(ebrel, &mut invocations)?;
+        if psnr >= target_psnr {
+            // Meets the demand: remember it, then try a looser bound
+            // (bigger eb ⇒ lower PSNR ⇒ smaller output).
+            let better = match &best {
+                None => true,
+                Some((_, best_psnr, _)) => psnr < *best_psnr,
+            };
+            if better {
+                best = Some((ebrel, psnr, bytes));
+            }
+            if psnr <= target_psnr + tolerance_db {
+                let (final_ebrel, achieved_psnr, bytes) = best.expect("just set");
+                return Ok(SearchResult {
+                    bytes,
+                    final_ebrel,
+                    achieved_psnr,
+                    invocations,
+                    converged: true,
+                });
+            }
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    // Cap hit: fall back to the best bound that met the target, or the
+    // tightest probe if none did.
+    match best {
+        Some((final_ebrel, achieved_psnr, bytes)) => Ok(SearchResult {
+            bytes,
+            final_ebrel,
+            achieved_psnr,
+            invocations,
+            converged: false,
+        }),
+        None => {
+            let ebrel = 10.0f64.powf(lo);
+            let (achieved_psnr, bytes) = probe(ebrel, &mut invocations)?;
+            Ok(SearchResult {
+                bytes,
+                final_ebrel: ebrel,
+                achieved_psnr,
+                invocations,
+                converged: false,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn field() -> Field<f32> {
+        Field::from_fn_2d(80, 90, |i, j| {
+            ((i as f32 * 0.1).sin() + (j as f32 * 0.07).cos()) * 15.0
+        })
+    }
+
+    #[test]
+    fn search_meets_target() {
+        let f = field();
+        let r = search_to_target_psnr(&f, 70.0, 3.0, 40).unwrap();
+        assert!(r.converged, "did not converge in {} probes", r.invocations);
+        assert!(
+            r.achieved_psnr >= 70.0 && r.achieved_psnr <= 76.0,
+            "achieved {}",
+            r.achieved_psnr
+        );
+    }
+
+    #[test]
+    fn search_needs_multiple_invocations() {
+        // The whole point of the paper: the baseline is expensive.
+        let f = field();
+        let r = search_to_target_psnr(&f, 85.0, 1.0, 40).unwrap();
+        assert!(
+            r.invocations >= 3,
+            "bisection landed suspiciously fast: {}",
+            r.invocations
+        );
+    }
+
+    #[test]
+    fn cap_returns_best_found() {
+        let f = field();
+        // Tolerance 0.0001 dB is unreachable; the cap must kick in and the
+        // result must still meet the target.
+        let r = search_to_target_psnr(&f, 60.0, 0.0001, 8).unwrap();
+        assert!(!r.converged);
+        assert!(r.achieved_psnr >= 60.0);
+        assert!(r.invocations <= 8);
+    }
+
+    #[test]
+    fn final_bytes_match_final_bound() {
+        let f = field();
+        let r = search_to_target_psnr(&f, 50.0, 2.0, 40).unwrap();
+        let back: Field<f32> = decompress(&r.bytes).unwrap();
+        let psnr = Distortion::between(&f, &back).psnr();
+        assert!((psnr - r.achieved_psnr).abs() < 1e-9);
+    }
+}

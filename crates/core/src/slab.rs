@@ -1,0 +1,267 @@
+//! Slab-parallel compression of a single large field.
+//!
+//! The batch runner parallelises *across* fields, but a single NYX-scale
+//! field (2048³ ≈ 32 GiB) also needs parallelism *within* the field. The
+//! SZ walk is sequential by construction (each prediction reads the
+//! reconstructed prefix), so the standard trick — used by SZ's own MPI
+//! deployments — is to split the slowest-varying axis into independent
+//! slabs and compress each separately.
+//!
+//! Consequences, all preserved here:
+//! - the error bound holds per sample (each slab is a complete SZ stream),
+//! - the fixed-PSNR estimate still applies — Eq. 6 does not care where the
+//!   quantized stream boundaries fall, **provided all slabs share one
+//!   `eb_abs`** (derived from the *global* value range, not per slab, which
+//!   would otherwise skew per-slab PSNR),
+//! - ratio degrades slightly (prediction restarts at every slab face).
+//!
+//! Container: `b"SLB1"`, slab count, then length-prefixed SZ containers.
+
+use crate::bound::ebrel_for_psnr;
+use fpsnr_parallel::par_map;
+use losslesskit::varint;
+use ndfield::{Field, Scalar, Shape};
+use szlike::{ErrorBound, SzConfig, SzError};
+
+/// Container magic for slab-parallel streams.
+const MAGIC: [u8; 4] = *b"SLB1";
+
+/// Split a shape into at most `want` slabs along axis 0, each itself a
+/// valid shape. Returns the row ranges.
+fn slab_ranges(shape: Shape, want: usize) -> Vec<(usize, usize)> {
+    let d0 = shape.dims()[0];
+    let n = want.max(1).min(d0);
+    let base = d0 / n;
+    let extra = d0 % n;
+    let mut out = Vec::with_capacity(n);
+    let mut start = 0usize;
+    for k in 0..n {
+        let len = base + usize::from(k < extra);
+        out.push((start, start + len));
+        start += len;
+    }
+    out
+}
+
+fn slab_shape(shape: Shape, rows: usize) -> Shape {
+    match shape {
+        Shape::D1(_) => Shape::D1(rows),
+        Shape::D2(_, c) => Shape::D2(rows, c),
+        Shape::D3(_, b, c) => Shape::D3(rows, b, c),
+    }
+}
+
+/// Compress `field` as `slabs` independent SZ streams in parallel, all
+/// sharing one absolute bound derived from the *global* value range.
+///
+/// # Errors
+/// [`SzError`] from any slab's compression (first failure wins).
+pub fn compress_slabs<T: Scalar>(
+    field: &Field<T>,
+    cfg: &SzConfig,
+    slabs: usize,
+    threads: usize,
+) -> Result<Vec<u8>, SzError> {
+    cfg.validate()?;
+    // Resolve relative bounds against the GLOBAL range once.
+    let vr = field.value_range();
+    let eb_abs = cfg.bound.absolute(vr)?;
+    let slab_cfg = SzConfig {
+        bound: if matches!(cfg.bound, ErrorBound::PointwiseRel(_)) {
+            cfg.bound // pointwise-relative is already range-independent
+        } else {
+            ErrorBound::Abs(eb_abs)
+        },
+        ..*cfg
+    };
+    let shape = field.shape();
+    let ranges = slab_ranges(shape, slabs);
+    let row_elems = shape.len() / shape.dims()[0];
+    let parts: Vec<Result<Vec<u8>, SzError>> = par_map(&ranges, threads, |&(lo, hi)| {
+        let sub_shape = slab_shape(shape, hi - lo);
+        let sub = Field::from_vec(
+            sub_shape,
+            field.as_slice()[lo * row_elems..hi * row_elems].to_vec(),
+        );
+        szlike::compress(&sub, &slab_cfg)
+    });
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC);
+    varint::write_u64(&mut out, ranges.len() as u64);
+    for part in parts {
+        let bytes = part?;
+        varint::write_u64(&mut out, bytes.len() as u64);
+        out.extend_from_slice(&bytes);
+    }
+    Ok(out)
+}
+
+/// Fixed-PSNR entry point for slab-parallel compression: Eq. 8 against the
+/// global range, then [`compress_slabs`].
+///
+/// # Errors
+/// [`SzError`] from the underlying pipeline.
+pub fn compress_slabs_fixed_psnr<T: Scalar>(
+    field: &Field<T>,
+    target_psnr: f64,
+    slabs: usize,
+    threads: usize,
+) -> Result<Vec<u8>, SzError> {
+    let cfg = SzConfig::new(ErrorBound::ValueRangeRel(ebrel_for_psnr(target_psnr)))
+        .with_auto_intervals(true);
+    compress_slabs(field, &cfg, slabs, threads)
+}
+
+/// Decompress a slab container (slabs decode in parallel, then concatenate).
+///
+/// # Errors
+/// [`SzError::Format`] on container violations; slab errors propagate.
+pub fn decompress_slabs<T: Scalar>(src: &[u8], threads: usize) -> Result<Field<T>, SzError> {
+    if src.len() < 5 || src[..4] != MAGIC {
+        return Err(SzError::Format("bad slab magic"));
+    }
+    let mut pos = 4usize;
+    let n_slabs = varint::read_u64(src, &mut pos)? as usize;
+    if n_slabs == 0 || n_slabs > (1 << 20) {
+        return Err(SzError::Format("implausible slab count"));
+    }
+    let mut parts: Vec<&[u8]> = Vec::with_capacity(n_slabs);
+    for _ in 0..n_slabs {
+        let len = varint::read_u64(src, &mut pos)? as usize;
+        if src.len() < pos + len {
+            return Err(SzError::Format("slab payload truncated"));
+        }
+        parts.push(&src[pos..pos + len]);
+        pos += len;
+    }
+    let fields: Vec<Result<Field<T>, SzError>> =
+        par_map(&parts, threads, |bytes| szlike::decompress::<T>(bytes));
+    let mut decoded = Vec::with_capacity(n_slabs);
+    for f in fields {
+        decoded.push(f?);
+    }
+    // Validate slab compatibility and reassemble along axis 0.
+    let first = &decoded[0];
+    let tail_dims = first.shape().dims()[1..].to_vec();
+    let mut total_rows = 0usize;
+    for f in &decoded {
+        let dims = f.shape().dims();
+        if dims[1..] != tail_dims[..] {
+            return Err(SzError::Format("slab cross-sections disagree"));
+        }
+        total_rows += dims[0];
+    }
+    let mut data = Vec::with_capacity(total_rows * tail_dims.iter().product::<usize>().max(1));
+    for f in decoded {
+        data.extend_from_slice(f.as_slice());
+    }
+    let mut dims = vec![total_rows];
+    dims.extend_from_slice(&tail_dims);
+    Ok(Field::from_vec(Shape::from_dims(&dims), data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpsnr_metrics::{Distortion, PointwiseError};
+
+    fn big_field() -> Field<f32> {
+        Field::from_fn_3d(24, 30, 32, |i, j, k| {
+            ((i as f32 * 0.3).sin() + (j as f32 * 0.2).cos() + (k as f32 * 0.1).sin()) * 7.0
+        })
+    }
+
+    #[test]
+    fn slab_ranges_cover_exactly() {
+        for (d0, want) in [(24usize, 4usize), (25, 4), (7, 10), (1, 3), (100, 1)] {
+            let ranges = slab_ranges(Shape::D2(d0, 5), want);
+            assert_eq!(ranges[0].0, 0);
+            assert_eq!(ranges.last().unwrap().1, d0);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "gap between slabs");
+            }
+            assert!(ranges.len() <= want.max(1));
+            assert!(ranges.iter().all(|(lo, hi)| hi > lo));
+        }
+    }
+
+    #[test]
+    fn slab_roundtrip_respects_global_bound() {
+        let field = big_field();
+        let vr = field.value_range();
+        let cfg = SzConfig::new(ErrorBound::ValueRangeRel(1e-3));
+        let bytes = compress_slabs(&field, &cfg, 4, 4).unwrap();
+        let back: Field<f32> = decompress_slabs(&bytes, 4).unwrap();
+        assert_eq!(back.shape(), field.shape());
+        let pw = PointwiseError::between(&field, &back);
+        assert!(pw.respects_abs_bound(1e-3 * vr), "max {}", pw.max_abs);
+    }
+
+    #[test]
+    fn slab_count_one_matches_plain_sz_distortion() {
+        let field = big_field();
+        let cfg = SzConfig::new(ErrorBound::ValueRangeRel(1e-3));
+        let slab = decompress_slabs::<f32>(&compress_slabs(&field, &cfg, 1, 1).unwrap(), 1)
+            .unwrap();
+        let plain: Field<f32> =
+            szlike::decompress(&szlike::compress(&field, &cfg).unwrap()).unwrap();
+        assert_eq!(slab.as_slice(), plain.as_slice());
+    }
+
+    #[test]
+    fn fixed_psnr_slabs_hit_target() {
+        let field = big_field();
+        let bytes = compress_slabs_fixed_psnr(&field, 70.0, 6, 4).unwrap();
+        let back: Field<f32> = decompress_slabs(&bytes, 4).unwrap();
+        let psnr = Distortion::between(&field, &back).psnr();
+        assert!(
+            (psnr - 70.0).abs() < 5.0,
+            "slab fixed-PSNR achieved {psnr}"
+        );
+    }
+
+    #[test]
+    fn parallel_and_serial_slab_streams_are_identical() {
+        let field = big_field();
+        let cfg = SzConfig::new(ErrorBound::Abs(1e-3));
+        let a = compress_slabs(&field, &cfg, 5, 1).unwrap();
+        let b = compress_slabs(&field, &cfg, 5, 8).unwrap();
+        assert_eq!(a, b, "thread count leaked into the stream");
+    }
+
+    #[test]
+    fn more_slabs_cost_some_ratio() {
+        let field = big_field();
+        let cfg = SzConfig::new(ErrorBound::ValueRangeRel(1e-3));
+        let one = compress_slabs(&field, &cfg, 1, 1).unwrap();
+        let many = compress_slabs(&field, &cfg, 12, 4).unwrap();
+        assert!(
+            many.len() >= one.len(),
+            "prediction restarts should not shrink the stream"
+        );
+    }
+
+    #[test]
+    fn truncation_and_corruption_fail_cleanly() {
+        let field = big_field();
+        let cfg = SzConfig::new(ErrorBound::Abs(1e-2));
+        let bytes = compress_slabs(&field, &cfg, 3, 2).unwrap();
+        assert!(decompress_slabs::<f32>(&bytes[..bytes.len() / 2], 2).is_err());
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(decompress_slabs::<f32>(&bad, 2).is_err());
+    }
+
+    #[test]
+    fn slabs_work_in_2d_and_1d() {
+        let f2 = Field::from_fn_2d(50, 40, |i, j| (i * 40 + j) as f32 * 0.01);
+        let f1 = Field::from_fn_linear(Shape::D1(300), |i| (i as f32 * 0.05).cos());
+        let cfg = SzConfig::new(ErrorBound::Abs(1e-3));
+        for (field, slabs) in [(f2, 5usize), (f1, 3)] {
+            let bytes = compress_slabs(&field, &cfg, slabs, 3).unwrap();
+            let back: Field<f32> = decompress_slabs(&bytes, 3).unwrap();
+            let pw = PointwiseError::between(&field, &back);
+            assert!(pw.respects_abs_bound(1e-3));
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Gaussian random fields with power-law spectra (spectral synthesis).
+//!
+//! Cosmological fields (the NYX data set) are, to good approximation,
+//! transforms of Gaussian random fields whose power spectrum follows a
+//! power law `P(k) ∝ k^{−α}`. Synthesis: draw independent complex Gaussian
+//! amplitudes per Fourier mode, weight by `√P(k)`, inverse-transform, and
+//! keep the real part. Hermitian symmetry is not enforced explicitly — the
+//! real part of the inverse transform of an *independent* complex Gaussian
+//! spectrum is itself a Gaussian field with the target spectrum (at half
+//! the variance), which is all the generator needs.
+
+use fftkit::{nd, Complex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Standard normal sample via Box–Muller (avoids a rand_distr dependency).
+fn normal(rng: &mut StdRng) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen::<f64>();
+        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    }
+}
+
+/// Wavenumber magnitude of FFT bin `i` out of `n` (symmetric: bins above
+/// `n/2` alias to negative frequencies).
+#[inline]
+fn wavenumber(i: usize, n: usize) -> f64 {
+    let k = if i <= n / 2 { i } else { n - i };
+    k as f64
+}
+
+/// Synthesize a 2-D Gaussian random field with spectrum `P(k) ∝ k^{−alpha}`,
+/// normalised to zero mean and unit variance.
+///
+/// # Panics
+/// Panics unless both extents are powers of two.
+pub fn grf_2d(rows: usize, cols: usize, alpha: f64, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut spec = vec![Complex::ZERO; rows * cols];
+    for r in 0..rows {
+        for c in 0..cols {
+            let k = (wavenumber(r, rows).powi(2) + wavenumber(c, cols).powi(2)).sqrt();
+            if k == 0.0 {
+                continue; // zero the DC mode: zero-mean field
+            }
+            let amp = k.powf(-alpha / 2.0);
+            spec[r * cols + c] = Complex::new(normal(&mut rng) * amp, normal(&mut rng) * amp);
+        }
+    }
+    nd::ifft2(&mut spec, rows, cols);
+    normalise(spec.iter().map(|z| z.re).collect())
+}
+
+/// Synthesize a 3-D Gaussian random field with spectrum `P(k) ∝ k^{−alpha}`,
+/// normalised to zero mean and unit variance.
+///
+/// # Panics
+/// Panics unless all extents are powers of two.
+pub fn grf_3d(d0: usize, d1: usize, d2: usize, alpha: f64, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut spec = vec![Complex::ZERO; d0 * d1 * d2];
+    for i in 0..d0 {
+        for j in 0..d1 {
+            for k in 0..d2 {
+                let km = (wavenumber(i, d0).powi(2)
+                    + wavenumber(j, d1).powi(2)
+                    + wavenumber(k, d2).powi(2))
+                .sqrt();
+                if km == 0.0 {
+                    continue;
+                }
+                let amp = km.powf(-alpha / 2.0);
+                spec[(i * d1 + j) * d2 + k] =
+                    Complex::new(normal(&mut rng) * amp, normal(&mut rng) * amp);
+            }
+        }
+    }
+    nd::ifft3(&mut spec, d0, d1, d2);
+    normalise(spec.iter().map(|z| z.re).collect())
+}
+
+/// Shift to zero mean, scale to unit variance (no-op for degenerate input).
+fn normalise(mut data: Vec<f64>) -> Vec<f64> {
+    let n = data.len() as f64;
+    let mean = data.iter().sum::<f64>() / n;
+    let var = data.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    let inv_sd = if var > 0.0 { 1.0 / var.sqrt() } else { 1.0 };
+    for v in &mut data {
+        *v = (*v - mean) * inv_sd;
+    }
+    data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grf_2d_is_normalised() {
+        let f = grf_2d(32, 32, 2.0, 1);
+        let n = f.len() as f64;
+        let mean = f.iter().sum::<f64>() / n;
+        let var = f.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        assert!(mean.abs() < 1e-9);
+        assert!((var - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grf_3d_is_normalised_and_deterministic() {
+        let a = grf_3d(8, 8, 8, 3.0, 5);
+        let b = grf_3d(8, 8, 8, 3.0, 5);
+        assert_eq!(a, b);
+        let n = a.len() as f64;
+        let mean = a.iter().sum::<f64>() / n;
+        assert!(mean.abs() < 1e-9);
+    }
+
+    #[test]
+    fn higher_alpha_is_smoother() {
+        // Steeper spectrum ⇒ less power at high k ⇒ smaller first
+        // differences relative to the (unit) variance.
+        let rough = |f: &[f64]| {
+            f.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (f.len() - 1) as f64
+        };
+        let shallow = grf_2d(64, 64, 1.0, 9);
+        let steep = grf_2d(64, 64, 4.0, 9);
+        assert!(
+            rough(&steep) < rough(&shallow),
+            "steep {} !< shallow {}",
+            rough(&steep),
+            rough(&shallow)
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(grf_2d(16, 16, 2.0, 1), grf_2d(16, 16, 2.0, 2));
+    }
+}

@@ -1,0 +1,127 @@
+//! Time-evolving snapshot sequences.
+//!
+//! The paper's introduction motivates lossy compression with HACC's
+//! *temporal decimation*: storage pressure forces dumping only every k-th
+//! snapshot, "degrading the consecutiveness of simulation in time". To
+//! reproduce that trade-off study we need a field that evolves smoothly in
+//! time: value-noise sampled on a space–time lattice with slow advection,
+//! so consecutive snapshots are strongly correlated (like real simulation
+//! output) while distant ones decorrelate.
+
+use crate::noise::{fbm_3d, max_octaves};
+use ndfield::Field;
+
+/// Parameters of a drifting 2-D scalar field.
+#[derive(Debug, Clone, Copy)]
+pub struct DriftField {
+    /// Grid rows.
+    pub rows: usize,
+    /// Grid columns.
+    pub cols: usize,
+    /// Large-scale features across the domain.
+    pub features: f64,
+    /// Advection speed in feature-lengths per unit time.
+    pub drift: f64,
+    /// Rate of intrinsic evolution (decorrelation) per unit time.
+    pub churn: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for DriftField {
+    fn default() -> Self {
+        DriftField {
+            rows: 64,
+            cols: 96,
+            features: 6.0,
+            drift: 0.35,
+            churn: 0.2,
+            seed: 42,
+        }
+    }
+}
+
+impl DriftField {
+    /// Evaluate the snapshot at time `t` (any real value; snapshots vary
+    /// smoothly and deterministically with `t`).
+    pub fn at(&self, t: f64) -> Field<f32> {
+        let su = self.features / self.rows as f64;
+        let sv = self.features / self.cols as f64;
+        let du = su.max(sv);
+        let oct = 4u32.min(max_octaves(du, 4.0));
+        Field::from_fn_2d(self.rows, self.cols, |i, j| {
+            let u = i as f64 * su;
+            let v = j as f64 * sv + t * self.drift;
+            let w = t * self.churn;
+            let base = fbm_3d(u, v, w, self.seed, oct, 0.55);
+            let detail = 0.3 * fbm_3d(u * 2.0, v * 2.0, w, self.seed ^ 0x5bd1, oct, 0.5);
+            ((base + detail) * 10.0) as f32
+        })
+    }
+
+    /// A sequence of `n` snapshots at spacing `dt`.
+    pub fn series(&self, n: usize, dt: f64) -> Vec<Field<f32>> {
+        (0..n).map(|k| self.at(k as f64 * dt)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn correlation(a: &Field<f32>, b: &Field<f32>) -> f64 {
+        let n = a.len() as f64;
+        let (ma, mb) = (
+            a.as_slice().iter().map(|&v| v as f64).sum::<f64>() / n,
+            b.as_slice().iter().map(|&v| v as f64).sum::<f64>() / n,
+        );
+        let mut cov = 0.0;
+        let mut va = 0.0;
+        let mut vb = 0.0;
+        for (&x, &y) in a.as_slice().iter().zip(b.as_slice()) {
+            cov += (x as f64 - ma) * (y as f64 - mb);
+            va += (x as f64 - ma).powi(2);
+            vb += (y as f64 - mb).powi(2);
+        }
+        cov / (va.sqrt() * vb.sqrt())
+    }
+
+    #[test]
+    fn series_is_deterministic() {
+        let df = DriftField::default();
+        let a = df.series(3, 0.5);
+        let b = df.series(3, 0.5);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.as_slice(), y.as_slice());
+        }
+    }
+
+    #[test]
+    fn consecutive_snapshots_strongly_correlated() {
+        let df = DriftField::default();
+        let s = df.series(2, 0.1);
+        let r = correlation(&s[0], &s[1]);
+        assert!(r > 0.9, "dt=0.1 correlation {r}");
+    }
+
+    #[test]
+    fn distant_snapshots_decorrelate() {
+        let df = DriftField::default();
+        let near = correlation(&df.at(0.0), &df.at(0.2));
+        let far = correlation(&df.at(0.0), &df.at(20.0));
+        assert!(
+            far < near,
+            "temporal structure missing: near {near}, far {far}"
+        );
+        assert!(far < 0.6, "far snapshots still correlated: {far}");
+    }
+
+    #[test]
+    fn snapshots_are_finite_and_nonconstant() {
+        let df = DriftField::default();
+        for f in df.series(4, 1.0) {
+            assert!(f.as_slice().iter().all(|v| v.is_finite()));
+            assert!(f.value_range() > 0.0);
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests over the data generators: the invariants the
+//! fixed-PSNR evaluation relies on must hold for *every* seed, not just the
+//! default one.
+
+use datagen::{atm, generate, hurricane, nyx, DatasetId, Resolution};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn atm_invariants_hold_for_any_seed(seed in any::<u64>()) {
+        let fields = atm::fields(Resolution::Small, seed);
+        prop_assert_eq!(fields.len(), 79);
+        for nf in &fields {
+            // All finite, and every fraction-like field stays in [0, 1].
+            prop_assert!(
+                nf.data.as_slice().iter().all(|v| v.is_finite()),
+                "{} non-finite (seed {})", nf.name, seed
+            );
+        }
+        for name in ["CLDHGH", "CLDTOT", "LANDFRAC", "OCNFRAC", "ICEFRAC"] {
+            let f = fields.iter().find(|nf| nf.name == name).unwrap();
+            prop_assert!(
+                f.data.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)),
+                "{name} out of [0,1] (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn hurricane_invariants_hold_for_any_seed(seed in any::<u64>()) {
+        let fields = hurricane::fields(Resolution::Small, seed);
+        prop_assert_eq!(fields.len(), 13);
+        for nf in &fields {
+            prop_assert!(
+                nf.data.as_slice().iter().all(|v| v.is_finite()),
+                "{} non-finite", nf.name
+            );
+        }
+        for name in ["QCLOUD", "QRAIN", "QICE", "QSNOW", "QGRAUP", "QVAPOR", "PRECIP"] {
+            let f = fields.iter().find(|nf| nf.name == name).unwrap();
+            prop_assert!(
+                f.data.as_slice().iter().all(|&v| v >= 0.0),
+                "{name} negative (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn nyx_invariants_hold_for_any_seed(seed in any::<u64>()) {
+        let fields = nyx::fields(Resolution::Small, seed);
+        prop_assert_eq!(fields.len(), 6);
+        for name in ["baryon_density", "dark_matter_density", "temperature"] {
+            let f = fields.iter().find(|nf| nf.name == name).unwrap();
+            prop_assert!(
+                f.data.as_slice().iter().all(|&v| v > 0.0 && v.is_finite()),
+                "{name} non-positive (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn generation_deterministic_for_any_seed(seed in any::<u64>()) {
+        for id in [DatasetId::Nyx, DatasetId::Hurricane] {
+            let a = generate(id, Resolution::Small, seed);
+            let b = generate(id, Resolution::Small, seed);
+            for (x, y) in a.iter().zip(&b) {
+                prop_assert_eq!(x.data.as_slice(), y.data.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_snapshots(
+        s1 in any::<u64>(),
+        s2 in any::<u64>(),
+    ) {
+        prop_assume!(s1 != s2);
+        let a = generate(DatasetId::Hurricane, Resolution::Small, s1);
+        let b = generate(DatasetId::Hurricane, Resolution::Small, s2);
+        // At least the texture-bearing fields must differ.
+        let differs = a.iter().zip(&b).any(|(x, y)| x.data.as_slice() != y.data.as_slice());
+        prop_assert!(differs);
+    }
+}

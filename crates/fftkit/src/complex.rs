@@ -1,0 +1,110 @@
+//! Minimal complex arithmetic for the FFT.
+
+/// A complex number in Cartesian form.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Additive identity.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// Multiplicative identity.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+
+    /// Construct from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Construct from polar form `r·e^{iθ}`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Complex::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Complex addition.
+    #[inline]
+    pub fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+
+    /// Complex subtraction.
+    #[inline]
+    pub fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+
+    /// Complex multiplication.
+    #[inline]
+    pub fn mul(self, o: Complex) -> Complex {
+        Complex::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+
+    /// Scale by a real factor.
+    #[inline]
+    pub fn scale(self, s: f64) -> Complex {
+        Complex::new(self.re * s, self.im * s)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Complex {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Squared magnitude.
+    #[inline]
+    pub fn abs_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.abs_sq().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = Complex::new(3.0, -4.0);
+        assert_eq!(z.add(Complex::ZERO), z);
+        assert_eq!(z.mul(Complex::ONE), z);
+        assert_eq!(z.abs(), 5.0);
+        assert_eq!(z.abs_sq(), 25.0);
+    }
+
+    #[test]
+    fn multiplication_matches_hand_computation() {
+        // (1+2i)(3+4i) = 3+4i+6i+8i² = -5+10i
+        let p = Complex::new(1.0, 2.0).mul(Complex::new(3.0, 4.0));
+        assert_eq!(p, Complex::new(-5.0, 10.0));
+    }
+
+    #[test]
+    fn conjugate_multiplication_is_abs_sq() {
+        let z = Complex::new(2.5, -1.5);
+        let p = z.mul(z.conj());
+        assert!((p.re - z.abs_sq()).abs() < 1e-15);
+        assert!(p.im.abs() < 1e-15);
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = Complex::from_polar(2.0, std::f64::consts::FRAC_PI_2);
+        assert!(z.re.abs() < 1e-15);
+        assert!((z.im - 2.0).abs() < 1e-15);
+    }
+}

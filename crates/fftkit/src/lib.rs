@@ -1,0 +1,175 @@
+//! # fftkit — a small FFT toolkit
+//!
+//! Provides the spectral machinery the synthetic NYX-like cosmology
+//! generator needs (Gaussian random fields with power-law spectra are
+//! synthesized in Fourier space and inverse-transformed). No external FFT
+//! crate is in the allowed dependency set, so this implements:
+//!
+//! - [`Complex`] — minimal complex arithmetic,
+//! - [`fft`]/[`ifft`] — iterative radix-2 Cooley–Tukey transforms
+//!   (power-of-two lengths),
+//! - [`nd`] — separable 2-D/3-D transforms applying the 1-D FFT along each
+//!   axis.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod complex;
+pub mod nd;
+
+pub use complex::Complex;
+
+/// In-place iterative radix-2 decimation-in-time FFT.
+///
+/// # Panics
+/// Panics unless `data.len()` is a power of two (callers size grids
+/// accordingly; the generators use power-of-two grids by construction).
+pub fn fft(data: &mut [Complex]) {
+    fft_dir(data, false);
+}
+
+/// In-place inverse FFT, normalised by `1/N` so `ifft(fft(x)) == x`.
+///
+/// # Panics
+/// Panics unless `data.len()` is a power of two.
+pub fn ifft(data: &mut [Complex]) {
+    fft_dir(data, true);
+    let scale = 1.0 / data.len() as f64;
+    for v in data.iter_mut() {
+        *v = v.scale(scale);
+    }
+}
+
+fn fft_dir(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    assert!(n.is_power_of_two(), "FFT length {n} is not a power of two");
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u64).reverse_bits() >> (64 - bits) as u64;
+        let j = j as usize;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterfly passes. Twiddles are recomputed per stage from a stage
+    // root; accuracy is ample for synthesis purposes (~1e-12 relative).
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2usize;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::from_polar(1.0, ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::ONE;
+            for k in 0..len / 2 {
+                let a = data[start + k];
+                let b = data[start + k + len / 2].mul(w);
+                data[start + k] = a.add(b);
+                data[start + k + len / 2] = a.sub(b);
+                w = w.mul(wlen);
+            }
+        }
+        len <<= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: Complex, b: Complex, tol: f64) {
+        assert!(
+            (a.re - b.re).abs() < tol && (a.im - b.im).abs() < tol,
+            "{a:?} != {b:?}"
+        );
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut data = vec![Complex::ZERO; 8];
+        data[0] = Complex::ONE;
+        fft(&mut data);
+        for v in &data {
+            assert_close(*v, Complex::ONE, 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_of_constant_is_impulse() {
+        let mut data = vec![Complex::ONE; 16];
+        fft(&mut data);
+        assert_close(data[0], Complex::new(16.0, 0.0), 1e-12);
+        for v in &data[1..] {
+            assert_close(*v, Complex::ZERO, 1e-10);
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_one_bin() {
+        let n = 64;
+        let k = 5;
+        let mut data: Vec<Complex> = (0..n)
+            .map(|i| {
+                let ph = 2.0 * std::f64::consts::PI * (k * i) as f64 / n as f64;
+                Complex::new(ph.cos(), ph.sin())
+            })
+            .collect();
+        fft(&mut data);
+        for (bin, v) in data.iter().enumerate() {
+            if bin == k {
+                assert_close(*v, Complex::new(n as f64, 0.0), 1e-9);
+            } else {
+                assert!(v.abs() < 1e-9, "leakage in bin {bin}: {v:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn ifft_inverts_fft() {
+        let mut rng_state = 42u64;
+        let mut next = || {
+            rng_state = rng_state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (rng_state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let orig: Vec<Complex> = (0..256).map(|_| Complex::new(next(), next())).collect();
+        let mut data = orig.clone();
+        fft(&mut data);
+        ifft(&mut data);
+        for (a, b) in orig.iter().zip(&data) {
+            assert_close(*a, *b, 1e-10);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let orig: Vec<Complex> = (0..128)
+            .map(|i| Complex::new((i as f64 * 0.3).sin(), (i as f64 * 0.7).cos()))
+            .collect();
+        let time_energy: f64 = orig.iter().map(|v| v.abs_sq()).sum();
+        let mut data = orig;
+        fft(&mut data);
+        let freq_energy: f64 = data.iter().map(|v| v.abs_sq()).sum::<f64>() / 128.0;
+        assert!((time_energy - freq_energy).abs() / time_energy < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let mut data = vec![Complex::ZERO; 12];
+        fft(&mut data);
+    }
+
+    #[test]
+    fn trivial_lengths() {
+        let mut one = vec![Complex::new(3.0, -2.0)];
+        fft(&mut one);
+        assert_close(one[0], Complex::new(3.0, -2.0), 1e-15);
+        let mut empty: Vec<Complex> = vec![];
+        fft(&mut empty);
+    }
+}

@@ -1,0 +1,367 @@
+//! DEFLATE-like container: LZ77 tokens entropy-coded with two dynamic
+//! canonical Huffman tables.
+//!
+//! This stands in for the GZIP stage of SZ (step 3). The format follows
+//! DEFLATE's *structure* — literal/length alphabet with extra bits, distance
+//! alphabet with extra bits, dynamic Huffman tables — but uses this crate's
+//! own table serialization instead of RFC 1951 bit layout, since
+//! interoperability with zlib is not a goal (the stream is always produced
+//! and consumed by this library).
+//!
+//! Layout:
+//!
+//! ```text
+//! varint  raw_len                  decompressed byte count
+//! varint  token_count
+//! table   lit/len Huffman lengths  (alphabet 286: 0-255 literals, 256 EOB
+//!                                   unused, 257-285 length codes)
+//! table   distance Huffman lengths (alphabet 30)
+//! bits    token stream             code [+ extra bits] per token
+//! ```
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::huffman::HuffmanCodec;
+use crate::lz77::{self, Effort, Token};
+use crate::varint;
+use crate::CodecError;
+
+/// Literal/length alphabet size (DEFLATE's 286).
+const LITLEN_ALPHABET: usize = 286;
+/// Distance alphabet size (DEFLATE's 30).
+const DIST_ALPHABET: usize = 30;
+
+/// DEFLATE length-code table: `(base_len, extra_bits)` for codes 257..=285,
+/// indexed by `code - 257`.
+const LEN_TABLE: [(u32, u32); 29] = [
+    (3, 0),
+    (4, 0),
+    (5, 0),
+    (6, 0),
+    (7, 0),
+    (8, 0),
+    (9, 0),
+    (10, 0),
+    (11, 1),
+    (13, 1),
+    (15, 1),
+    (17, 1),
+    (19, 2),
+    (23, 2),
+    (27, 2),
+    (31, 2),
+    (35, 3),
+    (43, 3),
+    (51, 3),
+    (59, 3),
+    (67, 4),
+    (83, 4),
+    (99, 4),
+    (115, 4),
+    (131, 5),
+    (163, 5),
+    (195, 5),
+    (227, 5),
+    (258, 0),
+];
+
+/// DEFLATE distance-code table: `(base_dist, extra_bits)` for codes 0..=29.
+const DIST_TABLE: [(u32, u32); 30] = [
+    (1, 0),
+    (2, 0),
+    (3, 0),
+    (4, 0),
+    (5, 1),
+    (7, 1),
+    (9, 2),
+    (13, 2),
+    (17, 3),
+    (25, 3),
+    (33, 4),
+    (49, 4),
+    (65, 5),
+    (97, 5),
+    (129, 6),
+    (193, 6),
+    (257, 7),
+    (385, 7),
+    (513, 8),
+    (769, 8),
+    (1025, 9),
+    (1537, 9),
+    (2049, 10),
+    (3073, 10),
+    (4097, 11),
+    (6145, 11),
+    (8193, 12),
+    (12289, 12),
+    (16385, 13),
+    (24577, 13),
+];
+
+/// Map a match length (3..=258) to `(code, extra_bits, extra_value)`.
+#[inline]
+fn length_to_code(len: u32) -> (u32, u32, u32) {
+    debug_assert!((3..=258).contains(&len));
+    // Code 285 (len 258) has no extra bits and must win over 284's range.
+    if len == 258 {
+        return (285, 0, 0);
+    }
+    // Binary-search-free scan: the table is tiny and cache-hot.
+    for (i, &(base, extra)) in LEN_TABLE.iter().enumerate() {
+        let hi = base + (1 << extra) - 1;
+        if len >= base && len <= hi {
+            return (257 + i as u32, extra, len - base);
+        }
+    }
+    unreachable!("length {len} not covered by LEN_TABLE")
+}
+
+/// Map a distance (1..=32768) to `(code, extra_bits, extra_value)`.
+#[inline]
+fn dist_to_code(dist: u32) -> (u32, u32, u32) {
+    debug_assert!((1..=32768).contains(&dist));
+    for (i, &(base, extra)) in DIST_TABLE.iter().enumerate() {
+        let hi = base + (1 << extra) - 1;
+        if dist >= base && dist <= hi {
+            return (i as u32, extra, dist - base);
+        }
+    }
+    unreachable!("distance {dist} not covered by DIST_TABLE")
+}
+
+/// Compress `data` with default effort.
+///
+/// ```
+/// let data = b"scientific data compresses scientific data".repeat(10);
+/// let packed = losslesskit::lz_compress(&data);
+/// assert!(packed.len() < data.len());
+/// assert_eq!(losslesskit::lz_decompress(&packed).unwrap(), data);
+/// ```
+pub fn lz_compress(data: &[u8]) -> Vec<u8> {
+    lz_compress_with(data, Effort::Default)
+}
+
+/// Compress `data` with an explicit effort level.
+pub fn lz_compress_with(data: &[u8], effort: Effort) -> Vec<u8> {
+    let tokens = lz77::tokenize(data, effort);
+
+    // Pass 1: frequencies for the two alphabets.
+    let mut lit_counts = vec![0u64; LITLEN_ALPHABET];
+    let mut dist_counts = vec![0u64; DIST_ALPHABET];
+    for &t in &tokens {
+        match t {
+            Token::Literal(b) => lit_counts[b as usize] += 1,
+            Token::Match { len, dist } => {
+                lit_counts[length_to_code(len).0 as usize] += 1;
+                dist_counts[dist_to_code(dist).0 as usize] += 1;
+            }
+        }
+    }
+    let lit_codec = HuffmanCodec::from_counts(&lit_counts);
+    let dist_codec = HuffmanCodec::from_counts(&dist_counts);
+
+    // Header + tables.
+    let mut out = Vec::with_capacity(data.len() / 2 + 64);
+    varint::write_u64(&mut out, data.len() as u64);
+    varint::write_u64(&mut out, tokens.len() as u64);
+    lit_codec.write_table(&mut out);
+    dist_codec.write_table(&mut out);
+
+    // Pass 2: the bit stream.
+    let mut w = BitWriter::with_capacity(data.len() / 2);
+    for &t in &tokens {
+        match t {
+            Token::Literal(b) => lit_codec.encode_one(b as u32, &mut w),
+            Token::Match { len, dist } => {
+                let (lc, le, lv) = length_to_code(len);
+                lit_codec.encode_one(lc, &mut w);
+                if le > 0 {
+                    w.write_bits(lv as u64, le);
+                }
+                let (dc, de, dv) = dist_to_code(dist);
+                dist_codec.encode_one(dc, &mut w);
+                if de > 0 {
+                    w.write_bits(dv as u64, de);
+                }
+            }
+        }
+    }
+    out.extend_from_slice(&w.finish());
+    out
+}
+
+/// Decompress a buffer produced by [`lz_compress`].
+///
+/// # Errors
+/// [`CodecError`] on truncation or any container violation (bad tables,
+/// out-of-range codes, back-reference before start of output).
+pub fn lz_decompress(src: &[u8]) -> Result<Vec<u8>, CodecError> {
+    let mut pos = 0usize;
+    let raw_len = varint::read_u64(src, &mut pos)? as usize;
+    let token_count = varint::read_u64(src, &mut pos)? as usize;
+    let lit_codec = HuffmanCodec::read_table(src, &mut pos)?;
+    let dist_codec = HuffmanCodec::read_table(src, &mut pos)?;
+    if lit_codec.alphabet() != LITLEN_ALPHABET || dist_codec.alphabet() != DIST_ALPHABET {
+        return Err(CodecError::Corrupt("wrong alphabet size in tables"));
+    }
+    let mut r = BitReader::new(&src[pos..]);
+    let mut out: Vec<u8> = Vec::with_capacity(raw_len);
+    for _ in 0..token_count {
+        let sym = lit_codec.decode_one(&mut r)?;
+        if sym < 256 {
+            out.push(sym as u8);
+            continue;
+        }
+        if sym == 256 || sym as usize >= LITLEN_ALPHABET {
+            return Err(CodecError::Corrupt("invalid lit/len symbol"));
+        }
+        let (base, extra) = LEN_TABLE[(sym - 257) as usize];
+        let len = base + r.read_bits(extra)? as u32;
+        let dsym = dist_codec.decode_one(&mut r)?;
+        if dsym as usize >= DIST_ALPHABET {
+            return Err(CodecError::Corrupt("invalid distance symbol"));
+        }
+        let (dbase, dextra) = DIST_TABLE[dsym as usize];
+        let dist = (dbase + r.read_bits(dextra)? as u32) as usize;
+        if dist > out.len() {
+            return Err(CodecError::Corrupt("back-reference before stream start"));
+        }
+        let start = out.len() - dist;
+        for k in 0..len as usize {
+            let b = out[start + k];
+            out.push(b);
+        }
+    }
+    if out.len() != raw_len {
+        return Err(CodecError::Corrupt("decompressed length mismatch"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) -> usize {
+        let comp = lz_compress(data);
+        let back = lz_decompress(&comp).unwrap();
+        assert_eq!(back, data);
+        comp.len()
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(roundtrip(b"") < 32);
+    }
+
+    #[test]
+    fn short_inputs() {
+        for data in [&b"a"[..], b"ab", b"abc", b"hello world"] {
+            roundtrip(data);
+        }
+    }
+
+    #[test]
+    fn text_compresses() {
+        let data = "To be, or not to be, that is the question. ".repeat(100);
+        let size = roundtrip(data.as_bytes());
+        assert!(
+            size < data.len() / 5,
+            "repeated text should compress >5x, got {size} of {}",
+            data.len()
+        );
+    }
+
+    #[test]
+    fn constant_buffer_compresses_heavily() {
+        let data = vec![0u8; 100_000];
+        let size = roundtrip(&data);
+        assert!(size < 600, "constant buffer compressed to {size} bytes");
+    }
+
+    #[test]
+    fn random_bytes_roundtrip_without_blowup() {
+        let mut x = 987654321u32;
+        let data: Vec<u8> = (0..50_000)
+            .map(|_| {
+                x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+                (x >> 24) as u8
+            })
+            .collect();
+        let comp = lz_compress(&data);
+        assert_eq!(lz_decompress(&comp).unwrap(), data);
+        // Incompressible data: minor expansion allowed (Huffman ≈ 8 bit/lit).
+        assert!(comp.len() < data.len() + data.len() / 8 + 1024);
+    }
+
+    #[test]
+    fn all_length_codes_exercised() {
+        // Runs of every length between 3 and 300 hit each length bucket.
+        let mut data = Vec::new();
+        for len in 3..300usize {
+            data.extend(std::iter::repeat((len % 251) as u8).take(len));
+            data.push(255); // separator to break runs apart
+        }
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn long_distance_codes_exercised() {
+        let phrase: Vec<u8> = (0..64u8).collect();
+        let mut data = phrase.clone();
+        data.extend(std::iter::repeat(0xAA).take(30_000));
+        data.extend_from_slice(&phrase);
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn truncated_stream_fails_cleanly() {
+        let data = "compressible compressible compressible".repeat(20);
+        let comp = lz_compress(data.as_bytes());
+        for cut in [comp.len() / 4, comp.len() / 2, comp.len() - 1] {
+            assert!(
+                lz_decompress(&comp[..cut]).is_err(),
+                "truncation at {cut} not detected"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_header_fails_cleanly() {
+        let comp = lz_compress(b"some data some data some data");
+        let mut bad = comp.clone();
+        bad[0] ^= 0x55; // raw_len now wrong
+        assert!(lz_decompress(&bad).is_err());
+    }
+
+    #[test]
+    fn length_code_table_is_consistent() {
+        for len in 3..=258u32 {
+            let (code, extra, val) = length_to_code(len);
+            assert!((257..=285).contains(&code));
+            let (base, e) = LEN_TABLE[(code - 257) as usize];
+            assert_eq!(e, extra);
+            assert_eq!(base + val, len, "len {len} decodes wrong");
+        }
+    }
+
+    #[test]
+    fn dist_code_table_is_consistent() {
+        for dist in 1..=32768u32 {
+            let (code, extra, val) = dist_to_code(dist);
+            assert!(code < 30);
+            let (base, e) = DIST_TABLE[code as usize];
+            assert_eq!(e, extra);
+            assert_eq!(base + val, dist, "dist {dist} decodes wrong");
+        }
+    }
+
+    #[test]
+    fn effort_levels_all_roundtrip() {
+        let data = "abcdefgh".repeat(500);
+        for effort in [Effort::Fast, Effort::Default, Effort::Best] {
+            let comp = lz_compress_with(data.as_bytes(), effort);
+            assert_eq!(lz_decompress(&comp).unwrap(), data.as_bytes());
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Symbol histograms and entropy estimates.
+//!
+//! The Huffman coder consumes frequency tables built here; the experiment
+//! harness also uses the Shannon entropy as a lower bound when reporting
+//! how close the entropy stage gets to optimal.
+
+/// Count occurrences of each `u32` symbol in `symbols`, returning a dense
+/// table of length `alphabet` (symbols ≥ `alphabet` panic — the caller fixed
+/// the alphabet when it configured the quantizer).
+pub fn count_dense(symbols: &[u32], alphabet: usize) -> Vec<u64> {
+    let mut counts = vec![0u64; alphabet];
+    for &s in symbols {
+        counts[s as usize] += 1;
+    }
+    counts
+}
+
+/// Count occurrences of each byte value.
+pub fn count_bytes(bytes: &[u8]) -> [u64; 256] {
+    let mut counts = [0u64; 256];
+    for &b in bytes {
+        counts[b as usize] += 1;
+    }
+    counts
+}
+
+/// Shannon entropy in bits/symbol of a frequency table.
+///
+/// Returns 0.0 for empty input or a single distinct symbol.
+pub fn shannon_entropy(counts: &[u64]) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let total_f = total as f64;
+    let mut h = 0.0f64;
+    for &c in counts {
+        if c > 0 {
+            let p = c as f64 / total_f;
+            h -= p * p.log2();
+        }
+    }
+    h
+}
+
+/// Theoretical minimum size in bytes of entropy-coding `n` symbols with the
+/// given frequency table (entropy × n / 8, rounded up).
+pub fn entropy_bound_bytes(counts: &[u64]) -> usize {
+    let n: u64 = counts.iter().sum();
+    let bits = shannon_entropy(counts) * n as f64;
+    (bits / 8.0).ceil() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_counts() {
+        let counts = count_dense(&[0, 1, 1, 3, 3, 3], 4);
+        assert_eq!(counts, vec![1, 2, 0, 3]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dense_counts_panics_out_of_alphabet() {
+        count_dense(&[5], 4);
+    }
+
+    #[test]
+    fn byte_counts() {
+        let counts = count_bytes(&[0, 255, 255, 7]);
+        assert_eq!(counts[0], 1);
+        assert_eq!(counts[255], 2);
+        assert_eq!(counts[7], 1);
+        assert_eq!(counts[1], 0);
+    }
+
+    #[test]
+    fn entropy_uniform_two_symbols_is_one_bit() {
+        assert!((shannon_entropy(&[10, 10]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_single_symbol_is_zero() {
+        assert_eq!(shannon_entropy(&[42]), 0.0);
+        assert_eq!(shannon_entropy(&[]), 0.0);
+    }
+
+    #[test]
+    fn entropy_uniform_256_is_eight_bits() {
+        let counts = [1u64; 256];
+        assert!((shannon_entropy(&counts) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_bound_scales_with_n() {
+        // 1 bit/symbol over 80 symbols = 10 bytes.
+        assert_eq!(entropy_bound_bytes(&[40, 40]), 10);
+    }
+}

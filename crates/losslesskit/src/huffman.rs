@@ -1,0 +1,547 @@
+//! Canonical Huffman coding over dense `u32` alphabets.
+//!
+//! This is the "customized Huffman coding" of SZ step (2): the alphabet is
+//! the set of quantization codes (commonly 2^16 bins plus an escape symbol),
+//! far larger than a byte, so a byte-oriented entropy coder cannot be used.
+//!
+//! Codes are *canonical*: only the code lengths are serialized (run-length
+//! compressed), and both sides rebuild identical codes from the lengths
+//! using the DEFLATE `bl_count`/`next_code` construction. Codes are written
+//! LSB-first (bit-reversed) to match [`crate::bitio`]'s DEFLATE-style
+//! convention.
+//!
+//! Degenerate inputs are handled explicitly: an empty stream encodes to
+//! nothing, and a single distinct symbol is assigned a 1-bit code so the
+//! bitstream stays self-delimiting.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::varint;
+use crate::CodecError;
+use std::collections::BinaryHeap;
+
+/// Longest permitted code. Frequencies are rescaled and the tree rebuilt if
+/// the unconstrained Huffman tree exceeds this (only reachable with > 2^24
+/// symbols and pathologically skewed counts).
+const MAX_CODE_LEN: u32 = 28;
+
+/// Width of the single-level fast decode table.
+const FAST_BITS: u32 = 11;
+
+/// A canonical Huffman encoder/decoder for symbols `0..alphabet`.
+#[derive(Debug, Clone)]
+pub struct HuffmanCodec {
+    /// Code length per symbol; 0 = symbol unused.
+    lens: Vec<u8>,
+    /// Canonical code per symbol, MSB-first in the low `lens[s]` bits.
+    codes: Vec<u32>,
+    /// max code length actually used (0 for an empty alphabet).
+    max_len: u32,
+    /// Number of used codes per length 0..=max_len.
+    bl_count: Vec<u32>,
+    /// First canonical code of each length.
+    first_code: Vec<u32>,
+    /// Start offset of each length's symbols inside `sorted_syms`.
+    offsets: Vec<u32>,
+    /// Used symbols sorted by (length, symbol).
+    sorted_syms: Vec<u32>,
+    /// fast_table[peeked FAST_BITS, LSB-first] = (symbol, len); len = 0 ⇒ slow path.
+    fast_table: Vec<(u32, u8)>,
+}
+
+impl HuffmanCodec {
+    /// Build a codec from a dense frequency table (`counts[s]` = number of
+    /// occurrences of symbol `s`).
+    pub fn from_counts(counts: &[u64]) -> Self {
+        let mut scaled: Vec<u64> = counts.to_vec();
+        loop {
+            let lens = build_code_lengths(&scaled);
+            let max = lens.iter().copied().max().unwrap_or(0) as u32;
+            if max <= MAX_CODE_LEN {
+                return Self::from_lens(lens);
+            }
+            // Halve (floor, keep nonzero alive) and retry — flattens the
+            // distribution, which strictly reduces the maximum depth.
+            for c in scaled.iter_mut() {
+                if *c > 0 {
+                    *c = (*c >> 1).max(1);
+                }
+            }
+        }
+    }
+
+    /// Rebuild a codec from code lengths (the canonical-code construction —
+    /// shared by the builder and the table deserializer).
+    fn from_lens(lens: Vec<u8>) -> Self {
+        let max_len = lens.iter().copied().max().unwrap_or(0) as u32;
+        let mut bl_count = vec![0u32; max_len as usize + 1];
+        for &l in &lens {
+            if l > 0 {
+                bl_count[l as usize] += 1;
+            }
+        }
+        // DEFLATE-style canonical code assignment.
+        let mut first_code = vec![0u32; max_len as usize + 1];
+        let mut code = 0u32;
+        for len in 1..=max_len as usize {
+            code = (code + bl_count[len - 1]) << 1;
+            first_code[len] = code;
+        }
+        let mut offsets = vec![0u32; max_len as usize + 2];
+        for len in 1..=max_len as usize {
+            offsets[len + 1] = offsets[len] + bl_count[len];
+        }
+        let used: u32 = bl_count.iter().sum();
+        let mut sorted_syms = vec![0u32; used as usize];
+        let mut next_slot = offsets.clone();
+        let mut next_code = first_code.clone();
+        let mut codes = vec![0u32; lens.len()];
+        for (sym, &l) in lens.iter().enumerate() {
+            if l > 0 {
+                let l = l as usize;
+                codes[sym] = next_code[l];
+                next_code[l] += 1;
+                sorted_syms[next_slot[l] as usize] = sym as u32;
+                next_slot[l] += 1;
+            }
+        }
+        // Fast single-level table over the low FAST_BITS peeked bits.
+        let fast_len = 1usize << FAST_BITS;
+        let mut fast_table = vec![(0u32, 0u8); fast_len];
+        for (sym, &l) in lens.iter().enumerate() {
+            let l32 = l as u32;
+            if l == 0 || l32 > FAST_BITS {
+                continue;
+            }
+            // The wire form is the bit-reversed code; every extension of it
+            // below FAST_BITS maps to this symbol.
+            let rev = reverse_bits(codes[sym], l32);
+            let step = 1usize << l32;
+            let mut idx = rev as usize;
+            while idx < fast_len {
+                fast_table[idx] = (sym as u32, l);
+                idx += step;
+            }
+        }
+        HuffmanCodec {
+            lens,
+            codes,
+            max_len,
+            bl_count,
+            first_code,
+            offsets,
+            sorted_syms,
+            fast_table,
+        }
+    }
+
+    /// Alphabet size this codec was built for.
+    pub fn alphabet(&self) -> usize {
+        self.lens.len()
+    }
+
+    /// Code length in bits assigned to `sym` (0 if unused).
+    pub fn code_len(&self, sym: u32) -> u8 {
+        self.lens[sym as usize]
+    }
+
+    /// Exact size in bits of encoding the given frequency-table contents.
+    pub fn encoded_bits(&self, counts: &[u64]) -> u64 {
+        counts
+            .iter()
+            .enumerate()
+            .map(|(s, &c)| c * self.lens[s] as u64)
+            .sum()
+    }
+
+    /// Append the code for one symbol.
+    ///
+    /// # Panics
+    /// Panics if `sym` was absent from the frequency table (length 0).
+    #[inline]
+    pub fn encode_one(&self, sym: u32, w: &mut BitWriter) {
+        let len = self.lens[sym as usize] as u32;
+        debug_assert!(len > 0, "encoding symbol {sym} with no code");
+        w.write_bits(reverse_bits(self.codes[sym as usize], len) as u64, len);
+    }
+
+    /// Encode a slice of symbols.
+    pub fn encode(&self, symbols: &[u32], w: &mut BitWriter) {
+        for &s in symbols {
+            self.encode_one(s, w);
+        }
+    }
+
+    /// Decode one symbol.
+    ///
+    /// # Errors
+    /// [`CodecError::UnexpectedEof`] when the stream ends mid-code;
+    /// [`CodecError::Corrupt`] when the bits match no code.
+    #[inline]
+    pub fn decode_one(&self, r: &mut BitReader<'_>) -> Result<u32, CodecError> {
+        if self.max_len == 0 {
+            return Err(CodecError::Corrupt("decode from empty codec"));
+        }
+        let peek = r.peek_bits(FAST_BITS) as usize;
+        let (sym, len) = self.fast_table[peek];
+        if len > 0 {
+            if r.bits_remaining() < len as usize {
+                return Err(CodecError::UnexpectedEof);
+            }
+            r.consume(len as u32);
+            return Ok(sym);
+        }
+        // Slow path: canonical decode one bit at a time (codes longer than
+        // FAST_BITS are rare by construction).
+        let mut acc = 0u32;
+        for len in 1..=self.max_len as usize {
+            acc = (acc << 1) | r.read_bits(1)? as u32;
+            let cnt = self.bl_count[len];
+            if cnt > 0 {
+                let first = self.first_code[len];
+                if acc >= first && acc - first < cnt {
+                    let idx = self.offsets[len] + (acc - first);
+                    return Ok(self.sorted_syms[idx as usize]);
+                }
+            }
+        }
+        Err(CodecError::Corrupt("bit pattern matches no Huffman code"))
+    }
+
+    /// Decode exactly `n` symbols into `out`.
+    ///
+    /// # Errors
+    /// Propagates [`HuffmanCodec::decode_one`] failures.
+    pub fn decode(
+        &self,
+        r: &mut BitReader<'_>,
+        n: usize,
+        out: &mut Vec<u32>,
+    ) -> Result<(), CodecError> {
+        out.reserve(n);
+        for _ in 0..n {
+            out.push(self.decode_one(r)?);
+        }
+        Ok(())
+    }
+
+    /// Serialize the code-length table (alphabet varint, then
+    /// `(length, run)` pairs covering the alphabet).
+    pub fn write_table(&self, out: &mut Vec<u8>) {
+        varint::write_u64(out, self.lens.len() as u64);
+        let mut i = 0usize;
+        while i < self.lens.len() {
+            let l = self.lens[i];
+            let mut run = 1usize;
+            while i + run < self.lens.len() && self.lens[i + run] == l {
+                run += 1;
+            }
+            out.push(l);
+            varint::write_u64(out, run as u64);
+            i += run;
+        }
+    }
+
+    /// Deserialize a table written by [`HuffmanCodec::write_table`].
+    ///
+    /// # Errors
+    /// [`CodecError::Corrupt`] on malformed runs or lengths exceeding
+    /// the maximum; [`CodecError::UnexpectedEof`] on truncation.
+    pub fn read_table(src: &[u8], pos: &mut usize) -> Result<Self, CodecError> {
+        let alphabet = varint::read_u64(src, pos)? as usize;
+        if alphabet > (1 << 28) {
+            return Err(CodecError::Corrupt("implausible alphabet size"));
+        }
+        let mut lens = Vec::with_capacity(alphabet);
+        while lens.len() < alphabet {
+            let l = *src.get(*pos).ok_or(CodecError::UnexpectedEof)?;
+            *pos += 1;
+            if l as u32 > MAX_CODE_LEN {
+                return Err(CodecError::Corrupt("code length exceeds maximum"));
+            }
+            let run = varint::read_u64(src, pos)? as usize;
+            if run == 0 || lens.len() + run > alphabet {
+                return Err(CodecError::Corrupt("bad code-length run"));
+            }
+            lens.resize(lens.len() + run, l);
+        }
+        // Kraft inequality check: rejects tables no prefix code satisfies.
+        let mut kraft = 0u64;
+        let mut used = 0u64;
+        for &l in &lens {
+            if l > 0 {
+                kraft += 1u64 << (MAX_CODE_LEN - l as u32);
+                used += 1;
+            }
+        }
+        let full = 1u64 << MAX_CODE_LEN;
+        if used > 1 && kraft > full {
+            return Err(CodecError::Corrupt("code lengths violate Kraft inequality"));
+        }
+        Ok(Self::from_lens(lens))
+    }
+}
+
+/// Reverse the low `n` bits of `v` (MSB-first canonical code → LSB-first
+/// wire form).
+#[inline]
+fn reverse_bits(v: u32, n: u32) -> u32 {
+    v.reverse_bits() >> (32 - n)
+}
+
+/// Compute Huffman code lengths from frequencies using a binary heap with
+/// deterministic tie-breaking (lower symbol index wins) so compressor and
+/// tests are reproducible across runs.
+fn build_code_lengths(counts: &[u64]) -> Vec<u8> {
+    #[derive(PartialEq, Eq)]
+    struct Item {
+        weight: u64,
+        tiebreak: u32,
+        node: u32,
+    }
+    impl Ord for Item {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            // BinaryHeap is a max-heap; invert for min-heap behaviour.
+            other
+                .weight
+                .cmp(&self.weight)
+                .then(other.tiebreak.cmp(&self.tiebreak))
+        }
+    }
+    impl PartialOrd for Item {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let used: Vec<u32> = counts
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(s, _)| s as u32)
+        .collect();
+    let mut lens = vec![0u8; counts.len()];
+    match used.len() {
+        0 => return lens,
+        1 => {
+            // A lone symbol still needs one bit so the stream is decodable.
+            lens[used[0] as usize] = 1;
+            return lens;
+        }
+        _ => {}
+    }
+
+    // Internal tree: nodes 0..used.len() are leaves; parents appended after.
+    let n_leaves = used.len();
+    let mut parent = vec![u32::MAX; n_leaves];
+    let mut heap = BinaryHeap::with_capacity(n_leaves);
+    for (i, &sym) in used.iter().enumerate() {
+        heap.push(Item {
+            weight: counts[sym as usize],
+            tiebreak: sym,
+            node: i as u32,
+        });
+    }
+    let mut next_tiebreak = counts.len() as u32;
+    while heap.len() > 1 {
+        let a = heap.pop().expect("heap len checked");
+        let b = heap.pop().expect("heap len checked");
+        let p = parent.len() as u32;
+        parent.push(u32::MAX);
+        parent[a.node as usize] = p;
+        parent[b.node as usize] = p;
+        heap.push(Item {
+            weight: a.weight + b.weight,
+            tiebreak: next_tiebreak,
+            node: p,
+        });
+        next_tiebreak += 1;
+    }
+    // Depth of each leaf = number of parent hops to the root.
+    let mut depth = vec![0u8; parent.len()];
+    // Parents were appended in increasing order, so children always have
+    // larger parent indices... actually parents have *larger* indices than
+    // children; walk from the last node (root) downward.
+    for node in (0..parent.len()).rev() {
+        let p = parent[node];
+        if p != u32::MAX {
+            depth[node] = depth[p as usize] + 1;
+        }
+    }
+    for (i, &sym) in used.iter().enumerate() {
+        lens[sym as usize] = depth[i];
+    }
+    lens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::freq::count_dense;
+
+    fn roundtrip(symbols: &[u32], alphabet: usize) {
+        let counts = count_dense(symbols, alphabet);
+        let codec = HuffmanCodec::from_counts(&counts);
+        let mut w = BitWriter::new();
+        codec.encode(symbols, &mut w);
+        let bytes = w.finish();
+        // Serialize + rebuild the table, decode with the rebuilt codec.
+        let mut table = Vec::new();
+        codec.write_table(&mut table);
+        let mut pos = 0;
+        let codec2 = HuffmanCodec::read_table(&table, &mut pos).unwrap();
+        assert_eq!(pos, table.len());
+        let mut r = BitReader::new(&bytes);
+        let mut out = Vec::new();
+        codec2.decode(&mut r, symbols.len(), &mut out).unwrap();
+        assert_eq!(out, symbols);
+    }
+
+    #[test]
+    fn two_symbol_roundtrip() {
+        roundtrip(&[0, 1, 0, 0, 1, 0, 0, 0], 2);
+    }
+
+    #[test]
+    fn skewed_roundtrip() {
+        let mut syms = vec![5u32; 1000];
+        syms.extend([0, 1, 2, 3, 4, 6, 7].repeat(3));
+        roundtrip(&syms, 8);
+    }
+
+    #[test]
+    fn single_symbol_stream() {
+        roundtrip(&[3; 257], 10);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let counts = vec![0u64; 16];
+        let codec = HuffmanCodec::from_counts(&counts);
+        let mut w = BitWriter::new();
+        codec.encode(&[], &mut w);
+        assert!(w.finish().is_empty());
+    }
+
+    #[test]
+    fn large_alphabet_quantization_codes() {
+        // Emulates SZ: 65536 bins, codes clustered around the center.
+        let alphabet = 65536usize;
+        let center = 32768u32;
+        let mut syms = Vec::new();
+        for i in 0..20000u32 {
+            let spread = (i % 37) as i32 - 18;
+            syms.push((center as i32 + spread) as u32);
+        }
+        roundtrip(&syms, alphabet);
+    }
+
+    #[test]
+    fn optimality_against_entropy() {
+        // Huffman is within 1 bit/symbol of the entropy bound.
+        let mut syms = Vec::new();
+        for (sym, reps) in [(0u32, 50usize), (1, 25), (2, 13), (3, 12)] {
+            syms.extend(std::iter::repeat(sym).take(reps));
+        }
+        let counts = count_dense(&syms, 4);
+        let codec = HuffmanCodec::from_counts(&counts);
+        let bits = codec.encoded_bits(&counts) as f64 / syms.len() as f64;
+        let h = crate::freq::shannon_entropy(&counts);
+        assert!(bits >= h - 1e-9, "below entropy: {bits} < {h}");
+        assert!(bits < h + 1.0, "more than 1 bit over entropy");
+    }
+
+    #[test]
+    fn canonical_codes_are_prefix_free() {
+        let counts = vec![5u64, 9, 12, 13, 16, 45];
+        let codec = HuffmanCodec::from_counts(&counts);
+        for a in 0..counts.len() as u32 {
+            for b in 0..counts.len() as u32 {
+                if a == b {
+                    continue;
+                }
+                let (la, lb) = (codec.lens[a as usize], codec.lens[b as usize]);
+                let (ca, cb) = (codec.codes[a as usize], codec.codes[b as usize]);
+                if la <= lb {
+                    assert_ne!(
+                        ca,
+                        cb >> (lb - la),
+                        "code of {a} is a prefix of code of {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn classic_frequency_set_gets_optimal_lengths() {
+        // Textbook example: frequencies 45,13,12,16,9,5 → code lengths
+        // 1,3,3,3,4,4 (up to permutation within equal frequencies).
+        let counts = vec![45u64, 13, 12, 16, 9, 5];
+        let codec = HuffmanCodec::from_counts(&counts);
+        assert_eq!(codec.code_len(0), 1);
+        let mut rest: Vec<u8> = (1..6).map(|s| codec.code_len(s)).collect();
+        rest.sort_unstable();
+        assert_eq!(rest, vec![3, 3, 3, 4, 4]);
+    }
+
+    #[test]
+    fn truncated_stream_is_eof() {
+        let counts = vec![1u64, 1, 1, 1];
+        let codec = HuffmanCodec::from_counts(&counts);
+        let mut w = BitWriter::new();
+        codec.encode(&[0, 1, 2, 3, 0, 1, 2, 3], &mut w);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes[..bytes.len() - 1]);
+        let mut out = Vec::new();
+        assert!(codec.decode(&mut r, 8, &mut out).is_err());
+    }
+
+    #[test]
+    fn corrupt_table_rejected() {
+        // Kraft violation: three symbols all with length 1.
+        let mut table = Vec::new();
+        varint::write_u64(&mut table, 3);
+        table.push(1u8);
+        varint::write_u64(&mut table, 3);
+        let mut pos = 0;
+        assert!(matches!(
+            HuffmanCodec::read_table(&table, &mut pos),
+            Err(CodecError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn table_roundtrip_preserves_lengths() {
+        let counts: Vec<u64> = (0..300).map(|i| (i % 17) as u64).collect();
+        let codec = HuffmanCodec::from_counts(&counts);
+        let mut table = Vec::new();
+        codec.write_table(&mut table);
+        let mut pos = 0;
+        let codec2 = HuffmanCodec::read_table(&table, &mut pos).unwrap();
+        assert_eq!(codec.lens, codec2.lens);
+        assert_eq!(codec.codes, codec2.codes);
+    }
+
+    #[test]
+    fn fast_and_slow_paths_agree() {
+        // Force some codes past FAST_BITS by using a geometric distribution
+        // over a moderately large alphabet.
+        let alphabet = 4000usize;
+        let counts: Vec<u64> = (0..alphabet)
+            .map(|i| 1u64 << (20usize.saturating_sub(i / 200)))
+            .collect();
+        let codec = HuffmanCodec::from_counts(&counts);
+        assert!(
+            codec.max_len > FAST_BITS,
+            "test needs codes longer than the fast table"
+        );
+        let syms: Vec<u32> = (0..alphabet as u32).collect();
+        let mut w = BitWriter::new();
+        codec.encode(&syms, &mut w);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        let mut out = Vec::new();
+        codec.decode(&mut r, syms.len(), &mut out).unwrap();
+        assert_eq!(out, syms);
+    }
+}

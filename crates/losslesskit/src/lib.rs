@@ -1,0 +1,63 @@
+//! # losslesskit — lossless coding toolkit
+//!
+//! SZ's pipeline (the substrate of the paper's fixed-PSNR mode) ends with
+//! two lossless stages: (2) a customized Huffman coder over the quantization
+//! codes and (3) GZIP over the encoded bytes. Neither stage affects
+//! distortion — they are bit-exact — but both are required for the
+//! compression *ratios* the evaluation reports.
+//!
+//! This crate implements the full lossless layer from scratch:
+//!
+//! - [`bitio`] — LSB-first bit readers/writers,
+//! - [`varint`] — LEB128 varints and ZigZag signed mapping,
+//! - [`freq`] — symbol histograms and Shannon entropy,
+//! - [`huffman`] — canonical Huffman coding over arbitrary `u32` alphabets
+//!   (SZ quantization codes routinely use 2^16 bins),
+//! - [`lz77`] — greedy hash-chain LZ77 matcher,
+//! - [`deflate_like`] — an LZ77 + dual-Huffman container standing in for
+//!   GZIP/DEFLATE (documented substitution: GZIP is not in the allowed
+//!   dependency set, and any LZ+entropy backend preserves all distortion
+//!   behaviour because the stage is lossless),
+//! - [`rle`] — byte run-length coding used for sparse code planes,
+//! - [`range`]/[`fenwick`] — an adaptive range coder (fractional-bit
+//!   entropy stage) used by the entropy-coder ablation,
+//! - [`crc32`] — IEEE CRC-32 integrity trailers (bit rot in archived lossy
+//!   streams must fail loudly, not decode into plausible garbage).
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bitio;
+pub mod crc32;
+pub mod deflate_like;
+pub mod fenwick;
+pub mod freq;
+pub mod huffman;
+pub mod lz77;
+pub mod range;
+pub mod rle;
+pub mod varint;
+
+pub use bitio::{BitReader, BitWriter};
+pub use deflate_like::{lz_compress, lz_decompress};
+pub use huffman::HuffmanCodec;
+
+/// Errors shared by the decoders in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input ended before the decoder finished.
+    UnexpectedEof,
+    /// The input violates the container format.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::UnexpectedEof => write!(f, "unexpected end of compressed input"),
+            CodecError::Corrupt(what) => write!(f, "corrupt compressed stream: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}

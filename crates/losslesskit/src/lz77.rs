@@ -1,0 +1,263 @@
+//! Greedy hash-chain LZ77 matching.
+//!
+//! Produces the token stream consumed by [`crate::deflate_like`]. The
+//! matcher mirrors zlib's design: a rolling 3-byte hash indexes chains of
+//! previous positions inside a 32 KiB window; match length is capped at 258
+//! so the container can reuse DEFLATE's length alphabet.
+
+/// Maximum look-back distance (DEFLATE window).
+pub const MAX_DIST: usize = 32 * 1024;
+/// Minimum match length worth emitting.
+pub const MIN_MATCH: usize = 3;
+/// Maximum match length (DEFLATE cap).
+pub const MAX_MATCH: usize = 258;
+
+/// One LZ77 token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Token {
+    /// A single uncompressed byte.
+    Literal(u8),
+    /// A back-reference: copy `len` bytes starting `dist` bytes back.
+    Match {
+        /// Copy length, `MIN_MATCH..=MAX_MATCH`.
+        len: u32,
+        /// Back-reference distance, `1..=MAX_DIST`.
+        dist: u32,
+    },
+}
+
+/// Effort knob: how many hash-chain candidates to examine per position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effort {
+    /// Examine few candidates — fastest, slightly worse ratio.
+    Fast,
+    /// zlib-default-like chain depth.
+    Default,
+    /// Deep chains — best ratio, slowest.
+    Best,
+}
+
+impl Effort {
+    fn max_chain(self) -> usize {
+        match self {
+            Effort::Fast => 8,
+            Effort::Default => 32,
+            Effort::Best => 256,
+        }
+    }
+}
+
+const HASH_BITS: u32 = 15;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+
+#[inline]
+fn hash3(data: &[u8], i: usize) -> usize {
+    // Multiplicative hash of 3 bytes; constants from FxHash.
+    let v = (data[i] as u32) | ((data[i + 1] as u32) << 8) | ((data[i + 2] as u32) << 16);
+    ((v.wrapping_mul(0x9E37_79B1)) >> (32 - HASH_BITS)) as usize
+}
+
+/// Tokenize `data` greedily.
+///
+/// Every byte of `data` is covered exactly once by the token stream
+/// (the invariant the property tests assert).
+pub fn tokenize(data: &[u8], effort: Effort) -> Vec<Token> {
+    let n = data.len();
+    let mut tokens = Vec::with_capacity(n / 4 + 16);
+    if n < MIN_MATCH + 1 {
+        tokens.extend(data.iter().map(|&b| Token::Literal(b)));
+        return tokens;
+    }
+    let max_chain = effort.max_chain();
+    let mut head = vec![usize::MAX; HASH_SIZE];
+    let mut prev = vec![usize::MAX; n];
+    let mut i = 0usize;
+    while i < n {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if i + MIN_MATCH <= n {
+            let h = hash3(data, i.min(n - MIN_MATCH));
+            let mut cand = head[h];
+            let mut chain = 0usize;
+            let limit = i.saturating_sub(MAX_DIST);
+            while cand != usize::MAX && cand >= limit && chain < max_chain {
+                // Fast reject: compare the byte after the current best.
+                if best_len == 0 || data.get(cand + best_len) == data.get(i + best_len) {
+                    let len = common_prefix(data, cand, i);
+                    if len > best_len {
+                        best_len = len;
+                        best_dist = i - cand;
+                        if len >= MAX_MATCH {
+                            break;
+                        }
+                    }
+                }
+                cand = prev[cand];
+                chain += 1;
+            }
+        }
+        if best_len >= MIN_MATCH {
+            tokens.push(Token::Match {
+                len: best_len as u32,
+                dist: best_dist as u32,
+            });
+            // Insert every covered position into the hash chains so later
+            // matches can reference inside this span.
+            let end = (i + best_len).min(n - MIN_MATCH + 1);
+            let mut j = i;
+            while j < end {
+                let h = hash3(data, j);
+                prev[j] = head[h];
+                head[h] = j;
+                j += 1;
+            }
+            i += best_len;
+        } else {
+            tokens.push(Token::Literal(data[i]));
+            if i + MIN_MATCH <= n {
+                let h = hash3(data, i);
+                prev[i] = head[h];
+                head[h] = i;
+            }
+            i += 1;
+        }
+    }
+    tokens
+}
+
+/// Length of the common prefix of `data[a..]` and `data[b..]` (`a < b`),
+/// capped at [`MAX_MATCH`] and at the end of the buffer.
+#[inline]
+fn common_prefix(data: &[u8], a: usize, b: usize) -> usize {
+    let max = MAX_MATCH.min(data.len() - b);
+    let mut l = 0usize;
+    // 8-byte-at-a-time comparison (perf-book: avoid per-byte loops).
+    while l + 8 <= max {
+        let x = u64::from_le_bytes(data[a + l..a + l + 8].try_into().expect("8 bytes"));
+        let y = u64::from_le_bytes(data[b + l..b + l + 8].try_into().expect("8 bytes"));
+        let diff = x ^ y;
+        if diff != 0 {
+            return l + (diff.trailing_zeros() / 8) as usize;
+        }
+        l += 8;
+    }
+    while l < max && data[a + l] == data[b + l] {
+        l += 1;
+    }
+    l
+}
+
+/// Expand a token stream back into bytes. `expected_len` preallocates and is
+/// validated by the caller.
+pub fn detokenize(tokens: &[Token], expected_len: usize) -> Vec<u8> {
+    let mut out: Vec<u8> = Vec::with_capacity(expected_len);
+    for &t in tokens {
+        match t {
+            Token::Literal(b) => out.push(b),
+            Token::Match { len, dist } => {
+                let dist = dist as usize;
+                let start = out.len() - dist;
+                // Overlapping copies are the point (dist < len repeats).
+                for k in 0..len as usize {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8], effort: Effort) {
+        let tokens = tokenize(data, effort);
+        let back = detokenize(&tokens, data.len());
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        for data in [&b""[..], b"a", b"ab", b"abc"] {
+            roundtrip(data, Effort::Default);
+        }
+    }
+
+    #[test]
+    fn repetitive_input_compresses_to_matches() {
+        let data = b"abcabcabcabcabcabcabcabc".to_vec();
+        let tokens = tokenize(&data, Effort::Default);
+        assert!(
+            tokens.iter().any(|t| matches!(t, Token::Match { .. })),
+            "repetitive data produced no matches: {tokens:?}"
+        );
+        roundtrip(&data, Effort::Default);
+    }
+
+    #[test]
+    fn overlapping_match_run() {
+        // "aaaa..." forces dist=1 len>1 overlapping copies.
+        let data = vec![b'a'; 500];
+        let tokens = tokenize(&data, Effort::Default);
+        assert!(tokens.len() < 10, "run should collapse: {}", tokens.len());
+        roundtrip(&data, Effort::Default);
+    }
+
+    #[test]
+    fn incompressible_input_roundtrips() {
+        // Linear-congruential noise: few matches, all literals.
+        let mut x = 12345u32;
+        let data: Vec<u8> = (0..4096)
+            .map(|_| {
+                x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+                (x >> 24) as u8
+            })
+            .collect();
+        for effort in [Effort::Fast, Effort::Default, Effort::Best] {
+            roundtrip(&data, effort);
+        }
+    }
+
+    #[test]
+    fn long_range_match_within_window() {
+        let mut data = vec![0u8; 0];
+        let phrase = b"the quick brown fox jumps over the lazy dog";
+        data.extend_from_slice(phrase);
+        data.extend(std::iter::repeat(b'.').take(10_000));
+        data.extend_from_slice(phrase);
+        let tokens = tokenize(&data, Effort::Best);
+        roundtrip(&data, Effort::Best);
+        let has_long_dist = tokens.iter().any(
+            |t| matches!(t, Token::Match { dist, .. } if *dist as usize > 9_000),
+        );
+        assert!(has_long_dist, "expected a long-distance match");
+    }
+
+    #[test]
+    fn match_len_capped_at_max() {
+        let data = vec![7u8; 4096];
+        for t in tokenize(&data, Effort::Default) {
+            if let Token::Match { len, dist } = t {
+                assert!(len as usize <= MAX_MATCH);
+                assert!(dist as usize <= MAX_DIST);
+                assert!(len as usize >= MIN_MATCH);
+            }
+        }
+    }
+
+    #[test]
+    fn tokens_cover_input_exactly() {
+        let data: Vec<u8> = (0..2000u32).map(|i| (i % 251) as u8).collect();
+        let tokens = tokenize(&data, Effort::Default);
+        let covered: usize = tokens
+            .iter()
+            .map(|t| match t {
+                Token::Literal(_) => 1,
+                Token::Match { len, .. } => *len as usize,
+            })
+            .sum();
+        assert_eq!(covered, data.len());
+    }
+}

@@ -1,0 +1,96 @@
+//! Byte run-length coding.
+//!
+//! Quantization-code planes from very smooth fields are dominated by a
+//! single code; a cheap RLE pass ahead of (or instead of) the LZ stage is
+//! then both faster and smaller. The format is
+//! `(byte, varint run_length)*` prefixed by the raw length.
+
+use crate::varint;
+use crate::CodecError;
+
+/// Run-length encode `data`.
+pub fn rle_encode(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 8 + 16);
+    varint::write_u64(&mut out, data.len() as u64);
+    let mut i = 0usize;
+    while i < data.len() {
+        let b = data[i];
+        let mut run = 1usize;
+        while i + run < data.len() && data[i + run] == b {
+            run += 1;
+        }
+        out.push(b);
+        varint::write_u64(&mut out, run as u64);
+        i += run;
+    }
+    out
+}
+
+/// Decode a buffer produced by [`rle_encode`].
+///
+/// # Errors
+/// [`CodecError`] on truncation or when runs overshoot the declared length.
+pub fn rle_decode(src: &[u8]) -> Result<Vec<u8>, CodecError> {
+    let mut pos = 0usize;
+    let raw_len = varint::read_u64(src, &mut pos)? as usize;
+    let mut out = Vec::with_capacity(raw_len);
+    while out.len() < raw_len {
+        let b = *src.get(pos).ok_or(CodecError::UnexpectedEof)?;
+        pos += 1;
+        let run = varint::read_u64(src, &mut pos)? as usize;
+        if run == 0 || out.len() + run > raw_len {
+            return Err(CodecError::Corrupt("RLE run overruns declared length"));
+        }
+        out.resize(out.len() + run, b);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_roundtrip() {
+        assert_eq!(rle_decode(&rle_encode(b"")).unwrap(), b"");
+    }
+
+    #[test]
+    fn constant_run_collapses() {
+        let data = vec![9u8; 10_000];
+        let enc = rle_encode(&data);
+        assert!(enc.len() < 8);
+        assert_eq!(rle_decode(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn alternating_worst_case_roundtrips() {
+        let data: Vec<u8> = (0..1000).map(|i| (i & 1) as u8).collect();
+        assert_eq!(rle_decode(&rle_encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn mixed_runs_roundtrip() {
+        let mut data = Vec::new();
+        for (b, n) in [(0u8, 300usize), (7, 1), (7, 1), (255, 129), (0, 2)] {
+            data.extend(std::iter::repeat(b).take(n));
+        }
+        assert_eq!(rle_decode(&rle_encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let enc = rle_encode(&[1u8; 100]);
+        assert!(rle_decode(&enc[..enc.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn overrun_detected() {
+        // Declared length 1, run of 200.
+        let mut bad = Vec::new();
+        varint::write_u64(&mut bad, 1);
+        bad.push(5u8);
+        varint::write_u64(&mut bad, 200);
+        assert!(matches!(rle_decode(&bad), Err(CodecError::Corrupt(_))));
+    }
+}

@@ -1,0 +1,31 @@
+//! # fpsnr-metrics — rate–distortion metrics with the paper's definitions
+//!
+//! The fixed-PSNR evaluation hinges on precise metric definitions, so they
+//! live in one audited place:
+//!
+//! - `MSE(X, X̃) = (1/N) Σ (xᵢ − x̃ᵢ)²`
+//! - `NRMSE = √MSE / vr` where `vr = max(X) − min(X)` (paper Eq. 4)
+//! - `PSNR = −20·log₁₀(NRMSE)` (paper Eq. 5)
+//!
+//! plus the pointwise error measures SZ's other modes bound
+//! ([`error`]), compression-ratio/bit-rate accounting ([`ratio`]),
+//! probability-density-style histograms for the paper's Fig. 1
+//! ([`histogram`]), per-data-set AVG/STDEV aggregation for Table II
+//! ([`summary`]), and error-whiteness checks via autocorrelation
+//! ([`autocorr`]).
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod autocorr;
+pub mod error;
+pub mod histogram;
+pub mod psnr;
+pub mod ratio;
+pub mod ssim;
+pub mod summary;
+
+pub use error::PointwiseError;
+pub use histogram::Histogram;
+pub use psnr::Distortion;
+pub use ratio::RateStats;

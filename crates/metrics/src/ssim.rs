@@ -1,0 +1,165 @@
+//! Structural similarity (SSIM) for 2-D fields.
+//!
+//! PSNR measures aggregate energy error; SSIM measures whether local
+//! *structure* (means, variances, covariances over a sliding window)
+//! survived — the complementary check visualization-oriented users of lossy
+//! compression ask for, and the paper's own citation trail (Guthe &
+//! Straßer's "visual quality") motivates tracking it.
+//!
+//! This is the windowed SSIM of Wang et al. with a flat `W × W` window
+//! (boxcar instead of Gaussian — adequate for regression-style testing) and
+//! the standard constants `C1 = (0.01·L)²`, `C2 = (0.03·L)²` where `L` is
+//! the original field's value range.
+
+use ndfield::{Field, Scalar, Shape};
+
+/// Mean SSIM between two equally shaped 2-D fields.
+///
+/// Returns 1.0 for identical inputs, values near 0 (or negative) for
+/// structurally unrelated ones. Window size `w` is clamped to the field.
+///
+/// # Panics
+/// Panics when the fields are not 2-D or differ in shape.
+pub fn ssim_2d<T: Scalar>(original: &Field<T>, reconstructed: &Field<T>, w: usize) -> f64 {
+    assert_eq!(
+        original.shape(),
+        reconstructed.shape(),
+        "SSIM between differently shaped fields"
+    );
+    let Shape::D2(rows, cols) = original.shape() else {
+        panic!("ssim_2d needs 2-D fields, got {}", original.shape())
+    };
+    let w = w.clamp(2, rows.min(cols));
+    let l = original.value_range();
+    if l == 0.0 {
+        // Constant original: structure is trivially preserved iff the
+        // reconstruction is constant too.
+        let same = original
+            .as_slice()
+            .iter()
+            .zip(reconstructed.as_slice())
+            .all(|(a, b)| a.to_f64() == b.to_f64());
+        return if same { 1.0 } else { 0.0 };
+    }
+    let c1 = (0.01 * l) * (0.01 * l);
+    let c2 = (0.03 * l) * (0.03 * l);
+
+    let a = original.as_slice();
+    let b = reconstructed.as_slice();
+    let mut sum = 0.0f64;
+    let mut count = 0usize;
+    // Non-overlapping windows keep this O(n) and deterministic.
+    let mut i0 = 0usize;
+    while i0 + w <= rows {
+        let mut j0 = 0usize;
+        while j0 + w <= cols {
+            let n = (w * w) as f64;
+            let (mut ma, mut mb) = (0.0f64, 0.0f64);
+            for i in i0..i0 + w {
+                for j in j0..j0 + w {
+                    ma += a[i * cols + j].to_f64();
+                    mb += b[i * cols + j].to_f64();
+                }
+            }
+            ma /= n;
+            mb /= n;
+            let (mut va, mut vb, mut cov) = (0.0f64, 0.0f64, 0.0f64);
+            for i in i0..i0 + w {
+                for j in j0..j0 + w {
+                    let da = a[i * cols + j].to_f64() - ma;
+                    let db = b[i * cols + j].to_f64() - mb;
+                    va += da * da;
+                    vb += db * db;
+                    cov += da * db;
+                }
+            }
+            va /= n;
+            vb /= n;
+            cov /= n;
+            let s = ((2.0 * ma * mb + c1) * (2.0 * cov + c2))
+                / ((ma * ma + mb * mb + c1) * (va + vb + c2));
+            sum += s;
+            count += 1;
+            j0 += w;
+        }
+        i0 += w;
+    }
+    if count == 0 {
+        1.0
+    } else {
+        sum / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Field<f32> {
+        Field::from_fn_2d(64, 64, |i, j| {
+            ((i as f32 * 0.2).sin() + (j as f32 * 0.15).cos()) * 5.0
+        })
+    }
+
+    #[test]
+    fn identical_fields_score_one() {
+        let f = base();
+        let s = ssim_2d(&f, &f, 8);
+        assert!((s - 1.0).abs() < 1e-12, "SSIM {s}");
+    }
+
+    #[test]
+    fn small_noise_scores_high() {
+        let f = base();
+        let g = Field::from_fn_2d(64, 64, |i, j| {
+            f.get(&[i, j]) + ((i * 7 + j * 13) % 5) as f32 * 1e-3
+        });
+        let s = ssim_2d(&f, &g, 8);
+        assert!(s > 0.99, "SSIM {s}");
+    }
+
+    #[test]
+    fn unrelated_fields_score_low() {
+        let f = base();
+        let g = Field::from_fn_2d(64, 64, |i, j| {
+            let mut h = ((i * 64 + j) as u64).wrapping_mul(0x9E3779B97F4A7C15);
+            h ^= h >> 29;
+            (h % 1000) as f32 / 100.0 - 5.0
+        });
+        let s = ssim_2d(&f, &g, 8);
+        assert!(s < 0.5, "SSIM {s}");
+    }
+
+    #[test]
+    fn degraded_field_ranks_between() {
+        let f = base();
+        let mild = f.map(|v| v + 0.05);
+        let harsh = f.map(|v| (v * 4.0).round() / 4.0 + 0.3 * (v * 50.0).sin());
+        let s_mild = ssim_2d(&f, &mild, 8);
+        let s_harsh = ssim_2d(&f, &harsh, 8);
+        assert!(s_mild > s_harsh, "mild {s_mild} vs harsh {s_harsh}");
+    }
+
+    #[test]
+    fn constant_fields_handled() {
+        let f = Field::from_vec(Shape::D2(8, 8), vec![3.0f32; 64]);
+        assert_eq!(ssim_2d(&f, &f, 4), 1.0);
+        let g = Field::from_fn_2d(8, 8, |i, _| 3.0 + i as f32 * 0.01);
+        assert_eq!(ssim_2d(&f, &g, 4), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "2-D")]
+    fn non_2d_rejected() {
+        let f = Field::<f32>::zeros(Shape::D1(10));
+        ssim_2d(&f, &f, 4);
+    }
+
+    #[test]
+    fn window_clamped_to_field() {
+        let f = base();
+        // Oversized window clamps instead of panicking.
+        let s = ssim_2d(&f, &f, 1000);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,149 @@
+//! Per-data-set aggregation — the AVG/STDEV columns of Table II and the
+//! per-field meet-rate of Fig. 2.
+
+use ndfield::stats::mean_stdev;
+use serde::{Deserialize, Serialize};
+
+/// Result of one fixed-PSNR run on one field.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FieldOutcome {
+    /// Field name (e.g. `"CLDHGH"`).
+    pub field: String,
+    /// PSNR the user requested before compression.
+    pub target_psnr: f64,
+    /// PSNR measured after decompression.
+    pub achieved_psnr: f64,
+    /// Compression ratio achieved.
+    pub ratio: f64,
+}
+
+impl FieldOutcome {
+    /// Whether this field "meets" the demand in the paper's sense: achieved
+    /// PSNR equal or higher than the user-set PSNR.
+    pub fn meets_target(&self) -> bool {
+        self.achieved_psnr >= self.target_psnr
+    }
+
+    /// Signed deviation `achieved − target` in dB.
+    pub fn deviation(&self) -> f64 {
+        self.achieved_psnr - self.target_psnr
+    }
+}
+
+/// Aggregate of all fields of a data set at one target PSNR — one cell pair
+/// of Table II.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSummary {
+    /// Data set name (NYX / ATM / Hurricane).
+    pub dataset: String,
+    /// User-set PSNR.
+    pub target_psnr: f64,
+    /// Average achieved PSNR (Table II "AVG").
+    pub avg: f64,
+    /// Sample standard deviation of achieved PSNRs (Table II "STDEV").
+    pub stdev: f64,
+    /// Fraction of fields with achieved ≥ target (Fig. 2 meet-rate).
+    pub meet_rate: f64,
+    /// Mean absolute deviation |achieved − target| in dB.
+    pub mean_abs_deviation: f64,
+    /// Number of fields aggregated.
+    pub n_fields: usize,
+}
+
+impl DatasetSummary {
+    /// Aggregate per-field outcomes (all sharing one target PSNR).
+    ///
+    /// Fields whose achieved PSNR is non-finite (e.g. exact reconstruction
+    /// of a constant field) are excluded from AVG/STDEV but still count
+    /// toward the meet rate (an exact reconstruction trivially meets any
+    /// target).
+    pub fn aggregate(dataset: &str, target_psnr: f64, outcomes: &[FieldOutcome]) -> Self {
+        let finite: Vec<f64> = outcomes
+            .iter()
+            .map(|o| o.achieved_psnr)
+            .filter(|p| p.is_finite())
+            .collect();
+        let (avg, stdev) = mean_stdev(&finite);
+        let met = outcomes
+            .iter()
+            .filter(|o| o.achieved_psnr >= target_psnr || o.achieved_psnr == f64::INFINITY)
+            .count();
+        let mad = if finite.is_empty() {
+            0.0
+        } else {
+            finite
+                .iter()
+                .map(|p| (p - target_psnr).abs())
+                .sum::<f64>()
+                / finite.len() as f64
+        };
+        DatasetSummary {
+            dataset: dataset.to_string(),
+            target_psnr,
+            avg,
+            stdev,
+            meet_rate: if outcomes.is_empty() {
+                0.0
+            } else {
+                met as f64 / outcomes.len() as f64
+            },
+            mean_abs_deviation: mad,
+            n_fields: outcomes.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(achieved: f64, target: f64) -> FieldOutcome {
+        FieldOutcome {
+            field: "F".into(),
+            target_psnr: target,
+            achieved_psnr: achieved,
+            ratio: 10.0,
+        }
+    }
+
+    #[test]
+    fn meets_target_semantics() {
+        assert!(outcome(80.2, 80.0).meets_target());
+        assert!(outcome(80.0, 80.0).meets_target());
+        assert!(!outcome(79.9, 80.0).meets_target());
+    }
+
+    #[test]
+    fn aggregate_avg_stdev() {
+        let outs: Vec<FieldOutcome> =
+            [80.0, 81.0, 82.0].iter().map(|&p| outcome(p, 80.0)).collect();
+        let s = DatasetSummary::aggregate("ATM", 80.0, &outs);
+        assert!((s.avg - 81.0).abs() < 1e-12);
+        assert!((s.stdev - 1.0).abs() < 1e-12);
+        assert_eq!(s.meet_rate, 1.0);
+        assert_eq!(s.n_fields, 3);
+        assert!((s.mean_abs_deviation - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn meet_rate_counts_failures() {
+        let outs = vec![outcome(79.0, 80.0), outcome(81.0, 80.0)];
+        let s = DatasetSummary::aggregate("ATM", 80.0, &outs);
+        assert_eq!(s.meet_rate, 0.5);
+    }
+
+    #[test]
+    fn infinite_psnr_meets_but_excluded_from_avg() {
+        let outs = vec![outcome(f64::INFINITY, 80.0), outcome(80.0, 80.0)];
+        let s = DatasetSummary::aggregate("ATM", 80.0, &outs);
+        assert_eq!(s.meet_rate, 1.0);
+        assert!((s.avg - 80.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_aggregate_is_sane() {
+        let s = DatasetSummary::aggregate("X", 40.0, &[]);
+        assert_eq!(s.n_fields, 0);
+        assert_eq!(s.meet_rate, 0.0);
+    }
+}

@@ -1,0 +1,293 @@
+//! Owned, densely stored scientific fields.
+
+use crate::scalar::Scalar;
+use crate::shape::Shape;
+use crate::stats::FieldStats;
+
+/// An owned n-dimensional field: a [`Shape`] plus a flat row-major buffer.
+///
+/// This is the unit of compression throughout the stack — one `Field`
+/// corresponds to one variable of one snapshot (e.g. the `CLDHGH` cloud
+/// fraction of a CESM-ATM dump).
+#[derive(Clone, PartialEq)]
+pub struct Field<T: Scalar> {
+    shape: Shape,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> Field<T> {
+    /// Wrap an existing buffer. `data.len()` must equal `shape.len()`.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn from_vec(shape: Shape, data: Vec<T>) -> Self {
+        assert_eq!(
+            data.len(),
+            shape.len(),
+            "buffer length {} does not match shape {} ({} elements)",
+            data.len(),
+            shape,
+            shape.len()
+        );
+        Field { shape, data }
+    }
+
+    /// A field of `shape.len()` default-initialised (zero) samples.
+    pub fn zeros(shape: Shape) -> Self {
+        Field {
+            shape,
+            data: vec![T::default(); shape.len()],
+        }
+    }
+
+    /// Build a field by evaluating `f` at every linear index in row-major
+    /// order.
+    pub fn from_fn_linear(shape: Shape, mut f: impl FnMut(usize) -> T) -> Self {
+        let data = (0..shape.len()).map(&mut f).collect();
+        Field { shape, data }
+    }
+
+    /// Build a 2D field by evaluating `f(row, col)`.
+    pub fn from_fn_2d(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let shape = Shape::D2(rows, cols);
+        let mut data = Vec::with_capacity(shape.len());
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Field { shape, data }
+    }
+
+    /// Build a 3D field by evaluating `f(i, j, k)`.
+    pub fn from_fn_3d(
+        d0: usize,
+        d1: usize,
+        d2: usize,
+        mut f: impl FnMut(usize, usize, usize) -> T,
+    ) -> Self {
+        let shape = Shape::D3(d0, d1, d2);
+        let mut data = Vec::with_capacity(shape.len());
+        for i in 0..d0 {
+            for j in 0..d1 {
+                for k in 0..d2 {
+                    data.push(f(i, j, k));
+                }
+            }
+        }
+        Field { shape, data }
+    }
+
+    /// The field's shape.
+    #[inline]
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// Number of samples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the field holds no samples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The flat row-major sample buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable access to the flat buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consume the field, returning its buffer.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Sample at a multi-index (`idx.len()` must equal the rank).
+    #[inline]
+    pub fn get(&self, idx: &[usize]) -> T {
+        self.data[self.shape.offset(idx)]
+    }
+
+    /// Overwrite the sample at a multi-index.
+    #[inline]
+    pub fn set(&mut self, idx: &[usize], v: T) {
+        let off = self.shape.offset(idx);
+        self.data[off] = v;
+    }
+
+    /// Apply `f` to every sample in place.
+    pub fn map_inplace(&mut self, mut f: impl FnMut(T) -> T) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// A new field with `f` applied to every sample.
+    pub fn map(&self, mut f: impl FnMut(T) -> T) -> Self {
+        Field {
+            shape: self.shape,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Streaming statistics over all finite samples (see [`FieldStats`]).
+    pub fn stats(&self) -> FieldStats {
+        FieldStats::from_samples(self.data.iter().map(|v| v.to_f64()))
+    }
+
+    /// Value range `max − min` over finite samples — the `vr` of the paper's
+    /// Eq. (4)–(7) and SZ's value-range-relative error bound.
+    ///
+    /// Returns 0.0 for constant fields (SZ treats those as perfectly
+    /// predictable; the fixed-PSNR driver special-cases them).
+    pub fn value_range(&self) -> f64 {
+        self.stats().range()
+    }
+
+    /// Copy a rectangular block out of a 2D field into `dst`
+    /// (row-major `bh × bw`), clamping reads at the field edge by
+    /// replicating the last valid sample. Used by blockwise codecs.
+    ///
+    /// # Panics
+    /// Panics if the field is not 2D or `dst` is shorter than `bh*bw`.
+    pub fn copy_block_2d(&self, r0: usize, c0: usize, bh: usize, bw: usize, dst: &mut [T]) {
+        let Shape::D2(rows, cols) = self.shape else {
+            panic!("copy_block_2d on non-2D field {}", self.shape)
+        };
+        assert!(dst.len() >= bh * bw, "block buffer too small");
+        for bi in 0..bh {
+            let i = (r0 + bi).min(rows - 1);
+            for bj in 0..bw {
+                let j = (c0 + bj).min(cols - 1);
+                dst[bi * bw + bj] = self.data[i * cols + j];
+            }
+        }
+    }
+
+    /// Copy a cuboid block out of a 3D field into `dst`
+    /// (row-major `b0 × b1 × b2`), edge-replicated like
+    /// [`Field::copy_block_2d`].
+    ///
+    /// # Panics
+    /// Panics if the field is not 3D or `dst` is shorter than `b0*b1*b2`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn copy_block_3d(
+        &self,
+        i0: usize,
+        j0: usize,
+        k0: usize,
+        b0: usize,
+        b1: usize,
+        b2: usize,
+        dst: &mut [T],
+    ) {
+        let Shape::D3(d0, d1, d2) = self.shape else {
+            panic!("copy_block_3d on non-3D field {}", self.shape)
+        };
+        assert!(dst.len() >= b0 * b1 * b2, "block buffer too small");
+        for bi in 0..b0 {
+            let i = (i0 + bi).min(d0 - 1);
+            for bj in 0..b1 {
+                let j = (j0 + bj).min(d1 - 1);
+                for bk in 0..b2 {
+                    let k = (k0 + bk).min(d2 - 1);
+                    dst[(bi * b1 + bj) * b2 + bk] = self.data[(i * d1 + j) * d2 + k];
+                }
+            }
+        }
+    }
+}
+
+impl<T: Scalar> std::fmt::Debug for Field<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Field<{}>({})", T::TAG, self.shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_checks_len() {
+        let f = Field::from_vec(Shape::D2(2, 3), vec![0.0f32; 6]);
+        assert_eq!(f.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_rejects_mismatch() {
+        Field::from_vec(Shape::D2(2, 3), vec![0.0f32; 5]);
+    }
+
+    #[test]
+    fn from_fn_2d_layout() {
+        let f = Field::from_fn_2d(2, 3, |i, j| (i * 10 + j) as f32);
+        assert_eq!(f.as_slice(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+        assert_eq!(f.get(&[1, 2]), 12.0);
+    }
+
+    #[test]
+    fn from_fn_3d_layout() {
+        let f = Field::from_fn_3d(2, 2, 2, |i, j, k| (i * 100 + j * 10 + k) as f64);
+        assert_eq!(f.get(&[1, 0, 1]), 101.0);
+        assert_eq!(f.as_slice()[5], 101.0);
+    }
+
+    #[test]
+    fn set_then_get() {
+        let mut f = Field::<f32>::zeros(Shape::D1(4));
+        f.set(&[2], 7.5);
+        assert_eq!(f.get(&[2]), 7.5);
+    }
+
+    #[test]
+    fn map_preserves_shape() {
+        let f = Field::from_fn_2d(2, 2, |i, j| (i + j) as f32);
+        let g = f.map(|v| v * 2.0);
+        assert_eq!(g.shape(), f.shape());
+        assert_eq!(g.get(&[1, 1]), 4.0);
+    }
+
+    #[test]
+    fn value_range_matches_minmax() {
+        let f = Field::from_vec(Shape::D1(4), vec![-1.0f32, 3.0, 0.5, 2.0]);
+        assert_eq!(f.value_range(), 4.0);
+    }
+
+    #[test]
+    fn value_range_ignores_nan() {
+        let f = Field::from_vec(Shape::D1(4), vec![-1.0f32, f32::NAN, 0.5, 2.0]);
+        assert_eq!(f.value_range(), 3.0);
+    }
+
+    #[test]
+    fn block_copy_2d_interior_and_edge() {
+        let f = Field::from_fn_2d(4, 4, |i, j| (i * 4 + j) as f32);
+        let mut blk = [0.0f32; 4];
+        f.copy_block_2d(1, 1, 2, 2, &mut blk);
+        assert_eq!(blk, [5.0, 6.0, 9.0, 10.0]);
+        // Edge clamp: block starting at (3,3) replicates the corner.
+        f.copy_block_2d(3, 3, 2, 2, &mut blk);
+        assert_eq!(blk, [15.0, 15.0, 15.0, 15.0]);
+    }
+
+    #[test]
+    fn block_copy_3d_edge_replication() {
+        let f = Field::from_fn_3d(2, 2, 2, |i, j, k| (i * 4 + j * 2 + k) as f32);
+        let mut blk = [0.0f32; 8];
+        f.copy_block_3d(1, 1, 1, 2, 2, 2, &mut blk);
+        assert_eq!(blk, [7.0; 8]);
+    }
+}

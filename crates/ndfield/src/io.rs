@@ -1,0 +1,102 @@
+//! Raw binary field I/O.
+//!
+//! Scientific dumps (including the SZ test corpus the paper uses) are flat
+//! little-endian arrays with the grid dimensions carried out of band. These
+//! helpers read/write that format so the CLI can operate on real dump files.
+
+use crate::{Field, Scalar, Shape};
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// Serialize a field's samples as a flat little-endian array (no header).
+pub fn to_le_bytes<T: Scalar>(field: &Field<T>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(field.len() * T::BYTES);
+    for &v in field.as_slice() {
+        v.write_le(&mut out);
+    }
+    out
+}
+
+/// Deserialize a flat little-endian array into a field of the given shape.
+///
+/// # Errors
+/// Returns [`io::ErrorKind::InvalidData`] when `bytes.len()` does not equal
+/// `shape.len() * T::BYTES`.
+pub fn from_le_bytes<T: Scalar>(shape: Shape, bytes: &[u8]) -> io::Result<Field<T>> {
+    let expect = shape.byte_len(T::BYTES);
+    if bytes.len() != expect {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "raw field size mismatch: shape {shape} with {} needs {expect} bytes, got {}",
+                T::TAG,
+                bytes.len()
+            ),
+        ));
+    }
+    let mut data = Vec::with_capacity(shape.len());
+    for chunk in bytes.chunks_exact(T::BYTES) {
+        data.push(T::read_le(chunk));
+    }
+    Ok(Field::from_vec(shape, data))
+}
+
+/// Write a field to a raw little-endian binary file.
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn write_raw<T: Scalar>(field: &Field<T>, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut f = File::create(path)?;
+    f.write_all(&to_le_bytes(field))
+}
+
+/// Read a raw little-endian binary file as a field of the given shape.
+///
+/// # Errors
+/// Propagates filesystem errors; returns [`io::ErrorKind::InvalidData`] on a
+/// size mismatch between the file and the shape.
+pub fn read_raw<T: Scalar>(shape: Shape, path: impl AsRef<Path>) -> io::Result<Field<T>> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    from_le_bytes(shape, &bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn le_roundtrip_f32() {
+        let f = Field::from_fn_2d(3, 5, |i, j| (i as f32) * 0.5 - j as f32);
+        let bytes = to_le_bytes(&f);
+        assert_eq!(bytes.len(), 60);
+        let g: Field<f32> = from_le_bytes(f.shape(), &bytes).unwrap();
+        assert_eq!(g, f);
+    }
+
+    #[test]
+    fn le_roundtrip_f64() {
+        let f = Field::from_fn_3d(2, 3, 2, |i, j, k| (i + 10 * j + 100 * k) as f64 * 0.125);
+        let g: Field<f64> = from_le_bytes(f.shape(), &to_le_bytes(&f)).unwrap();
+        assert_eq!(g, f);
+    }
+
+    #[test]
+    fn size_mismatch_is_invalid_data() {
+        let err = from_le_bytes::<f32>(Shape::D1(4), &[0u8; 15]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("ndfield_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("field.raw");
+        let f = Field::from_fn_2d(8, 8, |i, j| ((i * 8 + j) as f32).sin());
+        write_raw(&f, &path).unwrap();
+        let g: Field<f32> = read_raw(f.shape(), &path).unwrap();
+        assert_eq!(g, f);
+        std::fs::remove_file(path).ok();
+    }
+}

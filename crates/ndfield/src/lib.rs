@@ -1,0 +1,33 @@
+//! # ndfield — n-dimensional scientific field substrate
+//!
+//! Every component of the fixed-PSNR stack (compressors, metrics, data
+//! generators, experiment harnesses) operates on regular grids of
+//! floating-point samples: the *fields* dumped by HPC simulations such as
+//! CESM-ATM (2D), Hurricane-Isabel (3D) and NYX (3D).
+//!
+//! This crate provides the shared substrate:
+//!
+//! - [`Shape`] — 1/2/3-dimensional row-major (C-order) array shapes with
+//!   stride arithmetic,
+//! - [`Field`] — an owned, densely stored field of [`Scalar`] samples,
+//! - [`stats`] — streaming statistics (min/max/value-range/moments) with the
+//!   exact value-range definition used by SZ and the paper,
+//! - [`io`] — raw little-endian binary I/O in the layout scientific dumps
+//!   use (flat array of `f32`/`f64`, no header).
+//!
+//! The crate is deliberately free of compression logic; it is the layer the
+//! paper's "data set" abstraction lives on.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod field;
+pub mod io;
+pub mod scalar;
+pub mod shape;
+pub mod stats;
+
+pub use field::Field;
+pub use scalar::Scalar;
+pub use shape::Shape;
+pub use stats::FieldStats;

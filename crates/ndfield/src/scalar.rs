@@ -1,0 +1,166 @@
+//! Floating-point sample types accepted by the compression stack.
+//!
+//! Scientific dumps are overwhelmingly `f32` (single precision — all three
+//! data sets in the paper) with some `f64` producers. The [`Scalar`] trait
+//! abstracts the two so every codec is generic over precision.
+
+use std::fmt::{Debug, Display};
+
+/// A floating-point sample type (`f32` or `f64`).
+///
+/// The trait is sealed by construction (only implemented here) so codecs can
+/// rely on IEEE-754 semantics for the bit-level conversions.
+pub trait Scalar:
+    Copy + PartialOrd + PartialEq + Debug + Display + Default + Send + Sync + 'static
+{
+    /// Number of bytes in the on-disk little-endian encoding.
+    const BYTES: usize;
+    /// Human-readable type tag stored in container headers (`"f32"`/`"f64"`).
+    const TAG: &'static str;
+
+    /// Lossless widening to `f64` (exact for both supported types).
+    fn to_f64(self) -> f64;
+    /// Narrowing from `f64` (rounds to nearest for `f32`).
+    fn from_f64(v: f64) -> Self;
+
+    /// Raw IEEE-754 bits widened into a `u64` (upper bits zero for `f32`).
+    fn to_bits_u64(self) -> u64;
+    /// Inverse of [`Scalar::to_bits_u64`].
+    fn from_bits_u64(bits: u64) -> Self;
+
+    /// Append the little-endian encoding of `self` to `out`.
+    fn write_le(self, out: &mut Vec<u8>);
+    /// Decode a value from the first [`Scalar::BYTES`] bytes of `src`.
+    ///
+    /// # Panics
+    /// Panics if `src` is shorter than [`Scalar::BYTES`].
+    fn read_le(src: &[u8]) -> Self;
+
+    /// `true` when the value is finite (not NaN/±inf).
+    fn is_finite_val(self) -> bool;
+}
+
+impl Scalar for f32 {
+    const BYTES: usize = 4;
+    const TAG: &'static str = "f32";
+
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    #[inline]
+    fn to_bits_u64(self) -> u64 {
+        self.to_bits() as u64
+    }
+    #[inline]
+    fn from_bits_u64(bits: u64) -> Self {
+        f32::from_bits(bits as u32)
+    }
+    #[inline]
+    fn write_le(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    #[inline]
+    fn read_le(src: &[u8]) -> Self {
+        f32::from_le_bytes(src[..4].try_into().expect("short f32 slice"))
+    }
+    #[inline]
+    fn is_finite_val(self) -> bool {
+        self.is_finite()
+    }
+}
+
+impl Scalar for f64 {
+    const BYTES: usize = 8;
+    const TAG: &'static str = "f64";
+
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    #[inline]
+    fn to_bits_u64(self) -> u64 {
+        self.to_bits()
+    }
+    #[inline]
+    fn from_bits_u64(bits: u64) -> Self {
+        f64::from_bits(bits)
+    }
+    #[inline]
+    fn write_le(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    #[inline]
+    fn read_le(src: &[u8]) -> Self {
+        f64::from_le_bytes(src[..8].try_into().expect("short f64 slice"))
+    }
+    #[inline]
+    fn is_finite_val(self) -> bool {
+        self.is_finite()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_roundtrip_le() {
+        let mut buf = Vec::new();
+        1.5f32.write_le(&mut buf);
+        assert_eq!(buf.len(), 4);
+        assert_eq!(f32::read_le(&buf), 1.5);
+    }
+
+    #[test]
+    fn f64_roundtrip_le() {
+        let mut buf = Vec::new();
+        (-2.25f64).write_le(&mut buf);
+        assert_eq!(buf.len(), 8);
+        assert_eq!(f64::read_le(&buf), -2.25);
+    }
+
+    #[test]
+    fn bits_roundtrip_preserves_nan_payload() {
+        let v = f32::from_bits(0x7fc0_1234);
+        let back = f32::from_bits_u64(v.to_bits_u64());
+        assert_eq!(v.to_bits(), back.to_bits());
+    }
+
+    #[test]
+    fn f64_bits_roundtrip() {
+        for v in [0.0f64, -0.0, 1.0, f64::MAX, f64::MIN_POSITIVE, -3.5e-300] {
+            assert_eq!(f64::from_bits_u64(v.to_bits_u64()).to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn widening_is_exact_for_f32() {
+        for v in [1.0e-37f32, 3.4e38, -7.25, 0.1] {
+            assert_eq!(f32::from_f64(v.to_f64()), v);
+        }
+    }
+
+    #[test]
+    fn finite_detection() {
+        assert!(1.0f32.is_finite_val());
+        assert!(!f32::NAN.is_finite_val());
+        assert!(!f64::INFINITY.is_finite_val());
+    }
+
+    #[test]
+    fn tags_and_sizes() {
+        assert_eq!(<f32 as Scalar>::TAG, "f32");
+        assert_eq!(<f64 as Scalar>::TAG, "f64");
+        assert_eq!(<f32 as Scalar>::BYTES, 4);
+        assert_eq!(<f64 as Scalar>::BYTES, 8);
+    }
+}

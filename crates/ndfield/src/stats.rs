@@ -1,0 +1,166 @@
+//! Streaming field statistics.
+//!
+//! The fixed-PSNR bound derivation (paper Eq. 7–8) needs exactly one data
+//! statistic: the value range `vr = max − min`. SZ computes it in a single
+//! pass before compression; we do the same and additionally track moments
+//! used by the data generators and the evaluation reports.
+
+use serde::{Deserialize, Serialize};
+
+/// One-pass statistics over the finite samples of a field.
+///
+/// Non-finite samples (NaN/±inf) are counted but excluded from min/max and
+/// moments, matching how SZ handles fill values in practice.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FieldStats {
+    /// Number of finite samples.
+    pub count: usize,
+    /// Number of non-finite samples skipped.
+    pub non_finite: usize,
+    /// Minimum finite sample (`+inf` when `count == 0`).
+    pub min: f64,
+    /// Maximum finite sample (`−inf` when `count == 0`).
+    pub max: f64,
+    /// Arithmetic mean of finite samples (0 when `count == 0`).
+    pub mean: f64,
+    /// Population variance of finite samples (0 when `count == 0`).
+    pub variance: f64,
+}
+
+impl FieldStats {
+    /// Compute statistics from an iterator of samples using Welford's
+    /// numerically stable online algorithm.
+    pub fn from_samples(samples: impl IntoIterator<Item = f64>) -> Self {
+        let mut count = 0usize;
+        let mut non_finite = 0usize;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut mean = 0.0f64;
+        let mut m2 = 0.0f64;
+        for v in samples {
+            if !v.is_finite() {
+                non_finite += 1;
+                continue;
+            }
+            count += 1;
+            if v < min {
+                min = v;
+            }
+            if v > max {
+                max = v;
+            }
+            let delta = v - mean;
+            mean += delta / count as f64;
+            m2 += delta * (v - mean);
+        }
+        let variance = if count > 0 { m2 / count as f64 } else { 0.0 };
+        FieldStats {
+            count,
+            non_finite,
+            min,
+            max,
+            mean: if count > 0 { mean } else { 0.0 },
+            variance,
+        }
+    }
+
+    /// Value range `max − min` (0 when fewer than two finite samples).
+    pub fn range(&self) -> f64 {
+        if self.count == 0 || self.max <= self.min {
+            0.0
+        } else {
+            self.max - self.min
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+}
+
+/// Mean and sample standard deviation of a slice — the `AVG` / `STDEV`
+/// columns of the paper's Table II (computed over the achieved PSNRs of all
+/// fields in a data set).
+///
+/// Uses the *sample* (n−1) standard deviation, the convention spreadsheet
+/// `STDEV` uses. Returns `(0, 0)` for empty input and `(mean, 0)` for a
+/// single value.
+pub fn mean_stdev(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    if values.len() < 2 {
+        return (mean, 0.0);
+    }
+    let ss = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>();
+    (mean, (ss / (n - 1.0)).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats() {
+        let s = FieldStats::from_samples(std::iter::empty());
+        assert_eq!(s.count, 0);
+        assert_eq!(s.range(), 0.0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn basic_moments() {
+        let s = FieldStats::from_samples([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.mean, 2.5);
+        assert!((s.variance - 1.25).abs() < 1e-12);
+        assert_eq!(s.range(), 3.0);
+    }
+
+    #[test]
+    fn skips_non_finite() {
+        let s = FieldStats::from_samples([1.0, f64::NAN, 3.0, f64::INFINITY]);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.non_finite, 2);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.range(), 2.0);
+    }
+
+    #[test]
+    fn constant_field_has_zero_range() {
+        let s = FieldStats::from_samples([5.0; 10]);
+        assert_eq!(s.range(), 0.0);
+        assert_eq!(s.variance, 0.0);
+    }
+
+    #[test]
+    fn welford_matches_naive_on_large_offset() {
+        // Large common offset is where the naive sum-of-squares formula
+        // loses precision; Welford must not.
+        let vals: Vec<f64> = (0..1000).map(|i| 1.0e9 + (i % 7) as f64).collect();
+        let s = FieldStats::from_samples(vals.iter().copied());
+        let mean = vals.iter().sum::<f64>() / 1000.0;
+        let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / 1000.0;
+        assert!((s.mean - mean).abs() / mean < 1e-12);
+        assert!((s.variance - var).abs() / var < 1e-6);
+    }
+
+    #[test]
+    fn mean_stdev_matches_hand_computation() {
+        let (m, sd) = mean_stdev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m - 5.0).abs() < 1e-12);
+        // Sample stdev of this classic example is sqrt(32/7).
+        assert!((sd - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_stdev_degenerate_inputs() {
+        assert_eq!(mean_stdev(&[]), (0.0, 0.0));
+        assert_eq!(mean_stdev(&[3.0]), (3.0, 0.0));
+    }
+}

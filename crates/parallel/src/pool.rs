@@ -1,0 +1,172 @@
+//! A persistent worker pool.
+//!
+//! The scoped helpers in the crate root spawn threads per call, which is
+//! fine for one batch but wasteful when a benchmark harness submits
+//! thousands of small batches. [`ThreadPool`] keeps workers alive and feeds
+//! them closures through a crossbeam channel; [`ThreadPool::wait`] provides
+//! a barrier, implemented with a `parking_lot` mutex + condvar counting
+//! in-flight jobs (the "build your own synchronization primitive" pattern
+//! from *Rust Atomics and Locks*).
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Inflight {
+    count: Mutex<usize>,
+    zero: Condvar,
+}
+
+/// A fixed-size pool of worker threads executing submitted closures.
+pub struct ThreadPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    inflight: Arc<Inflight>,
+}
+
+impl ThreadPool {
+    /// Spawn a pool with `n` workers (`n ≥ 1`).
+    ///
+    /// # Panics
+    /// Panics when `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "pool needs at least one worker");
+        let (tx, rx) = unbounded::<Job>();
+        let inflight = Arc::new(Inflight {
+            count: Mutex::new(0),
+            zero: Condvar::new(),
+        });
+        let workers = (0..n)
+            .map(|i| {
+                let rx = rx.clone();
+                let inflight = Arc::clone(&inflight);
+                std::thread::Builder::new()
+                    .name(format!("fpsnr-pool-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job();
+                            let mut c = inflight.count.lock();
+                            *c -= 1;
+                            if *c == 0 {
+                                inflight.zero.notify_all();
+                            }
+                        }
+                    })
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        ThreadPool {
+            tx: Some(tx),
+            workers,
+            inflight,
+        }
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submit a job for asynchronous execution.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        {
+            let mut c = self.inflight.count.lock();
+            *c += 1;
+        }
+        self.tx
+            .as_ref()
+            .expect("pool alive while not dropped")
+            .send(Box::new(job))
+            .expect("workers alive while pool not dropped");
+    }
+
+    /// Block until every submitted job has finished.
+    pub fn wait(&self) {
+        let mut c = self.inflight.count.lock();
+        while *c != 0 {
+            self.inflight.zero.wait(&mut c);
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Closing the channel lets workers drain pending jobs and exit.
+        self.tx.take();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn executes_all_jobs() {
+        let pool = ThreadPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..1000 {
+            let c = Arc::clone(&counter);
+            pool.execute(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait();
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn wait_on_idle_pool_returns_immediately() {
+        let pool = ThreadPool::new(2);
+        pool.wait();
+    }
+
+    #[test]
+    fn wait_can_be_reused_across_batches() {
+        let pool = ThreadPool::new(3);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for batch in 1..=3 {
+            for _ in 0..50 {
+                let c = Arc::clone(&counter);
+                pool.execute(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            pool.wait();
+            assert_eq!(counter.load(Ordering::Relaxed), batch * 50);
+        }
+    }
+
+    #[test]
+    fn drop_drains_pending_jobs() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = ThreadPool::new(2);
+            for _ in 0..100 {
+                let c = Arc::clone(&counter);
+                pool.execute(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            // No wait(): Drop must still let workers finish the queue.
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn worker_count_reported() {
+        assert_eq!(ThreadPool::new(5).workers(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        ThreadPool::new(0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type for the szlike codec.
+
+use losslesskit::CodecError;
+
+/// Everything that can go wrong compressing or decompressing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SzError {
+    /// The requested error bound is not usable (negative, NaN, or zero for
+    /// a mode that cannot express lossless).
+    BadBound(String),
+    /// Configuration rejected (e.g. too few quantization bins).
+    BadConfig(String),
+    /// The compressed container is malformed.
+    Format(&'static str),
+    /// The scalar type of the container does not match the requested type.
+    TypeMismatch {
+        /// Type tag found in the container.
+        found: String,
+        /// Type tag the caller asked for.
+        expected: &'static str,
+    },
+    /// A lossless sub-decoder failed.
+    Codec(CodecError),
+}
+
+impl From<CodecError> for SzError {
+    fn from(e: CodecError) -> Self {
+        SzError::Codec(e)
+    }
+}
+
+impl std::fmt::Display for SzError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SzError::BadBound(msg) => write!(f, "invalid error bound: {msg}"),
+            SzError::BadConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SzError::Format(what) => write!(f, "malformed container: {what}"),
+            SzError::TypeMismatch { found, expected } => {
+                write!(f, "container holds {found}, caller requested {expected}")
+            }
+            SzError::Codec(e) => write!(f, "lossless stage failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SzError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SzError::TypeMismatch {
+            found: "f64".into(),
+            expected: "f32",
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("f64") && msg.contains("f32"));
+    }
+
+    #[test]
+    fn codec_error_converts() {
+        let e: SzError = CodecError::UnexpectedEof.into();
+        assert_eq!(e, SzError::Codec(CodecError::UnexpectedEof));
+    }
+}

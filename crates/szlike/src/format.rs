@@ -1,0 +1,198 @@
+//! Container format for compressed fields.
+//!
+//! ```text
+//! magic   b"SZR1"
+//! u8      scalar tag      0 = f32, 1 = f64
+//! u8      mode            see [`Mode`]
+//! u8      rank            1..=3
+//! varint  dims[rank]      slowest-varying first
+//! ...     mode-specific body
+//! ```
+//!
+//! Modes:
+//! - **Quantized** — the normal SZ pipeline (Lorenzo + quantization +
+//!   Huffman + optional LZ). Body: `f64 eb_abs`, `varint quant_bins`,
+//!   `u8 lz_flag`, `varint body_len`, body (Huffman table ‖ code bits ‖
+//!   escape payload, LZ-compressed when flagged).
+//! - **Constant** — the field has zero value range; body is one sample.
+//! - **Raw** — pathological inputs (e.g. zero range but NaNs present);
+//!   body is the LZ-compressed little-endian sample array.
+//! - **LogPointwiseRel** — pointwise-relative mode via log transform; body
+//!   is a class plane, a nested Quantized container of `ln|x|`, and the
+//!   bit-exact non-finite payload.
+
+use crate::error::SzError;
+use losslesskit::varint;
+use ndfield::Shape;
+
+/// Container magic bytes.
+pub const MAGIC: [u8; 4] = *b"SZR1";
+
+/// Container payload kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Standard prediction + quantization pipeline.
+    Quantized = 0,
+    /// Constant field stored as a single sample.
+    Constant = 1,
+    /// Raw (lossless) sample dump.
+    Raw = 2,
+    /// Log-transformed pointwise-relative pipeline.
+    LogPointwiseRel = 3,
+}
+
+impl Mode {
+    fn from_u8(v: u8) -> Result<Self, SzError> {
+        match v {
+            0 => Ok(Mode::Quantized),
+            1 => Ok(Mode::Constant),
+            2 => Ok(Mode::Raw),
+            3 => Ok(Mode::LogPointwiseRel),
+            _ => Err(SzError::Format("unknown mode byte")),
+        }
+    }
+}
+
+/// Decoded container header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Header {
+    /// Scalar type tag (`"f32"` / `"f64"`).
+    pub scalar_tag: &'static str,
+    /// Payload kind.
+    pub mode: Mode,
+    /// Grid shape.
+    pub shape: Shape,
+}
+
+/// Append a header for the given scalar tag, mode and shape.
+pub fn write_header(out: &mut Vec<u8>, scalar_tag: &str, mode: Mode, shape: Shape) {
+    out.extend_from_slice(&MAGIC);
+    out.push(match scalar_tag {
+        "f32" => 0u8,
+        "f64" => 1u8,
+        other => panic!("unsupported scalar tag {other}"),
+    });
+    out.push(mode as u8);
+    let dims = shape.dims();
+    out.push(dims.len() as u8);
+    for d in dims {
+        varint::write_u64(out, d as u64);
+    }
+}
+
+/// Parse a header, advancing `pos`.
+///
+/// # Errors
+/// [`SzError::Format`] on bad magic, unknown tags/modes, or invalid shape.
+pub fn read_header(src: &[u8], pos: &mut usize) -> Result<Header, SzError> {
+    if src.len() < *pos + 7 {
+        return Err(SzError::Format("container shorter than header"));
+    }
+    if src[*pos..*pos + 4] != MAGIC {
+        return Err(SzError::Format("bad magic"));
+    }
+    *pos += 4;
+    let scalar_tag = match src[*pos] {
+        0 => "f32",
+        1 => "f64",
+        _ => return Err(SzError::Format("unknown scalar tag")),
+    };
+    let mode = Mode::from_u8(src[*pos + 1])?;
+    let rank = src[*pos + 2] as usize;
+    *pos += 3;
+    if !(1..=3).contains(&rank) {
+        return Err(SzError::Format("rank out of range"));
+    }
+    let mut dims = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        let d = varint::read_u64(src, pos).map_err(SzError::from)? as usize;
+        if d == 0 || d > (1 << 40) {
+            return Err(SzError::Format("implausible dimension"));
+        }
+        dims.push(d);
+    }
+    // Guard the total element count before any allocation.
+    let total: u128 = dims.iter().map(|&d| d as u128).product();
+    if total > (1 << 40) {
+        return Err(SzError::Format("implausible element count"));
+    }
+    Ok(Header {
+        scalar_tag,
+        mode,
+        shape: Shape::from_dims(&dims),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip_all_modes() {
+        for mode in [Mode::Quantized, Mode::Constant, Mode::Raw, Mode::LogPointwiseRel] {
+            for shape in [Shape::D1(100), Shape::D2(20, 30), Shape::D3(4, 5, 6)] {
+                let mut buf = Vec::new();
+                write_header(&mut buf, "f32", mode, shape);
+                let mut pos = 0;
+                let h = read_header(&buf, &mut pos).unwrap();
+                assert_eq!(pos, buf.len());
+                assert_eq!(h.mode, mode);
+                assert_eq!(h.shape, shape);
+                assert_eq!(h.scalar_tag, "f32");
+            }
+        }
+    }
+
+    #[test]
+    fn f64_tag_roundtrip() {
+        let mut buf = Vec::new();
+        write_header(&mut buf, "f64", Mode::Raw, Shape::D1(7));
+        let mut pos = 0;
+        assert_eq!(read_header(&buf, &mut pos).unwrap().scalar_tag, "f64");
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut buf = Vec::new();
+        write_header(&mut buf, "f32", Mode::Quantized, Shape::D1(7));
+        buf[0] = b'X';
+        let mut pos = 0;
+        assert_eq!(
+            read_header(&buf, &mut pos),
+            Err(SzError::Format("bad magic"))
+        );
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        let mut buf = Vec::new();
+        write_header(&mut buf, "f32", Mode::Quantized, Shape::D1(7));
+        let mut pos = 0;
+        assert!(read_header(&buf[..5], &mut pos).is_err());
+    }
+
+    #[test]
+    fn unknown_mode_rejected() {
+        let mut buf = Vec::new();
+        write_header(&mut buf, "f32", Mode::Quantized, Shape::D1(7));
+        buf[5] = 99;
+        let mut pos = 0;
+        assert_eq!(
+            read_header(&buf, &mut pos),
+            Err(SzError::Format("unknown mode byte"))
+        );
+    }
+
+    #[test]
+    fn implausible_dims_rejected() {
+        // Hand-craft a header with a dimension of 2^50.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.push(0); // f32
+        buf.push(0); // quantized
+        buf.push(1); // rank 1
+        varint::write_u64(&mut buf, 1u64 << 50);
+        let mut pos = 0;
+        assert!(read_header(&buf, &mut pos).is_err());
+    }
+}

@@ -1,0 +1,431 @@
+//! Lorenzo prediction (SZ step 1).
+//!
+//! The Lorenzo predictor approximates each sample from its preceding
+//! neighbours in the row-major scan. With out-of-grid neighbours treated as
+//! zero, the d-dimensional stencil automatically degrades to the
+//! (d−1)-dimensional one along the boundary faces — at `(0, j)` the 2-D
+//! stencil reduces to `r[0][j−1]`, which is exactly SZ's 1-D fallback for
+//! the first row.
+//!
+//! Crucially the stencil reads the *reconstructed* buffer, not the original
+//! data. Compressor and decompressor therefore compute bit-identical
+//! predictions, which is the premise of the paper's Theorem 1
+//! (`Xpred = X̃pred`, hence `X − X̃ = Xpe − X̃pe`).
+
+use ndfield::Shape;
+
+/// Predict sample `idx` of a 1-D series from the reconstructed prefix
+/// `recon[..idx]`.
+#[inline]
+pub fn lorenzo_1d(recon: &[f64], idx: usize) -> f64 {
+    if idx == 0 {
+        0.0
+    } else {
+        recon[idx - 1]
+    }
+}
+
+/// Predict sample `(i, j)` of a 2-D grid (`cols` fastest-varying) from the
+/// reconstructed prefix. Three-point stencil
+/// `r[i,j−1] + r[i−1,j] − r[i−1,j−1]`.
+#[inline]
+pub fn lorenzo_2d(recon: &[f64], cols: usize, i: usize, j: usize) -> f64 {
+    let at = |ii: usize, jj: usize| recon[ii * cols + jj];
+    match (i > 0, j > 0) {
+        (false, false) => 0.0,
+        (false, true) => at(0, j - 1),
+        (true, false) => at(i - 1, 0),
+        (true, true) => at(i, j - 1) + at(i - 1, j) - at(i - 1, j - 1),
+    }
+}
+
+/// Predict sample `(i, j, k)` of a 3-D grid from the reconstructed prefix.
+/// Seven-point Lorenzo stencil (inclusion–exclusion over the preceding
+/// corner of the unit cube).
+#[inline]
+pub fn lorenzo_3d(recon: &[f64], d1: usize, d2: usize, i: usize, j: usize, k: usize) -> f64 {
+    // Out-of-grid neighbours contribute 0; guard before indexing.
+    let at = |cond: bool, ii: usize, jj: usize, kk: usize| {
+        if cond {
+            recon[(ii * d1 + jj) * d2 + kk]
+        } else {
+            0.0
+        }
+    };
+    at(k > 0, i, j, k.wrapping_sub(1))
+        + at(j > 0, i, j.wrapping_sub(1), k)
+        + at(i > 0, i.wrapping_sub(1), j, k)
+        - at(j > 0 && k > 0, i, j.wrapping_sub(1), k.wrapping_sub(1))
+        - at(i > 0 && k > 0, i.wrapping_sub(1), j, k.wrapping_sub(1))
+        - at(i > 0 && j > 0, i.wrapping_sub(1), j.wrapping_sub(1), k)
+        + at(
+            i > 0 && j > 0 && k > 0,
+            i.wrapping_sub(1),
+            j.wrapping_sub(1),
+            k.wrapping_sub(1),
+        )
+}
+
+/// Predict the sample at linear offset `lin` for any supported shape,
+/// dispatching to the rank-specific stencil.
+#[inline]
+pub fn predict(recon: &[f64], shape: Shape, lin: usize) -> f64 {
+    match shape {
+        Shape::D1(_) => lorenzo_1d(recon, lin),
+        Shape::D2(_, cols) => lorenzo_2d(recon, cols, lin / cols, lin % cols),
+        Shape::D3(_, d1, d2) => {
+            let k = lin % d2;
+            let rest = lin / d2;
+            lorenzo_3d(recon, d1, d2, rest / d1, rest % d1, k)
+        }
+    }
+}
+
+/// Which prediction stencil the pipeline uses.
+///
+/// SZ's early versions select the best-fit predictor per field among
+/// several curve-fitting orders; this enum reproduces that design space:
+/// first-order Lorenzo (SZ 1.4's default), second-order Lorenzo (exact for
+/// per-axis quadratics), or per-field automatic selection by sampling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictorKind {
+    /// One-layer Lorenzo stencil (SZ 1.4 default).
+    Lorenzo1,
+    /// Two-layer (second-order) Lorenzo stencil.
+    Lorenzo2,
+    /// Sample both stencils on the original data and keep the one with the
+    /// smaller mean absolute prediction error.
+    Auto,
+}
+
+impl PredictorKind {
+    /// Stable byte tag stored in the container (`Auto` never reaches the
+    /// container — selection happens at compression time).
+    pub fn tag(self) -> u8 {
+        match self {
+            PredictorKind::Lorenzo1 => 1,
+            PredictorKind::Lorenzo2 => 2,
+            PredictorKind::Auto => 0,
+        }
+    }
+
+    /// Inverse of [`PredictorKind::tag`] for concrete predictors.
+    pub fn from_tag(tag: u8) -> Option<PredictorKind> {
+        match tag {
+            1 => Some(PredictorKind::Lorenzo1),
+            2 => Some(PredictorKind::Lorenzo2),
+            _ => None,
+        }
+    }
+}
+
+/// Binomial coefficient `C(2, i)` for the two-layer stencil weights.
+#[inline]
+fn c2(i: usize) -> f64 {
+    match i {
+        0 => 1.0,
+        1 => 2.0,
+        _ => 1.0,
+    }
+}
+
+/// Second-order Lorenzo in 1-D: `2·r[i−1] − r[i−2]` (exact on quadratics),
+/// degrading to first-order then zero at the boundary.
+#[inline]
+pub fn lorenzo2_1d(recon: &[f64], idx: usize) -> f64 {
+    match idx {
+        0 => 0.0,
+        1 => recon[0],
+        _ => 2.0 * recon[idx - 1] - recon[idx - 2],
+    }
+}
+
+/// Second-order Lorenzo in 2-D: the 8-point two-layer stencil
+/// `Σ_{(a,b)≠(0,0)} −(−1)^{a+b} C(2,a) C(2,b) · r[i−a, j−b]`,
+/// with out-of-grid neighbours treated as contributing their first-order
+/// degradation (boundaries fall back to [`lorenzo2_1d`]-style handling by
+/// zero-padding the stencil).
+#[inline]
+pub fn lorenzo2_2d(recon: &[f64], cols: usize, i: usize, j: usize) -> f64 {
+    if i < 2 || j < 2 {
+        // Near the boundary the two-layer stencil is not fully available;
+        // degrade to the first-order stencil (still exactly mirrored by
+        // the decompressor, which is all correctness needs).
+        return lorenzo_2d(recon, cols, i, j);
+    }
+    // weight(a,b) = −(−1)^(a+b) · C(2,a) · C(2,b), origin excluded; the
+    // residual equals Δ₁²Δ₂²f, which vanishes for per-axis quadratics.
+    let at = |a: usize, b: usize| recon[(i - a) * cols + (j - b)];
+    let mut pred = 0.0;
+    for a in 0..=2usize {
+        for b in 0..=2usize {
+            if a == 0 && b == 0 {
+                continue;
+            }
+            let sign = if (a + b) % 2 == 0 { -1.0 } else { 1.0 };
+            pred += sign * c2(a) * c2(b) * at(a, b);
+        }
+    }
+    pred
+}
+
+/// Second-order Lorenzo in 3-D, with first-order fallback near boundaries.
+#[inline]
+pub fn lorenzo2_3d(recon: &[f64], d1: usize, d2: usize, i: usize, j: usize, k: usize) -> f64 {
+    if i < 2 || j < 2 || k < 2 {
+        return lorenzo_3d(recon, d1, d2, i, j, k);
+    }
+    let at = |a: usize, b: usize, c: usize| recon[((i - a) * d1 + (j - b)) * d2 + (k - c)];
+    let mut pred = 0.0;
+    for a in 0..=2usize {
+        for b in 0..=2usize {
+            for c in 0..=2usize {
+                if a == 0 && b == 0 && c == 0 {
+                    continue;
+                }
+                let sign = if (a + b + c) % 2 == 0 { -1.0 } else { 1.0 };
+                pred += sign * c2(a) * c2(b) * c2(c) * at(a, b, c);
+            }
+        }
+    }
+    pred
+}
+
+/// Predict with an explicit concrete predictor.
+#[inline]
+pub fn predict_with(kind: PredictorKind, recon: &[f64], shape: Shape, lin: usize) -> f64 {
+    match kind {
+        PredictorKind::Lorenzo1 => predict(recon, shape, lin),
+        PredictorKind::Lorenzo2 => match shape {
+            Shape::D1(_) => lorenzo2_1d(recon, lin),
+            Shape::D2(_, cols) => lorenzo2_2d(recon, cols, lin / cols, lin % cols),
+            Shape::D3(_, d1, d2) => {
+                let k = lin % d2;
+                let rest = lin / d2;
+                lorenzo2_3d(recon, d1, d2, rest / d1, rest % d1, k)
+            }
+        },
+        PredictorKind::Auto => unreachable!("Auto resolves before prediction"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn d1_first_sample_predicts_zero() {
+        assert_eq!(lorenzo_1d(&[], 0), 0.0);
+        assert_eq!(lorenzo_1d(&[5.0, 7.0], 2), 7.0);
+    }
+
+    #[test]
+    fn d2_boundary_degrades_to_1d() {
+        // recon laid out 2x3: [[1,2,3],[4,_,_]]
+        let recon = vec![1.0, 2.0, 3.0, 4.0, 0.0, 0.0];
+        assert_eq!(lorenzo_2d(&recon, 3, 0, 0), 0.0);
+        assert_eq!(lorenzo_2d(&recon, 3, 0, 2), 2.0); // left neighbour
+        assert_eq!(lorenzo_2d(&recon, 3, 1, 0), 1.0); // above neighbour
+    }
+
+    #[test]
+    fn d2_interior_is_planar_exact() {
+        // For data on a plane a + b·i + c·j the Lorenzo prediction is exact.
+        let cols = 8;
+        let plane = |i: usize, j: usize| 2.0 + 0.5 * i as f64 - 1.25 * j as f64;
+        let mut recon = vec![0.0; 64];
+        for i in 0..8 {
+            for j in 0..cols {
+                recon[i * cols + j] = plane(i, j);
+            }
+        }
+        for i in 1..8 {
+            for j in 1..cols {
+                let p = lorenzo_2d(&recon, cols, i, j);
+                assert!((p - plane(i, j)).abs() < 1e-12, "({i},{j}): {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn d3_interior_is_trilinear_plane_exact() {
+        // Lorenzo 3D reproduces any function of the form
+        // a + b·i + c·j + d·k + e·ij + f·ik + g·jk exactly (degree-1 per axis
+        // cross terms cancel in the inclusion-exclusion).
+        let (d1, d2) = (5, 6);
+        let f = |i: usize, j: usize, k: usize| {
+            1.0 + 0.3 * i as f64 - 0.7 * j as f64 + 0.1 * k as f64
+                + 0.05 * (i * j) as f64
+                - 0.02 * (i * k) as f64
+                + 0.04 * (j * k) as f64
+        };
+        let mut recon = vec![0.0; 4 * d1 * d2];
+        for i in 0..4 {
+            for j in 0..d1 {
+                for k in 0..d2 {
+                    recon[(i * d1 + j) * d2 + k] = f(i, j, k);
+                }
+            }
+        }
+        for i in 1..4 {
+            for j in 1..d1 {
+                for k in 1..d2 {
+                    let p = lorenzo_3d(&recon, d1, d2, i, j, k);
+                    assert!((p - f(i, j, k)).abs() < 1e-9, "({i},{j},{k})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn d3_boundary_faces_degrade() {
+        let (d1, d2) = (3, 3);
+        let mut recon = vec![0.0; 27];
+        for (n, v) in recon.iter_mut().enumerate() {
+            *v = n as f64;
+        }
+        // Origin predicts 0.
+        assert_eq!(lorenzo_3d(&recon, d1, d2, 0, 0, 0), 0.0);
+        // k-axis edge (i=j=0): 1D along k.
+        assert_eq!(lorenzo_3d(&recon, d1, d2, 0, 0, 2), recon[1]);
+        // Face i=0: 2D Lorenzo in (j,k).
+        let expect = recon[4] + recon[2 * 3 + 1] - recon[3 + 1];
+        // (j=2,k=2) on face i=0: r[0,2,1] + r[0,1,2] - r[0,1,1]
+        let expect_face =
+            recon[(0 * 3 + 2) * 3 + 1] + recon[(0 * 3 + 1) * 3 + 2] - recon[(0 * 3 + 1) * 3 + 1];
+        assert_eq!(lorenzo_3d(&recon, d1, d2, 0, 2, 2), expect_face);
+        let _ = expect;
+    }
+
+    #[test]
+    fn lorenzo2_1d_exact_on_linear_and_const_residual_on_quadratic() {
+        // 2·r[i−1] − r[i−2] annihilates linear trends exactly...
+        let lin: Vec<f64> = (0..20).map(|i| 3.0 + 0.5 * i as f64).collect();
+        for idx in 2..20 {
+            assert!((lorenzo2_1d(&lin, idx) - lin[idx]).abs() < 1e-12, "idx {idx}");
+        }
+        // ...and leaves the constant second difference on quadratics
+        // (where the first-order stencil leaves a *growing* error).
+        let quad: Vec<f64> = (0..20).map(|i| 0.25 * (i * i) as f64).collect();
+        for idx in 2..20 {
+            let resid2 = quad[idx] - lorenzo2_1d(&quad, idx);
+            assert!((resid2 - 0.5).abs() < 1e-12, "idx {idx}: {resid2}");
+            let resid1 = quad[idx] - lorenzo_1d(&quad, idx);
+            assert!(resid1.abs() > resid2.abs(), "order-2 not better at {idx}");
+        }
+        // Boundary degradations.
+        assert_eq!(lorenzo2_1d(&lin, 0), 0.0);
+        assert_eq!(lorenzo2_1d(&lin, 1), lin[0]);
+    }
+
+    #[test]
+    fn lorenzo2_2d_exact_on_per_axis_quadratics() {
+        let cols = 10;
+        let f = |i: usize, j: usize| {
+            1.0 + 0.3 * i as f64 + 0.7 * (i * i) as f64 - 0.2 * j as f64
+                + 0.05 * (j * j) as f64
+                + 0.01 * (i * j) as f64
+                + 0.002 * (i * i * j) as f64
+        };
+        let mut recon = vec![0.0; 8 * cols];
+        for i in 0..8 {
+            for j in 0..cols {
+                recon[i * cols + j] = f(i, j);
+            }
+        }
+        for i in 2..8 {
+            for j in 2..cols {
+                let p = lorenzo2_2d(&recon, cols, i, j);
+                assert!((p - f(i, j)).abs() < 1e-8, "({i},{j}): {p} vs {}", f(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn lorenzo2_2d_boundary_degrades_to_first_order() {
+        let recon: Vec<f64> = (0..30).map(|v| v as f64).collect();
+        assert_eq!(lorenzo2_2d(&recon, 6, 1, 3), lorenzo_2d(&recon, 6, 1, 3));
+        assert_eq!(lorenzo2_2d(&recon, 6, 3, 1), lorenzo_2d(&recon, 6, 3, 1));
+    }
+
+    #[test]
+    fn lorenzo2_3d_exact_on_per_axis_quadratics() {
+        let (d1, d2) = (6, 7);
+        let f = |i: usize, j: usize, k: usize| {
+            2.0 + 0.1 * (i * i) as f64 - 0.2 * (j * j) as f64 + 0.3 * (k * k) as f64
+                + 0.01 * (i * j * k) as f64
+        };
+        let mut recon = vec![0.0; 6 * d1 * d2];
+        for i in 0..6 {
+            for j in 0..d1 {
+                for k in 0..d2 {
+                    recon[(i * d1 + j) * d2 + k] = f(i, j, k);
+                }
+            }
+        }
+        for i in 2..6 {
+            for j in 2..d1 {
+                for k in 2..d2 {
+                    let p = lorenzo2_3d(&recon, d1, d2, i, j, k);
+                    assert!((p - f(i, j, k)).abs() < 1e-8, "({i},{j},{k})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn predictor_kind_tags_roundtrip() {
+        assert_eq!(
+            PredictorKind::from_tag(PredictorKind::Lorenzo1.tag()),
+            Some(PredictorKind::Lorenzo1)
+        );
+        assert_eq!(
+            PredictorKind::from_tag(PredictorKind::Lorenzo2.tag()),
+            Some(PredictorKind::Lorenzo2)
+        );
+        assert_eq!(PredictorKind::from_tag(0), None);
+        assert_eq!(PredictorKind::from_tag(99), None);
+    }
+
+    #[test]
+    fn predict_with_dispatches() {
+        let recon: Vec<f64> = (0..24).map(|v| (v * v) as f64).collect();
+        assert_eq!(
+            predict_with(PredictorKind::Lorenzo1, &recon, Shape::D1(24), 5),
+            lorenzo_1d(&recon, 5)
+        );
+        assert_eq!(
+            predict_with(PredictorKind::Lorenzo2, &recon, Shape::D1(24), 5),
+            lorenzo2_1d(&recon, 5)
+        );
+    }
+
+    #[test]
+    fn generic_predict_matches_specific() {
+        let recon: Vec<f64> = (0..24).map(|v| (v as f64).sqrt()).collect();
+        // 1D
+        for lin in 0..24 {
+            assert_eq!(
+                predict(&recon, Shape::D1(24), lin),
+                lorenzo_1d(&recon, lin)
+            );
+        }
+        // 2D 4x6
+        for lin in 0..24 {
+            assert_eq!(
+                predict(&recon, Shape::D2(4, 6), lin),
+                lorenzo_2d(&recon, 6, lin / 6, lin % 6)
+            );
+        }
+        // 3D 2x3x4
+        for lin in 0..24 {
+            let k = lin % 4;
+            let j = (lin / 4) % 3;
+            let i = lin / 12;
+            assert_eq!(
+                predict(&recon, Shape::D3(2, 3, 4), lin),
+                lorenzo_3d(&recon, 3, 4, i, j, k)
+            );
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Error-controlled linear-scaling quantization (SZ step 2).
+//!
+//! The value axis is split into `2n` uniform bins of width `δ = 2·eb_abs`
+//! centred on the predicted value. A prediction error `e` maps to the code
+//! `n + round(e/δ)`; decoding reconstructs the bin *midpoint*
+//! `pred + (code − n)·δ`, so the pointwise error is at most `eb_abs` —
+//! and, as the paper's Fig. 1 illustrates, the reconstruction levels are
+//! exactly the midpoints assumed by the MSE model of Eq. (3).
+//!
+//! Code 0 is the *escape* (SZ's "unpredictable data"): the error fell
+//! outside the bin range, or midpoint reconstruction failed the bound check
+//! under floating-point round-off. Escaped samples are stored bit-exactly.
+
+/// Uniform (linear-scaling) quantizer with an escape code.
+#[derive(Debug, Clone, Copy)]
+pub struct LinearQuantizer {
+    /// Absolute error bound; bin width is `2 * eb`.
+    eb: f64,
+    /// Half the bin count (`n` in the paper; codes span `1..2n`).
+    radius: u32,
+}
+
+/// Code reserved for unpredictable (escaped) samples.
+pub const ESCAPE: u32 = 0;
+
+impl LinearQuantizer {
+    /// Build a quantizer from an absolute bound and total bin count `2n`.
+    ///
+    /// # Panics
+    /// Panics when `eb` is not finite-positive or `bins` is odd/too small —
+    /// callers validate via `SzConfig::validate` and `ErrorBound::absolute`.
+    pub fn new(eb: f64, bins: usize) -> Self {
+        assert!(eb.is_finite() && eb > 0.0, "bad error bound {eb}");
+        assert!(bins >= 4 && bins % 2 == 0, "bad bin count {bins}");
+        LinearQuantizer {
+            eb,
+            radius: (bins / 2) as u32,
+        }
+    }
+
+    /// The absolute error bound.
+    #[inline]
+    pub fn error_bound(&self) -> f64 {
+        self.eb
+    }
+
+    /// Bin width `δ = 2·eb`.
+    #[inline]
+    pub fn bin_width(&self) -> f64 {
+        2.0 * self.eb
+    }
+
+    /// Alphabet size for the entropy stage (codes `0..2n`).
+    #[inline]
+    pub fn alphabet(&self) -> usize {
+        2 * self.radius as usize
+    }
+
+    /// The center code (`n`), to which a zero prediction error maps.
+    #[inline]
+    pub fn center(&self) -> u32 {
+        self.radius
+    }
+
+    /// Quantize a prediction error. Returns the code and the reconstructed
+    /// error (bin midpoint), or `None` when the error cannot be represented
+    /// (escape). Non-finite errors always escape.
+    #[inline]
+    pub fn quantize(&self, err: f64) -> Option<(u32, f64)> {
+        if !err.is_finite() {
+            return None;
+        }
+        let scaled = err / (2.0 * self.eb);
+        // round-half-away-from-zero matches SZ's (int)(x+0.5) on |x|.
+        let q = scaled.round();
+        // Valid codes are 1..2n-1 around the center n ⇒ |q| ≤ n−1.
+        if q.abs() > (self.radius - 1) as f64 {
+            return None;
+        }
+        let code = (self.radius as i64 + q as i64) as u32;
+        let recon = q * 2.0 * self.eb;
+        Some((code, recon))
+    }
+
+    /// Reconstruct the prediction error encoded by a non-escape code.
+    #[inline]
+    pub fn reconstruct(&self, code: u32) -> f64 {
+        debug_assert!(code != ESCAPE, "reconstruct called on escape code");
+        (code as i64 - self.radius as i64) as f64 * 2.0 * self.eb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_error_maps_to_center() {
+        let q = LinearQuantizer::new(0.1, 1024);
+        let (code, recon) = q.quantize(0.0).unwrap();
+        assert_eq!(code, q.center());
+        assert_eq!(recon, 0.0);
+    }
+
+    #[test]
+    fn reconstruction_error_within_bound() {
+        let q = LinearQuantizer::new(0.05, 4096);
+        let mut err = -50.0f64;
+        while err < 50.0 {
+            if let Some((code, recon)) = q.quantize(err) {
+                assert!(
+                    (err - recon).abs() <= q.error_bound() * (1.0 + 1e-12),
+                    "err {err} recon {recon}"
+                );
+                assert_eq!(q.reconstruct(code), recon);
+            }
+            err += 0.013;
+        }
+    }
+
+    #[test]
+    fn escape_outside_range() {
+        let q = LinearQuantizer::new(0.1, 8);
+        // radius = 4, representable |q| ≤ 3 ⇒ |err| ≤ 0.7 (3.5 bins * 0.2).
+        assert!(q.quantize(10.0).is_none());
+        assert!(q.quantize(-10.0).is_none());
+        assert!(q.quantize(0.55).is_some());
+    }
+
+    #[test]
+    fn non_finite_errors_escape() {
+        let q = LinearQuantizer::new(0.1, 64);
+        assert!(q.quantize(f64::NAN).is_none());
+        assert!(q.quantize(f64::INFINITY).is_none());
+        assert!(q.quantize(f64::NEG_INFINITY).is_none());
+    }
+
+    #[test]
+    fn codes_stay_in_alphabet() {
+        let q = LinearQuantizer::new(1.0, 16);
+        let mut err = -20.0;
+        while err <= 20.0 {
+            if let Some((code, _)) = q.quantize(err) {
+                assert!(code as usize > 0 && (code as usize) < q.alphabet());
+            }
+            err += 0.25;
+        }
+    }
+
+    #[test]
+    fn symmetric_codes_for_symmetric_errors() {
+        let q = LinearQuantizer::new(0.5, 256);
+        let (cp, rp) = q.quantize(3.2).unwrap();
+        let (cn, rn) = q.quantize(-3.2).unwrap();
+        assert_eq!(cp - q.center(), q.center() - cn);
+        assert_eq!(rp, -rn);
+    }
+
+    #[test]
+    fn bin_width_is_twice_bound() {
+        let q = LinearQuantizer::new(0.25, 64);
+        assert_eq!(q.bin_width(), 0.5);
+    }
+
+    #[test]
+    fn half_bin_boundary_rounds_away_from_zero() {
+        let q = LinearQuantizer::new(0.5, 64); // bin width 1.0
+        let (code, _) = q.quantize(0.5).unwrap();
+        assert_eq!(code, q.center() + 1);
+        let (code, _) = q.quantize(-0.5).unwrap();
+        assert_eq!(code, q.center() - 1);
+    }
+}

@@ -1,0 +1,58 @@
+//! Slab-parallel compression of one large field: within-field parallelism
+//! for NYX-scale volumes, with the fixed-PSNR guarantee intact because all
+//! slabs share one bound derived from the global value range.
+//!
+//! ```text
+//! cargo run --release --example large_field_slabs
+//! ```
+
+use fixed_psnr::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    // One "large" 3-D volume (scaled so the example runs in seconds).
+    let field = Field::from_fn_3d(96, 96, 96, |i, j, k| {
+        let (x, y, z) = (i as f32 * 0.07, j as f32 * 0.06, k as f32 * 0.05);
+        (x.sin() * y.cos() + (z * 1.7).sin()) * 20.0 + (x * y * 0.3).sin() * 2.0
+    });
+    let mb = field.len() as f64 * 4.0 / (1024.0 * 1024.0);
+    let target = 80.0;
+    let threads = fixed_psnr::parallel::default_threads();
+    println!("volume: {} ({mb:.1} MiB), target {target} dB", field.shape());
+
+    // Serial reference: the whole field as one SZ stream.
+    let t0 = Instant::now();
+    let serial = compress_fixed_psnr_only(&field, target, &FixedPsnrOptions::default())
+        .expect("serial compress");
+    let serial_s = t0.elapsed().as_secs_f64();
+
+    // Slab-parallel: one stream per slab, compressed concurrently.
+    for slabs in [2usize, 4, 8] {
+        let t0 = Instant::now();
+        let bytes = compress_slabs_fixed_psnr(&field, target, slabs, threads)
+            .expect("slab compress");
+        let secs = t0.elapsed().as_secs_f64();
+        let back: Field<f32> = decompress_slabs(&bytes, threads).expect("slab decompress");
+        let psnr = Distortion::between(&field, &back).psnr();
+        println!(
+            "  {slabs} slabs: {:>8} B (ratio {:>5.1}), {:>6.3}s ({:>4.1}x vs serial), \
+             achieved {:.2} dB",
+            bytes.len(),
+            field.len() as f64 * 4.0 / bytes.len() as f64,
+            secs,
+            serial_s / secs,
+            psnr
+        );
+        assert!(psnr >= target - 3.0, "slab PSNR drifted: {psnr}");
+    }
+    println!(
+        "  serial:  {:>8} B (ratio {:>5.1}), {serial_s:>6.3}s (reference)",
+        serial.len(),
+        field.len() as f64 * 4.0 / serial.len() as f64
+    );
+    println!(
+        "\nslab boundaries restart the predictor, costing a sliver of ratio; the\n\
+         error bound and the fixed-PSNR estimate are unaffected because every slab\n\
+         quantizes with the same global eb_abs."
+    );
+}

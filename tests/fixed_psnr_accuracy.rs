@@ -1,0 +1,121 @@
+//! The paper's headline claims, as integration tests over the synthetic
+//! evaluation corpus (Small tier for CI speed; the bench binaries rerun the
+//! same protocol at full scale).
+
+use fixed_psnr::data::{generate, DatasetId, Resolution};
+use fixed_psnr::prelude::*;
+
+fn dataset(id: DatasetId, seed: u64) -> Vec<(String, Field<f32>)> {
+    generate(id, Resolution::Small, seed)
+        .into_iter()
+        .map(|nf| (nf.name, nf.data))
+        .collect()
+}
+
+#[test]
+fn average_deviation_within_paper_band_on_all_datasets() {
+    // Paper abstract: average deviation 0.1 ~ 5.0 dB, largest at the
+    // 20 dB target (their Hurricane hits +5.0 with STDEV 6.5 there). Our
+    // Small-tier grids amplify the low-target overshoot (sparse
+    // hydrometeor fields are almost entirely exactly-predictable), so the
+    // 20 dB band gets extra slack; mid/high targets must be tight.
+    for id in DatasetId::ALL {
+        let fields = dataset(id, 21);
+        for (target, band) in [(20.0, 10.0), (60.0, 3.0), (100.0, 3.0)] {
+            let (_, summary) = run_batch_summary(
+                id.name(),
+                &fields,
+                target,
+                &FixedPsnrOptions::default(),
+                4,
+            );
+            let dev = (summary.avg - target).abs();
+            assert!(
+                dev <= band,
+                "{} @ {target}: AVG {} deviates {dev} (band {band})",
+                id.name(),
+                summary.avg
+            );
+        }
+    }
+}
+
+#[test]
+fn deviation_shrinks_as_target_grows() {
+    // Paper §V: "the higher the PSNR of demand, the better our fixed-PSNR
+    // method performs".
+    for id in DatasetId::ALL {
+        let fields = dataset(id, 22);
+        let dev_at = |target: f64| {
+            let (_, s) =
+                run_batch_summary(id.name(), &fields, target, &FixedPsnrOptions::default(), 4);
+            s.mean_abs_deviation
+        };
+        let low = dev_at(20.0);
+        let high = dev_at(100.0);
+        assert!(
+            high < low,
+            "{}: deviation did not shrink (20 dB: {low}, 100 dB: {high})",
+            id.name()
+        );
+    }
+}
+
+#[test]
+fn stdev_shrinks_as_target_grows() {
+    for id in DatasetId::ALL {
+        let fields = dataset(id, 23);
+        let stdev_at = |target: f64| {
+            let (_, s) =
+                run_batch_summary(id.name(), &fields, target, &FixedPsnrOptions::default(), 4);
+            s.stdev
+        };
+        assert!(
+            stdev_at(120.0) < stdev_at(20.0),
+            "{}: STDEV did not shrink with target",
+            id.name()
+        );
+    }
+}
+
+#[test]
+fn atm_meets_demand_for_most_fields_at_high_targets() {
+    // The Fig. 2 claim, at the tier where it is strongest (80/120 dB).
+    let fields = dataset(DatasetId::Atm, 24);
+    for target in [80.0, 120.0] {
+        let (_, summary) =
+            run_batch_summary("ATM", &fields, target, &FixedPsnrOptions::default(), 4);
+        assert!(
+            summary.meet_rate >= 0.8,
+            "meet rate at {target} dB only {:.0}%",
+            summary.meet_rate * 100.0
+        );
+    }
+}
+
+#[test]
+fn single_shot_matches_paper_workflow() {
+    // The production path must be exactly one compression whose container
+    // is a plain SZ container (decodable by the stock decoder) with the
+    // Eq. 8 bound inside.
+    let field = &dataset(DatasetId::Atm, 25)[8].1; // TS
+    let run = compress_fixed_psnr(field, 90.0, &FixedPsnrOptions::default()).expect("run");
+    assert!((run.derived_ebrel - ebrel_for_psnr(90.0)).abs() < 1e-15);
+    let direct: Field<f32> = fixed_psnr::sz::decompress(&run.bytes).expect("stock decoder");
+    assert_eq!(direct.shape(), field.shape());
+}
+
+#[test]
+fn search_baseline_agrees_with_fixed_psnr_but_costs_more() {
+    use fixed_psnr::core::search::search_to_target_psnr;
+    let field = &dataset(DatasetId::Hurricane, 26)[8].1; // P
+    let target = 70.0;
+    let fixed = compress_fixed_psnr(field, target, &FixedPsnrOptions::default()).expect("fixed");
+    let search = search_to_target_psnr(field, target, 3.0, 30).expect("search");
+    assert!(search.achieved_psnr >= target);
+    assert!(fixed.outcome.achieved_psnr >= target - 1.0);
+    assert!(
+        search.invocations > 1,
+        "search converged in one probe — baseline degenerate"
+    );
+}

@@ -1,0 +1,110 @@
+//! Container-format integration tests: cross-mode decode dispatch, header
+//! integrity, and failure behaviour on malformed inputs.
+
+use fixed_psnr::prelude::*;
+use fixed_psnr::sz::{self, format, LosslessBackend};
+
+fn sample_field() -> Field<f32> {
+    Field::from_fn_2d(24, 30, |i, j| ((i * 30 + j) as f32 * 0.05).sin() * 4.0)
+}
+
+#[test]
+fn header_reflects_what_was_compressed() {
+    let field = sample_field();
+    let bytes = sz::compress(&field, &SzConfig::new(ErrorBound::Abs(1e-3))).unwrap();
+    let mut pos = 0;
+    let header = format::read_header(&bytes, &mut pos).unwrap();
+    assert_eq!(header.scalar_tag, "f32");
+    assert_eq!(header.shape, field.shape());
+    assert_eq!(header.mode, format::Mode::Quantized);
+}
+
+#[test]
+fn mode_dispatch_covers_all_container_kinds() {
+    // Quantized
+    let q = sz::compress(&sample_field(), &SzConfig::new(ErrorBound::Abs(1e-3))).unwrap();
+    // Constant
+    let c = sz::compress(
+        &Field::from_vec(Shape::D1(50), vec![2.5f32; 50]),
+        &SzConfig::new(ErrorBound::Abs(1e-3)),
+    )
+    .unwrap();
+    // Raw (lossless fallback via Abs(0))
+    let r = sz::compress(&sample_field(), &SzConfig::new(ErrorBound::Abs(0.0))).unwrap();
+    // LogPointwiseRel
+    let l = sz::compress(
+        &sample_field().map(|v| v + 10.0),
+        &SzConfig::new(ErrorBound::PointwiseRel(1e-3)),
+    )
+    .unwrap();
+    for (bytes, expect) in [
+        (&q, format::Mode::Quantized),
+        (&c, format::Mode::Constant),
+        (&r, format::Mode::Raw),
+        (&l, format::Mode::LogPointwiseRel),
+    ] {
+        let mut pos = 0;
+        let header = format::read_header(bytes, &mut pos).unwrap();
+        assert_eq!(header.mode, expect);
+        let back: Field<f32> = sz::decompress(bytes).unwrap();
+        assert!(!back.is_empty());
+    }
+}
+
+#[test]
+fn f64_containers_refuse_f32_decoding_and_vice_versa() {
+    let f32_field = sample_field();
+    let f64_field = Field::from_fn_2d(8, 8, |i, j| (i + j) as f64);
+    let b32 = sz::compress(&f32_field, &SzConfig::new(ErrorBound::Abs(1e-3))).unwrap();
+    let b64 = sz::compress(&f64_field, &SzConfig::new(ErrorBound::Abs(1e-3))).unwrap();
+    assert!(sz::decompress::<f64>(&b32).is_err());
+    assert!(sz::decompress::<f32>(&b64).is_err());
+    assert!(sz::decompress::<f32>(&b32).is_ok());
+    assert!(sz::decompress::<f64>(&b64).is_ok());
+}
+
+#[test]
+fn every_truncation_point_fails_cleanly() {
+    let field = sample_field();
+    let bytes = sz::compress(&field, &SzConfig::new(ErrorBound::Abs(1e-4))).unwrap();
+    // Exhaustive prefix scan: no prefix may decode successfully or panic.
+    for cut in 0..bytes.len() {
+        let res = sz::decompress::<f32>(&bytes[..cut]);
+        assert!(res.is_err(), "prefix of {cut} bytes decoded");
+    }
+}
+
+#[test]
+fn lossless_backend_choice_does_not_change_reconstruction() {
+    let field = sample_field();
+    let with_lz = SzConfig::new(ErrorBound::Abs(1e-4));
+    let without = SzConfig::new(ErrorBound::Abs(1e-4)).with_lossless(LosslessBackend::None);
+    let a: Field<f32> = sz::decompress(&sz::compress(&field, &with_lz).unwrap()).unwrap();
+    let b: Field<f32> = sz::decompress(&sz::compress(&field, &without).unwrap()).unwrap();
+    assert_eq!(a.as_slice(), b.as_slice(), "backend changed the data");
+}
+
+#[test]
+fn compression_is_deterministic() {
+    let field = sample_field();
+    let cfg = SzConfig::new(ErrorBound::ValueRangeRel(1e-3)).with_auto_intervals(true);
+    let a = sz::compress(&field, &cfg).unwrap();
+    let b = sz::compress(&field, &cfg).unwrap();
+    assert_eq!(a, b, "same input + config must produce identical bytes");
+}
+
+#[test]
+fn raw_file_io_interoperates_with_codec() {
+    use fixed_psnr::field::io;
+    let dir = std::env::temp_dir().join("fpsnr_format_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let raw_path = dir.join("f.raw");
+    let field = sample_field();
+    io::write_raw(&field, &raw_path).unwrap();
+    let loaded: Field<f32> = io::read_raw(field.shape(), &raw_path).unwrap();
+    let bytes = sz::compress(&loaded, &SzConfig::new(ErrorBound::Abs(1e-3))).unwrap();
+    let back: Field<f32> = sz::decompress(&bytes).unwrap();
+    let pw = PointwiseError::between(&field, &back);
+    assert!(pw.respects_abs_bound(1e-3));
+    std::fs::remove_file(raw_path).ok();
+}

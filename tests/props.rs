@@ -1,0 +1,120 @@
+//! Property-based integration tests (proptest) over the whole stack.
+
+use fixed_psnr::lossless::{huffman::HuffmanCodec, lz_compress, lz_decompress};
+use fixed_psnr::lossless::{freq, BitReader, BitWriter};
+use fixed_psnr::prelude::*;
+use fixed_psnr::sz;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The error bound is a hard guarantee for arbitrary finite data.
+    #[test]
+    fn sz_abs_bound_holds_for_arbitrary_1d_data(
+        data in proptest::collection::vec(-1.0e6f32..1.0e6, 2..400),
+        eb_exp in -6i32..2,
+    ) {
+        let eb = 10.0f64.powi(eb_exp);
+        let field = Field::from_vec(Shape::D1(data.len()), data);
+        let cfg = SzConfig::new(ErrorBound::Abs(eb));
+        let bytes = sz::compress(&field, &cfg).unwrap();
+        let back: Field<f32> = sz::decompress(&bytes).unwrap();
+        for (&x, &y) in field.as_slice().iter().zip(back.as_slice()) {
+            prop_assert!(((x - y).abs() as f64) <= eb * (1.0 + 1e-12),
+                "x={x} y={y} eb={eb}");
+        }
+    }
+
+    /// Same for 2-D grids with auto-interval selection.
+    #[test]
+    fn sz_rel_bound_holds_for_arbitrary_2d_data(
+        rows in 2usize..20,
+        cols in 2usize..20,
+        seed in 0u64..1000,
+        auto in proptest::bool::ANY,
+    ) {
+        let field = Field::from_fn_2d(rows, cols, |i, j| {
+            let mut h = seed ^ ((i * 31 + j) as u64).wrapping_mul(0x9E3779B97F4A7C15);
+            h ^= h >> 29;
+            (h % 10_000) as f32 / 100.0 - 50.0
+        });
+        let vr = field.value_range();
+        prop_assume!(vr > 0.0);
+        let cfg = SzConfig::new(ErrorBound::ValueRangeRel(1e-3)).with_auto_intervals(auto);
+        let bytes = sz::compress(&field, &cfg).unwrap();
+        let back: Field<f32> = sz::decompress(&bytes).unwrap();
+        let pw = PointwiseError::between(&field, &back);
+        prop_assert!(pw.respects_abs_bound(1e-3 * vr));
+    }
+
+    /// Eq. 7 ↔ Eq. 8 are exact inverses over the whole usable range.
+    #[test]
+    fn bound_inversion_roundtrips(target in 5.0f64..180.0) {
+        let back = psnr_for_ebrel(ebrel_for_psnr(target));
+        prop_assert!((back - target).abs() < 1e-8);
+    }
+
+    /// The LZ container is identity-preserving on arbitrary bytes.
+    #[test]
+    fn lz_roundtrip_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..4000)) {
+        let comp = lz_compress(&data);
+        prop_assert_eq!(lz_decompress(&comp).unwrap(), data);
+    }
+
+    /// Huffman over arbitrary symbol streams from arbitrary alphabets.
+    #[test]
+    fn huffman_roundtrip_arbitrary_symbols(
+        alphabet in 2usize..300,
+        raw in proptest::collection::vec(any::<u32>(), 1..2000),
+    ) {
+        let symbols: Vec<u32> = raw.into_iter().map(|s| s % alphabet as u32).collect();
+        let counts = freq::count_dense(&symbols, alphabet);
+        let codec = HuffmanCodec::from_counts(&counts);
+        let mut w = BitWriter::new();
+        codec.encode(&symbols, &mut w);
+        let bytes = w.finish();
+        // Through table serialization, like the real container.
+        let mut table = Vec::new();
+        codec.write_table(&mut table);
+        let mut pos = 0;
+        let codec2 = HuffmanCodec::read_table(&table, &mut pos).unwrap();
+        let mut r = BitReader::new(&bytes);
+        let mut out = Vec::new();
+        codec2.decode(&mut r, symbols.len(), &mut out).unwrap();
+        prop_assert_eq!(out, symbols);
+    }
+
+    /// Decompression never panics on corrupted containers — it returns Err
+    /// or (for benign flips in stored values) a well-formed field.
+    #[test]
+    fn corrupted_containers_fail_cleanly(
+        flip_at in 0usize..400,
+        flip_bits in 1u8..=255,
+    ) {
+        let field = Field::from_fn_2d(16, 16, |i, j| (i * 16 + j) as f32);
+        let cfg = SzConfig::new(ErrorBound::Abs(1e-2));
+        let mut bytes = sz::compress(&field, &cfg).unwrap();
+        prop_assume!(flip_at < bytes.len());
+        bytes[flip_at] ^= flip_bits;
+        // Must not panic; Err or Ok both acceptable.
+        let _ = sz::decompress::<f32>(&bytes);
+    }
+
+    /// Fixed-PSNR single-pass: achieved PSNR is finite and the container
+    /// always decodes, for arbitrary smooth-ish inputs and targets.
+    #[test]
+    fn fixed_psnr_always_decodable(
+        scale in 0.01f32..100.0,
+        target in 20.0f64..120.0,
+        rows in 4usize..24,
+    ) {
+        let field = Field::from_fn_2d(rows, rows + 3, |i, j| {
+            scale * ((i as f32 * 0.3).sin() + (j as f32 * 0.2).cos())
+        });
+        let run = compress_fixed_psnr(&field, target, &FixedPsnrOptions::default()).unwrap();
+        prop_assert!(run.outcome.achieved_psnr > 0.0);
+        let back: Field<f32> = sz::decompress(&run.bytes).unwrap();
+        prop_assert_eq!(back.shape(), field.shape());
+    }
+}
