@@ -3,10 +3,14 @@
 //! bounds until the PSNR lands.
 //!
 //! Reports, per data set and target: compressor invocations and wall time
-//! for both strategies, and the PSNR each delivered.
+//! for both strategies, and the PSNR each delivered. The run is armed with
+//! `fpsnr-obs`, so after the comparison table it prints the instrumented
+//! per-stage breakdown of where each strategy spent its time (the Eq. 8
+//! derivation span versus the repeated `search.probe` cycles).
 //!
 //! ```text
 //! cargo run --release -p fpsnr-bench --bin search_vs_fixed
+//! FPSNR_PROFILE=json cargo run --release -p fpsnr-bench --bin search_vs_fixed
 //! ```
 
 use datagen::DatasetId;
@@ -19,6 +23,7 @@ fn main() {
     let res = resolution_from_env();
     let seed = seed_from_env();
     let tolerance_db = 3.0;
+    fpsnr_obs::enable();
     println!(
         "SEARCH vs FIXED-PSNR ({res:?}, tolerance +{tolerance_db} dB, 2 fields per data set)"
     );
@@ -73,4 +78,39 @@ fn main() {
          multiplied across the 100+ fields of a production snapshot (paper §I).",
         total_search_inv as f64 / total_fixed_inv.max(1) as f64
     );
+
+    fpsnr_obs::disable();
+    let report = fpsnr_obs::snapshot();
+    println!();
+    println!("instrumented overhead (fpsnr-obs spans across the whole run):");
+    let total_of = |path: &str| report.span(path).map_or(0, |s| s.total_ns);
+    let fixed_ns = total_of("fpsnr.compress");
+    let derive_ns = total_of("fpsnr.compress/fpsnr.derive");
+    let search_ns = total_of("search.run");
+    let probe = report.span("search.run/search.probe");
+    println!(
+        "  fixed-PSNR   : {:>10.1} ms total, of which Eq. 8 derivation {:>8.3} ms ({:.4}%)",
+        fixed_ns as f64 / 1e6,
+        derive_ns as f64 / 1e6,
+        100.0 * derive_ns as f64 / fixed_ns.max(1) as f64
+    );
+    match probe {
+        Some(p) => println!(
+            "  search       : {:>10.1} ms total across {} probes (each a full \
+             compress+decompress+measure cycle, mean {:.1} ms)",
+            search_ns as f64 / 1e6,
+            p.count,
+            p.total_ns as f64 / 1e6 / p.count.max(1) as f64
+        ),
+        None => println!("  search       : {:>10.1} ms total", search_ns as f64 / 1e6),
+    }
+    println!(
+        "  invocations  : fixed {} vs search {} (counters fpsnr.invocations / search.invocations)",
+        report.counter("fpsnr.invocations").unwrap_or(0),
+        report.counter("search.invocations").unwrap_or(0)
+    );
+    if std::env::var("FPSNR_PROFILE").as_deref() == Ok("json") {
+        println!();
+        println!("{}", report.to_json());
+    }
 }

@@ -1,0 +1,48 @@
+//! Per-stage pipeline profile: compresses one field from each synthetic
+//! data set with `fpsnr-obs` armed and prints where the time went —
+//! prediction, quantization, entropy coding, lossless, plus the fixed-PSNR
+//! bookkeeping around them.
+//!
+//! ```text
+//! cargo run --release -p fpsnr-bench --bin stage_profile
+//! FPSNR_PROFILE=json cargo run --release -p fpsnr-bench --bin stage_profile > BENCH_stage_profile.json
+//! ```
+//!
+//! Output is the `fpsnr-obs` report: pretty table by default, the flat
+//! JSON document when `FPSNR_PROFILE=json` (machine-readable; the same
+//! shape the CLI's `--profile json` emits).
+
+use datagen::DatasetId;
+use fpsnr_bench::{dataset_fields, resolution_from_env, seed_from_env};
+use fpsnr_core::fixed_psnr::{compress_fixed_psnr, FixedPsnrOptions};
+
+fn main() {
+    let res = resolution_from_env();
+    let seed = seed_from_env();
+    let target = std::env::var("FPSNR_PSNR")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(80.0);
+    let json = std::env::var("FPSNR_PROFILE").as_deref() == Ok("json");
+
+    fpsnr_obs::enable();
+    for id in DatasetId::ALL {
+        let fields = dataset_fields(id, res, seed);
+        for (name, field) in fields.iter().take(1) {
+            compress_fixed_psnr(field, target, &FixedPsnrOptions::default())
+                .unwrap_or_else(|e| panic!("{}/{name}: {e}", id.name()));
+        }
+    }
+    fpsnr_obs::disable();
+
+    let report = fpsnr_obs::snapshot();
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        println!(
+            "STAGE PROFILE ({res:?}, target {target} dB, 1 field per data set)"
+        );
+        println!();
+        print!("{}", report.render_pretty());
+    }
+}

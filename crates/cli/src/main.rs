@@ -37,13 +37,45 @@ fn run(argv: &[String]) -> Result<(), String> {
         return Ok(());
     }
     let args = Args::parse(argv)?;
-    match args.command.as_str() {
+    let profile = parse_profile(&args)?;
+    if profile.is_some() {
+        fpsnr_obs::enable();
+    }
+    let result = match args.command.as_str() {
         "compress" => cmd_compress(&args),
         "decompress" => cmd_decompress(&args),
         "analyze" => cmd_analyze(&args),
         "gen" => cmd_gen(&args),
         "eval" => cmd_eval(&args),
         other => Err(format!("unknown command {other} (try `fpsnr help`)")),
+    };
+    if result.is_ok() {
+        if let Some(kind) = profile {
+            fpsnr_obs::disable();
+            let report = fpsnr_obs::snapshot();
+            match kind {
+                ProfileKind::Json => println!("{}", report.to_json()),
+                ProfileKind::Pretty => print!("{}", report.render_pretty()),
+            }
+        }
+    }
+    result
+}
+
+/// `--profile json|pretty`: arm the `fpsnr-obs` registry for the whole
+/// command and report per-stage timings and counters on success.
+#[derive(Clone, Copy)]
+enum ProfileKind {
+    Json,
+    Pretty,
+}
+
+fn parse_profile(args: &Args) -> Result<Option<ProfileKind>, String> {
+    match args.get("--profile") {
+        None => Ok(None),
+        Some("json") => Ok(Some(ProfileKind::Json)),
+        Some("pretty") => Ok(Some(ProfileKind::Pretty)),
+        Some(other) => Err(format!("bad --profile {other} (want json or pretty)")),
     }
 }
 
@@ -60,6 +92,10 @@ COMMANDS
               --out-dir DIR [--seed N]
   eval        --dataset nyx|atm|hurricane --psnr dB
               [--res small|default] [--seed N] [--threads N]
+
+GLOBAL
+  --profile json|pretty   arm fpsnr-obs instrumentation and print
+                          per-stage timings/counters after the command
 ";
 
 enum CliMode {

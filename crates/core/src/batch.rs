@@ -4,7 +4,7 @@
 //! per dump and each would previously need its own trial-and-error bound
 //! tuning. With Eq. 8 the per-field work is a single compression, and
 //! fields are independent — a textbook parallel map, run here on the
-//! crossbeam-backed runtime.
+//! std::thread-backed runtime in `fpsnr-parallel`.
 
 use crate::fixed_psnr::{compress_fixed_psnr, FixedPsnrOptions};
 use fpsnr_metrics::summary::{DatasetSummary, FieldOutcome};
@@ -24,6 +24,7 @@ pub fn run_batch<T: Scalar>(
     threads: usize,
 ) -> Vec<FieldOutcome> {
     par_map(fields, threads, |(name, field)| {
+        let _field_span = fpsnr_obs::span("batch.field");
         match compress_fixed_psnr(field, target_psnr, opts) {
             Ok(run) => FieldOutcome {
                 field: name.clone(),

@@ -1,19 +1,79 @@
 //! The fixed-PSNR driver (paper §IV, the released tool).
 //!
-//! The paper's approach is deliberately minimal — three steps:
+//! # From distortion model to one-shot bound (Eq. 3 → Eq. 6 → Eq. 8)
 //!
-//! 1. take the user's target PSNR,
-//! 2. derive the value-range-relative bound via Eq. 8
-//!    ([`crate::bound::ebrel_for_psnr`]),
-//! 3. run the *unmodified* SZ pipeline with that bound.
+//! Theorem 1 reduces the distortion of the reconstructed data to the
+//! distortion the quantizer put on the *prediction errors*, so everything
+//! hinges on modelling quantization error alone.
 //!
-//! The only overhead versus a plain SZ invocation is evaluating Eq. 8 —
-//! one `powf` — which the `overhead` benchmark confirms is unmeasurable.
+//! **Eq. 3 — general bins.** Quantizing to bin midpoints, a value landing
+//! in a bin of width `δᵢ` incurs squared error `e²` for offset `e ∈
+//! [−δᵢ/2, δᵢ/2]` from the midpoint. With the error pdf `P` roughly flat
+//! across each (narrow) bin,
+//!
+//! ```text
+//! MSE ≈ Σᵢ P(mᵢ) ∫_{−δᵢ/2}^{δᵢ/2} e² de = (1/12) Σᵢ δᵢ³ P(mᵢ)   (Eq. 3)
+//! ```
+//!
+//! **Eq. 6 — uniform bins.** SZ's linear-scaling quantization uses one
+//! bin width `δ`. Pulling `δ²` out of the sum leaves `Σᵢ δ P(mᵢ) ≈ ∫P =
+//! 1`, so the data distribution drops out entirely:
+//!
+//! ```text
+//! MSE = δ²/12   ⇒   PSNR = 20·log₁₀(vr/δ) + 10·log₁₀ 12      (Eq. 6)
+//! ```
+//!
+//! with `vr` the value range. This is the classical distribution-free
+//! uniform-quantization noise model — and why the paper's mode needs no
+//! per-data-set training.
+//!
+//! **Eq. 8 — inversion.** SZ's bound `eb_abs` gives bins of width `δ =
+//! 2·eb_abs`, i.e. `PSNR = 20·log₁₀(vr/eb_abs) + 10·log₁₀ 3` (Eq. 7).
+//! Solving for the *value-range-relative* bound `eb_rel = eb_abs/vr`:
+//!
+//! ```text
+//! eb_rel = √3 · 10^(−PSNR/20)                                  (Eq. 8)
+//! ```
+//!
+//! One `powf`, then the *unmodified* SZ pipeline runs with that bound —
+//! the `overhead` benchmark (and the `fpsnr.derive` obs span) confirm the
+//! extra cost is unmeasurable.
+//!
+//! # Examples
+//!
+//! The Eq. 7 ↔ Eq. 8 closed forms invert each other exactly:
+//!
+//! ```
+//! use fpsnr_core::bound::{ebrel_for_psnr, psnr_for_ebrel};
+//!
+//! for target in [20.0, 40.0, 60.0, 80.0, 100.0, 120.0] {
+//!     let round_trip = psnr_for_ebrel(ebrel_for_psnr(target));
+//!     assert!((round_trip - target).abs() < 1e-9);
+//! }
+//! // Spot-check Eq. 8 itself: √3·10^(−80/20) = √3·1e-4.
+//! assert!((ebrel_for_psnr(80.0) - 3f64.sqrt() * 1e-4).abs() < 1e-18);
+//! ```
+//!
+//! And the driver hits the target in a single pass:
+//!
+//! ```
+//! use fpsnr_core::fixed_psnr::{compress_fixed_psnr, FixedPsnrOptions};
+//! use ndfield::Field;
+//!
+//! let field = Field::from_fn_2d(64, 64, |i, j| {
+//!     (i as f32 * 0.2).sin() + (j as f32 * 0.3).cos()
+//! });
+//! let run = compress_fixed_psnr(&field, 60.0, &FixedPsnrOptions::default())?;
+//! assert!((run.outcome.achieved_psnr - 60.0).abs() < 6.0); // paper: 0.1–5 dB
+//! # Ok::<(), szlike::SzError>(())
+//! ```
 //!
 //! [`compress_fixed_psnr`] additionally decompresses and measures the
 //! achieved PSNR, returning the [`fpsnr_metrics::summary::FieldOutcome`]
 //! the evaluation aggregates; [`compress_fixed_psnr_only`] is the
-//! production path (compress, don't verify).
+//! production path (compress, don't verify). Both wrap the run in
+//! `fpsnr-obs` spans (`fpsnr.compress`, `fpsnr.derive`, `fpsnr.verify`)
+//! when instrumentation is armed.
 
 use crate::bound::{ebrel_for_psnr, psnr_for_ebrel};
 use fpsnr_metrics::summary::FieldOutcome;
@@ -81,7 +141,16 @@ pub fn compress_fixed_psnr_only<T: Scalar>(
     opts: &FixedPsnrOptions,
 ) -> Result<Vec<u8>, SzError> {
     validate_target(target_psnr)?;
-    szlike::compress(field, &opts.sz_config(target_psnr))
+    let _total = fpsnr_obs::span("fpsnr.compress");
+    if fpsnr_obs::is_enabled() {
+        fpsnr_obs::add("fpsnr.invocations", 1);
+    }
+    // The entire fixed-PSNR overhead versus plain SZ lives inside this
+    // span: evaluating Eq. 8 once.
+    let derive_span = fpsnr_obs::span("fpsnr.derive");
+    let cfg = opts.sz_config(target_psnr);
+    drop(derive_span);
+    szlike::compress(field, &cfg)
 }
 
 /// Fixed-PSNR compression followed by decompression and PSNR measurement —
@@ -95,9 +164,17 @@ pub fn compress_fixed_psnr<T: Scalar>(
     opts: &FixedPsnrOptions,
 ) -> Result<FixedPsnrRun, SzError> {
     validate_target(target_psnr)?;
+    let total = fpsnr_obs::span("fpsnr.compress");
+    if fpsnr_obs::is_enabled() {
+        fpsnr_obs::add("fpsnr.invocations", 1);
+    }
+    let derive_span = fpsnr_obs::span("fpsnr.derive");
     let ebrel = ebrel_for_psnr(target_psnr);
     let cfg = opts.sz_config(target_psnr);
+    drop(derive_span);
     let (bytes, detail) = compress_with_detail(field, &cfg)?;
+    drop(total);
+    let _verify = fpsnr_obs::span("fpsnr.verify");
     let back: Field<T> = decompress(&bytes)?;
     let dist = Distortion::between(field, &back);
     let rate = RateStats::new(field.len(), T::BYTES, bytes.len());

@@ -42,6 +42,7 @@ pub fn search_to_target_psnr<T: Scalar>(
     tolerance_db: f64,
     max_invocations: usize,
 ) -> Result<SearchResult, SzError> {
+    let _total = fpsnr_obs::span("search.run");
     // log10 bracket: lo = tightest bound (highest PSNR).
     let mut lo = -9.0f64;
     let mut hi = -0.3f64;
@@ -50,6 +51,12 @@ pub fn search_to_target_psnr<T: Scalar>(
 
     let probe = |ebrel: f64, invocations: &mut usize| -> Result<(f64, Vec<u8>), SzError> {
         *invocations += 1;
+        // One probe = one full compress + decompress + measure cycle; the
+        // span count is the paper's "invocations eliminated" metric.
+        let _probe_span = fpsnr_obs::span("search.probe");
+        if fpsnr_obs::is_enabled() {
+            fpsnr_obs::add("search.invocations", 1);
+        }
         let cfg = SzConfig::new(ErrorBound::ValueRangeRel(ebrel));
         let bytes = compress(field, &cfg)?;
         let back: Field<T> = decompress(&bytes)?;

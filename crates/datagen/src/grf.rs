@@ -10,17 +10,40 @@
 //! the variance), which is all the generator needs.
 
 use fftkit::{nd, Complex};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
-/// Standard normal sample via Box–Muller (avoids a rand_distr dependency).
-fn normal(rng: &mut StdRng) -> f64 {
+/// Deterministic 64-bit generator (SplitMix64). The repository builds
+/// offline with no external crates, so the former `rand::StdRng` is
+/// replaced by this self-contained PRNG — statistically ample for spectral
+/// synthesis, and seed-stable across platforms.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn seed_from_u64(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in [0, 1) with 53 random mantissa bits.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Standard normal sample via Box–Muller (avoids a distributions crate).
+fn normal(rng: &mut SplitMix64) -> f64 {
     loop {
-        let u1: f64 = rng.gen::<f64>();
+        let u1 = rng.next_f64();
         if u1 <= f64::MIN_POSITIVE {
             continue;
         }
-        let u2: f64 = rng.gen::<f64>();
+        let u2 = rng.next_f64();
         return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
     }
 }
@@ -39,7 +62,7 @@ fn wavenumber(i: usize, n: usize) -> f64 {
 /// # Panics
 /// Panics unless both extents are powers of two.
 pub fn grf_2d(rows: usize, cols: usize, alpha: f64, seed: u64) -> Vec<f64> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut spec = vec![Complex::ZERO; rows * cols];
     for r in 0..rows {
         for c in 0..cols {
@@ -61,7 +84,7 @@ pub fn grf_2d(rows: usize, cols: usize, alpha: f64, seed: u64) -> Vec<f64> {
 /// # Panics
 /// Panics unless all extents are powers of two.
 pub fn grf_3d(d0: usize, d1: usize, d2: usize, alpha: f64, seed: u64) -> Vec<f64> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut spec = vec![Complex::ZERO; d0 * d1 * d2];
     for i in 0..d0 {
         for j in 0..d1 {

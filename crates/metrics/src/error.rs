@@ -1,10 +1,9 @@
 //! Pointwise error measures (the bounds SZ's other modes control).
 
 use ndfield::{Field, Scalar};
-use serde::{Deserialize, Serialize};
 
 /// Pointwise error summary between an original field and a reconstruction.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PointwiseError {
     /// Maximum absolute error over finite originals.
     pub max_abs: f64,

@@ -6,10 +6,9 @@
 //! the general-bin MSE estimator (Eq. 3) which integrates `δᵢ³·P(mᵢ)` over
 //! an empirical `P`.
 
-use serde::{Deserialize, Serialize};
 
 /// A uniform-bin histogram over `[lo, hi)`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     lo: f64,
     hi: f64,

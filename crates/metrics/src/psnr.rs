@@ -1,10 +1,9 @@
 //! l2-norm distortion: MSE, NRMSE, PSNR (paper Eq. 4–5).
 
 use ndfield::{Field, Scalar};
-use serde::{Deserialize, Serialize};
 
 /// l2 distortion between an original field and its reconstruction.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Distortion {
     /// Mean squared error over finite original samples.
     pub mse: f64,

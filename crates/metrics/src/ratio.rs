@@ -1,9 +1,8 @@
 //! Compression-ratio and bit-rate accounting.
 
-use serde::{Deserialize, Serialize};
 
 /// Size accounting for one compression run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RateStats {
     /// Uncompressed payload size in bytes.
     pub original_bytes: usize,

@@ -2,10 +2,9 @@
 //! per-field meet-rate of Fig. 2.
 
 use ndfield::stats::mean_stdev;
-use serde::{Deserialize, Serialize};
 
 /// Result of one fixed-PSNR run on one field.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FieldOutcome {
     /// Field name (e.g. `"CLDHGH"`).
     pub field: String,
@@ -32,7 +31,7 @@ impl FieldOutcome {
 
 /// Aggregate of all fields of a data set at one target PSNR — one cell pair
 /// of Table II.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DatasetSummary {
     /// Data set name (NYX / ATM / Hurricane).
     pub dataset: String,

@@ -6,10 +6,9 @@
 //! `[d0, d1, d2]` stores element `(i, j, k)` at linear offset
 //! `i·d1·d2 + j·d2 + k`.
 
-use serde::{Deserialize, Serialize};
 
 /// Shape of a 1-, 2- or 3-dimensional row-major grid.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Shape {
     /// 1D series of `n` samples.
     D1(usize),

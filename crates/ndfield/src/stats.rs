@@ -5,13 +5,12 @@
 //! pass before compression; we do the same and additionally track moments
 //! used by the data generators and the evaluation reports.
 
-use serde::{Deserialize, Serialize};
 
 /// One-pass statistics over the finite samples of a field.
 ///
 /// Non-finite samples (NaN/±inf) are counted but excluded from min/max and
 /// moments, matching how SZ handles fill values in practice.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct FieldStats {
     /// Number of finite samples.
     pub count: usize,

@@ -4,19 +4,21 @@
 //! snapshot (CESM involves 100+ fields); the natural parallel axis is one
 //! task per field, plus chunked parallelism inside the data generators.
 //!
-//! The domain guides recommend Rayon-style data parallelism, but Rayon is
-//! not in this project's allowed dependency set, so this crate implements
-//! the needed subset on `crossbeam`:
+//! The domain guides recommend Rayon-style data parallelism, but this
+//! project builds fully offline with no external crates, so the needed
+//! subset is implemented directly on `std::thread::scope` and
+//! `std::sync`:
 //!
 //! - [`par_map`] / [`par_map_indexed`] — dynamically scheduled parallel map
 //!   over a slice, preserving input order in the output,
 //! - [`par_chunks_mut`] — in-place parallel mutation of disjoint chunks,
 //! - [`pool::ThreadPool`] — a persistent worker pool for repeated batches
-//!   (benchmarks re-submit work without re-spawning threads).
+//!   (benchmarks re-submit work without re-spawning threads), with
+//!   per-worker busy accounting exported through `fpsnr-obs`.
 //!
 //! All primitives are data-race-free by construction: work is distributed
-//! through an atomic cursor, results flow through channels, and mutable
-//! state is partitioned with `split_at_mut` semantics (`chunks_mut`).
+//! through an atomic cursor or a locked queue, and mutable state is
+//! partitioned with `chunks_mut` semantics.
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -24,6 +26,7 @@
 pub mod pool;
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Number of worker threads to use by default: the machine's available
 /// parallelism, capped at 16 (the experiment harness never benefits past
@@ -74,16 +77,16 @@ where
     let cursor = AtomicUsize::new(0);
     let mut out: Vec<Option<R>> = Vec::with_capacity(n);
     out.resize_with(n, || None);
-    // Hand each worker a disjoint view of the output through a channel of
-    // one-slot writers would be heavyweight; instead collect per-worker and
-    // scatter afterwards — allocation-light and contention-free.
+    // Collect per-worker and scatter afterwards — allocation-light and
+    // contention-free (no shared mutable output while threads run).
     let mut partials: Vec<Vec<(usize, R)>> = Vec::new();
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         let mut handles = Vec::with_capacity(threads);
-        for _ in 0..threads {
+        for worker in 0..threads {
             let cursor = &cursor;
             let f = &f;
-            handles.push(s.spawn(move |_| {
+            handles.push(s.spawn(move || {
+                let busy = fpsnr_obs::span_labeled("par_map.worker", worker);
                 let mut local: Vec<(usize, R)> = Vec::new();
                 loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -92,14 +95,14 @@ where
                     }
                     local.push((i, f(i, &items[i])));
                 }
+                drop(busy);
                 local
             }));
         }
         for h in handles {
             partials.push(h.join().expect("parallel map worker panicked"));
         }
-    })
-    .expect("crossbeam scope failed");
+    });
     for (i, r) in partials.into_iter().flatten() {
         out[i] = Some(r);
     }
@@ -130,23 +133,23 @@ where
         }
         return;
     }
-    let (tx, rx) = crossbeam::channel::unbounded::<(usize, &mut [T])>();
-    for pair in data.chunks_mut(chunk_size).enumerate() {
-        tx.send(pair).expect("channel open");
-    }
-    drop(tx);
-    crossbeam::scope(|s| {
+    // Pre-filled locked work list: workers pop until empty. Chunk order
+    // does not matter (the chunks are disjoint by construction).
+    let work: Mutex<Vec<(usize, &mut [T])>> =
+        Mutex::new(data.chunks_mut(chunk_size).enumerate().collect());
+    std::thread::scope(|s| {
         for _ in 0..threads {
-            let rx = rx.clone();
+            let work = &work;
             let f = &f;
-            s.spawn(move |_| {
-                while let Ok((i, chunk)) = rx.recv() {
-                    f(i, chunk);
+            s.spawn(move || loop {
+                let item = work.lock().expect("work queue lock").pop();
+                match item {
+                    Some((i, chunk)) => f(i, chunk),
+                    None => break,
                 }
             });
         }
-    })
-    .expect("crossbeam scope failed");
+    });
 }
 
 #[cfg(test)]
@@ -208,6 +211,18 @@ mod tests {
         for (i, &(x, _)) in out.iter().enumerate() {
             assert_eq!(x, i as u64);
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel map worker panicked")]
+    fn par_map_propagates_worker_panic() {
+        let items: Vec<u32> = (0..64).collect();
+        par_map(&items, 4, |&x| {
+            if x == 13 {
+                panic!("unlucky item");
+            }
+            x
+        });
     }
 
     #[test]

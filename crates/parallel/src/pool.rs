@@ -3,28 +3,48 @@
 //! The scoped helpers in the crate root spawn threads per call, which is
 //! fine for one batch but wasteful when a benchmark harness submits
 //! thousands of small batches. [`ThreadPool`] keeps workers alive and feeds
-//! them closures through a crossbeam channel; [`ThreadPool::wait`] provides
-//! a barrier, implemented with a `parking_lot` mutex + condvar counting
+//! them closures through a locked queue; [`ThreadPool::wait`] provides a
+//! barrier, implemented with a `std::sync` mutex + condvar counting
 //! in-flight jobs (the "build your own synchronization primitive" pattern
 //! from *Rust Atomics and Locks*).
+//!
+//! Jobs that panic do not wedge the pool: the worker survives, the panic is
+//! counted, and the next [`ThreadPool::wait`] propagates it to the caller.
+//! When `fpsnr-obs` instrumentation is enabled, each worker accounts its
+//! busy nanoseconds and job count (`pool.worker.<i>.busy_ns` /
+//! `pool.worker.<i>.jobs`), which together with the pool's wall-clock
+//! lifetime give per-worker busy/idle ratios.
 
-use crossbeam::channel::{unbounded, Sender};
-use parking_lot::{Condvar, Mutex};
-use std::sync::Arc;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
-struct Inflight {
-    count: Mutex<usize>,
-    zero: Condvar,
+struct QueueState {
+    jobs: VecDeque<Job>,
+    /// Jobs submitted but not yet finished (queued + running).
+    inflight: usize,
+    /// Jobs whose closure panicked since the last `wait`.
+    panicked: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<QueueState>,
+    /// Signalled when a job is pushed (or shutdown begins).
+    job_ready: Condvar,
+    /// Signalled when `inflight` reaches zero.
+    idle: Condvar,
 }
 
 /// A fixed-size pool of worker threads executing submitted closures.
 pub struct ThreadPool {
-    tx: Option<Sender<Job>>,
+    shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
-    inflight: Arc<Inflight>,
+    started: Instant,
 }
 
 impl ThreadPool {
@@ -34,34 +54,29 @@ impl ThreadPool {
     /// Panics when `n == 0`.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "pool needs at least one worker");
-        let (tx, rx) = unbounded::<Job>();
-        let inflight = Arc::new(Inflight {
-            count: Mutex::new(0),
-            zero: Condvar::new(),
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                inflight: 0,
+                panicked: 0,
+                shutdown: false,
+            }),
+            job_ready: Condvar::new(),
+            idle: Condvar::new(),
         });
         let workers = (0..n)
             .map(|i| {
-                let rx = rx.clone();
-                let inflight = Arc::clone(&inflight);
+                let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("fpsnr-pool-{i}"))
-                    .spawn(move || {
-                        while let Ok(job) = rx.recv() {
-                            job();
-                            let mut c = inflight.count.lock();
-                            *c -= 1;
-                            if *c == 0 {
-                                inflight.zero.notify_all();
-                            }
-                        }
-                    })
+                    .spawn(move || worker_loop(i, &shared))
                     .expect("failed to spawn pool worker")
             })
             .collect();
         ThreadPool {
-            tx: Some(tx),
+            shared,
             workers,
-            inflight,
+            started: Instant::now(),
         }
     }
 
@@ -72,32 +87,79 @@ impl ThreadPool {
 
     /// Submit a job for asynchronous execution.
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
-        {
-            let mut c = self.inflight.count.lock();
-            *c += 1;
-        }
-        self.tx
-            .as_ref()
-            .expect("pool alive while not dropped")
-            .send(Box::new(job))
-            .expect("workers alive while pool not dropped");
+        let mut state = self.shared.state.lock().expect("pool state lock");
+        state.inflight += 1;
+        state.jobs.push_back(Box::new(job));
+        drop(state);
+        self.shared.job_ready.notify_one();
     }
 
     /// Block until every submitted job has finished.
+    ///
+    /// # Panics
+    /// Propagates job panics: if any job submitted since the previous
+    /// `wait` panicked, this panics once the queue drains.
     pub fn wait(&self) {
-        let mut c = self.inflight.count.lock();
-        while *c != 0 {
-            self.inflight.zero.wait(&mut c);
+        let mut state = self.shared.state.lock().expect("pool state lock");
+        while state.inflight != 0 {
+            state = self.shared.idle.wait(state).expect("pool idle wait");
+        }
+        let panicked = std::mem::take(&mut state.panicked);
+        drop(state);
+        if panicked > 0 {
+            panic!("{panicked} pool job(s) panicked");
+        }
+    }
+}
+
+fn worker_loop(index: usize, shared: &Shared) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("pool state lock");
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    break job;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = shared.job_ready.wait(state).expect("pool job wait");
+            }
+        };
+        let t0 = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(job));
+        if fpsnr_obs::is_enabled() {
+            let ns = t0.elapsed().as_nanos() as u64;
+            fpsnr_obs::add_labeled(index, "pool.worker", "busy_ns", ns);
+            fpsnr_obs::add_labeled(index, "pool.worker", "jobs", 1);
+        }
+        let mut state = shared.state.lock().expect("pool state lock");
+        state.inflight -= 1;
+        if outcome.is_err() {
+            state.panicked += 1;
+        }
+        if state.inflight == 0 {
+            shared.idle.notify_all();
         }
     }
 }
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
-        // Closing the channel lets workers drain pending jobs and exit.
-        self.tx.take();
+        // Let workers drain pending jobs, then exit.
+        {
+            let mut state = self.shared.state.lock().expect("pool state lock");
+            state.shutdown = true;
+        }
+        self.shared.job_ready.notify_all();
         for w in self.workers.drain(..) {
             let _ = w.join();
+        }
+        if fpsnr_obs::is_enabled() {
+            fpsnr_obs::add(
+                "pool.wall_ns",
+                self.started.elapsed().as_nanos() as u64,
+            );
         }
     }
 }
@@ -168,5 +230,64 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_rejected() {
         ThreadPool::new(0);
+    }
+
+    #[test]
+    fn single_worker_pool_runs_everything() {
+        let pool = ThreadPool::new(1);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..200 {
+            let c = Arc::clone(&counter);
+            pool.execute(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait();
+        assert_eq!(counter.load(Ordering::Relaxed), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "pool job(s) panicked")]
+    fn job_panic_propagates_on_wait() {
+        let pool = ThreadPool::new(2);
+        pool.execute(|| panic!("boom"));
+        pool.wait();
+    }
+
+    #[test]
+    fn pool_survives_job_panic_and_keeps_working() {
+        let pool = ThreadPool::new(2);
+        pool.execute(|| panic!("boom"));
+        // The panic is latched for the next wait; swallow it there.
+        let waited = catch_unwind(AssertUnwindSafe(|| pool.wait()));
+        assert!(waited.is_err(), "wait should propagate the job panic");
+        // The worker survived: subsequent jobs still run and a clean wait
+        // no longer panics.
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..50 {
+            let c = Arc::clone(&counter);
+            pool.execute(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait();
+        assert_eq!(counter.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn zero_jobs_then_batch_works() {
+        // "Zero-length input" edge: waiting before any submission, then
+        // submitting a batch, must behave identically to a fresh pool.
+        let pool = ThreadPool::new(3);
+        pool.wait();
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..10 {
+            let c = Arc::clone(&counter);
+            pool.execute(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait();
+        assert_eq!(counter.load(Ordering::Relaxed), 10);
     }
 }

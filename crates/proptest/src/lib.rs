@@ -1,0 +1,191 @@
+//! # proptest (offline shim)
+//!
+//! The workspace builds with no network access, so the real `proptest`
+//! crate cannot be fetched. This package keeps the *name* and the API
+//! subset the test suites actually use — `proptest!`, `prop_assert!`,
+//! `prop_assert_eq!`, `prop_assume!`, `any`, range strategies,
+//! `collection::vec`, `bool::ANY`, `ProptestConfig::with_cases` — so the
+//! property tests compile and run unchanged.
+//!
+//! Semantics are deliberately simpler than the real crate:
+//!
+//! - inputs are sampled from a deterministic per-test PRNG (seeded from the
+//!   test name), so failures reproduce exactly across runs and platforms;
+//! - there is **no shrinking** — a failing case panics with the sampled
+//!   values' `Debug` formatting via the assertion message instead;
+//! - `prop_assume!` rejections re-sample, with a generous cap to catch
+//!   filters that reject everything.
+//!
+//! That trade-off keeps the shim a few hundred lines while preserving the
+//! property-test intent: every invariant is exercised over many sampled
+//! inputs, not just hand-picked ones.
+
+#![warn(rust_2018_idioms)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategies over collections (`vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s whose length is drawn from `size` and
+    /// whose elements are drawn from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `proptest::collection::vec(element, size_range)`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(!size.is_empty(), "empty size range for collection::vec");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.clone().sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy yielding `true` or `false` with equal probability.
+    pub struct BoolAny;
+
+    /// `proptest::bool::ANY`.
+    pub const ANY: BoolAny = BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// The glob import every property test starts with.
+pub mod prelude {
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Define property tests. Mirrors the real macro's surface:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn my_property(x in 0u32..100, v in proptest::collection::vec(any::<u8>(), 0..50)) {
+///         prop_assert!(v.len() < 50);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+                let mut accepted: u32 = 0;
+                let mut rejected: u32 = 0;
+                while accepted < config.cases {
+                    $( let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng); )+
+                    let outcome: $crate::test_runner::TestCaseResult = (move || {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::core::result::Result::Ok(()) => accepted += 1,
+                        ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {
+                            rejected += 1;
+                            assert!(
+                                rejected < 100_000,
+                                "prop_assume rejected 100000 inputs in {}",
+                                stringify!($name)
+                            );
+                        }
+                        ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!("property {} falsified (case {}): {}", stringify!($name), accepted, msg);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::Config::default())]
+            $( $(#[$meta])* fn $name( $( $arg in $strat ),+ ) $body )*
+        }
+    };
+}
+
+/// Assert inside a `proptest!` body; failure fails the *case* (with the
+/// formatted message) rather than unwinding through the sampler.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+/// Discard the current case (re-sampled, not counted) when its inputs do
+/// not satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}

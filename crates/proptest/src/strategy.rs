@@ -1,0 +1,174 @@
+//! Input strategies: how test-case values are sampled.
+//!
+//! A [`Strategy`] is anything that can draw a value from the deterministic
+//! test PRNG. Plain range expressions (`0u32..100`, `1u8..=255`,
+//! `-1.0f32..1.0`) are strategies, as is [`any`] for "whole domain" types.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A source of sampled test inputs.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Types with a canonical whole-domain strategy ([`any`]).
+pub trait Arbitrary: Sized {
+    /// Draw a value uniformly from the type's whole domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Whole-domain strategy for `T` (`any::<u64>()`).
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Create the whole-domain strategy for an [`Arbitrary`] type.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_uint {
+    ($($t:ty),+) => {
+        $(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )+
+    };
+}
+
+arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),+) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    // Width fits in u64 for every integer type used here.
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + (rng.next_u64() % span) as i128) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128 + 1) as u64;
+                    (lo as i128 + (rng.next_u64() % span) as i128) as $t
+                }
+            }
+        )+
+    };
+}
+
+int_range_strategy!(u8, u16, u32, i8, i16, i32, i64, usize);
+
+// u64 ranges need the full width; handled without the i128 detour.
+impl Strategy for Range<u64> {
+    type Value = u64;
+
+    fn sample(&self, rng: &mut TestRng) -> u64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.next_u64() % (self.end - self.start)
+    }
+}
+
+macro_rules! float_range_strategy {
+    ($($t:ty),+) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let u = rng.next_f64() as $t;
+                    self.start + u * (self.end - self.start)
+                }
+            }
+        )+
+    };
+}
+
+float_range_strategy!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_name("strategy-tests")
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let v = (3usize..17).sample(&mut r);
+            assert!((3..17).contains(&v));
+            let v = (-6i32..2).sample(&mut r);
+            assert!((-6..2).contains(&v));
+            let v = (1u8..=255).sample(&mut r);
+            assert!(v >= 1);
+            let v = (-2.5f32..7.5).sample(&mut r);
+            assert!((-2.5..7.5).contains(&v));
+            let v = (5.0f64..180.0).sample(&mut r);
+            assert!((5.0..180.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn any_covers_width() {
+        let mut r = rng();
+        let mut seen_high_bit = false;
+        for _ in 0..64 {
+            if any::<u64>().sample(&mut r) >> 63 == 1 {
+                seen_high_bit = true;
+            }
+        }
+        assert!(seen_high_bit, "64 draws never set the top bit");
+    }
+
+    #[test]
+    fn vec_strategy_respects_length_range() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = crate::collection::vec(any::<u8>(), 2..9).sample(&mut r);
+            assert!((2..9).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_name() {
+        let mut a = TestRng::from_name("same");
+        let mut b = TestRng::from_name("same");
+        let s = 0u64..1_000_000;
+        for _ in 0..100 {
+            assert_eq!(s.sample(&mut a), s.sample(&mut b));
+        }
+    }
+}

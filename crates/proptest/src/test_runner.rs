@@ -1,0 +1,88 @@
+//! The per-test runner state: configuration, deterministic PRNG, and the
+//! case-level result type the assertion macros produce.
+
+/// Runner configuration. Only the knob this workspace uses is exposed.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of *accepted* cases to run per property.
+    pub cases: u32,
+}
+
+impl Config {
+    /// Run `cases` accepted inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        // The real crate defaults to 256; 64 keeps the full-stack
+        // compression properties fast while still sampling broadly.
+        Config { cases: 64 }
+    }
+}
+
+/// Why a single sampled case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; resample without counting.
+    Reject,
+    /// `prop_assert!`/`prop_assert_eq!` falsified the property.
+    Fail(String),
+}
+
+/// Result of one sampled case inside a `proptest!` body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic test PRNG (SplitMix64), seeded from the test name so each
+/// property gets an independent, reproducible stream. No global state, no
+/// OS entropy: a failure seen once reproduces on every machine.
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seed from a test name (FNV-1a hash of the bytes).
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng(h)
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` with 53 random mantissa bits.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_names_distinct_streams() {
+        let a = TestRng::from_name("alpha").next_u64();
+        let b = TestRng::from_name("beta").next_u64();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = TestRng::from_name("unit");
+        for _ in 0..1000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+}

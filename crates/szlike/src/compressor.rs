@@ -143,6 +143,7 @@ pub fn compress_with_detail<T: Scalar>(
     field: &Field<T>,
     cfg: &SzConfig,
 ) -> Result<(Vec<u8>, CompressionDetail), SzError> {
+    let _total = fpsnr_obs::span("sz.compress");
     cfg.validate()?;
     let (mut bytes, mut detail) = if let ErrorBound::PointwiseRel(eb) = cfg.bound {
         compress_log_rel(field, eb, cfg)?
@@ -163,6 +164,11 @@ pub fn compress_with_detail<T: Scalar>(
     let crc = crc32(&bytes);
     bytes.extend_from_slice(&crc.to_le_bytes());
     detail.compressed_bytes = bytes.len();
+    if fpsnr_obs::is_enabled() {
+        fpsnr_obs::add("sz.fields", 1);
+        fpsnr_obs::add("sz.bytes_in", (field.len() * T::BYTES) as u64);
+        fpsnr_obs::add("sz.bytes_out", bytes.len() as u64);
+    }
     Ok((bytes, detail))
 }
 
@@ -361,16 +367,27 @@ fn compress_quantized<T: Scalar>(
     vr: f64,
     cfg: &SzConfig,
 ) -> Result<(Vec<u8>, CompressionDetail), SzError> {
+    // Stage 1 (sz.predict): per-field model selection — adaptive interval
+    // sizing and predictor choice, both sampling the original data.
+    let predict_span = fpsnr_obs::span("sz.predict");
     let bins = if cfg.auto_intervals {
         choose_intervals(field, eb_abs, cfg.quant_bins, cfg.pred_threshold)
     } else {
         cfg.quant_bins
     };
     let pred_kind = select_predictor(field, cfg.predictor, eb_abs);
-    let walk = quantized_walk(field, eb_abs, bins, pred_kind, cfg.escape, false);
+    drop(predict_span);
 
-    // Entropy stage over the code alphabet (0 = escape): Huffman (SZ's
-    // choice, body stage 0) or the adaptive range coder (stage 1).
+    // Stage 2 (sz.quantize): the Lorenzo-prediction + linear-scaling
+    // quantization walk over every sample.
+    let quantize_span = fpsnr_obs::span("sz.quantize");
+    let walk = quantized_walk(field, eb_abs, bins, pred_kind, cfg.escape, false);
+    drop(quantize_span);
+
+    // Stage 3 (sz.encode): entropy stage over the code alphabet
+    // (0 = escape): Huffman (SZ's choice, body stage 0) or the adaptive
+    // range coder (stage 1).
+    let encode_span = fpsnr_obs::span("sz.encode");
     let mut body = Vec::with_capacity(walk.codes.len() / 2 + walk.unpred.len() * T::BYTES);
     let (table_len, stream_len) = match cfg.entropy {
         EntropyCoder::Huffman => {
@@ -414,13 +431,17 @@ fn compress_quantized<T: Scalar>(
         }
     }
     let body_bytes = body.len();
+    drop(encode_span);
 
     let mut out = Vec::new();
     format::write_header(&mut out, T::TAG, Mode::Quantized, field.shape());
     out.extend_from_slice(&eb_abs.to_le_bytes());
     varint::write_u64(&mut out, bins as u64);
     out.push(pred_kind.tag());
+    // Stage 4 (sz.lossless): LZ pass over the serialized body.
+    let lossless_span = fpsnr_obs::span("sz.lossless");
     let (flag, payload) = apply_lossless(body, cfg);
+    drop(lossless_span);
     out.push(flag);
     varint::write_u64(&mut out, payload.len() as u64);
     out.extend_from_slice(&payload);
@@ -518,6 +539,7 @@ fn compress_log_rel<T: Scalar>(
 /// [`SzError::TypeMismatch`] when `T` differs from the compressed type, and
 /// [`SzError::Format`]/[`SzError::Codec`] on malformed input.
 pub fn decompress<T: Scalar>(src: &[u8]) -> Result<Field<T>, SzError> {
+    let _total = fpsnr_obs::span("sz.decompress");
     if src.len() < 4 {
         return Err(SzError::Format("container shorter than CRC trailer"));
     }

@@ -301,6 +301,7 @@ pub fn transform_compress<T: Scalar>(
     field: &Field<T>,
     cfg: &TransformConfig,
 ) -> Result<Vec<u8>, SzError> {
+    let _total = fpsnr_obs::span("xfm.compress");
     cfg.validate()?;
     let vr = field.value_range();
     let eb = cfg.bound.absolute(vr)?;
@@ -345,6 +346,9 @@ pub fn transform_compress<T: Scalar>(
     let mut codes = Vec::with_capacity(n_blocks * block_len);
     let mut escapes: Vec<f64> = Vec::new();
     let mut buf = vec![0.0f64; block_len];
+    // Stage 1 (xfm.transform): blockwise forward transform + coefficient
+    // quantization (the transform codec's analogue of predict+quantize).
+    let transform_span = fpsnr_obs::span("xfm.transform");
     for_each_block(&grid, |origin| {
         gather_block(field, origin, cfg.block, &mut buf);
         forward_block(&basis, &mut buf, rank);
@@ -358,7 +362,10 @@ pub fn transform_compress<T: Scalar>(
             }
         }
     });
+    drop(transform_span);
 
+    // Stage 2 (xfm.encode): Huffman over the coefficient codes.
+    let encode_span = fpsnr_obs::span("xfm.encode");
     let counts = freq::count_dense(&codes, cfg.quant_bins);
     let codec = HuffmanCodec::from_counts(&counts);
     let mut body = Vec::new();
@@ -375,7 +382,10 @@ pub fn transform_compress<T: Scalar>(
     for &e in &escapes {
         body.extend_from_slice(&e.to_le_bytes());
     }
+    drop(encode_span);
 
+    // Stage 3 (xfm.lossless): LZ pass over the serialized body.
+    let _lossless_span = fpsnr_obs::span("xfm.lossless");
     let (flag, payload) = match cfg.lossless {
         LosslessBackend::None => (0u8, body),
         LosslessBackend::Lz => {
@@ -398,6 +408,7 @@ pub fn transform_compress<T: Scalar>(
 /// # Errors
 /// [`SzError`] on malformed input or scalar-type mismatch.
 pub fn transform_decompress<T: Scalar>(src: &[u8]) -> Result<Field<T>, SzError> {
+    let _total = fpsnr_obs::span("xfm.decompress");
     let mut pos = 0usize;
     if src.len() < 7 || src[..4] != MAGIC {
         return Err(SzError::Format("bad transform magic"));
