@@ -1,0 +1,56 @@
+//! Criterion bench for the block-parallel pipeline: monolithic vs blocked
+//! compress/decompress across thread counts on a 3-D GRF.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datagen::grf::grf_3d;
+use ndfield::{Field, Shape};
+use szlike::{ErrorBound, SzConfig};
+
+fn bench_blocked(c: &mut Criterion) {
+    let dim = 32usize; // power of two (GRF synthesis); the bin sweeps 64^3
+    let data: Vec<f32> = grf_3d(dim, dim, dim, 3.0, 20180713)
+        .into_iter()
+        .map(|v| v as f32)
+        .collect();
+    let field = Field::from_vec(Shape::D3(dim, dim, dim), data);
+    let cfg = SzConfig::new(ErrorBound::ValueRangeRel(1e-4)).with_auto_intervals(true);
+    let raw = (field.len() * 4) as u64;
+
+    let mut group = c.benchmark_group("blocked_compress");
+    group.throughput(Throughput::Bytes(raw));
+    group.bench_function("monolithic", |b| {
+        b.iter(|| szlike::compress(&field, &cfg).unwrap());
+    });
+    for threads in [2usize, 4, 8] {
+        let bcfg = cfg.with_threads(threads);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &bcfg,
+            |b, bcfg| {
+                b.iter(|| szlike::compress(&field, bcfg).unwrap());
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("blocked_decompress");
+    group.throughput(Throughput::Bytes(raw));
+    let mono = szlike::compress(&field, &cfg).unwrap();
+    group.bench_function("monolithic", |b| {
+        b.iter(|| szlike::decompress::<f32>(&mono).unwrap());
+    });
+    let blocked = szlike::compress(&field, &cfg.with_threads(4)).unwrap();
+    for threads in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &blocked,
+            |b, bytes| {
+                b.iter(|| szlike::decompress_with_threads::<f32>(bytes, threads).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_blocked);
+criterion_main!(benches);

@@ -1,0 +1,138 @@
+//! Block-parallel pipeline benchmark: monolithic vs blocked compression on
+//! a 3-D Gaussian random field, sweeping the worker-thread count.
+//!
+//! ```text
+//! cargo run --release -p fpsnr-bench --bin blocked
+//! FPSNR_GRF_DIM=32 cargo run --release -p fpsnr-bench --bin blocked   # CI smoke
+//! ```
+//!
+//! Writes `BENCH_blocked.json` (override with `FPSNR_OUT`) recording, per
+//! thread count: compression/decompression throughput, achieved PSNR, and
+//! compressed size — plus the monolithic baseline, so the speedup and the
+//! ratio/PSNR deltas the blocked mode promises are checkable from the
+//! artifact alone.
+
+use datagen::grf::grf_3d;
+use fpsnr_metrics::Distortion;
+use ndfield::{Field, Shape};
+use std::fmt::Write as _;
+use std::time::Instant;
+use szlike::{ErrorBound, SzConfig};
+
+/// Best-of-N wall-clock for one closure, in seconds.
+fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        out = Some(r);
+    }
+    (best, out.unwrap())
+}
+
+struct Row {
+    threads: usize,
+    compress_s: f64,
+    decompress_s: f64,
+    bytes: usize,
+    psnr: f64,
+}
+
+fn main() {
+    let dim: usize = std::env::var("FPSNR_GRF_DIM")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
+    let reps: usize = std::env::var("FPSNR_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    let out_path =
+        std::env::var("FPSNR_OUT").unwrap_or_else(|_| "BENCH_blocked.json".to_string());
+
+    let data: Vec<f32> = grf_3d(dim, dim, dim, 3.0, 20180713)
+        .into_iter()
+        .map(|v| v as f32)
+        .collect();
+    let field = Field::from_vec(Shape::D3(dim, dim, dim), data);
+    let raw_bytes = field.len() * 4;
+    let cfg = SzConfig::new(ErrorBound::ValueRangeRel(1e-4)).with_auto_intervals(true);
+
+    // Monolithic baseline (threads = 1, no blocking).
+    let (mono_c, mono_bytes) = time_best(reps, || szlike::compress(&field, &cfg).unwrap());
+    let (mono_d, mono_back) =
+        time_best(reps, || szlike::decompress::<f32>(&mono_bytes).unwrap());
+    let mono_psnr = Distortion::between(&field, &mono_back).psnr();
+
+    let mut rows = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let bcfg = cfg.with_threads(threads);
+        let (c_s, bytes) = time_best(reps, || szlike::compress(&field, &bcfg).unwrap());
+        let (d_s, back) = time_best(reps, || {
+            szlike::decompress_with_threads::<f32>(&bytes, threads).unwrap()
+        });
+        let psnr = Distortion::between(&field, &back).psnr();
+        rows.push(Row {
+            threads,
+            compress_s: c_s,
+            decompress_s: d_s,
+            bytes: bytes.len(),
+            psnr,
+        });
+    }
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mib = raw_bytes as f64 / (1024.0 * 1024.0);
+    println!(
+        "GRF {dim}^3 ({mib:.1} MiB f32), eb_rel 1e-4, best of {reps}, {cores} core(s)\n\
+         monolithic: compress {:.1} MiB/s, decompress {:.1} MiB/s, {} bytes, PSNR {:.2} dB",
+        mib / mono_c,
+        mib / mono_d,
+        mono_bytes.len(),
+        mono_psnr
+    );
+    for r in &rows {
+        println!(
+            "blocked t={}: compress {:.1} MiB/s ({:.2}x), decompress {:.1} MiB/s, \
+             {} bytes ({:+.2}% vs mono), PSNR {:.2} dB ({:+.3} dB)",
+            r.threads,
+            mib / r.compress_s,
+            mono_c / r.compress_s,
+            mib / r.decompress_s,
+            r.bytes,
+            (r.bytes as f64 / mono_bytes.len() as f64 - 1.0) * 100.0,
+            r.psnr,
+            r.psnr - mono_psnr
+        );
+    }
+
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\n  \"bench\": \"blocked\",\n  \"grf_dim\": {dim},\n  \"raw_bytes\": {raw_bytes},\n  \
+         \"available_parallelism\": {cores},\n  \
+         \"eb_rel\": 1e-4,\n  \"reps\": {reps},\n  \"monolithic\": {{\"compress_s\": {mono_c:.6}, \
+         \"decompress_s\": {mono_d:.6}, \"bytes\": {}, \"psnr_db\": {mono_psnr:.4}}},\n  \
+         \"blocked\": [",
+        mono_bytes.len()
+    );
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "{}\n    {{\"threads\": {}, \"compress_s\": {:.6}, \"decompress_s\": {:.6}, \
+             \"bytes\": {}, \"psnr_db\": {:.4}, \"compress_speedup\": {:.4}}}",
+            if i == 0 { "" } else { "," },
+            r.threads,
+            r.compress_s,
+            r.decompress_s,
+            r.bytes,
+            r.psnr,
+            mono_c / r.compress_s
+        );
+    }
+    let _ = write!(json, "\n  ]\n}}\n");
+    std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    println!("wrote {out_path}");
+}

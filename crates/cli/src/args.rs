@@ -17,7 +17,8 @@ pub struct Args {
 /// Flags that take a value, per command.
 const VALUE_FLAGS: &[&str] = &[
     "--input", "-i", "--output", "-o", "--recon", "-r", "--type", "--dims", "--mode", "--bins",
-    "--dataset", "--res", "--psnr", "--seed", "--threads", "--out-dir", "--profile",
+    "--dataset", "--res", "--psnr", "--seed", "--threads", "--block-size", "--out-dir",
+    "--profile",
 ];
 /// Boolean switches.
 const SWITCHES: &[&str] = &["--no-lz", "--verify", "--quiet", "--transform"];

@@ -86,7 +86,9 @@ COMMANDS
   compress    -i RAW -o OUT --type f32|f64 --dims DxDxD --mode MODE
               MODE: psnr:<dB> | abs:<eb> | rel:<eb> | pwrel:<eb> | budget:<bytes>
               [--bins N] [--no-lz] [--verify] [--transform]
-  decompress  -i OUT -o RAW
+              [--threads N]     block-parallel pipeline (0 = auto, 1 = off)
+              [--block-size R]  rows per block (0 = derive from shape)
+  decompress  -i OUT -o RAW [--threads N]
   analyze     -i RAW -r RAW --type f32|f64 --dims DxDxD
   gen         --dataset nyx|atm|hurricane --res small|default|paper
               --out-dir DIR [--seed N]
@@ -152,7 +154,16 @@ fn compress_typed<T: Scalar>(args: &Args) -> Result<(), String> {
     } else {
         LosslessBackend::Lz
     };
+    let threads = parse_threads(args)?.unwrap_or(1);
+    let block_rows: usize = args
+        .get("--block-size")
+        .map(|s| s.parse().map_err(|e| format!("bad --block-size: {e}")))
+        .transpose()?
+        .unwrap_or(0);
     let use_transform = args.has("--transform");
+    if use_transform && (threads != 1 || block_rows != 0) {
+        return Err("--transform does not support --threads/--block-size".into());
+    }
     let bytes = match mode {
         CliMode::Budget(budget) => {
             if use_transform {
@@ -161,7 +172,9 @@ fn compress_typed<T: Scalar>(args: &Args) -> Result<(), String> {
             let base = SzConfig::new(ErrorBound::Abs(1.0))
                 .with_quant_bins(bins)
                 .with_lossless(lossless)
-                .with_auto_intervals(true);
+                .with_auto_intervals(true)
+                .with_threads(threads)
+                .with_block_rows(block_rows);
             let (bytes, report) = fpsnr_core::mode::compress_with_mode(
                 &field,
                 fpsnr_core::mode::CompressionMode::ByteBudget(budget),
@@ -188,6 +201,8 @@ fn compress_typed<T: Scalar>(args: &Args) -> Result<(), String> {
                 let opts = FixedPsnrOptions {
                     quant_bins: bins,
                     lossless,
+                    threads,
+                    block_rows,
                     ..FixedPsnrOptions::default()
                 };
                 fpsnr_core::fixed_psnr::compress_fixed_psnr_only(&field, target, &opts)
@@ -199,7 +214,11 @@ fn compress_typed<T: Scalar>(args: &Args) -> Result<(), String> {
                 let cfg = TransformConfig::new(b);
                 transform_compress(&field, &cfg).map_err(|e| e.to_string())?
             } else {
-                let cfg = SzConfig::new(b).with_quant_bins(bins).with_lossless(lossless);
+                let cfg = SzConfig::new(b)
+                    .with_quant_bins(bins)
+                    .with_lossless(lossless)
+                    .with_threads(threads)
+                    .with_block_rows(block_rows);
                 szlike::compress(&field, &cfg).map_err(|e| e.to_string())?
             }
         }
@@ -216,24 +235,38 @@ fn compress_typed<T: Scalar>(args: &Args) -> Result<(), String> {
         rate.bit_rate()
     );
     if args.has("--verify") {
-        let back: Field<T> = decode_any(&bytes)?;
+        let back: Field<T> = decode_any(&bytes, threads)?;
         let d = Distortion::between(&field, &back);
         println!("verified: PSNR {:.2} dB, NRMSE {:.3e}", d.psnr(), d.nrmse());
     }
     Ok(())
 }
 
+/// Parse `--threads` (None when absent).
+fn parse_threads(args: &Args) -> Result<Option<usize>, String> {
+    args.get("--threads")
+        .map(|s| s.parse().map_err(|e| format!("bad --threads: {e}")))
+        .transpose()
+}
+
 /// Decode any container this toolchain produces, dispatching on the magic.
-fn decode_any<T: ndfield::Scalar>(bytes: &[u8]) -> Result<Field<T>, String> {
+/// `threads` feeds the block-parallel decoders (0 = auto).
+fn decode_any<T: ndfield::Scalar>(bytes: &[u8], threads: usize) -> Result<Field<T>, String> {
     match bytes.get(..4) {
-        Some(b"SZR1") => szlike::decompress(bytes).map_err(|e| e.to_string()),
+        Some(b"SZR1") => {
+            szlike::decompress_with_threads(bytes, threads).map_err(|e| e.to_string())
+        }
         Some(b"XFM1") => transform_decompress(bytes).map_err(|e| e.to_string()),
         Some(b"XEC1") => {
             fpsnr_transform::embedded_decompress(bytes).map_err(|e| e.to_string())
         }
         Some(b"SLB1") => fpsnr_core::slab::decompress_slabs(
             bytes,
-            fpsnr_parallel::default_threads(),
+            if threads == 0 {
+                fpsnr_parallel::default_threads()
+            } else {
+                threads
+            },
         )
         .map_err(|e| e.to_string()),
         _ => Err("unrecognised container magic".to_string()),
@@ -244,6 +277,7 @@ fn cmd_decompress(args: &Args) -> Result<(), String> {
     let input = args.require("--input")?;
     let bytes = std::fs::read(input).map_err(|e| format!("reading {input}: {e}"))?;
     let out = args.require("--output")?;
+    let threads = parse_threads(args)?.unwrap_or(0);
     // SZ containers carry the scalar tag in the header; for the other
     // container kinds, try f32 first (the dominant type in HPC dumps).
     let is_f64 = if bytes.get(..4) == Some(b"SZR1".as_slice()) {
@@ -251,14 +285,14 @@ fn cmd_decompress(args: &Args) -> Result<(), String> {
         let header = format::read_header(&bytes, &mut pos).map_err(|e| e.to_string())?;
         header.scalar_tag == "f64"
     } else {
-        decode_any::<f32>(&bytes).is_err()
+        decode_any::<f32>(&bytes, threads).is_err()
     };
     if is_f64 {
-        let field: Field<f64> = decode_any(&bytes)?;
+        let field: Field<f64> = decode_any(&bytes, threads)?;
         fio::write_raw(&field, out).map_err(|e| format!("writing {out}: {e}"))?;
         println!("decompressed {} f64 samples ({})", field.len(), field.shape());
     } else {
-        let field: Field<f32> = decode_any(&bytes)?;
+        let field: Field<f32> = decode_any(&bytes, threads)?;
         fio::write_raw(&field, out).map_err(|e| format!("writing {out}: {e}"))?;
         println!("decompressed {} f32 samples ({})", field.len(), field.shape());
     }

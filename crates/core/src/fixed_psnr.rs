@@ -93,6 +93,13 @@ pub struct FixedPsnrOptions {
     pub auto_intervals: bool,
     /// Lossless backend for the final stage.
     pub lossless: LosslessBackend,
+    /// Worker threads for the block-parallel SZ path (0 = auto, 1 =
+    /// monolithic; forwarded to [`SzConfig::threads`]). The container bytes
+    /// never depend on this value.
+    pub threads: usize,
+    /// Block size in slowest-dimension rows for the blocked path (0 = auto;
+    /// forwarded to [`SzConfig::block_rows`]).
+    pub block_rows: usize,
 }
 
 impl Default for FixedPsnrOptions {
@@ -101,6 +108,8 @@ impl Default for FixedPsnrOptions {
             quant_bins: 65536,
             auto_intervals: true,
             lossless: LosslessBackend::Lz,
+            threads: 1,
+            block_rows: 0,
         }
     }
 }
@@ -111,6 +120,8 @@ impl FixedPsnrOptions {
             .with_quant_bins(self.quant_bins)
             .with_auto_intervals(self.auto_intervals)
             .with_lossless(self.lossless)
+            .with_threads(self.threads)
+            .with_block_rows(self.block_rows)
     }
 }
 

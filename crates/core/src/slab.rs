@@ -72,6 +72,11 @@ pub fn compress_slabs<T: Scalar>(
         } else {
             ErrorBound::Abs(eb_abs)
         },
+        // Slab parallelism IS the outer parallelism: each slab must stay a
+        // monolithic SZ stream (no nested pools, and the container layout
+        // stays what SLB1 readers expect).
+        threads: 1,
+        block_rows: 0,
         ..*cfg
     };
     let shape = field.shape();

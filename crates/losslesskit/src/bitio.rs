@@ -39,10 +39,14 @@ impl BitWriter {
         debug_assert!(n == 64 || bits < (1u64 << n), "value wider than bit count");
         self.acc |= bits << self.nbits;
         self.nbits += n;
-        while self.nbits >= 8 {
-            self.buf.push((self.acc & 0xff) as u8);
-            self.acc >>= 8;
-            self.nbits -= 8;
+        // Drain every whole byte in one word-level copy instead of a
+        // byte-at-a-time push loop (the accumulator is little-endian by
+        // construction, so its LE byte image is exactly the wire form).
+        let nbytes = (self.nbits / 8) as usize;
+        if nbytes > 0 {
+            self.buf.extend_from_slice(&self.acc.to_le_bytes()[..nbytes]);
+            self.acc = if nbytes == 8 { 0 } else { self.acc >> (nbytes * 8) };
+            self.nbits -= (nbytes * 8) as u32;
         }
     }
 
@@ -93,6 +97,26 @@ impl<'a> BitReader<'a> {
 
     #[inline]
     fn refill(&mut self) {
+        // Word-level fast path: load 8 bytes at once and splice in as many
+        // as fit. Falls back to byte-at-a-time only within the final 7
+        // bytes of the stream.
+        if self.nbits <= 56 && self.data.len() - self.pos >= 8 {
+            let word = u64::from_le_bytes(
+                self.data[self.pos..self.pos + 8]
+                    .try_into()
+                    .expect("slice is 8 bytes"),
+            );
+            let take = ((64 - self.nbits) / 8) as usize;
+            let mask = if take == 8 {
+                u64::MAX
+            } else {
+                (1u64 << (take * 8)) - 1
+            };
+            self.acc |= (word & mask) << self.nbits;
+            self.pos += take;
+            self.nbits += (take * 8) as u32;
+            return;
+        }
         while self.nbits <= 56 && self.pos < self.data.len() {
             self.acc |= (self.data[self.pos] as u64) << self.nbits;
             self.pos += 1;

@@ -28,6 +28,12 @@ const MAX_CODE_LEN: u32 = 28;
 const FAST_BITS: u32 = 11;
 
 /// A canonical Huffman encoder/decoder for symbols `0..alphabet`.
+///
+/// Decoding is fully table-driven (no bit-at-a-time tree walk): a primary
+/// table over `FAST_BITS` (11) peeked bits resolves every code of length
+/// ≤ `FAST_BITS` in one lookup, and each longer-code prefix points at a
+/// second-level subtable indexed by the remaining bits — the classic
+/// zlib/zstd two-level layout, bounded at two lookups per symbol.
 #[derive(Debug, Clone)]
 pub struct HuffmanCodec {
     /// Code length per symbol; 0 = symbol unused.
@@ -36,17 +42,18 @@ pub struct HuffmanCodec {
     codes: Vec<u32>,
     /// max code length actually used (0 for an empty alphabet).
     max_len: u32,
-    /// Number of used codes per length 0..=max_len.
-    bl_count: Vec<u32>,
-    /// First canonical code of each length.
-    first_code: Vec<u32>,
-    /// Start offset of each length's symbols inside `sorted_syms`.
-    offsets: Vec<u32>,
-    /// Used symbols sorted by (length, symbol).
-    sorted_syms: Vec<u32>,
-    /// fast_table[peeked FAST_BITS, LSB-first] = (symbol, len); len = 0 ⇒ slow path.
+    /// fast_table[peeked FAST_BITS, LSB-first] = (payload, len).
+    /// len > 0          ⇒ direct hit: payload is the symbol.
+    /// len = 0, payload = `INVALID` ⇒ no code has this prefix (corrupt).
+    /// len = 0 otherwise ⇒ payload = (subtable offset << 5) | sub_bits.
     fast_table: Vec<(u32, u8)>,
+    /// Second-level entries (symbol, total code length); length 0 ⇒ the
+    /// extended bit pattern matches no code.
+    sub_table: Vec<(u32, u8)>,
 }
+
+/// Primary-table payload marking a prefix no code starts with.
+const INVALID: u32 = u32::MAX;
 
 impl HuffmanCodec {
     /// Build a codec from a dense frequency table (`counts[s]` = number of
@@ -86,13 +93,6 @@ impl HuffmanCodec {
             code = (code + bl_count[len - 1]) << 1;
             first_code[len] = code;
         }
-        let mut offsets = vec![0u32; max_len as usize + 2];
-        for len in 1..=max_len as usize {
-            offsets[len + 1] = offsets[len] + bl_count[len];
-        }
-        let used: u32 = bl_count.iter().sum();
-        let mut sorted_syms = vec![0u32; used as usize];
-        let mut next_slot = offsets.clone();
         let mut next_code = first_code.clone();
         let mut codes = vec![0u32; lens.len()];
         for (sym, &l) in lens.iter().enumerate() {
@@ -100,13 +100,11 @@ impl HuffmanCodec {
                 let l = l as usize;
                 codes[sym] = next_code[l];
                 next_code[l] += 1;
-                sorted_syms[next_slot[l] as usize] = sym as u32;
-                next_slot[l] += 1;
             }
         }
-        // Fast single-level table over the low FAST_BITS peeked bits.
+        // Primary table over the low FAST_BITS peeked bits.
         let fast_len = 1usize << FAST_BITS;
-        let mut fast_table = vec![(0u32, 0u8); fast_len];
+        let mut fast_table = vec![(INVALID, 0u8); fast_len];
         for (sym, &l) in lens.iter().enumerate() {
             let l32 = l as u32;
             if l == 0 || l32 > FAST_BITS {
@@ -122,15 +120,53 @@ impl HuffmanCodec {
                 idx += step;
             }
         }
+        // Second level: group codes longer than FAST_BITS by their low
+        // FAST_BITS wire prefix; each group gets a subtable indexed by the
+        // next `longest-in-group − FAST_BITS` bits.
+        let mut sub_table: Vec<(u32, u8)> = Vec::new();
+        if max_len > FAST_BITS {
+            let mut group_max = vec![0u32; fast_len];
+            for (sym, &l) in lens.iter().enumerate() {
+                let l32 = l as u32;
+                if l32 > FAST_BITS {
+                    let prefix = (reverse_bits(codes[sym], l32) & (fast_len as u32 - 1)) as usize;
+                    group_max[prefix] = group_max[prefix].max(l32);
+                }
+            }
+            for (prefix, &gmax) in group_max.iter().enumerate() {
+                if gmax == 0 {
+                    continue;
+                }
+                let sub_bits = gmax - FAST_BITS;
+                debug_assert!(fast_table[prefix].1 == 0, "short code shadows long prefix");
+                fast_table[prefix] = (((sub_table.len() as u32) << 5) | sub_bits, 0);
+                sub_table.resize(sub_table.len() + (1usize << sub_bits), (0, 0));
+            }
+            for (sym, &l) in lens.iter().enumerate() {
+                let l32 = l as u32;
+                if l32 <= FAST_BITS {
+                    continue;
+                }
+                let wire = reverse_bits(codes[sym], l32);
+                let prefix = (wire & (fast_len as u32 - 1)) as usize;
+                let (payload, _) = fast_table[prefix];
+                let sub_bits = payload & 0x1f;
+                let base = (payload >> 5) as usize;
+                // Every extension of the remainder bits maps to this symbol.
+                let step = 1usize << (l32 - FAST_BITS);
+                let mut idx = (wire >> FAST_BITS) as usize;
+                while idx < (1usize << sub_bits) {
+                    sub_table[base + idx] = (sym as u32, l);
+                    idx += step;
+                }
+            }
+        }
         HuffmanCodec {
             lens,
             codes,
             max_len,
-            bl_count,
-            first_code,
-            offsets,
-            sorted_syms,
             fast_table,
+            sub_table,
         }
     }
 
@@ -182,29 +218,38 @@ impl HuffmanCodec {
             return Err(CodecError::Corrupt("decode from empty codec"));
         }
         let peek = r.peek_bits(FAST_BITS) as usize;
-        let (sym, len) = self.fast_table[peek];
+        let (payload, len) = self.fast_table[peek];
         if len > 0 {
             if r.bits_remaining() < len as usize {
                 return Err(CodecError::UnexpectedEof);
             }
             r.consume(len as u32);
-            return Ok(sym);
+            return Ok(payload);
         }
-        // Slow path: canonical decode one bit at a time (codes longer than
-        // FAST_BITS are rare by construction).
-        let mut acc = 0u32;
-        for len in 1..=self.max_len as usize {
-            acc = (acc << 1) | r.read_bits(1)? as u32;
-            let cnt = self.bl_count[len];
-            if cnt > 0 {
-                let first = self.first_code[len];
-                if acc >= first && acc - first < cnt {
-                    let idx = self.offsets[len] + (acc - first);
-                    return Ok(self.sorted_syms[idx as usize]);
-                }
+        if payload == INVALID {
+            // Peeks past the end read as zeros, so a truncated stream can
+            // land here; report EOF rather than corruption in that case.
+            if r.bits_remaining() < FAST_BITS as usize {
+                return Err(CodecError::UnexpectedEof);
             }
+            return Err(CodecError::Corrupt("bit pattern matches no Huffman code"));
         }
-        Err(CodecError::Corrupt("bit pattern matches no Huffman code"))
+        // Long code: one more lookup in the prefix's subtable.
+        let sub_bits = payload & 0x1f;
+        let base = (payload >> 5) as usize;
+        let ext = r.peek_bits(FAST_BITS + sub_bits) as usize;
+        let (sym, total) = self.sub_table[base + (ext >> FAST_BITS)];
+        if total == 0 {
+            if r.bits_remaining() < (FAST_BITS + sub_bits) as usize {
+                return Err(CodecError::UnexpectedEof);
+            }
+            return Err(CodecError::Corrupt("bit pattern matches no Huffman code"));
+        }
+        if r.bits_remaining() < total as usize {
+            return Err(CodecError::UnexpectedEof);
+        }
+        r.consume(total as u32);
+        Ok(sym)
     }
 
     /// Decode exactly `n` symbols into `out`.
@@ -482,6 +527,34 @@ mod tests {
         let mut rest: Vec<u8> = (1..6).map(|s| codec.code_len(s)).collect();
         rest.sort_unstable();
         assert_eq!(rest, vec![3, 3, 3, 4, 4]);
+    }
+
+    #[test]
+    fn two_level_table_handles_deep_codes() {
+        // Fibonacci-ish weights force a maximally skewed tree, driving code
+        // lengths well past FAST_BITS into the second-level subtables.
+        let mut counts = vec![0u64; 40];
+        let (mut a, mut b) = (1u64, 1u64);
+        for c in counts.iter_mut() {
+            *c = a;
+            let next = a + b;
+            a = b;
+            b = next;
+        }
+        let codec = HuffmanCodec::from_counts(&counts);
+        assert!(codec.max_len > FAST_BITS + 5, "want deep subtables");
+        let syms: Vec<u32> = (0..40u32).chain((0..40u32).rev()).collect();
+        let mut w = BitWriter::new();
+        codec.encode(&syms, &mut w);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        let mut out = Vec::new();
+        codec.decode(&mut r, syms.len(), &mut out).unwrap();
+        assert_eq!(out, syms);
+        // Truncating mid-deep-code must error, not mis-decode.
+        let mut r = BitReader::new(&bytes[..2]);
+        let mut out = Vec::new();
+        assert!(codec.decode(&mut r, syms.len(), &mut out).is_err());
     }
 
     #[test]

@@ -275,6 +275,52 @@ mod tests {
     }
 
     #[test]
+    fn repeated_wait_on_idle_pool_is_cheap() {
+        // Contention check: `wait` on an idle pool must be a single
+        // lock-check-return, not a condvar spin. 100k calls finishing in
+        // well under a second catches any accidental sleep/poll loop.
+        let pool = ThreadPool::new(4);
+        let t0 = Instant::now();
+        for _ in 0..100_000 {
+            pool.wait();
+        }
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(2),
+            "100k idle waits took {:?} — wait() is spinning",
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn concurrent_waiters_all_release_when_queue_drains() {
+        // Several threads block in wait() while one slow job runs; all must
+        // wake promptly when inflight hits zero (idle is notify_all).
+        let pool = Arc::new(ThreadPool::new(2));
+        let release = Arc::new(AtomicUsize::new(0));
+        pool.execute(|| std::thread::sleep(std::time::Duration::from_millis(100)));
+        let waiters: Vec<_> = (0..4)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                let release = Arc::clone(&release);
+                std::thread::spawn(move || {
+                    pool.wait();
+                    release.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        let t0 = Instant::now();
+        for w in waiters {
+            w.join().unwrap();
+        }
+        assert_eq!(release.load(Ordering::SeqCst), 4);
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(10),
+            "waiters stalled for {:?}",
+            t0.elapsed()
+        );
+    }
+
+    #[test]
     fn zero_jobs_then_batch_works() {
         // "Zero-length input" edge: waiting before any submission, then
         // submitting a batch, must behave identically to a fresh pool.

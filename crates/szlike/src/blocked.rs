@@ -1,0 +1,767 @@
+//! Block-parallel quantized pipeline ([`Mode::Blocked`]).
+//!
+//! The field is split into contiguous slabs of `block_rows` slices along
+//! the slowest-varying dimension (so every block is a contiguous range of
+//! the row-major sample array). Each block runs its own prediction +
+//! quantization walk with reconstruction state starting from zero, which
+//! keeps the paper's Theorem 1 intact *per block*: the decoder replays each
+//! block's walk independently, so `X − X̃ = Xpe − X̃pe` holds inside every
+//! block exactly as it does for a whole field.
+//!
+//! The entropy stage is shared: per-block symbol frequencies are merged
+//! once and a single Huffman table serves every block, so the table cost is
+//! paid once while the per-block code streams stay independently decodable
+//! (each one is byte-aligned).
+//!
+//! The lossless stage runs over the *concatenated* body (table + every
+//! block section) so LZ sees the same cross-block redundancy the monolithic
+//! path does, split into fixed 256 KiB chunks compressed in parallel —
+//! DEFLATE dominates compression wall-time, so it must scale too.
+//!
+//! **Determinism**: the container bytes depend only on the configuration
+//! and the shape-derived block partition — never on the worker-thread
+//! count. Compressing with 1 or 16 threads produces identical bytes, and
+//! decoding with any thread count produces identical samples.
+
+use crate::compressor::{
+    apply_lossless, choose_intervals, quantized_walk_on, select_predictor, take, undo_lossless,
+    CompressionDetail, WalkOutput,
+};
+use crate::config::{EntropyCoder, EscapeCoding, SzConfig};
+use crate::error::SzError;
+use crate::format::{self, Header, Mode};
+use crate::predictor::{predict_with, PredictorKind};
+use crate::quantizer::{LinearQuantizer, ESCAPE};
+use crate::unpredictable;
+use fpsnr_parallel::pool::ThreadPool;
+use losslesskit::bitio::{BitReader, BitWriter};
+use losslesskit::huffman::HuffmanCodec;
+use losslesskit::{range, varint};
+use ndfield::{Field, Scalar, Shape};
+use std::borrow::Cow;
+use std::sync::{Arc, Mutex};
+
+/// Blocked-container version byte (bumped on layout changes).
+const BLOCKED_VERSION: u8 = 1;
+
+/// Chunk size for the parallel lossless stage: 8x the 32 KiB LZ window, so
+/// the ratio cost of severing matches at chunk boundaries stays marginal
+/// while the DEFLATE stage — the dominant cost of compression — scales
+/// with the worker count. Fixed (never thread-derived) for determinism.
+const LZ_CHUNK: usize = 256 * 1024;
+
+/// Auto block sizing targets at least this many samples per block: small
+/// enough to feed 8–16 workers on a 64³ field, large enough that the
+/// per-block framing and the block-boundary prediction reset stay noise.
+const AUTO_BLOCK_SAMPLES: usize = 32 * 1024;
+
+/// Whether the configuration routes quantized compression through the
+/// blocked container (any explicit parallelism or block-size request).
+pub(crate) fn use_blocked(cfg: &SzConfig) -> bool {
+    cfg.threads != 1 || cfg.block_rows > 0
+}
+
+/// Resolve the rows-per-block knob. Depends only on the shape and the
+/// configured `block_rows` — never on the thread count (determinism).
+fn resolve_block_rows(shape: Shape, requested: usize) -> usize {
+    let rows = shape.dims()[0];
+    if requested > 0 {
+        return requested.min(rows);
+    }
+    let per_row = (shape.len() / rows).max(1);
+    AUTO_BLOCK_SAMPLES.div_ceil(per_row).clamp(1, rows)
+}
+
+fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        fpsnr_parallel::default_threads()
+    } else {
+        requested
+    }
+}
+
+/// Shape and sample count of block `b`.
+fn block_shape(shape: Shape, block_rows: usize, b: usize) -> (Shape, usize) {
+    let rows = shape.dims()[0];
+    let r0 = b * block_rows;
+    let nr = block_rows.min(rows - r0);
+    let bshape = match shape {
+        Shape::D1(_) => Shape::D1(nr),
+        Shape::D2(_, c) => Shape::D2(nr, c),
+        Shape::D3(_, d1, d2) => Shape::D3(nr, d1, d2),
+    };
+    let n = bshape.len();
+    (bshape, n)
+}
+
+/// The contiguous sample range of block `b` (row-major, slowest dim split).
+fn block_range(shape: Shape, block_rows: usize, b: usize) -> (std::ops::Range<usize>, Shape) {
+    let per_row = shape.len() / shape.dims()[0];
+    let (bshape, bn) = block_shape(shape, block_rows, b);
+    let start = b * block_rows * per_row;
+    (start..start + bn, bshape)
+}
+
+/// One block's serialized section (entropy stream + escape payload; the
+/// lossless pass runs once over all sections, not per block — LZ windows on
+/// kilobyte-sized blocks waste most of the backend's cross-block
+/// redundancy).
+struct BlockBits {
+    payload: Vec<u8>,
+    stream_len: usize,
+    n_unpred: usize,
+}
+
+fn encode_block<T: Scalar>(
+    codes: &[u32],
+    unpred: &[T],
+    codec: Option<&HuffmanCodec>,
+    bins: usize,
+    eb: f64,
+    cfg: &SzConfig,
+) -> BlockBits {
+    let stream = match codec {
+        Some(c) => {
+            let mut bw = BitWriter::with_capacity(codes.len() / 2);
+            c.encode(codes, &mut bw);
+            bw.finish()
+        }
+        None => range::range_encode(codes, bins),
+    };
+    let mut body = Vec::with_capacity(stream.len() + unpred.len() * T::BYTES + 16);
+    varint::write_u64(&mut body, stream.len() as u64);
+    body.extend_from_slice(&stream);
+    varint::write_u64(&mut body, unpred.len() as u64);
+    match cfg.escape {
+        EscapeCoding::Exact => {
+            for &u in unpred {
+                u.write_le(&mut body);
+            }
+        }
+        EscapeCoding::Truncated => {
+            let mut bw = BitWriter::new();
+            unpredictable::encode(unpred, eb, &mut bw);
+            let bits = bw.finish();
+            varint::write_u64(&mut body, bits.len() as u64);
+            body.extend_from_slice(&bits);
+        }
+    }
+    BlockBits {
+        stream_len: stream.len(),
+        n_unpred: unpred.len(),
+        payload: body,
+    }
+}
+
+/// Phase 1: the per-block prediction + quantization walks. On the pool
+/// path each worker pops a reusable reconstruction buffer from a shared
+/// arena, so a thread processing many blocks allocates it once.
+#[allow(clippy::too_many_arguments)]
+fn run_walks<T: Scalar>(
+    field: &Field<T>,
+    block_rows: usize,
+    n_blocks: usize,
+    eb: f64,
+    bins: usize,
+    pred_kind: PredictorKind,
+    escape: EscapeCoding,
+    pool: Option<&ThreadPool>,
+) -> Vec<WalkOutput<T>> {
+    let shape = field.shape();
+    let data = field.as_slice();
+    match pool {
+        None => {
+            let mut recon = Vec::new();
+            (0..n_blocks)
+                .map(|b| {
+                    let (r, bshape) = block_range(shape, block_rows, b);
+                    quantized_walk_on(
+                        &data[r], bshape, eb, bins, pred_kind, escape, false, &mut recon,
+                    )
+                })
+                .collect()
+        }
+        Some(pool) => {
+            let results: Arc<Mutex<Vec<Option<WalkOutput<T>>>>> =
+                Arc::new(Mutex::new((0..n_blocks).map(|_| None).collect()));
+            let scratch: Arc<Mutex<Vec<Vec<f64>>>> = Arc::new(Mutex::new(Vec::new()));
+            for b in 0..n_blocks {
+                let (r, bshape) = block_range(shape, block_rows, b);
+                // Pool jobs are 'static: hand each one an owned copy of its
+                // slab (a straight memcpy, dwarfed by the walk itself).
+                let slab = data[r].to_vec();
+                let results = Arc::clone(&results);
+                let scratch = Arc::clone(&scratch);
+                pool.execute(move || {
+                    let mut recon = scratch
+                        .lock()
+                        .expect("scratch arena lock")
+                        .pop()
+                        .unwrap_or_default();
+                    let out = quantized_walk_on(
+                        &slab, bshape, eb, bins, pred_kind, escape, false, &mut recon,
+                    );
+                    scratch.lock().expect("scratch arena lock").push(recon);
+                    results.lock().expect("walk results lock")[b] = Some(out);
+                });
+            }
+            pool.wait();
+            let mut guard = results.lock().expect("walk results lock");
+            guard
+                .iter_mut()
+                .map(|o| o.take().expect("every block walked"))
+                .collect()
+        }
+    }
+}
+
+/// Phase 3: per-block entropy encode + escape payload + lossless pass, all
+/// against the shared codec.
+fn run_encodes<T: Scalar>(
+    walks: Vec<WalkOutput<T>>,
+    codec: Option<Arc<HuffmanCodec>>,
+    bins: usize,
+    eb: f64,
+    cfg: &SzConfig,
+    pool: Option<&ThreadPool>,
+) -> Vec<BlockBits> {
+    match pool {
+        None => walks
+            .into_iter()
+            .map(|w| encode_block(&w.codes, &w.unpred, codec.as_deref(), bins, eb, cfg))
+            .collect(),
+        Some(pool) => {
+            let n = walks.len();
+            let results: Arc<Mutex<Vec<Option<BlockBits>>>> =
+                Arc::new(Mutex::new((0..n).map(|_| None).collect()));
+            let cfg = *cfg;
+            for (b, w) in walks.into_iter().enumerate() {
+                let codec = codec.clone();
+                let results = Arc::clone(&results);
+                pool.execute(move || {
+                    let bits =
+                        encode_block(&w.codes, &w.unpred, codec.as_deref(), bins, eb, &cfg);
+                    results.lock().expect("encode results lock")[b] = Some(bits);
+                });
+            }
+            pool.wait();
+            let mut guard = results.lock().expect("encode results lock");
+            guard
+                .iter_mut()
+                .map(|o| o.take().expect("every block encoded"))
+                .collect()
+        }
+    }
+}
+
+/// Compress a field through the blocked pipeline. Caller has already
+/// resolved the absolute bound (`eb_abs > 0`) and validated the config.
+pub(crate) fn compress_blocked<T: Scalar>(
+    field: &Field<T>,
+    eb_abs: f64,
+    vr: f64,
+    cfg: &SzConfig,
+) -> Result<(Vec<u8>, CompressionDetail), SzError> {
+    // Global model selection, exactly as the monolithic path does it: both
+    // knobs sample the whole field once and are shared by every block.
+    let predict_span = fpsnr_obs::span("sz.predict");
+    let bins = if cfg.auto_intervals {
+        choose_intervals(field, eb_abs, cfg.quant_bins, cfg.pred_threshold)
+    } else {
+        cfg.quant_bins
+    };
+    let pred_kind = select_predictor(field, cfg.predictor, eb_abs);
+    drop(predict_span);
+
+    let shape = field.shape();
+    let block_rows = resolve_block_rows(shape, cfg.block_rows);
+    let n_blocks = shape.dims()[0].div_ceil(block_rows);
+    let lz_threads = resolve_threads(cfg.threads).max(1);
+    let threads = lz_threads.min(n_blocks);
+    let pool = (threads > 1).then(|| ThreadPool::new(threads));
+
+    // Phase 1 (sz.block.walk): independent per-block walks.
+    let walk_span = fpsnr_obs::span("sz.block.walk");
+    let walks = run_walks(
+        field,
+        block_rows,
+        n_blocks,
+        eb_abs,
+        bins,
+        pred_kind,
+        cfg.escape,
+        pool.as_ref(),
+    );
+    drop(walk_span);
+
+    // Phase 2 (sz.block.merge): merge frequencies, build the shared table.
+    let merge_span = fpsnr_obs::span("sz.block.merge");
+    let (codec, table) = match cfg.entropy {
+        EntropyCoder::Huffman => {
+            let mut counts = vec![0u64; bins];
+            for w in &walks {
+                for &c in &w.codes {
+                    counts[c as usize] += 1;
+                }
+            }
+            let codec = HuffmanCodec::from_counts(&counts);
+            let mut table = Vec::new();
+            codec.write_table(&mut table);
+            (Some(Arc::new(codec)), table)
+        }
+        EntropyCoder::Range => (None, Vec::new()),
+    };
+    let table_len = table.len();
+    drop(merge_span);
+
+    // Phase 3 (sz.block.encode): per-block entropy + lossless stages.
+    let encode_span = fpsnr_obs::span("sz.block.encode");
+    let blocks = run_encodes(walks, codec, bins, eb_abs, cfg, pool.as_ref());
+    drop(encode_span);
+
+    // Assemble the body (shared table first, then the per-block sections)
+    // and run the lossless backend ONCE over the whole thing — stage 4
+    // sees the same cross-block redundancy the monolithic path does.
+    let payload_total: usize = blocks.iter().map(|b| b.payload.len() + 8).sum();
+    let mut body = Vec::with_capacity(table_len + payload_total + 16);
+    if cfg.entropy == EntropyCoder::Huffman {
+        varint::write_u64(&mut body, table.len() as u64);
+        body.extend_from_slice(&table);
+    }
+    for b in &blocks {
+        varint::write_u64(&mut body, b.payload.len() as u64);
+        body.extend_from_slice(&b.payload);
+    }
+    let body_bytes = body.len();
+    // The DEFLATE stage dominates monolithic compression (>50% of wall
+    // time), so it must parallelise too or Amdahl caps the blocked speedup
+    // well under 2x. Fixed-size chunks keep the container independent of
+    // the thread count; at 8x the 32 KiB LZ window, only matches that
+    // would reach across a chunk boundary are lost.
+    let lossless_span = fpsnr_obs::span("sz.lossless");
+    let chunks: Vec<&[u8]> = body.chunks(LZ_CHUNK).collect();
+    let packed: Vec<(u8, Vec<u8>)> =
+        fpsnr_parallel::par_map(&chunks, lz_threads, |c| apply_lossless(c.to_vec(), cfg));
+    drop(lossless_span);
+
+    let packed_total: usize = packed.iter().map(|(_, p)| p.len() + 10).sum();
+    let mut out = Vec::with_capacity(packed_total + 64);
+    format::write_header(&mut out, T::TAG, Mode::Blocked, shape);
+    out.push(BLOCKED_VERSION);
+    out.extend_from_slice(&eb_abs.to_le_bytes());
+    varint::write_u64(&mut out, bins as u64);
+    out.push(pred_kind.tag());
+    out.push(match cfg.escape {
+        EscapeCoding::Exact => 0,
+        EscapeCoding::Truncated => 1,
+    });
+    out.push(match cfg.entropy {
+        EntropyCoder::Huffman => 0,
+        EntropyCoder::Range => 1,
+    });
+    varint::write_u64(&mut out, block_rows as u64);
+    varint::write_u64(&mut out, n_blocks as u64);
+    varint::write_u64(&mut out, packed.len() as u64);
+    for (flag, payload) in &packed {
+        out.push(*flag);
+        varint::write_u64(&mut out, payload.len() as u64);
+        out.extend_from_slice(payload);
+    }
+
+    let detail = CompressionDetail {
+        n_samples: field.len(),
+        n_unpredictable: blocks.iter().map(|b| b.n_unpred).sum(),
+        eb_abs,
+        value_range: vr,
+        huffman_table_bytes: table_len,
+        code_stream_bytes: blocks.iter().map(|b| b.stream_len).sum(),
+        escape_payload_bytes: blocks.iter().map(|b| b.n_unpred).sum::<usize>() * T::BYTES,
+        quant_bins_used: bins,
+        body_bytes,
+        compressed_bytes: out.len(),
+    };
+    Ok((out, detail))
+}
+
+/// Decode one block: undo the lossless pass, entropy-decode the codes, then
+/// replay the walk (the Theorem-1 mirror, per block).
+#[allow(clippy::too_many_arguments)]
+fn decode_block<T: Scalar>(
+    body: &[u8],
+    block_index: usize,
+    block_rows: usize,
+    shape: Shape,
+    eb: f64,
+    bins: usize,
+    codec: Option<&HuffmanCodec>,
+    escape_tag: u8,
+    pred_kind: PredictorKind,
+) -> Result<Vec<T>, SzError> {
+    let (bshape, bn) = block_shape(shape, block_rows, block_index);
+    let mut bpos = 0usize;
+    let stream_len = varint::read_u64(body, &mut bpos)? as usize;
+    if bpos + stream_len > body.len() {
+        return Err(SzError::Format("block code stream overruns payload"));
+    }
+    let stream = &body[bpos..bpos + stream_len];
+    bpos += stream_len;
+    let codes = match codec {
+        Some(c) => {
+            let mut codes = Vec::with_capacity(bn);
+            let mut br = BitReader::new(stream);
+            c.decode(&mut br, bn, &mut codes)?;
+            codes
+        }
+        None => {
+            let codes = range::range_decode(stream)?;
+            if codes.len() != bn {
+                return Err(SzError::Format("block range stream decoded wrong count"));
+            }
+            codes
+        }
+    };
+    let n_unpred = varint::read_u64(body, &mut bpos)? as usize;
+    if n_unpred > bn {
+        return Err(SzError::Format("more escapes than block samples"));
+    }
+    let unpred_values: Vec<T> = match escape_tag {
+        0 => {
+            if bpos + n_unpred * T::BYTES > body.len() {
+                return Err(SzError::Format("block escape payload overruns body"));
+            }
+            (0..n_unpred)
+                .map(|i| T::read_le(&body[bpos + i * T::BYTES..]))
+                .collect()
+        }
+        1 => {
+            let bits_len = varint::read_u64(body, &mut bpos)? as usize;
+            if bpos + bits_len > body.len() {
+                return Err(SzError::Format("block escape bitstream overruns body"));
+            }
+            let mut br = BitReader::new(&body[bpos..bpos + bits_len]);
+            unpredictable::decode::<T>(&mut br, n_unpred, eb)?
+        }
+        _ => return Err(SzError::Format("unknown escape coding tag")),
+    };
+
+    // Replay of the block's compression walk.
+    let quant = LinearQuantizer::new(eb, bins);
+    let alphabet = quant.alphabet() as u32;
+    let mut recon = vec![0.0f64; bn];
+    let mut out = vec![T::default(); bn];
+    let mut next_unpred = 0usize;
+    for lin in 0..bn {
+        let code = codes[lin];
+        if code == ESCAPE {
+            if next_unpred >= n_unpred {
+                return Err(SzError::Format("more escapes than stored values"));
+            }
+            let v = unpred_values[next_unpred];
+            next_unpred += 1;
+            out[lin] = v;
+            recon[lin] = v.to_f64();
+        } else {
+            if code >= alphabet {
+                return Err(SzError::Format("quantization code out of range"));
+            }
+            let pred = predict_with(pred_kind, &recon, bshape, lin);
+            let v = T::from_f64(pred + quant.reconstruct(code));
+            out[lin] = v;
+            recon[lin] = v.to_f64();
+        }
+    }
+    if next_unpred != n_unpred {
+        return Err(SzError::Format("unused escape values"));
+    }
+    Ok(out)
+}
+
+/// Decompress a blocked container; blocks decode in parallel (`threads`,
+/// 0 = auto) and the output is identical for any thread count.
+pub(crate) fn decompress_blocked<T: Scalar>(
+    src: &[u8],
+    mut pos: usize,
+    header: &Header,
+    threads: usize,
+) -> Result<Field<T>, SzError> {
+    let version = take(src, &mut pos, 1)?[0];
+    if version != BLOCKED_VERSION {
+        return Err(SzError::Format("unsupported blocked container version"));
+    }
+    let eb = f64::from_le_bytes(
+        take(src, &mut pos, 8)?
+            .try_into()
+            .expect("slice is 8 bytes"),
+    );
+    if !(eb.is_finite() && eb > 0.0) {
+        return Err(SzError::Format("bad stored error bound"));
+    }
+    let bins = varint::read_u64(src, &mut pos)? as usize;
+    if bins < 4 || bins % 2 != 0 || bins > (1 << 24) {
+        return Err(SzError::Format("bad stored bin count"));
+    }
+    let pred_kind = PredictorKind::from_tag(take(src, &mut pos, 1)?[0])
+        .ok_or(SzError::Format("unknown predictor tag"))?;
+    let escape_tag = take(src, &mut pos, 1)?[0];
+    if escape_tag > 1 {
+        return Err(SzError::Format("unknown escape coding tag"));
+    }
+    let stage = take(src, &mut pos, 1)?[0];
+    if stage > 1 {
+        return Err(SzError::Format("unknown entropy stage"));
+    }
+    let block_rows = varint::read_u64(src, &mut pos)? as usize;
+    let n_blocks = varint::read_u64(src, &mut pos)? as usize;
+    let rows = header.shape.dims()[0];
+    if block_rows == 0 || block_rows > rows || n_blocks != rows.div_ceil(block_rows) {
+        return Err(SzError::Format("inconsistent block partition"));
+    }
+    // Undo the chunked lossless pass (chunks inflate in parallel), then
+    // slice the shared table and the per-block sections out of the body.
+    let n_chunks = varint::read_u64(src, &mut pos)? as usize;
+    if n_chunks == 0 || n_chunks > src.len() {
+        return Err(SzError::Format("implausible lossless chunk count"));
+    }
+    let mut chunks = Vec::with_capacity(n_chunks);
+    for _ in 0..n_chunks {
+        let flag = take(src, &mut pos, 1)?[0];
+        let len = varint::read_u64(src, &mut pos)? as usize;
+        chunks.push((flag, take(src, &mut pos, len)?));
+    }
+    let threads = resolve_threads(threads);
+    let unpacked: Vec<Result<Cow<'_, [u8]>, SzError>> =
+        fpsnr_parallel::par_map(&chunks, threads, |&(flag, payload)| {
+            undo_lossless(flag, payload)
+        });
+    let body: Cow<'_, [u8]> = if n_chunks == 1 {
+        unpacked.into_iter().next().expect("one chunk")?
+    } else {
+        let mut buf = Vec::new();
+        for r in unpacked {
+            buf.extend_from_slice(&r?);
+        }
+        Cow::Owned(buf)
+    };
+    let mut bpos = 0usize;
+    let codec = if stage == 0 {
+        let tlen = varint::read_u64(&body, &mut bpos)? as usize;
+        let tend = bpos
+            .checked_add(tlen)
+            .filter(|&e| e <= body.len())
+            .ok_or(SzError::Format("shared table overruns body"))?;
+        let codec = HuffmanCodec::read_table(&body[..tend], &mut bpos)?;
+        if bpos != tend {
+            return Err(SzError::Format("shared table length mismatch"));
+        }
+        Some(codec)
+    } else {
+        None
+    };
+    let mut sections = Vec::with_capacity(n_blocks);
+    for _ in 0..n_blocks {
+        let slen = varint::read_u64(&body, &mut bpos)? as usize;
+        if bpos + slen > body.len() {
+            return Err(SzError::Format("block section overruns body"));
+        }
+        sections.push(&body[bpos..bpos + slen]);
+        bpos += slen;
+    }
+
+    let shape = header.shape;
+    let decoded: Vec<Result<Vec<T>, SzError>> =
+        fpsnr_parallel::par_map_indexed(&sections, threads, |b, &section| {
+            decode_block::<T>(
+                section,
+                b,
+                block_rows,
+                shape,
+                eb,
+                bins,
+                codec.as_ref(),
+                escape_tag,
+                pred_kind,
+            )
+        });
+    let mut out = Vec::with_capacity(shape.len());
+    for r in decoded {
+        out.extend_from_slice(&r?);
+    }
+    if out.len() != shape.len() {
+        return Err(SzError::Format("blocked payload sample count mismatch"));
+    }
+    Ok(Field::from_vec(shape, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compressor::{compress, compress_with_detail, decompress};
+    use crate::config::ErrorBound;
+
+    fn wavy(rows: usize, cols: usize) -> Field<f32> {
+        Field::from_fn_2d(rows, cols, |i, j| {
+            ((i as f32) * 0.07).sin() * ((j as f32) * 0.05).cos() * 10.0
+        })
+    }
+
+    #[test]
+    fn blocked_routes_and_roundtrips() {
+        let field = wavy(64, 64);
+        let cfg = SzConfig::new(ErrorBound::Abs(1e-3))
+            .with_threads(4)
+            .with_block_rows(16);
+        let bytes = compress(&field, &cfg).unwrap();
+        // Mode byte sits right after the 4-byte magic + scalar tag.
+        assert_eq!(bytes[5], Mode::Blocked as u8);
+        let back: Field<f32> = decompress(&bytes).unwrap();
+        for (a, b) in field.as_slice().iter().zip(back.as_slice()) {
+            assert!((a - b).abs() <= 1e-3);
+        }
+    }
+
+    #[test]
+    fn container_bytes_independent_of_thread_count() {
+        let field = wavy(96, 40);
+        let mut images = Vec::new();
+        for threads in [1, 2, 3, 8] {
+            let cfg = SzConfig::new(ErrorBound::ValueRangeRel(1e-4))
+                .with_threads(threads)
+                .with_block_rows(13);
+            images.push(compress(&field, &cfg).unwrap());
+        }
+        for img in &images[1..] {
+            assert_eq!(img, &images[0], "container bytes depend on threads");
+        }
+    }
+
+    #[test]
+    fn auto_partition_is_shape_derived() {
+        // threads=2 with auto block size must equal threads=7 with auto.
+        let field = wavy(80, 80);
+        let a = compress(
+            &field,
+            &SzConfig::new(ErrorBound::Abs(1e-4)).with_threads(2),
+        )
+        .unwrap();
+        let b = compress(
+            &field,
+            &SzConfig::new(ErrorBound::Abs(1e-4)).with_threads(7),
+        )
+        .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_block_still_uses_blocked_container() {
+        let field = wavy(4, 8);
+        let cfg = SzConfig::new(ErrorBound::Abs(1e-3)).with_threads(8);
+        let (bytes, detail) = compress_with_detail(&field, &cfg).unwrap();
+        assert_eq!(bytes[5], Mode::Blocked as u8);
+        assert_eq!(detail.n_samples, 32);
+        let back: Field<f32> = decompress(&bytes).unwrap();
+        for (a, b) in field.as_slice().iter().zip(back.as_slice()) {
+            assert!((a - b).abs() <= 1e-3);
+        }
+    }
+
+    #[test]
+    fn blocked_ratio_close_to_monolithic() {
+        // 3D at a realistic partition (8 blocks): the per-block prediction
+        // reset only degrades one plane in six, and the single lossless pass
+        // over the concatenated body keeps cross-block redundancy visible to
+        // LZ. (Tiny 2D fields with row-sized blocks DO inflate noticeably —
+        // the boundary cost is inherent; the acceptance target is 3D.)
+        let field = Field::from_fn_3d(48, 48, 48, |i, j, k| {
+            ((i as f32) * 0.05).sin() * ((j as f32) * 0.07).cos()
+                + ((k as f32) * 0.03).sin() * 2.0
+        });
+        let mono = SzConfig::new(ErrorBound::ValueRangeRel(1e-4));
+        let blk = mono.with_threads(4).with_block_rows(6);
+        let (m, _) = compress_with_detail(&field, &mono).unwrap();
+        let (b, _) = compress_with_detail(&field, &blk).unwrap();
+        let inflation = b.len() as f64 / m.len() as f64;
+        assert!(
+            inflation < 1.05,
+            "blocked container {:.1}% larger than monolithic",
+            (inflation - 1.0) * 100.0
+        );
+    }
+
+    #[test]
+    fn odd_block_sizes_roundtrip_3d() {
+        let field = Field::from_fn_3d(17, 11, 13, |i, j, k| {
+            ((i + 2 * j + 3 * k) as f32 * 0.03).sin() * 4.0
+        });
+        for block_rows in [1, 3, 5, 17, 50] {
+            let cfg = SzConfig::new(ErrorBound::Abs(1e-3))
+                .with_threads(3)
+                .with_block_rows(block_rows);
+            let back: Field<f32> = decompress(&compress(&field, &cfg).unwrap()).unwrap();
+            for (a, b) in field.as_slice().iter().zip(back.as_slice()) {
+                assert!((a - b).abs() <= 1e-3, "block_rows={block_rows}");
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_range_entropy_roundtrips() {
+        let field = wavy(60, 30);
+        let cfg = SzConfig::new(ErrorBound::Abs(1e-3))
+            .with_entropy(EntropyCoder::Range)
+            .with_threads(2)
+            .with_block_rows(7);
+        let back: Field<f32> = decompress(&compress(&field, &cfg).unwrap()).unwrap();
+        for (a, b) in field.as_slice().iter().zip(back.as_slice()) {
+            assert!((a - b).abs() <= 1e-3);
+        }
+    }
+
+    #[test]
+    fn blocked_truncated_escapes_respect_bound() {
+        let field = Field::from_fn_2d(48, 48, |i, j| {
+            let smooth = (i as f32 * 0.05).sin() * 0.1;
+            if (i * 48 + j) % 11 == 0 {
+                smooth + 1000.0 + (i * j) as f32
+            } else {
+                smooth
+            }
+        });
+        let cfg = SzConfig::new(ErrorBound::Abs(1e-4))
+            .with_quant_bins(16)
+            .with_escape(EscapeCoding::Truncated)
+            .with_threads(4)
+            .with_block_rows(9);
+        let (bytes, detail) = compress_with_detail(&field, &cfg).unwrap();
+        assert!(detail.n_unpredictable > 100, "test needs many escapes");
+        let back: Field<f32> = decompress(&bytes).unwrap();
+        for (a, b) in field.as_slice().iter().zip(back.as_slice()) {
+            assert!((a - b).abs() <= 1e-4 * (1.0 + 1e-12));
+        }
+    }
+
+    #[test]
+    fn truncated_blocked_container_fails_cleanly() {
+        let field = wavy(64, 64);
+        let cfg = SzConfig::new(ErrorBound::Abs(1e-3)).with_threads(2);
+        let bytes = compress(&field, &cfg).unwrap();
+        for cut in [8, bytes.len() / 3, bytes.len() - 1] {
+            let res: Result<Field<f32>, _> = decompress(&bytes[..cut]);
+            assert!(res.is_err(), "cut at {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn decode_threads_do_not_change_output() {
+        use crate::compressor::decompress_with_threads;
+        let field = wavy(100, 50);
+        let cfg = SzConfig::new(ErrorBound::Abs(1e-4))
+            .with_threads(4)
+            .with_block_rows(11);
+        let bytes = compress(&field, &cfg).unwrap();
+        let base: Field<f32> = decompress_with_threads(&bytes, 1).unwrap();
+        for threads in [2, 3, 8] {
+            let out: Field<f32> = decompress_with_threads(&bytes, threads).unwrap();
+            assert_eq!(out.as_slice(), base.as_slice());
+        }
+    }
+}

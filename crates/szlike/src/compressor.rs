@@ -24,6 +24,7 @@ use losslesskit::huffman::HuffmanCodec;
 use losslesskit::crc32::crc32;
 use losslesskit::{deflate_like, freq, range, varint};
 use ndfield::{io as fio, Field, Scalar, Shape};
+use std::borrow::Cow;
 
 /// Per-run accounting returned by [`compress_with_detail`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -64,10 +65,10 @@ impl CompressionDetail {
 }
 
 /// Output of the prediction + quantization walk.
-struct WalkOutput<T: Scalar> {
-    codes: Vec<u32>,
-    unpred: Vec<T>,
-    pred_errors: Option<Vec<f64>>,
+pub(crate) struct WalkOutput<T: Scalar> {
+    pub(crate) codes: Vec<u32>,
+    pub(crate) unpred: Vec<T>,
+    pub(crate) pred_errors: Option<Vec<f64>>,
 }
 
 /// The single shared walk: identical logic drives compression, the Fig. 1
@@ -80,13 +81,40 @@ fn quantized_walk<T: Scalar>(
     escape: EscapeCoding,
     collect_errors: bool,
 ) -> WalkOutput<T> {
-    let n = field.len();
-    let shape = field.shape();
+    let mut recon = Vec::new();
+    quantized_walk_on(
+        field.as_slice(),
+        field.shape(),
+        eb,
+        bins,
+        pred_kind,
+        escape,
+        collect_errors,
+        &mut recon,
+    )
+}
+
+/// Slice-level walk with caller-owned reconstruction scratch: the blocked
+/// path runs one walk per block on pool workers, and reusing `recon` across
+/// the blocks a worker claims avoids the largest per-block allocation.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn quantized_walk_on<T: Scalar>(
+    data: &[T],
+    shape: Shape,
+    eb: f64,
+    bins: usize,
+    pred_kind: PredictorKind,
+    escape: EscapeCoding,
+    collect_errors: bool,
+    recon: &mut Vec<f64>,
+) -> WalkOutput<T> {
+    let n = data.len();
     let quant = LinearQuantizer::new(eb, bins);
-    let data = field.as_slice();
     let mut codes = Vec::with_capacity(n);
-    let mut unpred = Vec::new();
-    let mut recon = vec![0.0f64; n];
+    let mut unpred = Vec::with_capacity(n / 64 + 4);
+    recon.clear();
+    recon.resize(n, 0.0);
+    let recon = &mut recon[..];
     let mut pred_errors = collect_errors.then(|| Vec::with_capacity(n));
     for lin in 0..n {
         let x = data[lin].to_f64();
@@ -156,6 +184,8 @@ pub fn compress_with_detail<T: Scalar>(
         } else if eb_abs <= 0.0 {
             // `Abs(0)` or a zero-range field with NaNs: lossless fallback.
             compress_raw(field, cfg)
+        } else if crate::blocked::use_blocked(cfg) {
+            crate::blocked::compress_blocked(field, eb_abs, vr, cfg)?
         } else {
             compress_quantized(field, eb_abs, vr, cfg)?
         }
@@ -192,7 +222,7 @@ fn compress_constant<T: Scalar>(field: &Field<T>) -> (Vec<u8>, CompressionDetail
 }
 
 fn compress_raw<T: Scalar>(field: &Field<T>, cfg: &SzConfig) -> (Vec<u8>, CompressionDetail) {
-    let mut out = Vec::new();
+    let mut out = Vec::with_capacity(field.len() * T::BYTES + 32);
     format::write_header(&mut out, T::TAG, Mode::Raw, field.shape());
     let raw = fio::to_le_bytes(field);
     let body_bytes = raw.len();
@@ -217,7 +247,7 @@ fn compress_raw<T: Scalar>(field: &Field<T>, cfg: &SzConfig) -> (Vec<u8>, Compre
 
 /// Run the configured lossless backend; returns `(flag, bytes)` keeping the
 /// smaller of compressed/uncompressed so the backend can never inflate.
-fn apply_lossless(body: Vec<u8>, cfg: &SzConfig) -> (u8, Vec<u8>) {
+pub(crate) fn apply_lossless(body: Vec<u8>, cfg: &SzConfig) -> (u8, Vec<u8>) {
     match cfg.lossless {
         LosslessBackend::None => (0, body),
         LosslessBackend::Lz => {
@@ -231,10 +261,14 @@ fn apply_lossless(body: Vec<u8>, cfg: &SzConfig) -> (u8, Vec<u8>) {
     }
 }
 
-fn undo_lossless(flag: u8, payload: &[u8]) -> Result<Vec<u8>, SzError> {
+/// Inverse of [`apply_lossless`]; the stored-as-is case borrows the payload
+/// instead of copying it.
+pub(crate) fn undo_lossless(flag: u8, payload: &[u8]) -> Result<Cow<'_, [u8]>, SzError> {
     match flag {
-        0 => Ok(payload.to_vec()),
-        1 => deflate_like::lz_decompress(payload).map_err(SzError::from),
+        0 => Ok(Cow::Borrowed(payload)),
+        1 => deflate_like::lz_decompress(payload)
+            .map(Cow::Owned)
+            .map_err(SzError::from),
         _ => Err(SzError::Format("unknown lossless flag")),
     }
 }
@@ -244,7 +278,12 @@ fn undo_lossless(flag: u8, payload: &[u8]) -> Result<Vec<u8>, SzError> {
 /// pick the smallest power-of-two bin count whose grid covers at least
 /// `threshold` of them. Points the chosen grid cannot represent become
 /// bit-exact escapes during the real pass.
-fn choose_intervals<T: Scalar>(field: &Field<T>, eb: f64, cap: usize, threshold: f64) -> usize {
+pub(crate) fn choose_intervals<T: Scalar>(
+    field: &Field<T>,
+    eb: f64,
+    cap: usize,
+    threshold: f64,
+) -> usize {
     const TARGET_SAMPLES: usize = 65_536;
     let n = field.len();
     let data = field.as_slice();
@@ -318,7 +357,11 @@ fn choose_intervals<T: Scalar>(field: &Field<T>, eb: f64, cap: usize, threshold:
 /// expected |noise| contribution `0.46·‖w‖₂·eb` (mean |N(0,σ)| = 0.8σ,
 /// σ = eb/√3 for uniform quantization error) so order 2 only wins when the
 /// structural gain genuinely beats its noise amplification.
-fn select_predictor<T: Scalar>(field: &Field<T>, kind: PredictorKind, eb: f64) -> PredictorKind {
+pub(crate) fn select_predictor<T: Scalar>(
+    field: &Field<T>,
+    kind: PredictorKind,
+    eb: f64,
+) -> PredictorKind {
     if kind != PredictorKind::Auto {
         return kind;
     }
@@ -478,7 +521,7 @@ fn compress_log_rel<T: Scalar>(
     let data = field.as_slice();
     let mut classes = vec![0u8; n];
     let mut y = vec![T::default(); n];
-    let mut nonfinite: Vec<T> = Vec::new();
+    let mut nonfinite: Vec<T> = Vec::with_capacity(field.stats().non_finite);
     for (i, &x) in data.iter().enumerate() {
         let xf = x.to_f64();
         if !xf.is_finite() {
@@ -504,7 +547,7 @@ fn compress_log_rel<T: Scalar>(
     let y_field = Field::from_vec(field.shape(), y);
     let (inner, inner_detail) = compress_with_detail(&y_field, &inner_cfg)?;
 
-    let mut out = Vec::new();
+    let mut out = Vec::with_capacity(inner.len() + packed.len() + nonfinite.len() * T::BYTES + 64);
     format::write_header(&mut out, T::TAG, Mode::LogPointwiseRel, field.shape());
     out.extend_from_slice(&eb.to_le_bytes());
     let (flag, class_payload) = apply_lossless(packed, cfg);
@@ -535,10 +578,23 @@ fn compress_log_rel<T: Scalar>(
 
 /// Decompress a container produced by [`compress`].
 ///
+/// Blocked containers decode their blocks in parallel on the machine's
+/// default thread count; use [`decompress_with_threads`] to control it.
+/// The decoded samples never depend on the thread count.
+///
 /// # Errors
 /// [`SzError::TypeMismatch`] when `T` differs from the compressed type, and
 /// [`SzError::Format`]/[`SzError::Codec`] on malformed input.
 pub fn decompress<T: Scalar>(src: &[u8]) -> Result<Field<T>, SzError> {
+    decompress_with_threads(src, 0)
+}
+
+/// [`decompress`] with an explicit worker-thread count for blocked
+/// containers (0 = auto-detect, 1 = fully sequential).
+///
+/// # Errors
+/// Same failure modes as [`decompress`].
+pub fn decompress_with_threads<T: Scalar>(src: &[u8], threads: usize) -> Result<Field<T>, SzError> {
     let _total = fpsnr_obs::span("sz.decompress");
     if src.len() < 4 {
         return Err(SzError::Format("container shorter than CRC trailer"));
@@ -562,10 +618,11 @@ pub fn decompress<T: Scalar>(src: &[u8]) -> Result<Field<T>, SzError> {
         Mode::Raw => decompress_raw(src, pos, &header),
         Mode::Quantized => decompress_quantized(src, pos, &header),
         Mode::LogPointwiseRel => decompress_log_rel(src, pos, &header),
+        Mode::Blocked => crate::blocked::decompress_blocked(src, pos, &header, threads),
     }
 }
 
-fn take<'a>(src: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8], SzError> {
+pub(crate) fn take<'a>(src: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8], SzError> {
     if src.len() < *pos + n {
         return Err(SzError::Format("container truncated"));
     }
@@ -740,7 +797,7 @@ fn decompress_log_rel<T: Scalar>(
         return Err(SzError::Format("class plane size mismatch"));
     }
     let n_nonfinite = varint::read_u64(src, &mut pos)? as usize;
-    let nf_bytes = take(src, &mut pos, n_nonfinite * T::BYTES)?.to_vec();
+    let nf_bytes = take(src, &mut pos, n_nonfinite * T::BYTES)?;
     let inner_len = varint::read_u64(src, &mut pos)? as usize;
     let inner = take(src, &mut pos, inner_len)?;
     let y: Field<T> = decompress(inner)?;

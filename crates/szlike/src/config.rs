@@ -117,6 +117,15 @@ pub struct SzConfig {
     pub lossless: LosslessBackend,
     /// LZ77 match effort for the lossless stage.
     pub effort: Effort,
+    /// Worker threads for the block-parallel path (0 = auto-detect, 1 =
+    /// monolithic single pass). The container bytes never depend on this —
+    /// only on [`SzConfig::block_rows`] — so any thread count decodes any
+    /// blocked stream and re-encoding with more threads is byte-identical.
+    pub threads: usize,
+    /// Rows (slowest-varying-dimension slices) per block in the blocked
+    /// path; 0 = derive from the shape. The blocked container is used when
+    /// `threads != 1` or `block_rows > 0`.
+    pub block_rows: usize,
 }
 
 impl SzConfig {
@@ -133,6 +142,8 @@ impl SzConfig {
             escape: EscapeCoding::Exact,
             lossless: LosslessBackend::Lz,
             effort: Effort::Default,
+            threads: 1,
+            block_rows: 0,
         }
     }
 
@@ -172,6 +183,18 @@ impl SzConfig {
         self
     }
 
+    /// Set the worker-thread count for the blocked path (0 = auto).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Set the block size in slowest-dimension rows (0 = auto).
+    pub fn with_block_rows(mut self, rows: usize) -> Self {
+        self.block_rows = rows;
+        self
+    }
+
     /// Validate structural parameters (bin count parity and range).
     ///
     /// # Errors
@@ -194,6 +217,12 @@ impl SzConfig {
             return Err(SzError::BadConfig(format!(
                 "pred_threshold must be in [0, 1], got {}",
                 self.pred_threshold
+            )));
+        }
+        if self.threads > 4096 {
+            return Err(SzError::BadConfig(format!(
+                "threads {} exceeds the 4096 sanity cap",
+                self.threads
             )));
         }
         Ok(())

@@ -20,6 +20,12 @@
 //! - **LogPointwiseRel** — pointwise-relative mode via log transform; body
 //!   is a class plane, a nested Quantized container of `ln|x|`, and the
 //!   bit-exact non-finite payload.
+//! - **Blocked** — block-parallel Quantized pipeline: the field is split
+//!   into contiguous slabs along the slowest-varying dimension, each slab
+//!   runs its own prediction/quantization walk, and all slabs share one
+//!   Huffman table. Body: `u8 version`, `f64 eb_abs`, `varint quant_bins`,
+//!   `u8 predictor`, `u8 escape`, `varint block_rows`, `varint n_blocks`,
+//!   shared-table section, per-block sections.
 
 use crate::error::SzError;
 use losslesskit::varint;
@@ -39,6 +45,8 @@ pub enum Mode {
     Raw = 2,
     /// Log-transformed pointwise-relative pipeline.
     LogPointwiseRel = 3,
+    /// Block-parallel quantized pipeline with a shared Huffman table.
+    Blocked = 4,
 }
 
 impl Mode {
@@ -48,6 +56,7 @@ impl Mode {
             1 => Ok(Mode::Constant),
             2 => Ok(Mode::Raw),
             3 => Ok(Mode::LogPointwiseRel),
+            4 => Ok(Mode::Blocked),
             _ => Err(SzError::Format("unknown mode byte")),
         }
     }
@@ -129,7 +138,13 @@ mod tests {
 
     #[test]
     fn header_roundtrip_all_modes() {
-        for mode in [Mode::Quantized, Mode::Constant, Mode::Raw, Mode::LogPointwiseRel] {
+        for mode in [
+            Mode::Quantized,
+            Mode::Constant,
+            Mode::Raw,
+            Mode::LogPointwiseRel,
+            Mode::Blocked,
+        ] {
             for shape in [Shape::D1(100), Shape::D2(20, 30), Shape::D3(4, 5, 6)] {
                 let mut buf = Vec::new();
                 write_header(&mut buf, "f32", mode, shape);

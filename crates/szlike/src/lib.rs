@@ -36,6 +36,7 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub(crate) mod blocked;
 pub mod compressor;
 pub mod config;
 pub mod error;
@@ -45,8 +46,8 @@ pub mod quantizer;
 pub mod unpredictable;
 
 pub use compressor::{
-    compress, compress_with_detail, decompress, prediction_errors, quantization_probe,
-    CompressionDetail,
+    compress, compress_with_detail, decompress, decompress_with_threads, prediction_errors,
+    quantization_probe, CompressionDetail,
 };
 pub use config::{EntropyCoder, ErrorBound, EscapeCoding, LosslessBackend, SzConfig};
 pub use error::SzError;
