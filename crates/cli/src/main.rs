@@ -45,6 +45,8 @@ fn run(argv: &[String]) -> Result<(), String> {
         "compress" => cmd_compress(&args),
         "decompress" => cmd_decompress(&args),
         "analyze" => cmd_analyze(&args),
+        "inspect" => cmd_inspect(&args),
+        "verify" => cmd_verify(&args),
         "gen" => cmd_gen(&args),
         "eval" => cmd_eval(&args),
         other => Err(format!("unknown command {other} (try `fpsnr help`)")),
@@ -90,6 +92,11 @@ COMMANDS
               [--block-size R]  rows per block (0 = derive from shape)
   decompress  -i OUT -o RAW [--threads N]
   analyze     -i RAW -r RAW --type f32|f64 --dims DxDxD
+  inspect     -i OUT         print container layout and a damage report
+                             (always exits 0 if the header parses)
+  verify      -i OUT [--threads N]
+                             integrity check; damaged blocks are listed and
+                             the exit status is nonzero on any damage
   gen         --dataset nyx|atm|hurricane --res small|default|paper
               --out-dir DIR [--seed N]
   eval        --dataset nyx|atm|hurricane --psnr dB
@@ -297,6 +304,109 @@ fn cmd_decompress(args: &Args) -> Result<(), String> {
         println!("decompressed {} f32 samples ({})", field.len(), field.shape());
     }
     Ok(())
+}
+
+/// Run the forgiving decoder on an SZ container, dispatching on the scalar
+/// tag stored in its header, and return the damage report.
+fn partial_report(bytes: &[u8], threads: usize) -> Result<szlike::DamageReport, String> {
+    let mut pos = 0usize;
+    let header = format::read_header(bytes, &mut pos).map_err(|e| e.to_string())?;
+    let report = if header.scalar_tag == "f64" {
+        szlike::decompress_partial_with_threads::<f64>(bytes, threads)
+            .map(|(_, r)| r)
+            .map_err(|e| e.to_string())?
+    } else {
+        szlike::decompress_partial_with_threads::<f32>(bytes, threads)
+            .map(|(_, r)| r)
+            .map_err(|e| e.to_string())?
+    };
+    Ok(report)
+}
+
+fn print_report(report: &szlike::DamageReport) {
+    println!(
+        "container CRC     {}",
+        if report.container_crc_ok { "ok" } else { "MISMATCH" }
+    );
+    println!("blocks            {}", report.n_blocks);
+    println!("recovered samples {}", report.recovered_samples);
+    if report.damaged.is_empty() {
+        println!("damaged blocks    none");
+    } else {
+        println!("damaged blocks    {}", report.damaged.len());
+        for d in &report.damaged {
+            println!(
+                "  block {:>4}  samples {}..{}  {}",
+                d.index, d.sample_range.start, d.sample_range.end, d.reason
+            );
+        }
+    }
+}
+
+fn cmd_inspect(args: &Args) -> Result<(), String> {
+    let input = args.require("--input")?;
+    let bytes = std::fs::read(input).map_err(|e| format!("reading {input}: {e}"))?;
+    let magic = bytes.get(..4).map(String::from_utf8_lossy);
+    println!("file              {input}");
+    println!("container bytes   {}", bytes.len());
+    match bytes.get(..4) {
+        Some(b"SZR1") => {
+            let mut pos = 0usize;
+            let header = format::read_header(&bytes, &mut pos).map_err(|e| e.to_string())?;
+            println!("magic             SZR1");
+            println!("scalar type       {}", header.scalar_tag);
+            println!("mode              {:?}", header.mode);
+            println!("shape             {}", header.shape);
+            println!("samples           {}", header.shape.len());
+            // Damage is informational for inspect: report it, exit 0.
+            match partial_report(&bytes, 0) {
+                Ok(report) => print_report(&report),
+                Err(e) => println!("unrecoverable     {e}"),
+            }
+            Ok(())
+        }
+        Some(_) => {
+            println!("magic             {}", magic.unwrap_or_default());
+            println!("(only SZR1 containers carry a block directory to inspect)");
+            Ok(())
+        }
+        None => Err("file shorter than a container magic".to_string()),
+    }
+}
+
+fn cmd_verify(args: &Args) -> Result<(), String> {
+    let input = args.require("--input")?;
+    let bytes = std::fs::read(input).map_err(|e| format!("reading {input}: {e}"))?;
+    let threads = parse_threads(args)?.unwrap_or(0);
+    match bytes.get(..4) {
+        Some(b"SZR1") => {
+            let report = partial_report(&bytes, threads)?;
+            print_report(&report);
+            if report.is_clean() {
+                println!("verify: OK");
+                Ok(())
+            } else if report.damaged.is_empty() {
+                Err("container CRC mismatch (all blocks individually intact)".to_string())
+            } else {
+                Err(format!(
+                    "container is damaged: {} of {} blocks lost",
+                    report.damaged.len(),
+                    report.n_blocks
+                ))
+            }
+        }
+        Some(_) => {
+            // Other container kinds have no partial-recovery framing: a
+            // strict decode is the integrity check.
+            decode_any::<f32>(&bytes, threads)
+                .map(|_| ())
+                .or_else(|_| decode_any::<f64>(&bytes, threads).map(|_| ()))
+                .map_err(|e| format!("strict decode failed: {e}"))?;
+            println!("verify: OK (strict decode)");
+            Ok(())
+        }
+        None => Err("file shorter than a container magic".to_string()),
+    }
 }
 
 fn cmd_analyze(args: &Args) -> Result<(), String> {

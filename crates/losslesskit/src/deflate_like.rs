@@ -196,19 +196,51 @@ pub fn lz_compress_with(data: &[u8], effort: Effort) -> Vec<u8> {
 /// [`CodecError`] on truncation or any container violation (bad tables,
 /// out-of-range codes, back-reference before start of output).
 pub fn lz_decompress(src: &[u8]) -> Result<Vec<u8>, CodecError> {
+    lz_decompress_bounded(src, usize::MAX)
+}
+
+/// Initial-allocation clamp: hostile headers can declare any `raw_len`, so
+/// the output vector pre-allocates at most this much and then grows
+/// amortized as real bytes actually materialise.
+const MAX_PREALLOC: usize = 1 << 20;
+
+/// [`lz_decompress`] with a hard cap on the declared output size.
+///
+/// The declared `raw_len` is checked against `max_raw` before anything is
+/// allocated, and the decode loop never grows the output past `raw_len` —
+/// so arbitrary input can neither over-allocate nor over-produce.
+///
+/// # Errors
+/// [`CodecError::LimitExceeded`] when the stream declares more than
+/// `max_raw` output bytes; otherwise as [`lz_decompress`].
+pub fn lz_decompress_bounded(src: &[u8], max_raw: usize) -> Result<Vec<u8>, CodecError> {
     let mut pos = 0usize;
     let raw_len = varint::read_u64(src, &mut pos)? as usize;
+    if raw_len > max_raw {
+        return Err(CodecError::LimitExceeded {
+            what: "raw length",
+            requested: raw_len as u64,
+            limit: max_raw as u64,
+        });
+    }
     let token_count = varint::read_u64(src, &mut pos)? as usize;
+    // Every token emits at least one output byte.
+    if token_count > raw_len {
+        return Err(CodecError::Corrupt("more tokens than declared bytes"));
+    }
     let lit_codec = HuffmanCodec::read_table(src, &mut pos)?;
     let dist_codec = HuffmanCodec::read_table(src, &mut pos)?;
     if lit_codec.alphabet() != LITLEN_ALPHABET || dist_codec.alphabet() != DIST_ALPHABET {
         return Err(CodecError::Corrupt("wrong alphabet size in tables"));
     }
     let mut r = BitReader::new(&src[pos..]);
-    let mut out: Vec<u8> = Vec::with_capacity(raw_len);
+    let mut out: Vec<u8> = Vec::with_capacity(raw_len.min(MAX_PREALLOC));
     for _ in 0..token_count {
         let sym = lit_codec.decode_one(&mut r)?;
         if sym < 256 {
+            if out.len() >= raw_len {
+                return Err(CodecError::Corrupt("output exceeds declared length"));
+            }
             out.push(sym as u8);
             continue;
         }
@@ -223,8 +255,11 @@ pub fn lz_decompress(src: &[u8]) -> Result<Vec<u8>, CodecError> {
         }
         let (dbase, dextra) = DIST_TABLE[dsym as usize];
         let dist = (dbase + r.read_bits(dextra)? as u32) as usize;
-        if dist > out.len() {
+        if dist == 0 || dist > out.len() {
             return Err(CodecError::Corrupt("back-reference before stream start"));
+        }
+        if len as usize > raw_len - out.len() {
+            return Err(CodecError::Corrupt("output exceeds declared length"));
         }
         let start = out.len() - dist;
         for k in 0..len as usize {

@@ -27,6 +27,18 @@ const MAX_CODE_LEN: u32 = 28;
 /// Width of the single-level fast decode table.
 const FAST_BITS: u32 = 11;
 
+/// Largest alphabet [`HuffmanCodec::read_table`] accepts. The SZ pipeline
+/// caps quantization bins at 2^24 (alphabet = bins + escape) and the
+/// DEFLATE tables are tiny, so anything bigger is hostile input.
+const MAX_TABLE_ALPHABET: usize = (1 << 24) + 1;
+
+/// Cap on total second-level decode-table entries accepted from a
+/// serialized table. Kraft-legal but adversarial length sets (thousands of
+/// distinct deep prefixes, all at `MAX_CODE_LEN`) can demand up to 2^28
+/// entries (~2 GiB); real tables from the encoder stay orders of magnitude
+/// below this cap.
+const MAX_SUB_TABLE_ENTRIES: usize = 1 << 22;
+
 /// A canonical Huffman encoder/decoder for symbols `0..alphabet`.
 ///
 /// Decoding is fully table-driven (no bit-at-a-time tree walk): a primary
@@ -293,8 +305,12 @@ impl HuffmanCodec {
     /// the maximum; [`CodecError::UnexpectedEof`] on truncation.
     pub fn read_table(src: &[u8], pos: &mut usize) -> Result<Self, CodecError> {
         let alphabet = varint::read_u64(src, pos)? as usize;
-        if alphabet > (1 << 28) {
-            return Err(CodecError::Corrupt("implausible alphabet size"));
+        if alphabet > MAX_TABLE_ALPHABET {
+            return Err(CodecError::LimitExceeded {
+                what: "Huffman alphabet",
+                requested: alphabet as u64,
+                limit: MAX_TABLE_ALPHABET as u64,
+            });
         }
         let mut lens = Vec::with_capacity(alphabet);
         while lens.len() < alphabet {
@@ -304,7 +320,7 @@ impl HuffmanCodec {
                 return Err(CodecError::Corrupt("code length exceeds maximum"));
             }
             let run = varint::read_u64(src, pos)? as usize;
-            if run == 0 || lens.len() + run > alphabet {
+            if run == 0 || run > alphabet - lens.len() {
                 return Err(CodecError::Corrupt("bad code-length run"));
             }
             lens.resize(lens.len() + run, l);
@@ -322,7 +338,59 @@ impl HuffmanCodec {
         if used > 1 && kraft > full {
             return Err(CodecError::Corrupt("code lengths violate Kraft inequality"));
         }
+        // Size the two-level decode table BEFORE building it: Kraft-legal
+        // adversarial length sets can demand gigabytes of subtables.
+        let sub_entries = Self::sub_table_entries(&lens);
+        if sub_entries > MAX_SUB_TABLE_ENTRIES {
+            return Err(CodecError::LimitExceeded {
+                what: "Huffman decode-table entries",
+                requested: sub_entries as u64,
+                limit: MAX_SUB_TABLE_ENTRIES as u64,
+            });
+        }
         Ok(Self::from_lens(lens))
+    }
+
+    /// Second-level entry count [`Self::from_lens`] would allocate for
+    /// these code lengths (mirrors its grouping: one subtable per deep
+    /// low-`FAST_BITS` wire prefix, sized by the group's longest code).
+    fn sub_table_entries(lens: &[u8]) -> usize {
+        let max_len = lens.iter().copied().max().unwrap_or(0) as u32;
+        if max_len <= FAST_BITS {
+            return 0;
+        }
+        let fast_len = 1usize << FAST_BITS;
+        let mut group_max = vec![0u32; fast_len];
+        let mut bl_count = vec![0u32; max_len as usize + 1];
+        for &l in lens {
+            if l > 0 {
+                bl_count[l as usize] += 1;
+            }
+        }
+        let mut first_code = vec![0u32; max_len as usize + 1];
+        let mut code = 0u32;
+        for len in 1..=max_len as usize {
+            code = (code + bl_count[len - 1]) << 1;
+            first_code[len] = code;
+        }
+        let mut next_code = first_code;
+        for &l in lens {
+            if l == 0 {
+                continue;
+            }
+            let l32 = l as u32;
+            let c = next_code[l as usize];
+            next_code[l as usize] += 1;
+            if l32 > FAST_BITS {
+                let prefix = (reverse_bits(c, l32) & (fast_len as u32 - 1)) as usize;
+                group_max[prefix] = group_max[prefix].max(l32);
+            }
+        }
+        group_max
+            .iter()
+            .filter(|&&g| g > 0)
+            .map(|&g| 1usize << (g - FAST_BITS))
+            .sum()
     }
 }
 

@@ -49,6 +49,17 @@ pub enum CodecError {
     UnexpectedEof,
     /// The input violates the container format.
     Corrupt(&'static str),
+    /// A declared size exceeds the caller-supplied decoding limit. Raised
+    /// before any allocation of that size happens, so hostile headers can
+    /// declare arbitrary lengths without exhausting memory.
+    LimitExceeded {
+        /// Which declared quantity hit the cap.
+        what: &'static str,
+        /// The size the stream asked for.
+        requested: u64,
+        /// The enforced cap.
+        limit: u64,
+    },
 }
 
 impl std::fmt::Display for CodecError {
@@ -56,6 +67,11 @@ impl std::fmt::Display for CodecError {
         match self {
             CodecError::UnexpectedEof => write!(f, "unexpected end of compressed input"),
             CodecError::Corrupt(what) => write!(f, "corrupt compressed stream: {what}"),
+            CodecError::LimitExceeded {
+                what,
+                requested,
+                limit,
+            } => write!(f, "declared {what} {requested} exceeds cap {limit}"),
         }
     }
 }

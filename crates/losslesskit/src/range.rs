@@ -95,8 +95,27 @@ pub fn range_encode(symbols: &[u32], alphabet: usize) -> Vec<u8> {
 /// # Errors
 /// [`CodecError`] on truncation or malformed headers.
 pub fn range_decode(src: &[u8]) -> Result<Vec<u32>, CodecError> {
+    range_decode_bounded(src, usize::MAX)
+}
+
+/// [`range_decode`] with a hard cap on the declared symbol count, checked
+/// before any symbol-proportional allocation. Callers that know how many
+/// symbols they expect should pass that as `max_symbols` so hostile
+/// headers cannot force huge decode loops.
+///
+/// # Errors
+/// [`CodecError::LimitExceeded`] when the stream declares more than
+/// `max_symbols` symbols; otherwise as [`range_decode`].
+pub fn range_decode_bounded(src: &[u8], max_symbols: usize) -> Result<Vec<u32>, CodecError> {
     let mut pos = 0usize;
     let n = varint::read_u64(src, &mut pos)? as usize;
+    if n > max_symbols {
+        return Err(CodecError::LimitExceeded {
+            what: "symbol count",
+            requested: n as u64,
+            limit: max_symbols as u64,
+        });
+    }
     let alphabet = varint::read_u64(src, &mut pos)? as usize;
     if alphabet == 0 || alphabet > (1 << 24) {
         return Err(CodecError::Corrupt("bad range-coder alphabet"));
@@ -121,7 +140,8 @@ pub fn range_decode(src: &[u8]) -> Result<Vec<u32>, CodecError> {
     for _ in 0..7 {
         code = (code << 8) | next_byte(&mut pos) as u64;
     }
-    let mut out = Vec::with_capacity(n);
+    // Pre-allocation clamp: `n` is untrusted on the unbounded path.
+    let mut out = Vec::with_capacity(n.min(1 << 20));
     for _ in 0..n {
         let total = model.freq.total() as u64;
         range /= total;

@@ -17,6 +17,17 @@ impl Config {
 
 impl Default for Config {
     fn default() -> Self {
+        // Mirror the real crate: a `PROPTEST_CASES` environment variable
+        // overrides the default case count, so CI can run the same
+        // properties at a raised count (fuzz-smoke jobs) without touching
+        // the tests. Explicit `with_cases` values are not overridden.
+        if let Some(cases) = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse::<u32>().ok())
+            .filter(|&c| c > 0)
+        {
+            return Config { cases };
+        }
         // The real crate defaults to 256; 64 keeps the full-stack
         // compression properties fast while still sampling broadly.
         Config { cases: 64 }

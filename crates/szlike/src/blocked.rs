@@ -13,10 +13,15 @@
 //! paid once while the per-block code streams stay independently decodable
 //! (each one is byte-aligned).
 //!
-//! The lossless stage runs over the *concatenated* body (table + every
-//! block section) so LZ sees the same cross-block redundancy the monolithic
-//! path does, split into fixed 256 KiB chunks compressed in parallel —
-//! DEFLATE dominates compression wall-time, so it must scale too.
+//! The lossless stage runs **per section** (the shared table and each block
+//! payload are compressed independently, in parallel), and the v2 container
+//! carries a CRC-32 directory: one `(flag, length, crc)` descriptor per
+//! section up front, sealed by a meta-CRC over everything from the
+//! container start through the directory. That framing is what makes
+//! [`crate::decompress_partial`] possible — a damaged slab fails its own
+//! CRC and is skipped, while every other block still decodes bit-exactly
+//! from its independent payload. Version 1 containers (whole-body chunked
+//! LZ, no per-block integrity) remain decodable.
 //!
 //! **Determinism**: the container bytes depend only on the configuration
 //! and the shape-derived block partition — never on the worker-thread
@@ -24,31 +29,27 @@
 //! decoding with any thread count produces identical samples.
 
 use crate::compressor::{
-    apply_lossless, choose_intervals, quantized_walk_on, select_predictor, take, undo_lossless,
-    CompressionDetail, WalkOutput,
+    apply_lossless, choose_intervals, quantized_walk_on, read_f64, select_predictor, take,
+    undo_lossless_bounded, BlockDamage, CompressionDetail, DamageReport, DecodeLimits, WalkOutput,
 };
 use crate::config::{EntropyCoder, EscapeCoding, SzConfig};
-use crate::error::SzError;
+use crate::error::{DecodeError, SzError};
 use crate::format::{self, Header, Mode};
 use crate::predictor::{predict_with, PredictorKind};
 use crate::quantizer::{LinearQuantizer, ESCAPE};
 use crate::unpredictable;
 use fpsnr_parallel::pool::ThreadPool;
 use losslesskit::bitio::{BitReader, BitWriter};
+use losslesskit::crc32::crc32;
 use losslesskit::huffman::HuffmanCodec;
 use losslesskit::{range, varint};
 use ndfield::{Field, Scalar, Shape};
 use std::borrow::Cow;
 use std::sync::{Arc, Mutex};
 
-/// Blocked-container version byte (bumped on layout changes).
-const BLOCKED_VERSION: u8 = 1;
-
-/// Chunk size for the parallel lossless stage: 8x the 32 KiB LZ window, so
-/// the ratio cost of severing matches at chunk boundaries stays marginal
-/// while the DEFLATE stage — the dominant cost of compression — scales
-/// with the worker count. Fixed (never thread-derived) for determinism.
-const LZ_CHUNK: usize = 256 * 1024;
+/// Blocked-container version byte written by the encoder (v2: per-section
+/// lossless + CRC directory). The decoder also accepts version 1.
+const BLOCKED_VERSION: u8 = 2;
 
 /// Auto block sizing targets at least this many samples per block: small
 /// enough to feed 8–16 workers on a 64³ field, large enough that the
@@ -319,34 +320,36 @@ pub(crate) fn compress_blocked<T: Scalar>(
     let blocks = run_encodes(walks, codec, bins, eb_abs, cfg, pool.as_ref());
     drop(encode_span);
 
-    // Assemble the body (shared table first, then the per-block sections)
-    // and run the lossless backend ONCE over the whole thing — stage 4
-    // sees the same cross-block redundancy the monolithic path does.
-    let payload_total: usize = blocks.iter().map(|b| b.payload.len() + 8).sum();
-    let mut body = Vec::with_capacity(table_len + payload_total + 16);
-    if cfg.entropy == EntropyCoder::Huffman {
-        varint::write_u64(&mut body, table.len() as u64);
-        body.extend_from_slice(&table);
-    }
-    for b in &blocks {
-        varint::write_u64(&mut body, b.payload.len() as u64);
-        body.extend_from_slice(&b.payload);
-    }
-    let body_bytes = body.len();
-    // The DEFLATE stage dominates monolithic compression (>50% of wall
-    // time), so it must parallelise too or Amdahl caps the blocked speedup
-    // well under 2x. Fixed-size chunks keep the container independent of
-    // the thread count; at 8x the 32 KiB LZ window, only matches that
-    // would reach across a chunk boundary are lost.
+    // Stage 4 (sz.lossless): compress each section INDEPENDENTLY — the
+    // shared table and every block payload get their own lossless pass, in
+    // parallel. Severing the sections costs LZ a little cross-block
+    // redundancy, but it is what makes each block independently
+    // verifiable and recoverable: a bit flip in one payload can no longer
+    // poison the inflation of every block behind it.
+    let body_bytes =
+        table_len + blocks.iter().map(|b| b.payload.len()).sum::<usize>();
     let lossless_span = fpsnr_obs::span("sz.lossless");
-    let chunks: Vec<&[u8]> = body.chunks(LZ_CHUNK).collect();
+    let table_packed: Option<(u8, Vec<u8>)> = if cfg.entropy == EntropyCoder::Huffman {
+        let mut tsec = Vec::with_capacity(table_len + 10);
+        varint::write_u64(&mut tsec, table.len() as u64);
+        tsec.extend_from_slice(&table);
+        Some(apply_lossless(tsec, cfg))
+    } else {
+        None
+    };
+    let payloads: Vec<&[u8]> = blocks.iter().map(|b| b.payload.as_slice()).collect();
     let packed: Vec<(u8, Vec<u8>)> =
-        fpsnr_parallel::par_map(&chunks, lz_threads, |c| apply_lossless(c.to_vec(), cfg));
+        fpsnr_parallel::par_map(&payloads, lz_threads, |&p| apply_lossless(p.to_vec(), cfg));
     drop(lossless_span);
 
+    // v2 layout: params, then a CRC-32 directory (one descriptor per
+    // section: lossless flag, compressed length, CRC of the compressed
+    // payload), a meta-CRC sealing everything up to this point, then the
+    // payloads back to back. The decoder can verify each slab before
+    // inflating it and locate every payload even when one is damaged.
     let packed_total: usize = packed.iter().map(|(_, p)| p.len() + 10).sum();
     let mut out = Vec::with_capacity(packed_total + 64);
-    format::write_header(&mut out, T::TAG, Mode::Blocked, shape);
+    format::write_header(&mut out, T::TAG, Mode::Blocked, shape)?;
     out.push(BLOCKED_VERSION);
     out.extend_from_slice(&eb_abs.to_le_bytes());
     varint::write_u64(&mut out, bins as u64);
@@ -361,10 +364,21 @@ pub(crate) fn compress_blocked<T: Scalar>(
     });
     varint::write_u64(&mut out, block_rows as u64);
     varint::write_u64(&mut out, n_blocks as u64);
-    varint::write_u64(&mut out, packed.len() as u64);
+    if let Some((flag, payload)) = &table_packed {
+        out.push(*flag);
+        varint::write_u64(&mut out, payload.len() as u64);
+        out.extend_from_slice(&crc32(payload).to_le_bytes());
+    }
     for (flag, payload) in &packed {
         out.push(*flag);
         varint::write_u64(&mut out, payload.len() as u64);
+        out.extend_from_slice(&crc32(payload).to_le_bytes());
+    }
+    out.extend_from_slice(&crc32(&out).to_le_bytes());
+    if let Some((_, payload)) = &table_packed {
+        out.extend_from_slice(payload);
+    }
+    for (_, payload) in &packed {
         out.extend_from_slice(payload);
     }
 
@@ -400,7 +414,7 @@ fn decode_block<T: Scalar>(
     let (bshape, bn) = block_shape(shape, block_rows, block_index);
     let mut bpos = 0usize;
     let stream_len = varint::read_u64(body, &mut bpos)? as usize;
-    if bpos + stream_len > body.len() {
+    if stream_len > body.len().saturating_sub(bpos) {
         return Err(SzError::Format("block code stream overruns payload"));
     }
     let stream = &body[bpos..bpos + stream_len];
@@ -413,7 +427,7 @@ fn decode_block<T: Scalar>(
             codes
         }
         None => {
-            let codes = range::range_decode(stream)?;
+            let codes = range::range_decode_bounded(stream, bn)?;
             if codes.len() != bn {
                 return Err(SzError::Format("block range stream decoded wrong count"));
             }
@@ -426,7 +440,7 @@ fn decode_block<T: Scalar>(
     }
     let unpred_values: Vec<T> = match escape_tag {
         0 => {
-            if bpos + n_unpred * T::BYTES > body.len() {
+            if n_unpred * T::BYTES > body.len().saturating_sub(bpos) {
                 return Err(SzError::Format("block escape payload overruns body"));
             }
             (0..n_unpred)
@@ -435,7 +449,7 @@ fn decode_block<T: Scalar>(
         }
         1 => {
             let bits_len = varint::read_u64(body, &mut bpos)? as usize;
-            if bpos + bits_len > body.len() {
+            if bits_len > body.len().saturating_sub(bpos) {
                 return Err(SzError::Format("block escape bitstream overruns body"));
             }
             let mut br = BitReader::new(&body[bpos..bpos + bits_len]);
@@ -476,6 +490,59 @@ fn decode_block<T: Scalar>(
     Ok(out)
 }
 
+/// Pipeline parameters shared by every blocked-container version.
+struct BlockedParams {
+    eb: f64,
+    bins: usize,
+    pred_kind: PredictorKind,
+    escape_tag: u8,
+    stage: u8,
+    block_rows: usize,
+    n_blocks: usize,
+}
+
+/// Read the version byte and the parameter block (identical in v1 and v2),
+/// validating every field against the header's shape.
+fn read_params(src: &[u8], pos: &mut usize, header: &Header) -> Result<(u8, BlockedParams), SzError> {
+    let version = take(src, pos, 1)?[0];
+    let eb = read_f64(src, pos)?;
+    if !(eb.is_finite() && eb > 0.0) {
+        return Err(SzError::Format("bad stored error bound"));
+    }
+    let bins = varint::read_u64(src, pos)? as usize;
+    if bins < 4 || bins % 2 != 0 || bins > (1 << 24) {
+        return Err(SzError::Format("bad stored bin count"));
+    }
+    let pred_kind = PredictorKind::from_tag(take(src, pos, 1)?[0])
+        .ok_or(SzError::Format("unknown predictor tag"))?;
+    let escape_tag = take(src, pos, 1)?[0];
+    if escape_tag > 1 {
+        return Err(SzError::Format("unknown escape coding tag"));
+    }
+    let stage = take(src, pos, 1)?[0];
+    if stage > 1 {
+        return Err(SzError::Format("unknown entropy stage"));
+    }
+    let block_rows = varint::read_u64(src, pos)? as usize;
+    let n_blocks = varint::read_u64(src, pos)? as usize;
+    let rows = header.shape.dims()[0];
+    if block_rows == 0 || block_rows > rows || n_blocks != rows.div_ceil(block_rows) {
+        return Err(SzError::Format("inconsistent block partition"));
+    }
+    Ok((
+        version,
+        BlockedParams {
+            eb,
+            bins,
+            pred_kind,
+            escape_tag,
+            stage,
+            block_rows,
+            n_blocks,
+        },
+    ))
+}
+
 /// Decompress a blocked container; blocks decode in parallel (`threads`,
 /// 0 = auto) and the output is identical for any thread count.
 pub(crate) fn decompress_blocked<T: Scalar>(
@@ -483,39 +550,74 @@ pub(crate) fn decompress_blocked<T: Scalar>(
     mut pos: usize,
     header: &Header,
     threads: usize,
+    limits: &DecodeLimits,
 ) -> Result<Field<T>, SzError> {
-    let version = take(src, &mut pos, 1)?[0];
-    if version != BLOCKED_VERSION {
-        return Err(SzError::Format("unsupported blocked container version"));
+    let (version, params) = read_params(src, &mut pos, header)?;
+    match version {
+        1 => decode_v1(src, pos, header, &params, threads, limits),
+        2 => decode_v2(src, pos, header, &params, threads, limits, true).map(|(f, _)| f),
+        _ => Err(SzError::Format("unsupported blocked container version")),
     }
-    let eb = f64::from_le_bytes(
-        take(src, &mut pos, 8)?
-            .try_into()
-            .expect("slice is 8 bytes"),
-    );
-    if !(eb.is_finite() && eb > 0.0) {
-        return Err(SzError::Format("bad stored error bound"));
+}
+
+/// Forgiving blocked decode (see [`crate::decompress_partial`]).
+pub(crate) fn decompress_blocked_partial<T: Scalar>(
+    src: &[u8],
+    mut pos: usize,
+    header: &Header,
+    threads: usize,
+    limits: &DecodeLimits,
+    crc_ok: bool,
+) -> Result<(Field<T>, DamageReport), SzError> {
+    let (version, params) = read_params(src, &mut pos, header)?;
+    match version {
+        1 => {
+            // v1 has no per-block integrity metadata, so recovery is
+            // all-or-nothing exactly like the monolithic modes.
+            let field = decode_v1::<T>(src, pos, header, &params, threads, limits)?;
+            let n = field.len();
+            Ok((
+                field,
+                DamageReport {
+                    n_blocks: params.n_blocks,
+                    damaged: Vec::new(),
+                    recovered_samples: n,
+                    container_crc_ok: crc_ok,
+                },
+            ))
+        }
+        2 => {
+            let (field, damaged) = decode_v2::<T>(src, pos, header, &params, threads, limits, false)?;
+            let lost: usize = damaged.iter().map(|d| d.sample_range.len()).sum();
+            fpsnr_obs::add("sz.decode.corrupt_blocks", damaged.len() as u64);
+            fpsnr_obs::add(
+                "sz.decode.recovered_blocks",
+                (params.n_blocks - damaged.len()) as u64,
+            );
+            let n = field.len();
+            Ok((
+                field,
+                DamageReport {
+                    n_blocks: params.n_blocks,
+                    damaged,
+                    recovered_samples: n - lost,
+                    container_crc_ok: crc_ok,
+                },
+            ))
+        }
+        _ => Err(SzError::Format("unsupported blocked container version")),
     }
-    let bins = varint::read_u64(src, &mut pos)? as usize;
-    if bins < 4 || bins % 2 != 0 || bins > (1 << 24) {
-        return Err(SzError::Format("bad stored bin count"));
-    }
-    let pred_kind = PredictorKind::from_tag(take(src, &mut pos, 1)?[0])
-        .ok_or(SzError::Format("unknown predictor tag"))?;
-    let escape_tag = take(src, &mut pos, 1)?[0];
-    if escape_tag > 1 {
-        return Err(SzError::Format("unknown escape coding tag"));
-    }
-    let stage = take(src, &mut pos, 1)?[0];
-    if stage > 1 {
-        return Err(SzError::Format("unknown entropy stage"));
-    }
-    let block_rows = varint::read_u64(src, &mut pos)? as usize;
-    let n_blocks = varint::read_u64(src, &mut pos)? as usize;
-    let rows = header.shape.dims()[0];
-    if block_rows == 0 || block_rows > rows || n_blocks != rows.div_ceil(block_rows) {
-        return Err(SzError::Format("inconsistent block partition"));
-    }
+}
+
+/// Decode the legacy v1 body: whole-body chunked LZ, no per-block CRCs.
+fn decode_v1<T: Scalar>(
+    src: &[u8],
+    mut pos: usize,
+    header: &Header,
+    params: &BlockedParams,
+    threads: usize,
+    limits: &DecodeLimits,
+) -> Result<Field<T>, SzError> {
     // Undo the chunked lossless pass (chunks inflate in parallel), then
     // slice the shared table and the per-block sections out of the body.
     let n_chunks = varint::read_u64(src, &mut pos)? as usize;
@@ -528,10 +630,11 @@ pub(crate) fn decompress_blocked<T: Scalar>(
         let len = varint::read_u64(src, &mut pos)? as usize;
         chunks.push((flag, take(src, &mut pos, len)?));
     }
+    let max_body = limits.max_body_bytes();
     let threads = resolve_threads(threads);
     let unpacked: Vec<Result<Cow<'_, [u8]>, SzError>> =
         fpsnr_parallel::par_map(&chunks, threads, |&(flag, payload)| {
-            undo_lossless(flag, payload)
+            undo_lossless_bounded(flag, payload, max_body)
         });
     let body: Cow<'_, [u8]> = if n_chunks == 1 {
         unpacked.into_iter().next().expect("one chunk")?
@@ -539,28 +642,28 @@ pub(crate) fn decompress_blocked<T: Scalar>(
         let mut buf = Vec::new();
         for r in unpacked {
             buf.extend_from_slice(&r?);
+            if buf.len() > max_body {
+                return Err(DecodeError::LimitExceeded {
+                    stage: "blocked body",
+                    what: "inflated body bytes",
+                    requested: buf.len() as u64,
+                    limit: max_body as u64,
+                }
+                .into());
+            }
         }
         Cow::Owned(buf)
     };
     let mut bpos = 0usize;
-    let codec = if stage == 0 {
-        let tlen = varint::read_u64(&body, &mut bpos)? as usize;
-        let tend = bpos
-            .checked_add(tlen)
-            .filter(|&e| e <= body.len())
-            .ok_or(SzError::Format("shared table overruns body"))?;
-        let codec = HuffmanCodec::read_table(&body[..tend], &mut bpos)?;
-        if bpos != tend {
-            return Err(SzError::Format("shared table length mismatch"));
-        }
-        Some(codec)
+    let codec = if params.stage == 0 {
+        Some(read_shared_table(&body, &mut bpos)?)
     } else {
         None
     };
-    let mut sections = Vec::with_capacity(n_blocks);
-    for _ in 0..n_blocks {
+    let mut sections = Vec::with_capacity(params.n_blocks);
+    for _ in 0..params.n_blocks {
         let slen = varint::read_u64(&body, &mut bpos)? as usize;
-        if bpos + slen > body.len() {
+        if slen > body.len().saturating_sub(bpos) {
             return Err(SzError::Format("block section overruns body"));
         }
         sections.push(&body[bpos..bpos + slen]);
@@ -573,13 +676,13 @@ pub(crate) fn decompress_blocked<T: Scalar>(
             decode_block::<T>(
                 section,
                 b,
-                block_rows,
+                params.block_rows,
                 shape,
-                eb,
-                bins,
+                params.eb,
+                params.bins,
                 codec.as_ref(),
-                escape_tag,
-                pred_kind,
+                params.escape_tag,
+                params.pred_kind,
             )
         });
     let mut out = Vec::with_capacity(shape.len());
@@ -590,6 +693,181 @@ pub(crate) fn decompress_blocked<T: Scalar>(
         return Err(SzError::Format("blocked payload sample count mismatch"));
     }
     Ok(Field::from_vec(shape, out))
+}
+
+/// Parse a `varint tlen | table` section into a Huffman codec, requiring
+/// the table to span the declared length exactly.
+fn read_shared_table(body: &[u8], bpos: &mut usize) -> Result<HuffmanCodec, SzError> {
+    let tlen = varint::read_u64(body, bpos)? as usize;
+    let tend = bpos
+        .checked_add(tlen)
+        .filter(|&e| e <= body.len())
+        .ok_or(SzError::Format("shared table overruns body"))?;
+    let codec = HuffmanCodec::read_table(&body[..tend], bpos)?;
+    if *bpos != tend {
+        return Err(SzError::Format("shared table length mismatch"));
+    }
+    Ok(codec)
+}
+
+/// One v2 directory entry: lossless flag + compressed length + CRC-32 of
+/// the compressed payload.
+struct SectionDesc {
+    flag: u8,
+    comp_len: usize,
+    crc: u32,
+}
+
+fn read_section_desc(src: &[u8], pos: &mut usize) -> Result<SectionDesc, SzError> {
+    let flag = take(src, pos, 1)?[0];
+    let comp_len = varint::read_u64(src, pos)? as usize;
+    let crc_bytes = take(src, pos, 4)?;
+    let crc = u32::from_le_bytes([crc_bytes[0], crc_bytes[1], crc_bytes[2], crc_bytes[3]]);
+    Ok(SectionDesc {
+        flag,
+        comp_len,
+        crc,
+    })
+}
+
+/// Decode a v2 body. In strict mode any damage is an error; in forgiving
+/// mode damaged blocks are NaN-filled and reported while intact blocks
+/// decode normally. The directory itself (and the shared table) have no
+/// redundancy, so damage there is unrecoverable either way.
+#[allow(clippy::too_many_arguments)]
+fn decode_v2<T: Scalar>(
+    src: &[u8],
+    mut pos: usize,
+    header: &Header,
+    params: &BlockedParams,
+    threads: usize,
+    limits: &DecodeLimits,
+    strict: bool,
+) -> Result<(Field<T>, Vec<BlockDamage>), SzError> {
+    let table_desc = if params.stage == 0 {
+        Some(read_section_desc(src, &mut pos)?)
+    } else {
+        None
+    };
+    let mut dir = Vec::with_capacity(params.n_blocks.min(src.len()));
+    for _ in 0..params.n_blocks {
+        dir.push(read_section_desc(src, &mut pos)?);
+    }
+    // The meta-CRC seals everything from the container start through the
+    // directory. Without it a flipped length varint would mis-slice every
+    // later payload and make single-block damage look like total loss.
+    let meta_end = pos;
+    let stored = {
+        let b = take(src, &mut pos, 4)?;
+        u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+    };
+    if crc32(&src[..meta_end]) != stored {
+        return Err(DecodeError::CrcMismatch {
+            stage: "blocked directory",
+            offset: meta_end,
+        }
+        .into());
+    }
+    let table_payload = match &table_desc {
+        Some(d) => {
+            let off = pos;
+            Some((d, off, take(src, &mut pos, d.comp_len)?))
+        }
+        None => None,
+    };
+    let mut payloads = Vec::with_capacity(params.n_blocks);
+    for d in &dir {
+        let off = pos;
+        payloads.push((d.flag, d.crc, off, take(src, &mut pos, d.comp_len)?));
+    }
+
+    // Shared-table damage makes every block undecodable: strict errors
+    // out, forgiving reports all blocks damaged.
+    let max_body = limits.max_body_bytes();
+    let table_state: Result<Option<HuffmanCodec>, SzError> = match table_payload {
+        None => Ok(None),
+        Some((d, off, payload)) => {
+            if crc32(payload) != d.crc {
+                Err(DecodeError::CrcMismatch {
+                    stage: "shared table",
+                    offset: off,
+                }
+                .into())
+            } else {
+                undo_lossless_bounded(d.flag, payload, max_body).and_then(|body| {
+                    let mut tpos = 0usize;
+                    read_shared_table(&body, &mut tpos).map(Some)
+                })
+            }
+        }
+    };
+
+    let shape = header.shape;
+    let threads = resolve_threads(threads);
+    let mut damaged: Vec<BlockDamage> = Vec::new();
+    let decoded: Vec<Result<Vec<T>, SzError>> = match &table_state {
+        Err(e) => {
+            if strict {
+                return Err(e.clone());
+            }
+            (0..params.n_blocks)
+                .map(|_| Err(SzError::Format("shared entropy table damaged")))
+                .collect()
+        }
+        Ok(codec) => fpsnr_parallel::par_map_indexed(&payloads, threads, |b, &(flag, crc, off, payload)| {
+            if crc32(payload) != crc {
+                return Err(DecodeError::CrcMismatch {
+                    stage: "block payload",
+                    offset: off,
+                }
+                .into());
+            }
+            let body = undo_lossless_bounded(flag, payload, max_body)?;
+            decode_block::<T>(
+                &body,
+                b,
+                params.block_rows,
+                shape,
+                params.eb,
+                params.bins,
+                codec.as_ref(),
+                params.escape_tag,
+                params.pred_kind,
+            )
+        }),
+    };
+
+    let mut out = Vec::with_capacity(shape.len());
+    for (b, r) in decoded.into_iter().enumerate() {
+        let (range, _) = block_range(shape, params.block_rows, b);
+        match r {
+            Ok(samples) => {
+                if samples.len() != range.len() {
+                    return Err(SzError::Format("blocked payload sample count mismatch"));
+                }
+                out.extend_from_slice(&samples);
+            }
+            Err(e) => {
+                if strict {
+                    return Err(e);
+                }
+                let reason = match &table_state {
+                    Err(te) => format!("shared entropy table damaged: {te}"),
+                    Ok(_) => e.to_string(),
+                };
+                out.resize(range.end, T::from_f64(f64::NAN));
+                damaged.push(BlockDamage {
+                    index: b,
+                    sample_range: range,
+                    reason,
+                });
+            }
+        }
+    }
+    if out.len() != shape.len() {
+        return Err(SzError::Format("blocked payload sample count mismatch"));
+    }
+    Ok((Field::from_vec(shape, out), damaged))
 }
 
 #[cfg(test)]
@@ -666,11 +944,14 @@ mod tests {
 
     #[test]
     fn blocked_ratio_close_to_monolithic() {
-        // 3D at a realistic partition (8 blocks): the per-block prediction
-        // reset only degrades one plane in six, and the single lossless pass
-        // over the concatenated body keeps cross-block redundancy visible to
-        // LZ. (Tiny 2D fields with row-sized blocks DO inflate noticeably —
-        // the boundary cost is inherent; the acceptance target is 3D.)
+        // The v2 container compresses every block payload independently so
+        // each one is separately verifiable and recoverable — which severs
+        // the LZ matches that used to reach across blocks. On this highly
+        // self-similar synthetic field with a deliberately fine partition
+        // (8 blocks of 6 planes each) that costs real ratio, so the bound
+        // here is a regression guard on the integrity overhead, not a
+        // near-parity claim. The auto partition (>= 32 Ki samples/block)
+        // is checked separately below at a much tighter bound.
         let field = Field::from_fn_3d(48, 48, 48, |i, j, k| {
             ((i as f32) * 0.05).sin() * ((j as f32) * 0.07).cos()
                 + ((k as f32) * 0.03).sin() * 2.0
@@ -681,8 +962,31 @@ mod tests {
         let (b, _) = compress_with_detail(&field, &blk).unwrap();
         let inflation = b.len() as f64 / m.len() as f64;
         assert!(
-            inflation < 1.05,
+            inflation < 1.25,
             "blocked container {:.1}% larger than monolithic",
+            (inflation - 1.0) * 100.0
+        );
+    }
+
+    #[test]
+    fn auto_partition_ratio_overhead_is_small() {
+        // At the default auto partition each block holds >= 32 Ki samples,
+        // so the per-block framing (directory entry + severed LZ window)
+        // amortises. The residual gap vs monolithic is cross-block LZ
+        // redundancy this synthetic separable field is unusually rich in;
+        // it is the price of independently recoverable blocks.
+        let field = Field::from_fn_3d(48, 48, 48, |i, j, k| {
+            ((i as f32) * 0.05).sin() * ((j as f32) * 0.07).cos()
+                + ((k as f32) * 0.03).sin() * 2.0
+        });
+        let mono = SzConfig::new(ErrorBound::ValueRangeRel(1e-4));
+        let blk = mono.with_threads(4);
+        let (m, _) = compress_with_detail(&field, &mono).unwrap();
+        let (b, _) = compress_with_detail(&field, &blk).unwrap();
+        let inflation = b.len() as f64 / m.len() as f64;
+        assert!(
+            inflation < 1.15,
+            "auto-partition blocked container {:.1}% larger than monolithic",
             (inflation - 1.0) * 100.0
         );
     }

@@ -14,7 +14,7 @@
 //! §II-B of the paper surveys exactly these error-control strategies.
 
 use crate::config::{EntropyCoder, ErrorBound, EscapeCoding, LosslessBackend, SzConfig};
-use crate::error::SzError;
+use crate::error::{DecodeError, SzError};
 use crate::format::{self, Header, Mode};
 use crate::predictor::{predict_with, PredictorKind};
 use crate::quantizer::{LinearQuantizer, ESCAPE};
@@ -180,10 +180,10 @@ pub fn compress_with_detail<T: Scalar>(
         let vr = stats.range();
         let eb_abs = cfg.bound.absolute(vr)?;
         if vr == 0.0 && stats.non_finite == 0 && field.len() > 0 {
-            compress_constant(field)
+            compress_constant(field)?
         } else if eb_abs <= 0.0 {
             // `Abs(0)` or a zero-range field with NaNs: lossless fallback.
-            compress_raw(field, cfg)
+            compress_raw(field, cfg)?
         } else if crate::blocked::use_blocked(cfg) {
             crate::blocked::compress_blocked(field, eb_abs, vr, cfg)?
         } else {
@@ -202,9 +202,11 @@ pub fn compress_with_detail<T: Scalar>(
     Ok((bytes, detail))
 }
 
-fn compress_constant<T: Scalar>(field: &Field<T>) -> (Vec<u8>, CompressionDetail) {
+fn compress_constant<T: Scalar>(
+    field: &Field<T>,
+) -> Result<(Vec<u8>, CompressionDetail), SzError> {
     let mut out = Vec::new();
-    format::write_header(&mut out, T::TAG, Mode::Constant, field.shape());
+    format::write_header(&mut out, T::TAG, Mode::Constant, field.shape())?;
     field.as_slice()[0].write_le(&mut out);
     let detail = CompressionDetail {
         n_samples: field.len(),
@@ -218,12 +220,15 @@ fn compress_constant<T: Scalar>(field: &Field<T>) -> (Vec<u8>, CompressionDetail
         body_bytes: T::BYTES,
         compressed_bytes: out.len(),
     };
-    (out, detail)
+    Ok((out, detail))
 }
 
-fn compress_raw<T: Scalar>(field: &Field<T>, cfg: &SzConfig) -> (Vec<u8>, CompressionDetail) {
+fn compress_raw<T: Scalar>(
+    field: &Field<T>,
+    cfg: &SzConfig,
+) -> Result<(Vec<u8>, CompressionDetail), SzError> {
     let mut out = Vec::with_capacity(field.len() * T::BYTES + 32);
-    format::write_header(&mut out, T::TAG, Mode::Raw, field.shape());
+    format::write_header(&mut out, T::TAG, Mode::Raw, field.shape())?;
     let raw = fio::to_le_bytes(field);
     let body_bytes = raw.len();
     let (flag, payload) = apply_lossless(raw, cfg);
@@ -242,7 +247,7 @@ fn compress_raw<T: Scalar>(field: &Field<T>, cfg: &SzConfig) -> (Vec<u8>, Compre
         body_bytes,
         compressed_bytes: out.len(),
     };
-    (out, detail)
+    Ok((out, detail))
 }
 
 /// Run the configured lossless backend; returns `(flag, bytes)` keeping the
@@ -261,12 +266,17 @@ pub(crate) fn apply_lossless(body: Vec<u8>, cfg: &SzConfig) -> (u8, Vec<u8>) {
     }
 }
 
-/// Inverse of [`apply_lossless`]; the stored-as-is case borrows the payload
-/// instead of copying it.
-pub(crate) fn undo_lossless(flag: u8, payload: &[u8]) -> Result<Cow<'_, [u8]>, SzError> {
+/// Inverse of [`apply_lossless`] with a hard cap on the inflated size, so a
+/// hostile LZ header cannot demand an unbounded allocation. The
+/// stored-as-is case borrows the payload instead of copying it.
+pub(crate) fn undo_lossless_bounded(
+    flag: u8,
+    payload: &[u8],
+    max_raw: usize,
+) -> Result<Cow<'_, [u8]>, SzError> {
     match flag {
         0 => Ok(Cow::Borrowed(payload)),
-        1 => deflate_like::lz_decompress(payload)
+        1 => deflate_like::lz_decompress_bounded(payload, max_raw)
             .map(Cow::Owned)
             .map_err(SzError::from),
         _ => Err(SzError::Format("unknown lossless flag")),
@@ -477,7 +487,7 @@ fn compress_quantized<T: Scalar>(
     drop(encode_span);
 
     let mut out = Vec::new();
-    format::write_header(&mut out, T::TAG, Mode::Quantized, field.shape());
+    format::write_header(&mut out, T::TAG, Mode::Quantized, field.shape())?;
     out.extend_from_slice(&eb_abs.to_le_bytes());
     varint::write_u64(&mut out, bins as u64);
     out.push(pred_kind.tag());
@@ -548,7 +558,7 @@ fn compress_log_rel<T: Scalar>(
     let (inner, inner_detail) = compress_with_detail(&y_field, &inner_cfg)?;
 
     let mut out = Vec::with_capacity(inner.len() + packed.len() + nonfinite.len() * T::BYTES + 64);
-    format::write_header(&mut out, T::TAG, Mode::LogPointwiseRel, field.shape());
+    format::write_header(&mut out, T::TAG, Mode::LogPointwiseRel, field.shape())?;
     out.extend_from_slice(&eb.to_le_bytes());
     let (flag, class_payload) = apply_lossless(packed, cfg);
     out.push(flag);
@@ -595,40 +605,220 @@ pub fn decompress<T: Scalar>(src: &[u8]) -> Result<Field<T>, SzError> {
 /// # Errors
 /// Same failure modes as [`decompress`].
 pub fn decompress_with_threads<T: Scalar>(src: &[u8], threads: usize) -> Result<Field<T>, SzError> {
+    decompress_with_limits(src, threads, &DecodeLimits::default())
+}
+
+/// Hard resource caps enforced while decoding untrusted bytes.
+///
+/// Every size a container *declares* (output element count, inflated body
+/// length, symbol counts) is checked against these caps before any
+/// proportional allocation happens, so arbitrary input can make decoding
+/// fail but never make it exhaust memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeLimits {
+    /// Cap on the decoded field size in bytes (default 1 GiB).
+    pub max_output_bytes: u64,
+}
+
+impl Default for DecodeLimits {
+    fn default() -> Self {
+        DecodeLimits {
+            max_output_bytes: 1 << 30,
+        }
+    }
+}
+
+impl DecodeLimits {
+    /// Cap for intermediate (pre-output) buffers. Escape-heavy bodies can
+    /// legitimately run a few times the output size, so allow 4x plus a
+    /// floor for tiny outputs.
+    pub(crate) fn max_body_bytes(&self) -> usize {
+        let cap = self.max_output_bytes.saturating_mul(4).max(1 << 20);
+        cap.min(usize::MAX as u64) as usize
+    }
+}
+
+/// [`decompress_with_threads`] with explicit [`DecodeLimits`].
+///
+/// # Errors
+/// Adds [`crate::DecodeError::LimitExceeded`] (wrapped in
+/// [`SzError::Decode`]) when a declared size exceeds a cap; otherwise as
+/// [`decompress`].
+pub fn decompress_with_limits<T: Scalar>(
+    src: &[u8],
+    threads: usize,
+    limits: &DecodeLimits,
+) -> Result<Field<T>, SzError> {
     let _total = fpsnr_obs::span("sz.decompress");
-    if src.len() < 4 {
-        return Err(SzError::Format("container shorter than CRC trailer"));
-    }
-    let (body, trailer) = src.split_at(src.len() - 4);
-    let stored = u32::from_le_bytes(trailer.try_into().expect("4 bytes"));
-    if crc32(body) != stored {
-        return Err(SzError::Format("CRC mismatch: container is corrupt"));
-    }
-    let src = body;
+    let (src, _crc_ok) = split_and_check_crc(src, true)?;
     let mut pos = 0usize;
     let header = format::read_header(src, &mut pos)?;
+    check_type_and_limits::<T>(&header, limits)?;
+    match header.mode {
+        Mode::Constant => decompress_constant(src, pos, &header),
+        Mode::Raw => decompress_raw(src, pos, &header, limits),
+        Mode::Quantized => decompress_quantized(src, pos, &header, limits),
+        Mode::LogPointwiseRel => decompress_log_rel(src, pos, &header, limits),
+        Mode::Blocked => crate::blocked::decompress_blocked(src, pos, &header, threads, limits),
+    }
+}
+
+/// Split the 4-byte CRC-32 trailer off a container and verify it.
+///
+/// In strict mode a mismatch is an error; the forgiving (partial) path
+/// passes `strict = false` and gets the verdict back so it can keep going
+/// and report it instead.
+fn split_and_check_crc(src: &[u8], strict: bool) -> Result<(&[u8], bool), SzError> {
+    if src.len() < 4 {
+        return Err(DecodeError::Truncated {
+            stage: "crc trailer",
+            offset: 0,
+            needed: 4,
+            available: src.len() as u64,
+        }
+        .into());
+    }
+    let (body, trailer) = src.split_at(src.len() - 4);
+    let mut stored = [0u8; 4];
+    stored.copy_from_slice(trailer);
+    let ok = crc32(body) == u32::from_le_bytes(stored);
+    if strict && !ok {
+        return Err(DecodeError::CrcMismatch {
+            stage: "container",
+            offset: body.len(),
+        }
+        .into());
+    }
+    Ok((body, ok))
+}
+
+fn check_type_and_limits<T: Scalar>(header: &Header, limits: &DecodeLimits) -> Result<(), SzError> {
     if header.scalar_tag != T::TAG {
         return Err(SzError::TypeMismatch {
             found: header.scalar_tag.to_string(),
             expected: T::TAG,
         });
     }
-    match header.mode {
-        Mode::Constant => decompress_constant(src, pos, &header),
-        Mode::Raw => decompress_raw(src, pos, &header),
-        Mode::Quantized => decompress_quantized(src, pos, &header),
-        Mode::LogPointwiseRel => decompress_log_rel(src, pos, &header),
-        Mode::Blocked => crate::blocked::decompress_blocked(src, pos, &header, threads),
+    let out_bytes = (header.shape.len() as u64).saturating_mul(T::BYTES as u64);
+    if out_bytes > limits.max_output_bytes {
+        return Err(DecodeError::LimitExceeded {
+            stage: "header",
+            what: "output bytes",
+            requested: out_bytes,
+            limit: limits.max_output_bytes,
+        }
+        .into());
+    }
+    Ok(())
+}
+
+/// Damage record for one independently-recoverable unit of a container.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockDamage {
+    /// Index of the damaged block (0 for monolithic containers).
+    pub index: usize,
+    /// Row-major linear sample range the damaged block covers.
+    pub sample_range: std::ops::Range<usize>,
+    /// What failed — CRC mismatch, truncation, malformed payload.
+    pub reason: String,
+}
+
+/// Outcome of a forgiving decode pass ([`decompress_partial`]).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DamageReport {
+    /// Independently-recoverable units in the container. Monolithic modes
+    /// have exactly one; v2 blocked containers have one per block.
+    pub n_blocks: usize,
+    /// Damaged units in ascending index order.
+    pub damaged: Vec<BlockDamage>,
+    /// Samples recovered bit-exactly.
+    pub recovered_samples: usize,
+    /// Whether the whole-container CRC-32 trailer matched.
+    pub container_crc_ok: bool,
+}
+
+impl DamageReport {
+    /// True when every unit decoded and the container CRC matched.
+    pub fn is_clean(&self) -> bool {
+        self.container_crc_ok && self.damaged.is_empty()
     }
 }
 
+/// Forgiving decode: recover as much of a damaged container as possible.
+///
+/// For v2 blocked containers each block carries its own CRC, so a damaged
+/// slab is skipped (its samples become NaN) while every intact block is
+/// recovered bit-exactly and reported. Monolithic containers have no
+/// per-block framing, so recovery is all-or-nothing — but unlike
+/// [`decompress`], a container whose only damage is a stale outer CRC
+/// trailer still decodes, with `container_crc_ok = false` in the report.
+///
+/// # Errors
+/// Same failure modes as [`decompress`] when nothing is recoverable.
+pub fn decompress_partial<T: Scalar>(src: &[u8]) -> Result<(Field<T>, DamageReport), SzError> {
+    decompress_partial_with_threads(src, 0)
+}
+
+/// [`decompress_partial`] with an explicit worker-thread count.
+///
+/// # Errors
+/// Same failure modes as [`decompress_partial`].
+pub fn decompress_partial_with_threads<T: Scalar>(
+    src: &[u8],
+    threads: usize,
+) -> Result<(Field<T>, DamageReport), SzError> {
+    let _total = fpsnr_obs::span("sz.decompress_partial");
+    let limits = DecodeLimits::default();
+    let (src, crc_ok) = split_and_check_crc(src, false)?;
+    let mut pos = 0usize;
+    let header = format::read_header(src, &mut pos)?;
+    check_type_and_limits::<T>(&header, &limits)?;
+    if header.mode == Mode::Blocked {
+        return crate::blocked::decompress_blocked_partial(
+            src, pos, &header, threads, &limits, crc_ok,
+        );
+    }
+    let field = match header.mode {
+        Mode::Constant => decompress_constant(src, pos, &header),
+        Mode::Raw => decompress_raw(src, pos, &header, &limits),
+        Mode::Quantized => decompress_quantized(src, pos, &header, &limits),
+        Mode::LogPointwiseRel => decompress_log_rel(src, pos, &header, &limits),
+        Mode::Blocked => unreachable!("handled above"),
+    }?;
+    let n = field.len();
+    Ok((
+        field,
+        DamageReport {
+            n_blocks: 1,
+            damaged: Vec::new(),
+            recovered_samples: n,
+            container_crc_ok: crc_ok,
+        },
+    ))
+}
+
 pub(crate) fn take<'a>(src: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8], SzError> {
-    if src.len() < *pos + n {
-        return Err(SzError::Format("container truncated"));
+    let available = src.len().saturating_sub(*pos);
+    if available < n {
+        return Err(DecodeError::Truncated {
+            stage: "body",
+            offset: *pos,
+            needed: n as u64,
+            available: available as u64,
+        }
+        .into());
     }
     let out = &src[*pos..*pos + n];
     *pos += n;
     Ok(out)
+}
+
+/// Read a little-endian `f64` at `pos`.
+pub(crate) fn read_f64(src: &[u8], pos: &mut usize) -> Result<f64, SzError> {
+    let bytes = take(src, pos, 8)?;
+    let mut buf = [0u8; 8];
+    buf.copy_from_slice(bytes);
+    Ok(f64::from_le_bytes(buf))
 }
 
 fn decompress_constant<T: Scalar>(
@@ -647,11 +837,14 @@ fn decompress_raw<T: Scalar>(
     src: &[u8],
     mut pos: usize,
     header: &Header,
+    _limits: &DecodeLimits,
 ) -> Result<Field<T>, SzError> {
     let flag = take(src, &mut pos, 1)?[0];
     let len = varint::read_u64(src, &mut pos)? as usize;
     let payload = take(src, &mut pos, len)?;
-    let raw = undo_lossless(flag, payload)?;
+    // Raw bodies inflate to exactly the output size, which the caller has
+    // already checked against the output cap.
+    let raw = undo_lossless_bounded(flag, payload, header.shape.len() * T::BYTES)?;
     fio::from_le_bytes(header.shape, &raw).map_err(|_| SzError::Format("raw payload size"))
 }
 
@@ -659,12 +852,9 @@ fn decompress_quantized<T: Scalar>(
     src: &[u8],
     mut pos: usize,
     header: &Header,
+    limits: &DecodeLimits,
 ) -> Result<Field<T>, SzError> {
-    let eb = f64::from_le_bytes(
-        take(src, &mut pos, 8)?
-            .try_into()
-            .expect("slice is 8 bytes"),
-    );
+    let eb = read_f64(src, &mut pos)?;
     if !(eb.is_finite() && eb > 0.0) {
         return Err(SzError::Format("bad stored error bound"));
     }
@@ -677,7 +867,7 @@ fn decompress_quantized<T: Scalar>(
     let flag = take(src, &mut pos, 1)?[0];
     let len = varint::read_u64(src, &mut pos)? as usize;
     let payload = take(src, &mut pos, len)?;
-    let body = undo_lossless(flag, payload)?;
+    let body = undo_lossless_bounded(flag, payload, limits.max_body_bytes())?;
 
     // Parse body sections.
     let mut bpos = 0usize;
@@ -696,7 +886,7 @@ fn decompress_quantized<T: Scalar>(
                 return Err(SzError::Format("table length mismatch"));
             }
             let stream_len = varint::read_u64(&body, &mut bpos)? as usize;
-            if bpos + stream_len > body.len() {
+            if stream_len > body.len().saturating_sub(bpos) {
                 return Err(SzError::Format("code stream overruns body"));
             }
             let stream = &body[bpos..bpos + stream_len];
@@ -708,10 +898,10 @@ fn decompress_quantized<T: Scalar>(
         }
         1 => {
             let stream_len = varint::read_u64(&body, &mut bpos)? as usize;
-            if bpos + stream_len > body.len() {
+            if stream_len > body.len().saturating_sub(bpos) {
                 return Err(SzError::Format("code stream overruns body"));
             }
-            let codes = range::range_decode(&body[bpos..bpos + stream_len])?;
+            let codes = range::range_decode_bounded(&body[bpos..bpos + stream_len], n)?;
             bpos += stream_len;
             if codes.len() != n {
                 return Err(SzError::Format("range stream decoded wrong count"));
@@ -728,7 +918,9 @@ fn decompress_quantized<T: Scalar>(
     bpos += 1;
     let unpred_values: Vec<T> = match escape_tag {
         0 => {
-            if bpos + n_unpred * T::BYTES > body.len() {
+            // `n_unpred <= n` was checked above, so the multiply cannot
+            // overflow for any shape that passed the header limits.
+            if n_unpred * T::BYTES > body.len().saturating_sub(bpos) {
                 return Err(SzError::Format("escape payload overruns body"));
             }
             (0..n_unpred)
@@ -737,7 +929,7 @@ fn decompress_quantized<T: Scalar>(
         }
         1 => {
             let bits_len = varint::read_u64(&body, &mut bpos)? as usize;
-            if bpos + bits_len > body.len() {
+            if bits_len > body.len().saturating_sub(bpos) {
                 return Err(SzError::Format("escape bitstream overruns body"));
             }
             let mut br = BitReader::new(&body[bpos..bpos + bits_len]);
@@ -782,25 +974,39 @@ fn decompress_log_rel<T: Scalar>(
     src: &[u8],
     mut pos: usize,
     header: &Header,
+    limits: &DecodeLimits,
 ) -> Result<Field<T>, SzError> {
-    let _eb = f64::from_le_bytes(
-        take(src, &mut pos, 8)?
-            .try_into()
-            .expect("slice is 8 bytes"),
-    );
+    let _eb = read_f64(src, &mut pos)?;
     let flag = take(src, &mut pos, 1)?[0];
     let class_len = varint::read_u64(src, &mut pos)? as usize;
     let class_payload = take(src, &mut pos, class_len)?;
-    let packed = undo_lossless(flag, class_payload)?;
     let n = header.shape.len();
+    let packed = undo_lossless_bounded(flag, class_payload, n.div_ceil(4))?;
     if packed.len() != n.div_ceil(4) {
         return Err(SzError::Format("class plane size mismatch"));
     }
     let n_nonfinite = varint::read_u64(src, &mut pos)? as usize;
+    if n_nonfinite > n {
+        return Err(SzError::Format("more non-finites than samples"));
+    }
     let nf_bytes = take(src, &mut pos, n_nonfinite * T::BYTES)?;
     let inner_len = varint::read_u64(src, &mut pos)? as usize;
     let inner = take(src, &mut pos, inner_len)?;
-    let y: Field<T> = decompress(inner)?;
+    // The encoder only ever nests a non-log-rel container here; a hostile
+    // stream could otherwise chain log-rel containers into unbounded
+    // recursion. Reject before recursing.
+    if inner.len() >= format::MAGIC.len() + 2 + 4 {
+        let mode_byte = inner[format::MAGIC.len() + 1];
+        if mode_byte == Mode::LogPointwiseRel as u8 {
+            return Err(DecodeError::Corrupt {
+                stage: "log-rel body",
+                offset: pos - inner.len(),
+                what: "nested log-rel container",
+            }
+            .into());
+        }
+    }
+    let y: Field<T> = decompress_with_limits(inner, 1, limits)?;
     if y.shape() != header.shape {
         return Err(SzError::Format("inner shape mismatch"));
     }

@@ -1,6 +1,104 @@
-//! Error type for the szlike codec.
+//! Error types for the szlike codec.
+//!
+//! Two layers:
+//! - [`DecodeError`] — structured taxonomy for the untrusted-bytes decode
+//!   path, carrying the pipeline stage and byte offset where parsing
+//!   failed. Every decoder entry point must return one of these (wrapped
+//!   in [`SzError::Decode`]) instead of panicking, whatever the input.
+//! - [`SzError`] — the crate-wide error. Legacy deep-body checks still use
+//!   the lighter `Format(&'static str)` variant.
 
 use losslesskit::CodecError;
+
+/// Structured decode failure: what went wrong, at which pipeline stage,
+/// and at (or near) which byte offset in the container.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The scalar-type tag is not one the codec knows.
+    BadScalarTag {
+        /// The offending tag (byte value on decode, type name on encode).
+        tag: String,
+        /// Byte offset of the tag in the container.
+        offset: usize,
+    },
+    /// The container ended before a required field or payload.
+    Truncated {
+        /// Pipeline stage that hit the end of input.
+        stage: &'static str,
+        /// Byte offset where the read started.
+        offset: usize,
+        /// Bytes the stage needed.
+        needed: u64,
+        /// Bytes actually available.
+        available: u64,
+    },
+    /// A field parsed but its value is impossible or inconsistent.
+    Corrupt {
+        /// Pipeline stage that rejected the value.
+        stage: &'static str,
+        /// Byte offset of the offending field.
+        offset: usize,
+        /// What was wrong.
+        what: &'static str,
+    },
+    /// A declared size exceeds the decoder's hard resource limits.
+    LimitExceeded {
+        /// Pipeline stage that enforced the limit.
+        stage: &'static str,
+        /// Which quantity was limited (e.g. "output bytes").
+        what: &'static str,
+        /// The size the container asked for.
+        requested: u64,
+        /// The enforced cap.
+        limit: u64,
+    },
+    /// A checksum over some section of the container did not match.
+    CrcMismatch {
+        /// Section whose checksum failed (e.g. "container", "block 3").
+        stage: &'static str,
+        /// Byte offset of the checksummed section.
+        offset: usize,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadScalarTag { tag, offset } => {
+                write!(f, "unknown scalar tag {tag} at byte {offset}")
+            }
+            DecodeError::Truncated {
+                stage,
+                offset,
+                needed,
+                available,
+            } => write!(
+                f,
+                "truncated at stage '{stage}' (byte {offset}): \
+                 needed {needed} bytes, {available} available"
+            ),
+            DecodeError::Corrupt {
+                stage,
+                offset,
+                what,
+            } => write!(f, "corrupt at stage '{stage}' (byte {offset}): {what}"),
+            DecodeError::LimitExceeded {
+                stage,
+                what,
+                requested,
+                limit,
+            } => write!(
+                f,
+                "limit exceeded at stage '{stage}': {what} {requested} > cap {limit}"
+            ),
+            DecodeError::CrcMismatch { stage, offset } => {
+                write!(f, "CRC mismatch over '{stage}' (byte {offset})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
 
 /// Everything that can go wrong compressing or decompressing.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -12,6 +110,8 @@ pub enum SzError {
     BadConfig(String),
     /// The compressed container is malformed.
     Format(&'static str),
+    /// Structured decode failure with stage and byte-offset context.
+    Decode(DecodeError),
     /// The scalar type of the container does not match the requested type.
     TypeMismatch {
         /// Type tag found in the container.
@@ -29,12 +129,19 @@ impl From<CodecError> for SzError {
     }
 }
 
+impl From<DecodeError> for SzError {
+    fn from(e: DecodeError) -> Self {
+        SzError::Decode(e)
+    }
+}
+
 impl std::fmt::Display for SzError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SzError::BadBound(msg) => write!(f, "invalid error bound: {msg}"),
             SzError::BadConfig(msg) => write!(f, "invalid configuration: {msg}"),
             SzError::Format(what) => write!(f, "malformed container: {what}"),
+            SzError::Decode(e) => write!(f, "decode failed: {e}"),
             SzError::TypeMismatch { found, expected } => {
                 write!(f, "container holds {found}, caller requested {expected}")
             }
@@ -63,5 +170,26 @@ mod tests {
     fn codec_error_converts() {
         let e: SzError = CodecError::UnexpectedEof.into();
         assert_eq!(e, SzError::Codec(CodecError::UnexpectedEof));
+    }
+
+    #[test]
+    fn decode_error_converts_and_displays_context() {
+        let e: SzError = DecodeError::Truncated {
+            stage: "header",
+            offset: 3,
+            needed: 7,
+            available: 5,
+        }
+        .into();
+        let msg = e.to_string();
+        assert!(msg.contains("header") && msg.contains('3') && msg.contains('7'));
+
+        let lim = DecodeError::LimitExceeded {
+            stage: "constant",
+            what: "output bytes",
+            requested: 1 << 41,
+            limit: 1 << 30,
+        };
+        assert!(lim.to_string().contains("output bytes"));
     }
 }

@@ -27,7 +27,7 @@
 //!   `u8 predictor`, `u8 escape`, `varint block_rows`, `varint n_blocks`,
 //!   shared-table section, per-block sections.
 
-use crate::error::SzError;
+use crate::error::{DecodeError, SzError};
 use losslesskit::varint;
 use ndfield::Shape;
 
@@ -74,56 +74,110 @@ pub struct Header {
 }
 
 /// Append a header for the given scalar tag, mode and shape.
-pub fn write_header(out: &mut Vec<u8>, scalar_tag: &str, mode: Mode, shape: Shape) {
-    out.extend_from_slice(&MAGIC);
-    out.push(match scalar_tag {
+///
+/// # Errors
+/// [`DecodeError::BadScalarTag`] (wrapped in [`SzError::Decode`]) if the
+/// scalar tag is not one the container format can express.
+pub fn write_header(
+    out: &mut Vec<u8>,
+    scalar_tag: &str,
+    mode: Mode,
+    shape: Shape,
+) -> Result<(), SzError> {
+    let tag_byte = match scalar_tag {
         "f32" => 0u8,
         "f64" => 1u8,
-        other => panic!("unsupported scalar tag {other}"),
-    });
+        other => {
+            return Err(DecodeError::BadScalarTag {
+                tag: other.to_string(),
+                offset: MAGIC.len(),
+            }
+            .into())
+        }
+    };
+    out.extend_from_slice(&MAGIC);
+    out.push(tag_byte);
     out.push(mode as u8);
     let dims = shape.dims();
     out.push(dims.len() as u8);
     for d in dims {
         varint::write_u64(out, d as u64);
     }
+    Ok(())
 }
 
 /// Parse a header, advancing `pos`.
 ///
 /// # Errors
-/// [`SzError::Format`] on bad magic, unknown tags/modes, or invalid shape.
+/// [`SzError::Decode`] with stage/offset context on bad magic, unknown
+/// tags/modes, truncation, or an implausible shape.
 pub fn read_header(src: &[u8], pos: &mut usize) -> Result<Header, SzError> {
-    if src.len() < *pos + 7 {
-        return Err(SzError::Format("container shorter than header"));
+    let start = *pos;
+    let available = src.len().saturating_sub(start) as u64;
+    if available < 7 {
+        return Err(DecodeError::Truncated {
+            stage: "header",
+            offset: start,
+            needed: 7,
+            available,
+        }
+        .into());
     }
-    if src[*pos..*pos + 4] != MAGIC {
-        return Err(SzError::Format("bad magic"));
+    if src[start..start + 4] != MAGIC {
+        return Err(DecodeError::Corrupt {
+            stage: "header",
+            offset: start,
+            what: "bad magic",
+        }
+        .into());
     }
     *pos += 4;
     let scalar_tag = match src[*pos] {
         0 => "f32",
         1 => "f64",
-        _ => return Err(SzError::Format("unknown scalar tag")),
+        other => {
+            return Err(DecodeError::BadScalarTag {
+                tag: format!("{other:#04x}"),
+                offset: *pos,
+            }
+            .into())
+        }
     };
     let mode = Mode::from_u8(src[*pos + 1])?;
     let rank = src[*pos + 2] as usize;
     *pos += 3;
     if !(1..=3).contains(&rank) {
-        return Err(SzError::Format("rank out of range"));
+        return Err(DecodeError::Corrupt {
+            stage: "header",
+            offset: *pos - 1,
+            what: "rank out of range",
+        }
+        .into());
     }
     let mut dims = Vec::with_capacity(rank);
     for _ in 0..rank {
         let d = varint::read_u64(src, pos).map_err(SzError::from)? as usize;
         if d == 0 || d > (1 << 40) {
-            return Err(SzError::Format("implausible dimension"));
+            return Err(DecodeError::LimitExceeded {
+                stage: "header",
+                what: "dimension",
+                requested: d as u64,
+                limit: 1 << 40,
+            }
+            .into());
         }
         dims.push(d);
     }
     // Guard the total element count before any allocation.
     let total: u128 = dims.iter().map(|&d| d as u128).product();
     if total > (1 << 40) {
-        return Err(SzError::Format("implausible element count"));
+        return Err(DecodeError::LimitExceeded {
+            stage: "header",
+            what: "element count",
+            requested: total.min(u64::MAX as u128) as u64,
+            limit: 1 << 40,
+        }
+        .into());
     }
     Ok(Header {
         scalar_tag,
@@ -136,6 +190,15 @@ pub fn read_header(src: &[u8], pos: &mut usize) -> Result<Header, SzError> {
 mod tests {
     use super::*;
 
+    use crate::error::DecodeError;
+
+    /// Test helper: build a header for a tag known to be valid.
+    fn must_write(tag: &str, mode: Mode, shape: Shape) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_header(&mut buf, tag, mode, shape).expect("known-good scalar tag");
+        buf
+    }
+
     #[test]
     fn header_roundtrip_all_modes() {
         for mode in [
@@ -146,10 +209,12 @@ mod tests {
             Mode::Blocked,
         ] {
             for shape in [Shape::D1(100), Shape::D2(20, 30), Shape::D3(4, 5, 6)] {
-                let mut buf = Vec::new();
-                write_header(&mut buf, "f32", mode, shape);
+                let buf = must_write("f32", mode, shape);
                 let mut pos = 0;
-                let h = read_header(&buf, &mut pos).unwrap();
+                let h = match read_header(&buf, &mut pos) {
+                    Ok(h) => h,
+                    Err(e) => panic!("round-trip header failed to parse: {e}"),
+                };
                 assert_eq!(pos, buf.len());
                 assert_eq!(h.mode, mode);
                 assert_eq!(h.shape, shape);
@@ -160,36 +225,71 @@ mod tests {
 
     #[test]
     fn f64_tag_roundtrip() {
-        let mut buf = Vec::new();
-        write_header(&mut buf, "f64", Mode::Raw, Shape::D1(7));
+        let buf = must_write("f64", Mode::Raw, Shape::D1(7));
         let mut pos = 0;
-        assert_eq!(read_header(&buf, &mut pos).unwrap().scalar_tag, "f64");
+        let h = read_header(&buf, &mut pos).expect("valid f64 header parses");
+        assert_eq!(h.scalar_tag, "f64");
+    }
+
+    #[test]
+    fn unknown_scalar_tag_is_a_write_error_not_a_panic() {
+        let mut buf = Vec::new();
+        let err = write_header(&mut buf, "f16", Mode::Quantized, Shape::D1(4))
+            .expect_err("f16 is not a supported tag");
+        assert!(matches!(
+            err,
+            SzError::Decode(DecodeError::BadScalarTag { .. })
+        ));
+        assert!(buf.is_empty(), "failed write must not emit partial bytes");
+    }
+
+    #[test]
+    fn unknown_scalar_tag_byte_rejected_on_read() {
+        let mut buf = must_write("f32", Mode::Quantized, Shape::D1(7));
+        buf[4] = 7; // neither 0 (f32) nor 1 (f64)
+        let mut pos = 0;
+        match read_header(&buf, &mut pos) {
+            Err(SzError::Decode(DecodeError::BadScalarTag { tag, offset })) => {
+                assert_eq!(offset, 4);
+                assert!(tag.contains("0x07"), "tag string was {tag:?}");
+            }
+            other => panic!("expected BadScalarTag, got {other:?}"),
+        }
     }
 
     #[test]
     fn bad_magic_rejected() {
-        let mut buf = Vec::new();
-        write_header(&mut buf, "f32", Mode::Quantized, Shape::D1(7));
+        let mut buf = must_write("f32", Mode::Quantized, Shape::D1(7));
         buf[0] = b'X';
         let mut pos = 0;
         assert_eq!(
             read_header(&buf, &mut pos),
-            Err(SzError::Format("bad magic"))
+            Err(SzError::Decode(DecodeError::Corrupt {
+                stage: "header",
+                offset: 0,
+                what: "bad magic",
+            }))
         );
     }
 
     #[test]
     fn truncated_header_rejected() {
-        let mut buf = Vec::new();
-        write_header(&mut buf, "f32", Mode::Quantized, Shape::D1(7));
+        let buf = must_write("f32", Mode::Quantized, Shape::D1(7));
         let mut pos = 0;
-        assert!(read_header(&buf[..5], &mut pos).is_err());
+        assert_eq!(
+            read_header(&buf[..5], &mut pos),
+            Err(SzError::Decode(DecodeError::Truncated {
+                stage: "header",
+                offset: 0,
+                needed: 7,
+                available: 5,
+            }))
+        );
     }
 
     #[test]
     fn unknown_mode_rejected() {
-        let mut buf = Vec::new();
-        write_header(&mut buf, "f32", Mode::Quantized, Shape::D1(7));
+        let mut buf = must_write("f32", Mode::Quantized, Shape::D1(7));
         buf[5] = 99;
         let mut pos = 0;
         assert_eq!(
@@ -208,6 +308,31 @@ mod tests {
         buf.push(1); // rank 1
         varint::write_u64(&mut buf, 1u64 << 50);
         let mut pos = 0;
-        assert!(read_header(&buf, &mut pos).is_err());
+        match read_header(&buf, &mut pos) {
+            Err(SzError::Decode(DecodeError::LimitExceeded { what, .. })) => {
+                assert_eq!(what, "dimension");
+            }
+            other => panic!("expected LimitExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn implausible_element_count_rejected() {
+        // Each dim is legal (2^20) but the product 2^60 is not.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.push(0); // f32
+        buf.push(0); // quantized
+        buf.push(3); // rank 3
+        for _ in 0..3 {
+            varint::write_u64(&mut buf, 1u64 << 20);
+        }
+        let mut pos = 0;
+        match read_header(&buf, &mut pos) {
+            Err(SzError::Decode(DecodeError::LimitExceeded { what, .. })) => {
+                assert_eq!(what, "element count");
+            }
+            other => panic!("expected LimitExceeded, got {other:?}"),
+        }
     }
 }

@@ -46,10 +46,12 @@ pub mod quantizer;
 pub mod unpredictable;
 
 pub use compressor::{
-    compress, compress_with_detail, decompress, decompress_with_threads, prediction_errors,
-    quantization_probe, CompressionDetail,
+    compress, compress_with_detail, decompress, decompress_partial,
+    decompress_partial_with_threads, decompress_with_limits, decompress_with_threads,
+    prediction_errors, quantization_probe, BlockDamage, CompressionDetail, DamageReport,
+    DecodeLimits,
 };
 pub use config::{EntropyCoder, ErrorBound, EscapeCoding, LosslessBackend, SzConfig};
-pub use error::SzError;
+pub use error::{DecodeError, SzError};
 pub use predictor::PredictorKind;
 pub use quantizer::LinearQuantizer;

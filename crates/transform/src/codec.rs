@@ -7,10 +7,18 @@ use losslesskit::huffman::HuffmanCodec;
 use losslesskit::{deflate_like, freq, varint};
 use ndfield::{Field, Scalar, Shape};
 use szlike::quantizer::{LinearQuantizer, ESCAPE};
-use szlike::{ErrorBound, LosslessBackend, SzError};
+use szlike::{DecodeError, ErrorBound, LosslessBackend, SzError};
 
 /// Container magic for transform-coded fields.
 const MAGIC: [u8; 4] = *b"XFM1";
+
+/// Hard cap on decoded output size: arbitrary header bytes must never be
+/// able to demand an unbounded allocation.
+const MAX_OUTPUT_BYTES: u64 = 1 << 30;
+
+/// Cap on the inflated entropy-coded body (codes + escapes for a field
+/// within [`MAX_OUTPUT_BYTES`] stay far below this).
+const MAX_BODY_BYTES: usize = 1 << 30;
 
 /// Configuration for the transform codec.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -439,10 +447,21 @@ pub fn transform_decompress<T: Scalar>(src: &[u8]) -> Result<Field<T>, SzError> 
         }
         dims.push(d);
     }
+    // Guard the total output size before ANY sample-proportional
+    // allocation: each dim alone is plausible, the product may not be.
+    let total: u128 = dims.iter().map(|&d| d as u128).product();
+    if total.saturating_mul(T::BYTES as u128) > MAX_OUTPUT_BYTES as u128 {
+        return Err(SzError::Decode(DecodeError::LimitExceeded {
+            stage: "transform header",
+            what: "output bytes",
+            requested: total.saturating_mul(T::BYTES as u128).min(u64::MAX as u128) as u64,
+            limit: MAX_OUTPUT_BYTES,
+        }));
+    }
     let shape = Shape::from_dims(&dims);
 
     if mode == 1 {
-        if src.len() < pos + T::BYTES {
+        if src.len().saturating_sub(pos) < T::BYTES {
             return Err(SzError::Format("constant payload truncated"));
         }
         let v = T::read_le(&src[pos..]);
@@ -477,12 +496,12 @@ pub fn transform_decompress<T: Scalar>(src: &[u8]) -> Result<Field<T>, SzError> 
     let flag = src[pos];
     pos += 1;
     let len = varint::read_u64(src, &mut pos)? as usize;
-    if src.len() < pos + len {
+    if len > src.len().saturating_sub(pos) {
         return Err(SzError::Format("payload truncated"));
     }
     let body = match flag {
         0 => src[pos..pos + len].to_vec(),
-        1 => deflate_like::lz_decompress(&src[pos..pos + len])?,
+        1 => deflate_like::lz_decompress_bounded(&src[pos..pos + len], MAX_BODY_BYTES)?,
         _ => return Err(SzError::Format("unknown lossless flag")),
     };
 
@@ -497,7 +516,7 @@ pub fn transform_decompress<T: Scalar>(src: &[u8]) -> Result<Field<T>, SzError> 
         return Err(SzError::Format("table length mismatch"));
     }
     let stream_len = varint::read_u64(&body, &mut bpos)? as usize;
-    if bpos + stream_len > body.len() {
+    if stream_len > body.len().saturating_sub(bpos) {
         return Err(SzError::Format("stream overruns body"));
     }
     let stream = &body[bpos..bpos + stream_len];
@@ -505,21 +524,38 @@ pub fn transform_decompress<T: Scalar>(src: &[u8]) -> Result<Field<T>, SzError> 
 
     let grid = block_grid(shape, block);
     let block_len = block.pow(rank as u32);
-    let n_codes = grid.iter().product::<usize>() * block_len;
+    // Padded code count: bounded via u128 (the per-axis round-up can
+    // multiply the already-guarded element count by up to block^rank).
+    let n_codes128 = grid
+        .iter()
+        .fold(block_len as u128, |acc, &g| acc.saturating_mul(g as u128));
+    if n_codes128.saturating_mul(4) > MAX_BODY_BYTES as u128 {
+        return Err(SzError::Decode(DecodeError::LimitExceeded {
+            stage: "transform body",
+            what: "padded code count",
+            requested: n_codes128.min(u64::MAX as u128) as u64,
+            limit: (MAX_BODY_BYTES / 4) as u64,
+        }));
+    }
+    let n_codes = n_codes128 as usize;
     let mut codes = Vec::with_capacity(n_codes);
     let mut br = BitReader::new(stream);
     codec.decode(&mut br, n_codes, &mut codes)?;
     let n_escapes = varint::read_u64(&body, &mut bpos)? as usize;
-    if bpos + n_escapes * 8 > body.len() {
+    if n_escapes > n_codes {
+        return Err(SzError::Format("more escapes than codes"));
+    }
+    if n_escapes
+        .checked_mul(8)
+        .map_or(true, |b| b > body.len().saturating_sub(bpos))
+    {
         return Err(SzError::Format("escape payload overruns body"));
     }
     let escapes: Vec<f64> = (0..n_escapes)
         .map(|i| {
-            f64::from_le_bytes(
-                body[bpos + i * 8..bpos + i * 8 + 8]
-                    .try_into()
-                    .expect("8 bytes"),
-            )
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&body[bpos + i * 8..bpos + i * 8 + 8]);
+            f64::from_le_bytes(b)
         })
         .collect();
 

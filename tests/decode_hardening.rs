@@ -1,0 +1,345 @@
+//! Decode-hardening suite: the untrusted-bytes contract.
+//!
+//! Every entry point that accepts container bytes must return a structured
+//! [`szlike::DecodeError`] — never panic, never allocate past the declared
+//! limits — for *any* input: arbitrary garbage, truncations at every prefix
+//! length, and single-bit flips of valid containers. On v2 blocked
+//! containers, [`szlike::decompress_partial`] must additionally recover
+//! every intact block bit-exactly and report the damaged ones.
+//!
+//! Case counts follow the in-repo proptest default (64) and can be raised
+//! via `PROPTEST_CASES` (the CI `decode-fuzz-smoke` job does exactly that).
+
+mod common;
+
+use common::{golden_set, Golden, GoldenField};
+use losslesskit::crc32::crc32;
+use ndfield::Shape;
+use proptest::prelude::*;
+use szlike::format::{self, Mode};
+use szlike::{
+    decompress, decompress_partial, decompress_with_limits, DamageReport, DecodeError,
+    DecodeLimits, SzError,
+};
+
+/// Seal `body` into a container-shaped byte string by appending the CRC-32
+/// trailer, exactly like the encoder does. This lets fuzz inputs get *past*
+/// the outer integrity check and into the body parsers.
+fn seal(mut body: Vec<u8>) -> Vec<u8> {
+    let crc = crc32(&body);
+    body.extend_from_slice(&crc.to_le_bytes());
+    body
+}
+
+/// Flip one bit in a copy of `bytes`.
+fn flip_bit(bytes: &[u8], byte_idx: usize, bit: u8) -> Vec<u8> {
+    let mut v = bytes.to_vec();
+    v[byte_idx] ^= 1 << (bit & 7);
+    v
+}
+
+/// Strict decode dispatched on the fixture's scalar type; returns whether
+/// it succeeded (the decoded values are irrelevant here).
+fn strict_decode_ok(g: &Golden, bytes: &[u8]) -> bool {
+    match g.field {
+        GoldenField::F32(_) => decompress::<f32>(bytes).is_ok(),
+        GoldenField::F64(_) => decompress::<f64>(bytes).is_ok(),
+    }
+}
+
+/// Partial decode dispatched on the fixture's scalar type; returns only the
+/// report (drops the field) so callers can reason about damage uniformly.
+fn partial_report(g: &Golden, bytes: &[u8]) -> Result<DamageReport, SzError> {
+    match g.field {
+        GoldenField::F32(_) => decompress_partial::<f32>(bytes).map(|(_, r)| r),
+        GoldenField::F64(_) => decompress_partial::<f64>(bytes).map(|(_, r)| r),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Truncations: every prefix of every golden container.
+// ---------------------------------------------------------------------------
+
+/// Chopping a valid container at *any* byte boundary must yield a clean
+/// error from the strict path, and the forgiving path must never report a
+/// truncated container as pristine.
+#[test]
+fn truncations_at_every_prefix_fail_cleanly() {
+    for g in golden_set() {
+        let bytes = g.compress();
+        for cut in 0..bytes.len() {
+            let prefix = &bytes[..cut];
+            assert!(
+                !strict_decode_ok(&g, prefix),
+                "{}: strict decode accepted a {cut}-byte prefix of {} bytes",
+                g.name,
+                bytes.len()
+            );
+            // The forgiving path may salvage something, but a truncated
+            // container can never present as fully intact.
+            if let Ok(rep) = partial_report(&g, prefix) {
+                assert!(
+                    !rep.is_clean(),
+                    "{}: partial decode reported a {cut}-byte prefix as clean",
+                    g.name
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Single-bit flips of valid containers.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// CRC-32 detects every single-bit error, so a strict decode of a
+    /// one-bit-flipped container must always be rejected — and the
+    /// forgiving decode must never present the flip as a pristine
+    /// container.
+    #[test]
+    fn single_bit_flips_are_always_detected(
+        fixture in 0usize..11,
+        pos01 in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let set = golden_set();
+        let g = &set[fixture % set.len()];
+        let bytes = g.compress();
+        let idx = ((pos01 * bytes.len() as f64) as usize).min(bytes.len() - 1);
+        let flipped = flip_bit(&bytes, idx, bit);
+        prop_assert!(
+            !strict_decode_ok(g, &flipped),
+            "{}: strict decode accepted a bit flip at byte {idx} bit {bit}",
+            g.name
+        );
+        if let Ok(rep) = partial_report(g, &flipped) {
+            prop_assert!(
+                !rep.is_clean(),
+                "{}: partial decode reported bit flip at byte {idx} as clean",
+                g.name
+            );
+        }
+    }
+
+    /// On a v2 blocked container, whenever the forgiving decode succeeds
+    /// after a bit flip, every sample outside the reported damage must be
+    /// bit-identical to the pristine decode (per-block CRCs guarantee it).
+    #[test]
+    fn flipped_blocked_containers_keep_intact_blocks_exact(
+        pos01 in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        // blocked_f32_2d: 64×48, block_rows 16 → 4 blocks.
+        let set = golden_set();
+        let g = set.iter().find(|g| g.name == "blocked_f32_2d").unwrap();
+        let bytes = g.compress();
+        let (pristine, rep0) = decompress_partial::<f32>(&bytes).unwrap();
+        prop_assert!(rep0.is_clean());
+        let idx = ((pos01 * bytes.len() as f64) as usize).min(bytes.len() - 1);
+        let flipped = flip_bit(&bytes, idx, bit);
+        if let Ok((field, rep)) = decompress_partial::<f32>(&flipped) {
+            // The header, params and block directory are sealed by the
+            // meta CRC, so a successful decode implies the pristine shape.
+            prop_assert_eq!(field.shape(), pristine.shape());
+            let damaged = |i: usize| rep.damaged.iter().any(|d| d.sample_range.contains(&i));
+            for (i, (&a, &b)) in pristine
+                .as_slice()
+                .iter()
+                .zip(field.as_slice())
+                .enumerate()
+            {
+                if damaged(i) {
+                    prop_assert!(b.is_nan(), "damaged sample {i} not NaN-filled");
+                } else {
+                    prop_assert!(
+                        a.to_bits() == b.to_bits(),
+                        "undamaged sample {i} differs after flip at byte {idx} bit {bit}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Arbitrary bytes: raw garbage, and garbage sealed behind a valid header.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// Totally arbitrary bytes must produce a structured error (or, in the
+    /// astronomically unlikely case of a valid container, a decode) —
+    /// never a panic — on both strict and forgiving paths.
+    #[test]
+    fn arbitrary_bytes_never_panic(
+        bytes in proptest::collection::vec(any::<u8>(), 0..600),
+    ) {
+        let _ = decompress::<f32>(&bytes);
+        let _ = decompress::<f64>(&bytes);
+        let _ = decompress_partial::<f32>(&bytes);
+        let _ = decompress_partial::<f64>(&bytes);
+    }
+
+    /// Garbage bodies behind a *valid* header and CRC trailer drive the
+    /// per-mode body parsers directly (the outer CRC no longer rejects the
+    /// input first). Every mode must fail structurally, never panic.
+    #[test]
+    fn sealed_garbage_bodies_never_panic(
+        mode_idx in 0usize..5,
+        rows in 1usize..48,
+        cols in 1usize..48,
+        body in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let mode = [
+            Mode::Quantized,
+            Mode::Constant,
+            Mode::Raw,
+            Mode::LogPointwiseRel,
+            Mode::Blocked,
+        ][mode_idx];
+        let mut container = Vec::new();
+        format::write_header(&mut container, "f32", mode, Shape::D2(rows, cols)).unwrap();
+        container.extend_from_slice(&body);
+        let sealed = seal(container);
+        let _ = decompress::<f32>(&sealed);
+        let _ = decompress_partial::<f32>(&sealed);
+        // A tight output budget must also be honoured without panicking.
+        let limits = DecodeLimits { max_output_bytes: 1 << 12 };
+        let _ = decompress_with_limits::<f32>(&sealed, 1, &limits);
+    }
+
+    /// The lossless-stage decoders sit directly on untrusted container
+    /// sections; arbitrary bytes must never panic or overshoot the caps.
+    #[test]
+    fn lossless_decoders_never_panic_on_garbage(
+        bytes in proptest::collection::vec(any::<u8>(), 0..400),
+    ) {
+        if let Ok(raw) = losslesskit::deflate_like::lz_decompress_bounded(&bytes, 1 << 16) {
+            prop_assert!(raw.len() <= 1 << 16);
+        }
+        if let Ok(syms) = losslesskit::range::range_decode_bounded(&bytes, 4096) {
+            prop_assert!(syms.len() <= 4096);
+        }
+        let mut pos = 0usize;
+        let _ = losslesskit::HuffmanCodec::read_table(&bytes, &mut pos);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Resource limits: giant declared headers must be rejected up front.
+// ---------------------------------------------------------------------------
+
+/// A header declaring more output than [`DecodeLimits`] allows must be
+/// rejected *before* any body parsing or allocation — including the default
+/// 1-GiB budget against a terabyte-scale declared shape.
+#[test]
+fn giant_declared_headers_hit_limits_before_allocation() {
+    // 2^20 × 2^20 f32 samples = 4 TiB declared output: within the format's
+    // element-count cap, far past the default decode budget.
+    let mut container = Vec::new();
+    format::write_header(
+        &mut container,
+        "f32",
+        Mode::Quantized,
+        Shape::D2(1 << 20, 1 << 20),
+    )
+    .unwrap();
+    let sealed = seal(container);
+    match decompress::<f32>(&sealed) {
+        Err(SzError::Decode(DecodeError::LimitExceeded { stage, what, .. })) => {
+            assert_eq!(stage, "header");
+            assert_eq!(what, "output bytes");
+        }
+        other => panic!("expected LimitExceeded, got {other:?}"),
+    }
+
+    // The same guard honours a caller-supplied budget: 1000 f32 samples
+    // (4000 bytes) against a 1-KiB cap.
+    let mut small = Vec::new();
+    format::write_header(&mut small, "f32", Mode::Quantized, Shape::D1(1000)).unwrap();
+    let sealed = seal(small);
+    let limits = DecodeLimits { max_output_bytes: 1 << 10 };
+    match decompress_with_limits::<f32>(&sealed, 1, &limits) {
+        Err(SzError::Decode(DecodeError::LimitExceeded { what, requested, limit, .. })) => {
+            assert_eq!(what, "output bytes");
+            assert_eq!(requested, 4000);
+            assert_eq!(limit, 1 << 10);
+        }
+        other => panic!("expected LimitExceeded, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance: single-block corruption on a v2 blocked container.
+// ---------------------------------------------------------------------------
+
+/// Corrupting exactly one block payload of a v2 blocked container must
+/// recover every other block bit-exactly, NaN-fill the damaged range, and
+/// report the damaged block's index.
+#[test]
+fn one_corrupt_block_recovers_all_others() {
+    let set = golden_set();
+    let g = set.iter().find(|g| g.name == "blocked_f64_3d").unwrap();
+    let bytes = g.compress();
+    let (pristine, rep0) = decompress_partial::<f64>(&bytes).unwrap();
+    assert!(rep0.is_clean());
+    assert!(rep0.n_blocks > 1, "fixture must be multi-block");
+
+    // Walk forward from 60% of the container (deep in the payload region)
+    // until a flip lands inside exactly one block payload.
+    let mut checked = None;
+    for idx in (bytes.len() * 6 / 10)..bytes.len().saturating_sub(4) {
+        let flipped = flip_bit(&bytes, idx, 3);
+        if let Ok((field, rep)) = decompress_partial::<f64>(&flipped) {
+            if rep.damaged.len() == 1 {
+                checked = Some((field, rep, idx));
+                break;
+            }
+        }
+    }
+    let (field, rep, idx) = checked.expect("no flip offset landed in a single block payload");
+
+    let d = &rep.damaged[0];
+    assert!(d.index < rep.n_blocks, "damaged index out of range");
+    assert!(!d.sample_range.is_empty());
+    assert_eq!(
+        rep.recovered_samples,
+        pristine.shape().len() - d.sample_range.len(),
+        "recovered-sample count inconsistent with the damage range"
+    );
+    assert!(!rep.is_clean());
+
+    for (i, (&a, &b)) in pristine.as_slice().iter().zip(field.as_slice()).enumerate() {
+        if d.sample_range.contains(&i) {
+            assert!(b.is_nan(), "damaged sample {i} not NaN-filled");
+        } else {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "intact sample {i} not recovered bit-exactly (flip at byte {idx})"
+            );
+        }
+    }
+
+    // The strict path must refuse the damaged container outright.
+    assert!(decompress::<f64>(&flip_bit(&bytes, idx, 3)).is_err());
+}
+
+/// A flip confined to the outer CRC trailer loses no data: every block
+/// decodes bit-exactly, and only `container_crc_ok` records the damage.
+#[test]
+fn trailer_flip_loses_no_data() {
+    let set = golden_set();
+    let g = set.iter().find(|g| g.name == "blocked_f32_2d").unwrap();
+    let bytes = g.compress();
+    let (pristine, _) = decompress_partial::<f32>(&bytes).unwrap();
+    let flipped = flip_bit(&bytes, bytes.len() - 1, 0);
+    let (field, rep) = decompress_partial::<f32>(&flipped).unwrap();
+    assert!(!rep.container_crc_ok);
+    assert!(rep.damaged.is_empty());
+    assert!(!rep.is_clean());
+    assert_eq!(rep.recovered_samples, pristine.shape().len());
+    for (&a, &b) in pristine.as_slice().iter().zip(field.as_slice()) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}

@@ -105,6 +105,92 @@ fn single_shot_matches_paper_workflow() {
     assert_eq!(direct.shape(), field.shape());
 }
 
+/// Run one corpus through the 40–100 dB sweep on a given option set and
+/// assert both the dataset-average deviation (paper Table 2 bands) and a
+/// per-field undershoot floor.
+fn assert_sweep<T: Scalar>(corpus: &str, fields: &[(String, Field<T>)], opts: &FixedPsnrOptions) {
+    // 40 dB sits between the paper's loose 20 dB row (their Hurricane
+    // deviates +5.0 there) and the tight ≥60 dB rows, so it gets an
+    // intermediate band; higher targets must hold the tight band.
+    for (target, band) in [(40.0, 6.0), (60.0, 3.0), (80.0, 3.0), (100.0, 3.0)] {
+        let (outcomes, summary) = run_batch_summary(corpus, fields, target, opts, 4);
+        let dev = (summary.avg - target).abs();
+        assert!(
+            dev <= band,
+            "{corpus} @ {target} dB: AVG {} deviates {dev:.2} (band {band})",
+            summary.avg
+        );
+        for o in &outcomes {
+            assert!(
+                o.achieved_psnr >= target - 2.0 * band,
+                "{corpus}/{} @ {target} dB: achieved only {:.2} dB",
+                o.field,
+                o.achieved_psnr
+            );
+        }
+    }
+}
+
+#[test]
+fn sweep_registry_datasets_at_paper_targets() {
+    // Every field of every registry data set (NYX, ATM, Hurricane),
+    // through the monolithic single-compression path.
+    for id in DatasetId::ALL {
+        let fields = dataset(id, 27);
+        assert_sweep(id.name(), &fields, &FixedPsnrOptions::default());
+    }
+}
+
+#[test]
+fn sweep_registry_datasets_through_blocked_path() {
+    // The same sweep through the block-parallel container (auto
+    // partition): Theorem 1 holds per block, so accuracy must match the
+    // monolithic bands.
+    let blocked = FixedPsnrOptions {
+        threads: 0,
+        ..FixedPsnrOptions::default()
+    };
+    for id in DatasetId::ALL {
+        let fields = dataset(id, 27);
+        assert_sweep(id.name(), &fields, &blocked);
+    }
+}
+
+#[test]
+fn sweep_grf_and_timeseries_corpora() {
+    // The two non-registry generators: power-law Gaussian random fields
+    // (f64, spanning smooth to rough spectra) and a drifting time series
+    // (f32 snapshots) — both through monolithic and blocked paths.
+    use fixed_psnr::data::grf::grf_2d;
+    use fixed_psnr::data::timeseries::DriftField;
+
+    let grf: Vec<(String, Field<f64>)> = [1.5, 2.5, 3.5]
+        .iter()
+        .enumerate()
+        .map(|(k, &alpha)| {
+            (
+                format!("grf_a{alpha}"),
+                Field::from_vec(Shape::D2(64, 128), grf_2d(64, 128, alpha, 28 + k as u64)),
+            )
+        })
+        .collect();
+    let ts: Vec<(String, Field<f32>)> = DriftField::default()
+        .series(6, 0.5)
+        .into_iter()
+        .enumerate()
+        .map(|(k, f)| (format!("ts_{k}"), f))
+        .collect();
+
+    let blocked = FixedPsnrOptions {
+        threads: 0,
+        ..FixedPsnrOptions::default()
+    };
+    assert_sweep("GRF", &grf, &FixedPsnrOptions::default());
+    assert_sweep("GRF", &grf, &blocked);
+    assert_sweep("TS", &ts, &FixedPsnrOptions::default());
+    assert_sweep("TS", &ts, &blocked);
+}
+
 #[test]
 fn search_baseline_agrees_with_fixed_psnr_but_costs_more() {
     use fixed_psnr::core::search::search_to_target_psnr;

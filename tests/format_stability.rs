@@ -1,6 +1,10 @@
 //! Container-format integration tests: cross-mode decode dispatch, header
-//! integrity, and failure behaviour on malformed inputs.
+//! integrity, failure behaviour on malformed inputs, and checked-in golden
+//! container fixtures proving byte stability and v1→v2 backward compat.
 
+mod common;
+
+use common::{current_dir, golden_set, v1_dir, Golden, GoldenField};
 use fixed_psnr::prelude::*;
 use fixed_psnr::sz::{self, format, LosslessBackend};
 
@@ -107,4 +111,113 @@ fn raw_file_io_interoperates_with_codec() {
     let pw = PointwiseError::between(&field, &back);
     assert!(pw.respects_abs_bound(1e-3));
     std::fs::remove_file(raw_path).ok();
+}
+
+// ---------------------------------------------------------------------------
+// Golden container fixtures
+// ---------------------------------------------------------------------------
+
+fn assert_decodes_within_tol(name: &str, bytes: &[u8], g: &Golden) {
+    match &g.field {
+        GoldenField::F32(f) => {
+            let back: Field<f32> = sz::decompress(bytes)
+                .unwrap_or_else(|e| panic!("{name}: decode failed: {e}"));
+            assert_eq!(back.shape(), f.shape(), "{name}: shape mismatch");
+            for (idx, (a, b)) in f.as_slice().iter().zip(back.as_slice()).enumerate() {
+                let err = (a - b).abs() as f64;
+                assert!(
+                    err <= g.max_abs_err,
+                    "{name}: sample {idx} error {err} > {}",
+                    g.max_abs_err
+                );
+            }
+        }
+        GoldenField::F64(f) => {
+            let back: Field<f64> = sz::decompress(bytes)
+                .unwrap_or_else(|e| panic!("{name}: decode failed: {e}"));
+            assert_eq!(back.shape(), f.shape(), "{name}: shape mismatch");
+            for (idx, (a, b)) in f.as_slice().iter().zip(back.as_slice()).enumerate() {
+                let err = (a - b).abs();
+                assert!(
+                    err <= g.max_abs_err,
+                    "{name}: sample {idx} error {err} > {}",
+                    g.max_abs_err
+                );
+            }
+        }
+    }
+}
+
+/// Decode to raw bit patterns so cross-version comparisons are bit-exact.
+fn decode_bits(bytes: &[u8], g: &Golden) -> Vec<u64> {
+    match &g.field {
+        GoldenField::F32(_) => sz::decompress::<f32>(bytes)
+            .expect("fixture decodes")
+            .as_slice()
+            .iter()
+            .map(|v| v.to_bits() as u64)
+            .collect(),
+        GoldenField::F64(_) => sz::decompress::<f64>(bytes)
+            .expect("fixture decodes")
+            .as_slice()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect(),
+    }
+}
+
+/// Env-gated fixture writer: set `FPSNR_REGEN_FIXTURES=<dir>` to (re)write
+/// the golden containers with the current encoder. A no-op otherwise.
+#[test]
+fn regenerate_golden_fixtures() {
+    let Some(dir) = std::env::var_os("FPSNR_REGEN_FIXTURES") else {
+        return;
+    };
+    let dir = std::path::PathBuf::from(dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    for g in golden_set() {
+        let path = dir.join(format!("{}.szr", g.name));
+        std::fs::write(&path, g.compress()).unwrap();
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+/// The current encoder must reproduce every checked-in `current/` fixture
+/// byte for byte: any drift is a silent format change.
+#[test]
+fn current_fixtures_are_byte_stable() {
+    for g in golden_set() {
+        let path = current_dir().join(format!("{}.szr", g.name));
+        let frozen = std::fs::read(&path)
+            .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()));
+        let fresh = g.compress();
+        assert_eq!(
+            fresh, frozen,
+            "{}: encoder output drifted from checked-in fixture; if the \
+             format change is intentional, regenerate via \
+             FPSNR_REGEN_FIXTURES=tests/fixtures/current",
+            g.name
+        );
+        assert_decodes_within_tol(g.name, &frozen, &g);
+    }
+}
+
+/// Frozen v1-era containers must keep decoding (backward compatibility),
+/// and must decode to exactly the same samples as a fresh current-version
+/// compression of the same field — the lossy math is version-invariant.
+#[test]
+fn v1_fixtures_decode_backward_compatibly() {
+    for g in golden_set() {
+        let path = v1_dir().join(format!("{}.szr", g.name));
+        let frozen = std::fs::read(&path)
+            .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()));
+        assert_decodes_within_tol(g.name, &frozen, &g);
+        let fresh = g.compress();
+        assert_eq!(
+            decode_bits(&frozen, &g),
+            decode_bits(&fresh, &g),
+            "{}: v1 container and current container decode to different samples",
+            g.name
+        );
+    }
 }

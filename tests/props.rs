@@ -7,7 +7,8 @@ use fixed_psnr::sz;
 use proptest::prelude::*;
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    // Default config: 64 cases, overridable via PROPTEST_CASES (the CI
+    // decode-fuzz-smoke job raises it).
 
     /// The error bound is a hard guarantee for arbitrary finite data.
     #[test]
