@@ -1,0 +1,93 @@
+//! Fixed-ratio mode accuracy and cost: achieved ratio vs target over the
+//! registry data sets, with the pass economy (how many compressions the
+//! ratio–quality model actually spent) read back from the obs counters.
+//!
+//! ```text
+//! cargo run --release -p fpsnr-bench --bin fixed_ratio
+//! FPSNR_RES=small FPSNR_RATIO_BLOCKED=1 cargo run --release -p fpsnr-bench --bin fixed_ratio
+//! ```
+
+use datagen::DatasetId;
+use fpsnr_bench::{dataset_fields, resolution_from_env, seed_from_env};
+use fpsnr_core::fixed_ratio::{compress_fixed_ratio, FixedRatioOptions};
+
+const TARGETS: [f64; 4] = [4.0, 8.0, 16.0, 32.0];
+
+fn main() {
+    let res = resolution_from_env();
+    let seed = seed_from_env();
+    let blocked = std::env::var_os("FPSNR_RATIO_BLOCKED").is_some();
+    println!(
+        "FIXED-RATIO ACCURACY ({res:?}, seed {seed}, {} path)",
+        if blocked { "blocked" } else { "monolithic" }
+    );
+    println!();
+    println!(
+        "{:>10} | {:>8} | {:>12} {:>9} {:>10} | {:>5} {:>5} {:>5}",
+        "dataset", "target", "mean ratio", "in band", "worst off", "1p", "2p", "3p"
+    );
+    println!("{}", "-".repeat(80));
+
+    fpsnr_obs::reset();
+    fpsnr_obs::enable();
+    let mut grand_passes = [0usize; 3];
+    for &id in &DatasetId::ALL {
+        let fields = dataset_fields(id, res, seed);
+        for &target in &TARGETS {
+            let mut ratios = Vec::new();
+            let mut hits = 0usize;
+            let mut worst = 1.0f64;
+            let mut passes = [0usize; 3];
+            for (name, field) in &fields {
+                let opts = FixedRatioOptions {
+                    threads: if blocked { 2 } else { 1 },
+                    ..FixedRatioOptions::new(target)
+                };
+                let run = compress_fixed_ratio(field, &opts)
+                    .unwrap_or_else(|e| panic!("{}/{name} @ {target}x: {e}", id.name()));
+                ratios.push(run.achieved_ratio);
+                hits += usize::from(run.within_tolerance);
+                worst = worst.max((run.achieved_ratio / target).max(target / run.achieved_ratio));
+                passes[run.passes.min(3) - 1] += 1;
+                grand_passes[run.passes.min(3) - 1] += 1;
+            }
+            let mean = ratios.iter().sum::<f64>() / ratios.len().max(1) as f64;
+            println!(
+                "{:>10} | {target:>7.0}x | {mean:>11.2}x {:>6}/{:<2} {worst:>9.2}x | {:>5} {:>5} {:>5}",
+                id.name(),
+                hits,
+                ratios.len(),
+                passes[0],
+                passes[1],
+                passes[2],
+            );
+        }
+    }
+    fpsnr_obs::disable();
+    let report = fpsnr_obs::snapshot();
+    println!();
+    let total: usize = grand_passes.iter().sum();
+    println!(
+        "pass economy: {} requests -> {} one-shot ({:.0}%), {} two-pass, {} three-pass",
+        total,
+        grand_passes[0],
+        100.0 * grand_passes[0] as f64 / total.max(1) as f64,
+        grand_passes[1],
+        grand_passes[2],
+    );
+    println!(
+        "obs counters: {} compressions + {} pilot walks for {} requests",
+        report.counter("fratio.compress_passes").unwrap_or(0),
+        report.counter("fratio.pilot_passes").unwrap_or(0),
+        total,
+    );
+    if let (Some(pilot), Some(all)) = (
+        report.span("fratio.compress/fratio.pilot"),
+        report.span("fratio.compress"),
+    ) {
+        println!(
+            "pilot cost share: {:.1}% of total fixed-ratio wall time",
+            100.0 * pilot.total_ns as f64 / (all.total_ns as f64).max(1.0),
+        );
+    }
+}

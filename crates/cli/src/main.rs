@@ -17,7 +17,7 @@ use args::Args;
 use datagen::{DatasetId, DatasetSpec, Resolution};
 use fpsnr_core::batch::run_batch_summary;
 use fpsnr_core::fixed_psnr::FixedPsnrOptions;
-use fpsnr_core::{ebrel_for_psnr, psnr_sz_estimate};
+use fpsnr_core::{ebrel_for_psnr, psnr_sz_estimate, FixedRatioOptions};
 use fpsnr_metrics::{Distortion, PointwiseError, RateStats};
 use ndfield::{io as fio, Field, Scalar, Shape};
 use fpsnr_transform::{transform_compress, transform_decompress, TransformConfig};
@@ -87,6 +87,9 @@ fpsnr — fixed-PSNR lossy compression for scientific data
 COMMANDS
   compress    -i RAW -o OUT --type f32|f64 --dims DxDxD --mode MODE
               MODE: psnr:<dB> | abs:<eb> | rel:<eb> | pwrel:<eb> | budget:<bytes>
+              [--ratio N]       target compression ratio instead of --mode
+                                (ratio-quality model + <=2 refinements)
+              [--ratio-tol T]   relative tolerance band (default 0.1)
               [--bins N] [--no-lz] [--verify] [--transform]
               [--threads N]     block-parallel pipeline (0 = auto, 1 = off)
               [--block-size R]  rows per block (0 = derive from shape)
@@ -111,6 +114,8 @@ enum CliMode {
     Psnr(f64),
     Bound(ErrorBound),
     Budget(usize),
+    /// `--ratio N [--ratio-tol T]`: target compression ratio ± tolerance.
+    Ratio(f64, f64),
 }
 
 fn parse_mode(raw: &str) -> Result<CliMode, String> {
@@ -150,7 +155,26 @@ fn cmd_compress(args: &Args) -> Result<(), String> {
 
 fn compress_typed<T: Scalar>(args: &Args) -> Result<(), String> {
     let (field, shape) = read_field_arg::<T>(args, "--input")?;
-    let mode = parse_mode(args.require("--mode")?)?;
+    let mode = match args.get("--ratio") {
+        Some(raw) => {
+            if args.get("--mode").is_some() {
+                return Err("--ratio replaces --mode; give one or the other".into());
+            }
+            let target: f64 = raw.parse().map_err(|e| format!("bad --ratio: {e}"))?;
+            let tol: f64 = args
+                .get("--ratio-tol")
+                .map(|s| s.parse().map_err(|e| format!("bad --ratio-tol: {e}")))
+                .transpose()?
+                .unwrap_or(0.1);
+            CliMode::Ratio(target, tol)
+        }
+        None => {
+            if args.get("--ratio-tol").is_some() {
+                return Err("--ratio-tol needs --ratio".into());
+            }
+            parse_mode(args.require("--mode")?)?
+        }
+    };
     let bins: usize = args
         .get("--bins")
         .map(|s| s.parse().map_err(|e| format!("bad --bins: {e}")))
@@ -195,6 +219,31 @@ fn compress_typed<T: Scalar>(args: &Args) -> Result<(), String> {
                 );
             }
             bytes
+        }
+        CliMode::Ratio(target, tol) => {
+            if use_transform {
+                return Err("--transform does not support fixed-ratio mode".into());
+            }
+            let opts = FixedRatioOptions {
+                tolerance: tol,
+                quant_bins: bins,
+                lossless,
+                threads,
+                block_rows,
+                ..FixedRatioOptions::new(target)
+            };
+            let run =
+                fpsnr_core::compress_fixed_ratio(&field, &opts).map_err(|e| e.to_string())?;
+            if !args.has("--quiet") {
+                println!(
+                    "fixed-ratio: target {target}x -> eb_rel {:.4e}, achieved {:.2}x in {} pass(es){}",
+                    run.eb_rel,
+                    run.achieved_ratio,
+                    run.passes,
+                    if run.within_tolerance { "" } else { " (outside tolerance)" }
+                );
+            }
+            run.bytes
         }
         CliMode::Psnr(target) => {
             let derived = ebrel_for_psnr(target);

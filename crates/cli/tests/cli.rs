@@ -24,6 +24,22 @@ fn write_test_field(path: &std::path::Path, rows: usize, cols: usize) {
     std::fs::write(path, bytes).expect("write raw");
 }
 
+/// Non-separable texture: a pure `f(i)+g(j)` field is predicted exactly
+/// by Lorenzo-2D, leaving a degenerate rate curve no ratio target can
+/// invert — the product term keeps the fixed-ratio tests meaningful.
+fn write_textured_field(path: &std::path::Path, rows: usize, cols: usize) {
+    let mut bytes = Vec::with_capacity(rows * cols * 4);
+    for i in 0..rows {
+        for j in 0..cols {
+            let x = i as f32 * 0.11;
+            let y = j as f32 * 0.13;
+            let v = 20.0 * (x.sin() + (y * 0.7).cos()) + 3.0 * ((x * 3.7).sin() * (y * 2.9).cos());
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    std::fs::write(path, bytes).expect("write raw");
+}
+
 #[test]
 fn help_lists_commands() {
     let out = fpsnr().arg("help").output().expect("run");
@@ -205,6 +221,135 @@ fn f64_compress_decompress_cycle() {
         .expect("run");
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     assert_eq!(std::fs::metadata(&back).unwrap().len(), 400 * 8);
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn ratio_mode_round_trip_lands_in_band() {
+    let dir = tmpdir("ratio");
+    let raw = dir.join("in.raw");
+    let szr = dir.join("out.szr");
+    let back = dir.join("back.raw");
+    write_textured_field(&raw, 128, 160);
+
+    let out = fpsnr()
+        .args([
+            "compress", "-i", raw.to_str().unwrap(), "-o", szr.to_str().unwrap(),
+            "--type", "f32", "--dims", "128x160", "--ratio", "10", "--ratio-tol", "0.1",
+        ])
+        .output()
+        .expect("run compress");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("fixed-ratio: target 10x"), "no ratio trace: {text}");
+    assert!(
+        !text.contains("outside tolerance"),
+        "driver missed the band: {text}"
+    );
+    let raw_len = std::fs::metadata(&raw).unwrap().len() as f64;
+    let szr_len = std::fs::metadata(&szr).unwrap().len() as f64;
+    let achieved = raw_len / szr_len;
+    assert!(
+        (achieved / 10.0 - 1.0).abs() <= 0.1,
+        "file sizes say {achieved:.2}x, wanted 10x +/-10%"
+    );
+
+    let out = fpsnr()
+        .args(["decompress", "-i", szr.to_str().unwrap(), "-o", back.to_str().unwrap()])
+        .output()
+        .expect("run decompress");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(std::fs::metadata(&back).unwrap().len(), 128 * 160 * 4);
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn ratio_flag_conflicts_are_rejected() {
+    let dir = tmpdir("ratio_conflict");
+    let raw = dir.join("in.raw");
+    write_textured_field(&raw, 16, 16);
+    let base = [
+        "compress", "-i", raw.to_str().unwrap(), "-o", "/dev/null",
+        "--type", "f32", "--dims", "16x16",
+    ];
+
+    // --ratio and --mode are two answers to the same question.
+    let out = fpsnr()
+        .args(base)
+        .args(["--ratio", "10", "--mode", "psnr:80"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--ratio replaces --mode"));
+
+    // --ratio-tol without --ratio is meaningless.
+    let out = fpsnr()
+        .args(base)
+        .args(["--ratio-tol", "0.2"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("needs --ratio"));
+
+    // The transform codec has no rate model.
+    let out = fpsnr()
+        .args(base)
+        .args(["--ratio", "10", "--transform"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--transform"));
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn inspect_and_verify_exit_codes_distinguish_damage() {
+    let dir = tmpdir("verify_exit");
+    let raw = dir.join("in.raw");
+    let szr = dir.join("out.szr");
+    write_textured_field(&raw, 48, 64);
+    let out = fpsnr()
+        .args([
+            "compress", "-i", raw.to_str().unwrap(), "-o", szr.to_str().unwrap(),
+            "--type", "f32", "--dims", "48x64", "--mode", "psnr:80",
+        ])
+        .output()
+        .expect("run compress");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // Clean container: both report success.
+    for cmd in ["inspect", "verify"] {
+        let out = fpsnr()
+            .args([cmd, "-i", szr.to_str().unwrap()])
+            .output()
+            .expect("run");
+        assert!(out.status.success(), "{cmd} failed on a clean container");
+    }
+    let out = fpsnr()
+        .args(["verify", "-i", szr.to_str().unwrap()])
+        .output()
+        .expect("run");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("verify: OK"));
+
+    // Flip one payload byte: inspect stays informational (exit 0),
+    // verify becomes the machine-checkable gate (exit 1).
+    let mut bytes = std::fs::read(&szr).expect("read container");
+    let n = bytes.len();
+    bytes[n - 10] ^= 0xFF;
+    std::fs::write(&szr, bytes).expect("write damaged");
+
+    let out = fpsnr()
+        .args(["inspect", "-i", szr.to_str().unwrap()])
+        .output()
+        .expect("run");
+    assert!(out.status.success(), "inspect must not fail on damage");
+
+    let out = fpsnr()
+        .args(["verify", "-i", szr.to_str().unwrap()])
+        .output()
+        .expect("run");
+    assert!(!out.status.success(), "verify accepted a damaged container");
+    assert!(!out.stderr.is_empty());
     std::fs::remove_dir_all(dir).ok();
 }
 

@@ -20,11 +20,15 @@
 //! 4. [`fixed_psnr`] — the three-step fixed-PSNR driver the paper ships:
 //!    get the target PSNR, derive `eb_rel`, run unmodified SZ. A
 //!    transform-codec variant demonstrates Theorem 3's generality.
-//! 5. [`search`] — the pre-paper baseline (rerun the compressor, bisecting
+//! 5. [`fixed_ratio`] — the dual contract ("give me N× compression"),
+//!    answered by ratio–quality modeling: one pilot walk builds a
+//!    bits/value curve that is inverted for the bound, with at most two
+//!    bounded secant refinements on measured ratios.
+//! 6. [`search`] — the pre-paper baseline (rerun the compressor, bisecting
 //!    the bound until PSNR lands), kept for the motivation experiment.
-//! 6. [`batch`] — parallel multi-field runner (the CESM "100+ fields"
+//! 7. [`batch`] — parallel multi-field runner (the CESM "100+ fields"
 //!    scenario) and per-data-set aggregation.
-//! 7. [`slab`] — slab-parallel compression of one huge field (independent
+//! 8. [`slab`] — slab-parallel compression of one huge field (independent
 //!    SZ streams along axis 0 sharing one global bound), the within-field
 //!    parallel axis SZ's MPI deployments use.
 //!
@@ -44,6 +48,7 @@ pub mod batch;
 pub mod bound;
 pub mod distortion;
 pub mod fixed_psnr;
+pub mod fixed_ratio;
 pub mod mode;
 pub mod report;
 pub mod search;
@@ -52,3 +57,5 @@ pub mod slab;
 pub use bound::{ebabs_for_psnr, ebrel_for_psnr, psnr_for_ebrel};
 pub use distortion::{mse_uniform, psnr_sz_estimate, psnr_uniform_estimate};
 pub use fixed_psnr::{compress_fixed_psnr, FixedPsnrOptions, FixedPsnrRun};
+pub use fixed_ratio::{compress_fixed_ratio, FixedRatioOptions, FixedRatioRun};
+pub use mode::{compress_with_mode, CompressionMode, ModeReport};

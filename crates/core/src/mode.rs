@@ -14,6 +14,7 @@
 //!   cheapest correct strategy.
 
 use crate::bound::ebrel_for_psnr;
+use crate::fixed_ratio::{compress_fixed_ratio, FixedRatioOptions};
 use ndfield::{Field, Scalar};
 use szlike::{compress, ErrorBound, SzConfig, SzError};
 
@@ -28,6 +29,10 @@ pub enum CompressionMode {
     PointwiseRel(f64),
     /// Overall PSNR ≥ (approximately) the target — the paper's mode.
     FixedPsnr(f64),
+    /// Compression ratio ≈ the target (±10%), via ratio–quality modeling:
+    /// one pilot walk predicts the bound, at most two secant refinements
+    /// close the residual. See [`crate::fixed_ratio`].
+    FixedRatio(f64),
     /// Compressed size ≤ the budget, with the best quality that fits.
     ByteBudget(usize),
 }
@@ -96,6 +101,24 @@ pub fn compress_with_mode<T: Scalar>(
                 },
             ))
         }
+        CompressionMode::FixedRatio(target) => {
+            let opts = FixedRatioOptions {
+                quant_bins: base.quant_bins,
+                auto_intervals: base.auto_intervals,
+                lossless: base.lossless,
+                threads: base.threads,
+                block_rows: base.block_rows,
+                ..FixedRatioOptions::new(target)
+            };
+            let run = compress_fixed_ratio(field, &opts)?;
+            Ok((
+                run.bytes,
+                ModeReport {
+                    effective_ebrel: run.eb_rel,
+                    invocations: run.passes,
+                },
+            ))
+        }
         CompressionMode::ByteBudget(budget) => byte_budget(field, budget, base),
     }
 }
@@ -161,8 +184,12 @@ mod tests {
     use szlike::decompress;
 
     fn field() -> Field<f32> {
+        // The product term matters: a separable sum f(i)+g(j) is predicted
+        // *exactly* by Lorenzo-2D, leaving only round-off noise — a
+        // degenerate rate curve nothing rate-targeted can invert.
         Field::from_fn_2d(90, 90, |i, j| {
             ((i as f32 * 0.11).sin() + (j as f32 * 0.07).cos()) * 12.0
+                + ((i as f32 * 0.31).sin() * (j as f32 * 0.23).cos()) * 1.5
         })
     }
 
@@ -193,6 +220,22 @@ mod tests {
         let back: Field<f32> = decompress(&bytes).unwrap();
         let psnr = Distortion::between(&f, &back).psnr();
         assert!((psnr - 80.0).abs() < 4.0, "psnr {psnr}");
+    }
+
+    #[test]
+    fn fixed_ratio_mode_lands_in_band() {
+        let f = field();
+        let base = SzConfig::new(ErrorBound::Abs(1.0));
+        let (bytes, report) =
+            compress_with_mode(&f, CompressionMode::FixedRatio(10.0), &base).unwrap();
+        let achieved = (f.len() * 4) as f64 / bytes.len() as f64;
+        assert!(
+            (achieved / 10.0 - 1.0).abs() <= 0.1,
+            "achieved {achieved:.2}x, wanted 10x +/-10%"
+        );
+        assert!(report.invocations <= 3, "{} passes", report.invocations);
+        let back: Field<f32> = decompress(&bytes).unwrap();
+        assert_eq!(back.shape(), f.shape());
     }
 
     #[test]

@@ -64,7 +64,7 @@ pub(crate) fn use_blocked(cfg: &SzConfig) -> bool {
 
 /// Resolve the rows-per-block knob. Depends only on the shape and the
 /// configured `block_rows` — never on the thread count (determinism).
-fn resolve_block_rows(shape: Shape, requested: usize) -> usize {
+pub(crate) fn resolve_block_rows(shape: Shape, requested: usize) -> usize {
     let rows = shape.dims()[0];
     if requested > 0 {
         return requested.min(rows);
@@ -96,7 +96,11 @@ fn block_shape(shape: Shape, block_rows: usize, b: usize) -> (Shape, usize) {
 }
 
 /// The contiguous sample range of block `b` (row-major, slowest dim split).
-fn block_range(shape: Shape, block_rows: usize, b: usize) -> (std::ops::Range<usize>, Shape) {
+pub(crate) fn block_range(
+    shape: Shape,
+    block_rows: usize,
+    b: usize,
+) -> (std::ops::Range<usize>, Shape) {
     let per_row = shape.len() / shape.dims()[0];
     let (bshape, bn) = block_shape(shape, block_rows, b);
     let start = b * block_rows * per_row;

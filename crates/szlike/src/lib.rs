@@ -43,6 +43,7 @@ pub mod error;
 pub mod format;
 pub mod predictor;
 pub mod quantizer;
+pub mod ratemodel;
 pub mod unpredictable;
 
 pub use compressor::{
@@ -55,3 +56,4 @@ pub use config::{EntropyCoder, ErrorBound, EscapeCoding, LosslessBackend, SzConf
 pub use error::{DecodeError, SzError};
 pub use predictor::PredictorKind;
 pub use quantizer::LinearQuantizer;
+pub use ratemodel::RateModel;

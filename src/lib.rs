@@ -47,6 +47,8 @@ pub use datagen as data;
 pub use ndfield as field;
 /// Rate–distortion metrics (paper definitions).
 pub use fpsnr_metrics as metrics;
+/// Pipeline observability (stage spans, counters, reports).
+pub use fpsnr_obs as obs;
 /// Parallel runtime.
 pub use fpsnr_parallel as parallel;
 /// Lossless coding toolkit.
@@ -63,6 +65,8 @@ pub mod prelude {
         compress_fixed_psnr, compress_fixed_psnr_only, compress_fixed_psnr_transform,
         FixedPsnrOptions, FixedPsnrRun,
     };
+    pub use fpsnr_core::fixed_ratio::{compress_fixed_ratio, FixedRatioOptions, FixedRatioRun};
+    pub use fpsnr_core::mode::{compress_with_mode, CompressionMode, ModeReport};
     pub use fpsnr_core::slab::{compress_slabs, compress_slabs_fixed_psnr, decompress_slabs};
     pub use fpsnr_core::{ebabs_for_psnr, ebrel_for_psnr, psnr_for_ebrel};
     pub use fpsnr_metrics::{Distortion, PointwiseError, RateStats};

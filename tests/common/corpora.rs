@@ -1,0 +1,57 @@
+//! Shared deterministic evaluation corpora for the accuracy harnesses.
+//!
+//! Every sweep-style suite (fixed-PSNR and fixed-ratio) draws its fields
+//! from here so all harnesses exercise *identical* data: the registry
+//! data sets at one pinned seed, three power-law Gaussian random fields
+//! spanning smooth→rough spectra, and one drifting time series. Full
+//! determinism (pinned seeds, pinned shapes) is what lets the harnesses
+//! assert exact hit-rate floors instead of fuzzy statistical bands.
+
+use fixed_psnr::data::grf::grf_2d;
+use fixed_psnr::data::timeseries::DriftField;
+use fixed_psnr::data::{generate, DatasetId, Resolution};
+use fixed_psnr::prelude::*;
+
+/// Seed shared by every registry sweep (NYX, ATM, Hurricane).
+pub const REGISTRY_SEED: u64 = 27;
+
+/// Spectral slopes of the GRF corpus, smooth (3.5) to rough (1.5).
+pub const GRF_ALPHAS: [f64; 3] = [1.5, 2.5, 3.5];
+
+/// Base seed for the GRF corpus; field `k` uses `GRF_SEED_BASE + k`.
+pub const GRF_SEED_BASE: u64 = 28;
+
+/// All fields of one registry data set at the shared seed, Small tier.
+pub fn registry(id: DatasetId) -> Vec<(String, Field<f32>)> {
+    generate(id, Resolution::Small, REGISTRY_SEED)
+        .into_iter()
+        .map(|nf| (nf.name, nf.data))
+        .collect()
+}
+
+/// The power-law Gaussian-random-field corpus (f64).
+pub fn grf() -> Vec<(String, Field<f64>)> {
+    GRF_ALPHAS
+        .iter()
+        .enumerate()
+        .map(|(k, &alpha)| {
+            (
+                format!("grf_a{alpha}"),
+                Field::from_vec(
+                    Shape::D2(64, 128),
+                    grf_2d(64, 128, alpha, GRF_SEED_BASE + k as u64),
+                ),
+            )
+        })
+        .collect()
+}
+
+/// The drifting time-series corpus (f32 snapshots).
+pub fn timeseries() -> Vec<(String, Field<f32>)> {
+    DriftField::default()
+        .series(6, 0.5)
+        .into_iter()
+        .enumerate()
+        .map(|(k, f)| (format!("ts_{k}"), f))
+        .collect()
+}

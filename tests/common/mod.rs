@@ -1,5 +1,6 @@
-//! Shared golden-fixture definitions for the format-stability and
-//! decode-hardening suites.
+//! Shared test substrate: golden-fixture definitions for the
+//! format-stability and decode-hardening suites, plus the deterministic
+//! evaluation corpora ([`corpora`]) the accuracy harnesses sweep.
 //!
 //! Every fixture is a deterministic field (integer-hash noise over dyadic
 //! ramps — no trig, so the bytes are reproducible across platforms) plus
@@ -15,6 +16,8 @@
 //!   format_stability regenerate`.
 
 #![allow(dead_code)]
+
+pub mod corpora;
 
 use ndfield::{Field, Shape};
 use szlike::{ErrorBound, SzConfig};

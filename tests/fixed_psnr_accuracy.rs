@@ -2,6 +2,9 @@
 //! evaluation corpus (Small tier for CI speed; the bench binaries rerun the
 //! same protocol at full scale).
 
+mod common;
+
+use common::corpora;
 use fixed_psnr::data::{generate, DatasetId, Resolution};
 use fixed_psnr::prelude::*;
 
@@ -134,9 +137,11 @@ fn assert_sweep<T: Scalar>(corpus: &str, fields: &[(String, Field<T>)], opts: &F
 #[test]
 fn sweep_registry_datasets_at_paper_targets() {
     // Every field of every registry data set (NYX, ATM, Hurricane),
-    // through the monolithic single-compression path.
+    // through the monolithic single-compression path. The corpora come
+    // from the shared helper so the fixed-ratio harness sweeps the
+    // exact same fields.
     for id in DatasetId::ALL {
-        let fields = dataset(id, 27);
+        let fields = corpora::registry(id);
         assert_sweep(id.name(), &fields, &FixedPsnrOptions::default());
     }
 }
@@ -151,7 +156,7 @@ fn sweep_registry_datasets_through_blocked_path() {
         ..FixedPsnrOptions::default()
     };
     for id in DatasetId::ALL {
-        let fields = dataset(id, 27);
+        let fields = corpora::registry(id);
         assert_sweep(id.name(), &fields, &blocked);
     }
 }
@@ -161,25 +166,8 @@ fn sweep_grf_and_timeseries_corpora() {
     // The two non-registry generators: power-law Gaussian random fields
     // (f64, spanning smooth to rough spectra) and a drifting time series
     // (f32 snapshots) — both through monolithic and blocked paths.
-    use fixed_psnr::data::grf::grf_2d;
-    use fixed_psnr::data::timeseries::DriftField;
-
-    let grf: Vec<(String, Field<f64>)> = [1.5, 2.5, 3.5]
-        .iter()
-        .enumerate()
-        .map(|(k, &alpha)| {
-            (
-                format!("grf_a{alpha}"),
-                Field::from_vec(Shape::D2(64, 128), grf_2d(64, 128, alpha, 28 + k as u64)),
-            )
-        })
-        .collect();
-    let ts: Vec<(String, Field<f32>)> = DriftField::default()
-        .series(6, 0.5)
-        .into_iter()
-        .enumerate()
-        .map(|(k, f)| (format!("ts_{k}"), f))
-        .collect();
+    let grf = corpora::grf();
+    let ts = corpora::timeseries();
 
     let blocked = FixedPsnrOptions {
         threads: 0,

@@ -65,6 +65,64 @@ fn theorem1_identity_is_pointwise() {
 }
 
 #[test]
+fn theorem1_holds_per_block_through_the_blocked_container() {
+    // The blocked container runs an independent predictor walk per row
+    // slab (sharing only the lossless-stage frequency table, which is
+    // exact), so Theorem 1 must hold *block by block*: the quantizer
+    // distortion of each slab, probed standalone, must equal the data
+    // distortion of that slab's samples in the blocked round trip. An
+    // absolute bound keeps every block's δ identical to the probe's —
+    // a range-relative bound would resolve against the slab's own range.
+    let nf = &generate(DatasetId::Atm, Resolution::Small, 34)[2];
+    let field = &nf.data;
+    let (rows, cols) = match field.shape() {
+        Shape::D2(r, c) => (r, c),
+        other => panic!("ATM field expected 2-D, got {other:?}"),
+    };
+    let eb = 1e-3 * field.value_range();
+    let block_rows = 16;
+    let cfg = SzConfig::new(ErrorBound::Abs(eb))
+        .with_threads(2)
+        .with_block_rows(block_rows);
+    let bytes = sz::compress(field, &cfg).expect("blocked compress");
+    let back: Field<f32> = sz::decompress(&bytes).expect("blocked decompress");
+    let probe_cfg = SzConfig::new(ErrorBound::Abs(eb));
+    let mut blocks = 0;
+    for r0 in (0..rows).step_by(block_rows) {
+        let nr = block_rows.min(rows - r0);
+        let span = r0 * cols..(r0 + nr) * cols;
+        let slab = Field::from_vec(
+            Shape::D2(nr, cols),
+            field.as_slice()[span.clone()].to_vec(),
+        );
+        let (pe, pe_recon, _) = sz::quantization_probe(&slab, &probe_cfg).expect("probe");
+        let quant_mse = mse_slices(&pe, &pe_recon);
+        let data_mse = slab
+            .as_slice()
+            .iter()
+            .zip(&back.as_slice()[span])
+            .map(|(&x, &y)| {
+                let d = x as f64 - y as f64;
+                d * d
+            })
+            .sum::<f64>()
+            / slab.len() as f64;
+        let rel = if quant_mse > 0.0 {
+            (quant_mse - data_mse).abs() / quant_mse
+        } else {
+            data_mse
+        };
+        assert!(
+            rel < 1e-6,
+            "{} block at row {r0}: quantizer MSE {quant_mse:e} vs data MSE {data_mse:e}",
+            nf.name
+        );
+        blocks += 1;
+    }
+    assert!(blocks > 1, "partition degenerated to one block");
+}
+
+#[test]
 fn theorem2_coefficient_mse_equals_data_mse_on_aligned_grids() {
     // 16x16x16 NYX-like grids are 4-aligned, so no padding asymmetry.
     for nf in generate(DatasetId::Nyx, Resolution::Small, 33) {
