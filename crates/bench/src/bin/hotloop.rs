@@ -1,0 +1,228 @@
+//! Single-thread hot-loop benchmark: fused kernels vs the per-element
+//! reference walk, stage by stage and end to end.
+//!
+//! ```text
+//! cargo run --release -p fpsnr-bench --bin hotloop
+//! FPSNR_GRF_DIM=32 FPSNR_REPS=2 cargo run --release -p fpsnr-bench --bin hotloop   # CI smoke
+//! ```
+//!
+//! Writes `BENCH_hotloop.json` (override with `FPSNR_OUT`) recording, per
+//! corpus: walk / reconstruct / full-compress wall time and MB/s for both
+//! kernel modes, the fused-over-reference speedups, the decompress
+//! throughput, and whether the two modes produced byte-identical
+//! containers. Exits nonzero if any container pair differs — the bench
+//! doubles as the bit-identity tripwire CI runs on every push.
+
+use datagen::grf::{grf_2d, grf_3d};
+use datagen::timeseries::DriftField;
+use ndfield::{Field, Shape};
+use std::fmt::Write as _;
+use std::time::Instant;
+use szlike::kernels::{reconstruct_fused, reconstruct_reference, walk_fused, walk_reference};
+use szlike::{ErrorBound, EscapeCoding, KernelMode, PredictorKind, SzConfig};
+
+/// Best-of-N wall-clock for one closure, in seconds.
+fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        out = Some(r);
+    }
+    (best, out.unwrap())
+}
+
+struct CorpusResult {
+    name: &'static str,
+    shape: String,
+    raw_bytes: usize,
+    walk_fused_s: f64,
+    walk_reference_s: f64,
+    recon_fused_s: f64,
+    recon_reference_s: f64,
+    compress_fused_s: f64,
+    compress_reference_s: f64,
+    decompress_s: f64,
+    compressed_bytes: usize,
+    containers_identical: bool,
+}
+
+const EB_REL: f64 = 1e-4;
+const BINS: usize = 65536;
+
+fn run_corpus(name: &'static str, field: &Field<f32>, reps: usize) -> CorpusResult {
+    let raw_bytes = field.len() * 4;
+    let shape = field.shape();
+    let eb = EB_REL * field.value_range();
+    let data = field.as_slice();
+    let pred = PredictorKind::Lorenzo1;
+
+    // Stage benches: raw walk and raw reconstruct, outside the container.
+    let mut scratch = Vec::new();
+    let (walk_fused_s, wf) = time_best(reps, || {
+        walk_fused::<f32>(data, shape, eb, BINS, pred, EscapeCoding::Exact, &mut scratch)
+    });
+    let (walk_reference_s, wr) = time_best(reps, || {
+        walk_reference::<f32>(data, shape, eb, BINS, pred, EscapeCoding::Exact, &mut scratch)
+    });
+    assert_eq!(wf.codes, wr.codes, "{name}: walk codes diverged");
+
+    let (recon_fused_s, rf) = time_best(reps, || {
+        reconstruct_fused(&wf.codes, wf.unpred.clone(), shape, eb, BINS, pred).unwrap()
+    });
+    let (recon_reference_s, rr) = time_best(reps, || {
+        reconstruct_reference(&wr.codes, &wr.unpred, shape, eb, BINS, pred).unwrap()
+    });
+    assert_eq!(rf, rr, "{name}: reconstructions diverged");
+
+    // End-to-end container benches.
+    let cfg = SzConfig::new(ErrorBound::ValueRangeRel(EB_REL)).with_auto_intervals(true);
+    let (compress_fused_s, fused_bytes) = time_best(reps, || {
+        szlike::compress(field, &cfg.with_kernel(KernelMode::Fused)).unwrap()
+    });
+    let (compress_reference_s, reference_bytes) = time_best(reps, || {
+        szlike::compress(field, &cfg.with_kernel(KernelMode::Reference)).unwrap()
+    });
+    let containers_identical = fused_bytes == reference_bytes;
+    let (decompress_s, _back) =
+        time_best(reps, || szlike::decompress::<f32>(&fused_bytes).unwrap());
+
+    CorpusResult {
+        name,
+        shape: format!("{shape:?}"),
+        raw_bytes,
+        walk_fused_s,
+        walk_reference_s,
+        recon_fused_s,
+        recon_reference_s,
+        compress_fused_s,
+        compress_reference_s,
+        decompress_s,
+        compressed_bytes: fused_bytes.len(),
+        containers_identical,
+    }
+}
+
+fn main() {
+    let dim: usize = std::env::var("FPSNR_GRF_DIM")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
+    let reps: usize = std::env::var("FPSNR_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    let out_path =
+        std::env::var("FPSNR_OUT").unwrap_or_else(|_| "BENCH_hotloop.json".to_string());
+
+    let grf3: Vec<f32> = grf_3d(dim, dim, dim, 3.0, 20180713)
+        .into_iter()
+        .map(|v| v as f32)
+        .collect();
+    let grf3 = Field::from_vec(Shape::D3(dim, dim, dim), grf3);
+    let side = 4 * dim;
+    let grf2: Vec<f32> = grf_2d(side, side, 3.0, 20180713)
+        .into_iter()
+        .map(|v| v as f32)
+        .collect();
+    let grf2 = Field::from_vec(Shape::D2(side, side), grf2);
+    // 1-D corpus: a drifting snapshot flattened to a series, so the walk
+    // sees realistic smooth-plus-detail structure rather than pure noise.
+    let drift = DriftField {
+        rows: dim,
+        cols: 4 * dim,
+        ..DriftField::default()
+    }
+    .at(0.0);
+    let n1 = drift.len();
+    let series = Field::from_vec(Shape::D1(n1), drift.as_slice().to_vec());
+
+    let corpora = [
+        ("grf3d", &grf3),
+        ("grf2d", &grf2),
+        ("timeseries1d", &series),
+    ];
+
+    let mut results = Vec::new();
+    for (name, field) in corpora {
+        results.push(run_corpus(name, field, reps));
+    }
+
+    let mib = |bytes: usize, s: f64| bytes as f64 / (1024.0 * 1024.0) / s;
+    println!("hot-loop kernels, eb_rel {EB_REL}, best of {reps}, single thread");
+    for r in &results {
+        println!(
+            "{}: {} ({:.1} MiB)\n  walk       fused {:.1} MiB/s vs reference {:.1} MiB/s ({:.2}x)\n  \
+             reconstruct fused {:.1} MiB/s vs reference {:.1} MiB/s ({:.2}x)\n  \
+             compress   fused {:.1} MiB/s vs reference {:.1} MiB/s ({:.2}x), decompress {:.1} MiB/s\n  \
+             {} bytes, containers identical: {}",
+            r.name,
+            r.shape,
+            r.raw_bytes as f64 / (1024.0 * 1024.0),
+            mib(r.raw_bytes, r.walk_fused_s),
+            mib(r.raw_bytes, r.walk_reference_s),
+            r.walk_reference_s / r.walk_fused_s,
+            mib(r.raw_bytes, r.recon_fused_s),
+            mib(r.raw_bytes, r.recon_reference_s),
+            r.recon_reference_s / r.recon_fused_s,
+            mib(r.raw_bytes, r.compress_fused_s),
+            mib(r.raw_bytes, r.compress_reference_s),
+            r.compress_reference_s / r.compress_fused_s,
+            mib(r.raw_bytes, r.decompress_s),
+            r.compressed_bytes,
+            r.containers_identical,
+        );
+    }
+
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\n  \"bench\": \"hotloop\",\n  \"grf_dim\": {dim},\n  \"reps\": {reps},\n  \
+         \"eb_rel\": {EB_REL},\n  \"corpora\": ["
+    );
+    for (i, r) in results.iter().enumerate() {
+        let _ = write!(
+            json,
+            "{}\n    {{\"name\": \"{}\", \"shape\": \"{}\", \"raw_bytes\": {},\n     \
+             \"walk\": {{\"fused_s\": {:.6}, \"reference_s\": {:.6}, \"speedup\": {:.4}}},\n     \
+             \"reconstruct\": {{\"fused_s\": {:.6}, \"reference_s\": {:.6}, \"speedup\": {:.4}}},\n     \
+             \"compress\": {{\"fused_s\": {:.6}, \"reference_s\": {:.6}, \"speedup\": {:.4}, \
+             \"fused_mib_s\": {:.2}, \"reference_mib_s\": {:.2}}},\n     \
+             \"decompress_s\": {:.6}, \"decompress_mib_s\": {:.2},\n     \
+             \"compressed_bytes\": {}, \"containers_identical\": {}}}",
+            if i == 0 { "" } else { "," },
+            r.name,
+            r.shape,
+            r.raw_bytes,
+            r.walk_fused_s,
+            r.walk_reference_s,
+            r.walk_reference_s / r.walk_fused_s,
+            r.recon_fused_s,
+            r.recon_reference_s,
+            r.recon_reference_s / r.recon_fused_s,
+            r.compress_fused_s,
+            r.compress_reference_s,
+            r.compress_reference_s / r.compress_fused_s,
+            mib(r.raw_bytes, r.compress_fused_s),
+            mib(r.raw_bytes, r.compress_reference_s),
+            r.decompress_s,
+            mib(r.raw_bytes, r.decompress_s),
+            r.compressed_bytes,
+            r.containers_identical,
+        );
+    }
+    let all_identical = results.iter().all(|r| r.containers_identical);
+    let _ = write!(
+        json,
+        "\n  ],\n  \"all_containers_identical\": {all_identical}\n}}\n"
+    );
+    std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    println!("wrote {out_path}");
+
+    if !all_identical {
+        eprintln!("FAIL: fused and reference kernels produced different container bytes");
+        std::process::exit(1);
+    }
+}

@@ -80,7 +80,9 @@ use fpsnr_metrics::summary::FieldOutcome;
 use fpsnr_metrics::{Distortion, RateStats};
 use fpsnr_transform::{transform_compress, transform_decompress, TransformConfig};
 use ndfield::{Field, Scalar};
-use szlike::{compress_with_detail, decompress, ErrorBound, LosslessBackend, SzConfig, SzError};
+use szlike::{
+    compress_with_detail, decompress, ErrorBound, KernelMode, LosslessBackend, SzConfig, SzError,
+};
 
 /// Knobs forwarded to the underlying compressor.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -100,6 +102,9 @@ pub struct FixedPsnrOptions {
     /// Block size in slowest-dimension rows for the blocked path (0 = auto;
     /// forwarded to [`SzConfig::block_rows`]).
     pub block_rows: usize,
+    /// Walk implementation for the SZ hot loop (forwarded to
+    /// [`SzConfig::kernel`]; container bytes are identical either way).
+    pub kernel: KernelMode,
 }
 
 impl Default for FixedPsnrOptions {
@@ -110,6 +115,7 @@ impl Default for FixedPsnrOptions {
             lossless: LosslessBackend::Lz,
             threads: 1,
             block_rows: 0,
+            kernel: KernelMode::Fused,
         }
     }
 }
@@ -122,6 +128,7 @@ impl FixedPsnrOptions {
             .with_lossless(self.lossless)
             .with_threads(self.threads)
             .with_block_rows(self.block_rows)
+            .with_kernel(self.kernel)
     }
 }
 

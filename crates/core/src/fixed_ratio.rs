@@ -27,7 +27,7 @@
 
 use ndfield::{Field, Scalar};
 use szlike::ratemodel::RateModel;
-use szlike::{compress, ErrorBound, LosslessBackend, SzConfig, SzError};
+use szlike::{compress, ErrorBound, KernelMode, LosslessBackend, SzConfig, SzError};
 
 /// A fixed-ratio request plus the knobs forwarded to the compressor.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -52,6 +52,8 @@ pub struct FixedRatioOptions {
     pub threads: usize,
     /// Rows per block for the blocked path (0 = auto).
     pub block_rows: usize,
+    /// Walk implementation for the SZ hot loop (bytes identical either way).
+    pub kernel: KernelMode,
 }
 
 impl FixedRatioOptions {
@@ -67,6 +69,7 @@ impl FixedRatioOptions {
             lossless: LosslessBackend::Lz,
             threads: 1,
             block_rows: 0,
+            kernel: KernelMode::Fused,
         }
     }
 
@@ -77,6 +80,7 @@ impl FixedRatioOptions {
             .with_lossless(self.lossless)
             .with_threads(self.threads)
             .with_block_rows(self.block_rows)
+            .with_kernel(self.kernel)
     }
 
     fn validate(&self) -> Result<(), SzError> {

@@ -81,6 +81,12 @@ impl From<&str> for BenchmarkId {
     }
 }
 
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
 /// A named group of benchmarks sharing a throughput declaration.
 pub struct BenchmarkGroup {
     window: Duration,

@@ -142,6 +142,11 @@ pub fn lz_compress(data: &[u8]) -> Vec<u8> {
 }
 
 /// Compress `data` with an explicit effort level.
+///
+/// Match-search work is hard-capped per position (see
+/// [`crate::lz77::MatchStats`] and the probe budget in `lz77`), so total
+/// matcher effort is linear in `data.len()` with a constant set by
+/// `effort` — even on adversarial inputs like long constant runs.
 pub fn lz_compress_with(data: &[u8], effort: Effort) -> Vec<u8> {
     let tokens = lz77::tokenize(data, effort);
 

@@ -50,8 +50,11 @@ const MAX_SUB_TABLE_ENTRIES: usize = 1 << 22;
 pub struct HuffmanCodec {
     /// Code length per symbol; 0 = symbol unused.
     lens: Vec<u8>,
-    /// Canonical code per symbol, MSB-first in the low `lens[s]` bits.
-    codes: Vec<u32>,
+    /// Wire form per symbol: the canonical (MSB-first) code pre-reversed to
+    /// LSB-first, ready to hand to [`BitWriter::write_bits`] without
+    /// per-symbol bit-reversal. The MSB-first code is recoverable as
+    /// `reverse_bits(wire[s], lens[s])`.
+    wire: Vec<u32>,
     /// max code length actually used (0 for an empty alphabet).
     max_len: u32,
     /// fast_table[peeked FAST_BITS, LSB-first] = (payload, len).
@@ -107,10 +110,12 @@ impl HuffmanCodec {
         }
         let mut next_code = first_code.clone();
         let mut codes = vec![0u32; lens.len()];
+        let mut wire = vec![0u32; lens.len()];
         for (sym, &l) in lens.iter().enumerate() {
             if l > 0 {
                 let l = l as usize;
                 codes[sym] = next_code[l];
+                wire[sym] = reverse_bits(codes[sym], l as u32);
                 next_code[l] += 1;
             }
         }
@@ -175,7 +180,7 @@ impl HuffmanCodec {
         }
         HuffmanCodec {
             lens,
-            codes,
+            wire,
             max_len,
             fast_table,
             sub_table,
@@ -209,12 +214,25 @@ impl HuffmanCodec {
     pub fn encode_one(&self, sym: u32, w: &mut BitWriter) {
         let len = self.lens[sym as usize] as u32;
         debug_assert!(len > 0, "encoding symbol {sym} with no code");
-        w.write_bits(reverse_bits(self.codes[sym as usize], len) as u64, len);
+        w.write_bits(self.wire[sym as usize] as u64, len);
     }
 
     /// Encode a slice of symbols.
+    ///
+    /// Symbols are packed two at a time into a single `write_bits` call
+    /// (2 × `MAX_CODE_LEN` = 56 bits fits the writer's per-call limit),
+    /// halving writer bookkeeping on the entropy-stage hot path. The
+    /// emitted bitstream is identical to symbol-at-a-time encoding.
     pub fn encode(&self, symbols: &[u32], w: &mut BitWriter) {
-        for &s in symbols {
+        let mut pairs = symbols.chunks_exact(2);
+        for pair in &mut pairs {
+            let (s0, s1) = (pair[0] as usize, pair[1] as usize);
+            let (l0, l1) = (self.lens[s0] as u32, self.lens[s1] as u32);
+            debug_assert!(l0 > 0 && l1 > 0, "encoding symbol with no code");
+            let packed = self.wire[s0] as u64 | ((self.wire[s1] as u64) << l0);
+            w.write_bits(packed, l0 + l1);
+        }
+        for &s in pairs.remainder() {
             self.encode_one(s, w);
         }
     }
@@ -573,7 +591,8 @@ mod tests {
                     continue;
                 }
                 let (la, lb) = (codec.lens[a as usize], codec.lens[b as usize]);
-                let (ca, cb) = (codec.codes[a as usize], codec.codes[b as usize]);
+                let ca = reverse_bits(codec.wire[a as usize], la as u32);
+                let cb = reverse_bits(codec.wire[b as usize], lb as u32);
                 if la <= lb {
                     assert_ne!(
                         ca,
@@ -626,6 +645,31 @@ mod tests {
     }
 
     #[test]
+    fn paired_encode_matches_symbol_at_a_time() {
+        // Deep codes (near MAX_CODE_LEN) plus odd/even stream lengths
+        // exercise the packed pair path and its remainder handling.
+        let mut counts = vec![0u64; 40];
+        let (mut a, mut b) = (1u64, 1u64);
+        for c in counts.iter_mut() {
+            *c = a;
+            let next = a + b;
+            a = b;
+            b = next;
+        }
+        let codec = HuffmanCodec::from_counts(&counts);
+        for n in [0usize, 1, 2, 3, 80, 81] {
+            let syms: Vec<u32> = (0..n as u32).map(|i| i % 40).collect();
+            let mut batched = BitWriter::new();
+            codec.encode(&syms, &mut batched);
+            let mut single = BitWriter::new();
+            for &s in &syms {
+                codec.encode_one(s, &mut single);
+            }
+            assert_eq!(batched.finish(), single.finish(), "n={n}");
+        }
+    }
+
+    #[test]
     fn truncated_stream_is_eof() {
         let counts = vec![1u64, 1, 1, 1];
         let codec = HuffmanCodec::from_counts(&counts);
@@ -660,7 +704,7 @@ mod tests {
         let mut pos = 0;
         let codec2 = HuffmanCodec::read_table(&table, &mut pos).unwrap();
         assert_eq!(codec.lens, codec2.lens);
-        assert_eq!(codec.codes, codec2.codes);
+        assert_eq!(codec.wire, codec2.wire);
     }
 
     #[test]

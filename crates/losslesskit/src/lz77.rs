@@ -50,6 +50,30 @@ impl Effort {
 const HASH_BITS: u32 = 15;
 const HASH_SIZE: usize = 1 << HASH_BITS;
 
+/// Byte-probe budget per position: `max_chain` candidates, each costing at
+/// most one fast-reject byte plus a `common_prefix` walk of at most
+/// `MAX_MATCH` bytes and one mismatch byte. The cap therefore never alters
+/// the token stream — it exists as a hard worst-case guarantee (and a
+/// regression tripwire) against the matcher degenerating to quadratic work
+/// on adversarial input, e.g. long constant runs feeding one hash chain.
+#[inline]
+fn probe_budget(max_chain: usize) -> u64 {
+    (max_chain * (MAX_MATCH + 2)) as u64
+}
+
+/// Work counters for one [`tokenize_with_stats`] call. Counts are exact and
+/// deterministic (no timers), so tests can bound matcher effort without
+/// timing flakiness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MatchStats {
+    /// Positions at which a match search ran (tokens emitted ≤ this).
+    pub positions: u64,
+    /// Hash-chain candidates examined across all positions.
+    pub chain_steps: u64,
+    /// Bytes compared across all probes (fast-reject byte + prefix walk).
+    pub probe_bytes: u64,
+}
+
 #[inline]
 fn hash3(data: &[u8], i: usize) -> usize {
     // Multiplicative hash of 3 bytes; constants from FxHash.
@@ -62,39 +86,67 @@ fn hash3(data: &[u8], i: usize) -> usize {
 /// Every byte of `data` is covered exactly once by the token stream
 /// (the invariant the property tests assert).
 pub fn tokenize(data: &[u8], effort: Effort) -> Vec<Token> {
+    tokenize_with_stats(data, effort).0
+}
+
+/// Tokenize `data` greedily, returning exact work counters alongside the
+/// token stream. The tokens are identical to [`tokenize`]'s.
+pub fn tokenize_with_stats(data: &[u8], effort: Effort) -> (Vec<Token>, MatchStats) {
     let n = data.len();
+    let mut stats = MatchStats::default();
     let mut tokens = Vec::with_capacity(n / 4 + 16);
     if n < MIN_MATCH + 1 {
         tokens.extend(data.iter().map(|&b| Token::Literal(b)));
-        return tokens;
+        return (tokens, stats);
     }
     let max_chain = effort.max_chain();
-    let mut head = vec![usize::MAX; HASH_SIZE];
-    let mut prev = vec![usize::MAX; n];
+    let budget = probe_budget(max_chain);
+    // u32 chain tables: half the memory traffic of `usize` tables, and the
+    // chains are where the matcher spends its cache budget. `u32::MAX` is
+    // the chain terminator; on inputs of 4 GiB or more, stored positions
+    // wrap, but every candidate still passes the 32 KiB window check on the
+    // value actually used to form the distance and every match is verified
+    // byte-for-byte by `common_prefix`, so the failure mode is a missed
+    // match, never a corrupt token.
+    let mut head = vec![u32::MAX; HASH_SIZE];
+    let mut prev = vec![u32::MAX; n];
     let mut i = 0usize;
     while i < n {
         let mut best_len = 0usize;
         let mut best_dist = 0usize;
+        // Hash of the 3 bytes at `i`; valid whenever a search can run, and
+        // reused by the literal path's chain insert below.
+        let mut h = 0usize;
         if i + MIN_MATCH <= n {
-            let h = hash3(data, i.min(n - MIN_MATCH));
+            stats.positions += 1;
+            h = hash3(data, i);
             let mut cand = head[h];
             let mut chain = 0usize;
+            let mut pos_probes = 0u64;
             let limit = i.saturating_sub(MAX_DIST);
-            while cand != usize::MAX && cand >= limit && chain < max_chain {
+            while cand != u32::MAX && cand as usize >= limit && chain < max_chain {
+                let c = cand as usize;
+                stats.chain_steps += 1;
+                pos_probes += 1; // fast-reject byte
                 // Fast reject: compare the byte after the current best.
-                if best_len == 0 || data.get(cand + best_len) == data.get(i + best_len) {
-                    let len = common_prefix(data, cand, i);
+                if best_len == 0 || data.get(c + best_len) == data.get(i + best_len) {
+                    let len = common_prefix(data, c, i);
+                    pos_probes += len as u64 + 1; // matched bytes + mismatch
                     if len > best_len {
                         best_len = len;
-                        best_dist = i - cand;
+                        best_dist = i - c;
                         if len >= MAX_MATCH {
                             break;
                         }
                     }
                 }
-                cand = prev[cand];
+                if pos_probes >= budget {
+                    break;
+                }
+                cand = prev[c];
                 chain += 1;
             }
+            stats.probe_bytes += pos_probes;
         }
         if best_len >= MIN_MATCH {
             tokens.push(Token::Match {
@@ -106,23 +158,22 @@ pub fn tokenize(data: &[u8], effort: Effort) -> Vec<Token> {
             let end = (i + best_len).min(n - MIN_MATCH + 1);
             let mut j = i;
             while j < end {
-                let h = hash3(data, j);
-                prev[j] = head[h];
-                head[h] = j;
+                let hj = hash3(data, j);
+                prev[j] = head[hj];
+                head[hj] = j as u32;
                 j += 1;
             }
             i += best_len;
         } else {
             tokens.push(Token::Literal(data[i]));
             if i + MIN_MATCH <= n {
-                let h = hash3(data, i);
                 prev[i] = head[h];
-                head[h] = i;
+                head[h] = i as u32;
             }
             i += 1;
         }
     }
-    tokens
+    (tokens, stats)
 }
 
 /// Length of the common prefix of `data[a..]` and `data[b..]` (`a < b`),
@@ -243,6 +294,45 @@ mod tests {
                 assert!(len as usize <= MAX_MATCH);
                 assert!(dist as usize <= MAX_DIST);
                 assert!(len as usize >= MIN_MATCH);
+            }
+        }
+    }
+
+    #[test]
+    fn stats_variant_emits_identical_tokens() {
+        let data: Vec<u8> = (0..6000u32).map(|i| (i * 7 % 253) as u8).collect();
+        for effort in [Effort::Fast, Effort::Default, Effort::Best] {
+            let plain = tokenize(&data, effort);
+            let (with_stats, stats) = tokenize_with_stats(&data, effort);
+            assert_eq!(plain, with_stats);
+            assert!(stats.positions > 0 && stats.probe_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn adversarial_input_probe_work_is_linear() {
+        // Worst cases for a hash-chain matcher: a constant run (every
+        // position lands in one chain) and a short period (dense chains,
+        // long matches). The per-position probe budget bounds total byte
+        // comparisons to budget × positions — linear in input size — and,
+        // because the budget provably exceeds what an unbounded search can
+        // spend per position, the token stream is unchanged.
+        let constant = vec![0xABu8; 64 * 1024];
+        let periodic: Vec<u8> = (0..64 * 1024usize).map(|i| (i % 5) as u8).collect();
+        for data in [&constant, &periodic] {
+            for effort in [Effort::Fast, Effort::Default, Effort::Best] {
+                let budget = probe_budget(effort.max_chain());
+                let (tokens, stats) = tokenize_with_stats(data, effort);
+                assert!(
+                    stats.probe_bytes <= stats.positions * budget,
+                    "probe bytes {} exceed budget {} × {} positions",
+                    stats.probe_bytes,
+                    budget,
+                    stats.positions
+                );
+                assert!(stats.chain_steps <= stats.positions * effort.max_chain() as u64);
+                assert_eq!(tokens, tokenize(data, effort));
+                assert_eq!(&detokenize(&tokens, data.len()), data);
             }
         }
     }

@@ -32,11 +32,11 @@ use crate::compressor::{
     apply_lossless, choose_intervals, quantized_walk_on, read_f64, select_predictor, take,
     undo_lossless_bounded, BlockDamage, CompressionDetail, DamageReport, DecodeLimits, WalkOutput,
 };
-use crate::config::{EntropyCoder, EscapeCoding, SzConfig};
+use crate::config::{EntropyCoder, EscapeCoding, KernelMode, SzConfig};
 use crate::error::{DecodeError, SzError};
 use crate::format::{self, Header, Mode};
-use crate::predictor::{predict_with, PredictorKind};
-use crate::quantizer::{LinearQuantizer, ESCAPE};
+use crate::kernels;
+use crate::predictor::PredictorKind;
 use crate::unpredictable;
 use fpsnr_parallel::pool::ThreadPool;
 use losslesskit::bitio::{BitReader, BitWriter};
@@ -170,6 +170,7 @@ fn run_walks<T: Scalar>(
     bins: usize,
     pred_kind: PredictorKind,
     escape: EscapeCoding,
+    kernel: KernelMode,
     pool: Option<&ThreadPool>,
 ) -> Vec<WalkOutput<T>> {
     let shape = field.shape();
@@ -182,6 +183,7 @@ fn run_walks<T: Scalar>(
                     let (r, bshape) = block_range(shape, block_rows, b);
                     quantized_walk_on(
                         &data[r], bshape, eb, bins, pred_kind, escape, false, &mut recon,
+                        kernel,
                     )
                 })
                 .collect()
@@ -204,7 +206,7 @@ fn run_walks<T: Scalar>(
                         .pop()
                         .unwrap_or_default();
                     let out = quantized_walk_on(
-                        &slab, bshape, eb, bins, pred_kind, escape, false, &mut recon,
+                        &slab, bshape, eb, bins, pred_kind, escape, false, &mut recon, kernel,
                     );
                     scratch.lock().expect("scratch arena lock").push(recon);
                     results.lock().expect("walk results lock")[b] = Some(out);
@@ -295,6 +297,7 @@ pub(crate) fn compress_blocked<T: Scalar>(
         bins,
         pred_kind,
         cfg.escape,
+        cfg.kernel,
         pool.as_ref(),
     );
     drop(walk_span);
@@ -417,27 +420,15 @@ fn decode_block<T: Scalar>(
 ) -> Result<Vec<T>, SzError> {
     let (bshape, bn) = block_shape(shape, block_rows, block_index);
     let mut bpos = 0usize;
+    // Locate the code stream but defer entropy decoding: the escape
+    // payload behind it parses first so the fused mirror can interleave
+    // Huffman decoding with reconstruction slice by slice.
     let stream_len = varint::read_u64(body, &mut bpos)? as usize;
     if stream_len > body.len().saturating_sub(bpos) {
         return Err(SzError::Format("block code stream overruns payload"));
     }
     let stream = &body[bpos..bpos + stream_len];
     bpos += stream_len;
-    let codes = match codec {
-        Some(c) => {
-            let mut codes = Vec::with_capacity(bn);
-            let mut br = BitReader::new(stream);
-            c.decode(&mut br, bn, &mut codes)?;
-            codes
-        }
-        None => {
-            let codes = range::range_decode_bounded(stream, bn)?;
-            if codes.len() != bn {
-                return Err(SzError::Format("block range stream decoded wrong count"));
-            }
-            codes
-        }
-    };
     let n_unpred = varint::read_u64(body, &mut bpos)? as usize;
     if n_unpred > bn {
         return Err(SzError::Format("more escapes than block samples"));
@@ -462,37 +453,34 @@ fn decode_block<T: Scalar>(
         _ => return Err(SzError::Format("unknown escape coding tag")),
     };
 
-    // Replay of the block's compression walk.
-    let quant = LinearQuantizer::new(eb, bins);
-    let alphabet = quant.alphabet() as u32;
-    let mut recon = vec![0.0f64; bn];
-    let mut out = vec![T::default(); bn];
-    let mut next_unpred = 0usize;
-    for lin in 0..bn {
-        let code = codes[lin];
-        if code == ESCAPE {
-            if next_unpred >= n_unpred {
-                return Err(SzError::Format("more escapes than stored values"));
+    // Fused replay of the block's compression walk (the Theorem-1 mirror).
+    let mut dec = kernels::FusedDecoder::new(bshape, eb, bins, pred_kind, unpred_values);
+    match codec {
+        Some(c) => {
+            let mut br = BitReader::new(stream);
+            let slice = dec.slice_len().max(1);
+            let chunk = (DECODE_CHUNK_CODES / slice).max(1) * slice;
+            let mut codes = Vec::with_capacity(chunk.min(bn));
+            while dec.remaining() > 0 {
+                let now = chunk.min(dec.remaining());
+                codes.clear();
+                c.decode(&mut br, now, &mut codes)?;
+                dec.push(&codes)?;
             }
-            let v = unpred_values[next_unpred];
-            next_unpred += 1;
-            out[lin] = v;
-            recon[lin] = v.to_f64();
-        } else {
-            if code >= alphabet {
-                return Err(SzError::Format("quantization code out of range"));
+        }
+        None => {
+            let codes = range::range_decode_bounded(stream, bn)?;
+            if codes.len() != bn {
+                return Err(SzError::Format("block range stream decoded wrong count"));
             }
-            let pred = predict_with(pred_kind, &recon, bshape, lin);
-            let v = T::from_f64(pred + quant.reconstruct(code));
-            out[lin] = v;
-            recon[lin] = v.to_f64();
+            dec.push(&codes)?;
         }
     }
-    if next_unpred != n_unpred {
-        return Err(SzError::Format("unused escape values"));
-    }
-    Ok(out)
+    dec.finish()
 }
+
+/// Target Huffman-decode granularity for the fused block mirror, in codes.
+const DECODE_CHUNK_CODES: usize = 16 * 1024;
 
 /// Pipeline parameters shared by every blocked-container version.
 struct BlockedParams {

@@ -13,9 +13,10 @@
 //! bounds through a log transform (the SZ 2.x scheme) — included because
 //! §II-B of the paper surveys exactly these error-control strategies.
 
-use crate::config::{EntropyCoder, ErrorBound, EscapeCoding, LosslessBackend, SzConfig};
+use crate::config::{EntropyCoder, ErrorBound, EscapeCoding, KernelMode, LosslessBackend, SzConfig};
 use crate::error::{DecodeError, SzError};
 use crate::format::{self, Header, Mode};
+use crate::kernels;
 use crate::predictor::{predict_with, PredictorKind};
 use crate::quantizer::{LinearQuantizer, ESCAPE};
 use crate::unpredictable;
@@ -73,6 +74,7 @@ pub(crate) struct WalkOutput<T: Scalar> {
 
 /// The single shared walk: identical logic drives compression, the Fig. 1
 /// prediction-error probe, and (mirrored) decompression.
+#[allow(clippy::too_many_arguments)]
 fn quantized_walk<T: Scalar>(
     field: &Field<T>,
     eb: f64,
@@ -80,6 +82,7 @@ fn quantized_walk<T: Scalar>(
     pred_kind: PredictorKind,
     escape: EscapeCoding,
     collect_errors: bool,
+    kernel: KernelMode,
 ) -> WalkOutput<T> {
     let mut recon = Vec::new();
     quantized_walk_on(
@@ -91,12 +94,19 @@ fn quantized_walk<T: Scalar>(
         escape,
         collect_errors,
         &mut recon,
+        kernel,
     )
 }
 
 /// Slice-level walk with caller-owned reconstruction scratch: the blocked
 /// path runs one walk per block on pool workers, and reusing `recon` across
 /// the blocks a worker claims avoids the largest per-block allocation.
+///
+/// `kernel` selects the implementation; both produce identical output (the
+/// fused kernels replicate this loop's float-op order exactly, and the
+/// differential suite in `tests/kernel_equivalence.rs` holds them to it).
+/// Error collection forces the reference walk — only it materializes the
+/// raw prediction errors.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn quantized_walk_on<T: Scalar>(
     data: &[T],
@@ -107,7 +117,16 @@ pub(crate) fn quantized_walk_on<T: Scalar>(
     escape: EscapeCoding,
     collect_errors: bool,
     recon: &mut Vec<f64>,
+    kernel: KernelMode,
 ) -> WalkOutput<T> {
+    if kernel == KernelMode::Fused && !collect_errors {
+        let out = crate::kernels::walk_fused(data, shape, eb, bins, pred_kind, escape, recon);
+        return WalkOutput {
+            codes: out.codes,
+            unpred: out.unpred,
+            pred_errors: None,
+        };
+    }
     let n = data.len();
     let quant = LinearQuantizer::new(eb, bins);
     let mut codes = Vec::with_capacity(n);
@@ -434,7 +453,7 @@ fn compress_quantized<T: Scalar>(
     // Stage 2 (sz.quantize): the Lorenzo-prediction + linear-scaling
     // quantization walk over every sample.
     let quantize_span = fpsnr_obs::span("sz.quantize");
-    let walk = quantized_walk(field, eb_abs, bins, pred_kind, cfg.escape, false);
+    let walk = quantized_walk(field, eb_abs, bins, pred_kind, cfg.escape, false, cfg.kernel);
     drop(quantize_span);
 
     // Stage 3 (sz.encode): entropy stage over the code alphabet
@@ -869,12 +888,15 @@ fn decompress_quantized<T: Scalar>(
     let payload = take(src, &mut pos, len)?;
     let body = undo_lossless_bounded(flag, payload, limits.max_body_bytes())?;
 
-    // Parse body sections.
+    // Parse body sections. The code stream is *located* here but not yet
+    // decoded: the escape payload behind it parses first, so the fused
+    // mirror below can interleave LUT Huffman decoding with
+    // reconstruction slice by slice instead of materializing all codes.
     let mut bpos = 0usize;
     let n = header.shape.len();
     let stage = *body.first().ok_or(SzError::Format("empty body"))?;
     bpos += 1;
-    let codes = match stage {
+    let (codec, stream) = match stage {
         0 => {
             let table_len = varint::read_u64(&body, &mut bpos)? as usize;
             let table_end = bpos
@@ -891,22 +913,16 @@ fn decompress_quantized<T: Scalar>(
             }
             let stream = &body[bpos..bpos + stream_len];
             bpos += stream_len;
-            let mut codes = Vec::with_capacity(n);
-            let mut br = BitReader::new(stream);
-            codec.decode(&mut br, n, &mut codes)?;
-            codes
+            (Some(codec), stream)
         }
         1 => {
             let stream_len = varint::read_u64(&body, &mut bpos)? as usize;
             if stream_len > body.len().saturating_sub(bpos) {
                 return Err(SzError::Format("code stream overruns body"));
             }
-            let codes = range::range_decode_bounded(&body[bpos..bpos + stream_len], n)?;
+            let stream = &body[bpos..bpos + stream_len];
             bpos += stream_len;
-            if codes.len() != n {
-                return Err(SzError::Format("range stream decoded wrong count"));
-            }
-            codes
+            (None, stream)
         }
         _ => return Err(SzError::Format("unknown entropy stage")),
     };
@@ -938,37 +954,37 @@ fn decompress_quantized<T: Scalar>(
         _ => return Err(SzError::Format("unknown escape coding tag")),
     };
 
-    // Mirror of the compression walk.
-    let quant = LinearQuantizer::new(eb, bins);
-    let alphabet = quant.alphabet() as u32;
-    let mut recon = vec![0.0f64; n];
-    let mut out = vec![T::default(); n];
-    let mut next_unpred = 0usize;
-    for lin in 0..n {
-        let code = codes[lin];
-        if code == ESCAPE {
-            if next_unpred >= n_unpred {
-                return Err(SzError::Format("more escapes than stored values"));
+    // Fused mirror of the compression walk (Theorem 1): decode the code
+    // stream in outer-slice chunks and reconstruct each chunk immediately.
+    let _mirror = fpsnr_obs::span("sz.kernel.decode");
+    let mut dec = kernels::FusedDecoder::new(header.shape, eb, bins, pred_kind, unpred_values);
+    match codec {
+        Some(codec) => {
+            let mut br = BitReader::new(stream);
+            let slice = dec.slice_len().max(1);
+            let chunk = (DECODE_CHUNK_CODES / slice).max(1) * slice;
+            let mut codes = Vec::with_capacity(chunk.min(n));
+            while dec.remaining() > 0 {
+                let now = chunk.min(dec.remaining());
+                codes.clear();
+                codec.decode(&mut br, now, &mut codes)?;
+                dec.push(&codes)?;
             }
-            let v = unpred_values[next_unpred];
-            next_unpred += 1;
-            out[lin] = v;
-            recon[lin] = v.to_f64();
-        } else {
-            if code >= alphabet {
-                return Err(SzError::Format("quantization code out of range"));
+        }
+        None => {
+            let codes = range::range_decode_bounded(stream, n)?;
+            if codes.len() != n {
+                return Err(SzError::Format("range stream decoded wrong count"));
             }
-            let pred = predict_with(pred_kind, &recon, header.shape, lin);
-            let v = T::from_f64(pred + quant.reconstruct(code));
-            out[lin] = v;
-            recon[lin] = v.to_f64();
+            dec.push(&codes)?;
         }
     }
-    if next_unpred != n_unpred {
-        return Err(SzError::Format("unused escape values"));
-    }
-    Ok(Field::from_vec(header.shape, out))
+    Ok(Field::from_vec(header.shape, dec.finish()?))
 }
+
+/// Target Huffman-decode granularity for the fused mirror, in codes; the
+/// actual chunk is the nearest whole number of outer-dimension slices.
+const DECODE_CHUNK_CODES: usize = 16 * 1024;
 
 fn decompress_log_rel<T: Scalar>(
     src: &[u8],
@@ -1053,7 +1069,15 @@ pub fn prediction_errors<T: Scalar>(
         ));
     }
     let pred_kind = select_predictor(field, cfg.predictor, eb_abs);
-    let walk = quantized_walk(field, eb_abs, cfg.quant_bins, pred_kind, cfg.escape, true);
+    let walk = quantized_walk(
+        field,
+        eb_abs,
+        cfg.quant_bins,
+        pred_kind,
+        cfg.escape,
+        true,
+        cfg.kernel,
+    );
     Ok((
         walk.pred_errors.expect("collect_errors was set"),
         eb_abs,

@@ -77,6 +77,23 @@ pub enum EscapeCoding {
     Truncated,
 }
 
+/// Which implementation runs the quantized walk (and its decode mirror).
+///
+/// Both produce **bit-identical containers** — the fused kernels replicate
+/// the reference walk's floating-point evaluation order operation for
+/// operation — so this knob only trades implementation strategy, never
+/// bytes. The reference walk is kept as the correctness oracle for the
+/// differential test suite and as a readable spec of the walk semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelMode {
+    /// Fused predict–quantize–encode kernels: boundary/interior region
+    /// decomposition with branch-free, dimensionality-specialized interior
+    /// loops (default).
+    Fused,
+    /// The per-element reference walk with generic stencil dispatch.
+    Reference,
+}
+
 /// Which lossless backend runs over the entropy-coded payload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LosslessBackend {
@@ -126,6 +143,9 @@ pub struct SzConfig {
     /// path; 0 = derive from the shape. The blocked container is used when
     /// `threads != 1` or `block_rows > 0`.
     pub block_rows: usize,
+    /// Which walk implementation runs the hot loop. Container bytes are
+    /// identical either way; [`KernelMode::Fused`] is the fast default.
+    pub kernel: KernelMode,
 }
 
 impl SzConfig {
@@ -144,6 +164,7 @@ impl SzConfig {
             effort: Effort::Default,
             threads: 1,
             block_rows: 0,
+            kernel: KernelMode::Fused,
         }
     }
 
@@ -192,6 +213,12 @@ impl SzConfig {
     /// Set the block size in slowest-dimension rows (0 = auto).
     pub fn with_block_rows(mut self, rows: usize) -> Self {
         self.block_rows = rows;
+        self
+    }
+
+    /// Select the walk implementation (fused kernels vs reference oracle).
+    pub fn with_kernel(mut self, kernel: KernelMode) -> Self {
+        self.kernel = kernel;
         self
     }
 

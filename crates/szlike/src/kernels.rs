@@ -1,0 +1,1425 @@
+//! Fused predict–quantize–encode kernels: the single-thread hot path.
+//!
+//! The reference walk in `compressor.rs` dispatches a generic stencil per
+//! element (`predict_with`), pays boundary `if`s on every sample, and
+//! routes quantization through an `Option`. These kernels restructure the
+//! walk into **regions**: each row/plane is split into its boundary
+//! (first row/column/plane, where the stencil degrades) and its interior
+//! (where the full stencil applies unconditionally). Boundary elements go
+//! through the reference stencil; interior elements run in branch-free,
+//! dimensionality-specialized loops that fuse prediction, quantization by
+//! multiply-with-inverse-bin-width, reconstruction write-back, and code
+//! emission into a preallocated `u32` buffer. Entropy coding happens in a
+//! second tight pass over that buffer (see `HuffmanCodec::encode`'s
+//! word-at-a-time pair emission).
+//!
+//! # Bit-identity is a hard invariant
+//!
+//! Containers produced through these kernels must be **byte-identical** to
+//! the reference walk's: the format-stability goldens pin the bytes, and
+//! the paper's Theorem 1 (compressor and decompressor see the same
+//! reconstruction) only survives if every float op happens in the same
+//! order with the same operands. Three rules keep that true:
+//!
+//! 1. The quantizer step multiplies by `LinearQuantizer::inv_bin_width`
+//!    — the *same* precomputed factor the reference `quantize` uses — and
+//!    replicates its rounding, range test, and midpoint reconstruction
+//!    operation for operation. Rounding uses the branch-free
+//!    `ROUND_MAGIC` form, proven bit-equal to `f64::round` on every
+//!    finite input; ∞ saturates the integer cast outside the code range
+//!    and NaN fails the bound re-check, so both escape exactly like the
+//!    reference's `is_finite` + range gate.
+//! 2. Interior loops spell out the stencil with the reference's exact
+//!    left-associated operand order (e.g. the 3-D chain
+//!    `t1 + t2 + t3 − t4 − t5 − t6 + t7`), and the Lorenzo² accumulation
+//!    uses the same `pred += c · r` sequence with the constant-folded
+//!    weights the reference's multiply chain produces exactly.
+//! 3. Boundary elements — where the reference inserts literal `0.0`
+//!    terms whose additions canonicalize `-0.0` to `+0.0` — are never
+//!    re-derived; they call the reference stencil itself.
+//!
+//! Compression and decompression share one region-decomposition driver
+//! (`drive_range`) parameterized over an element sink, so the decode
+//! mirror cannot drift from the walk by construction.
+//!
+//! # Wavefront row pairing (compress only)
+//!
+//! The walk's throughput ceiling is the loop-carried reconstruction
+//! chain: each prediction reads the value the previous emit just wrote,
+//! so one row is one long serial floating-point dependency. The compress
+//! walk therefore schedules two adjacent interior rows together, the
+//! second lagging the first by one column (`l1_pair` and friends). The
+//! anti-diagonal independence of the Lorenzo stencils means every input
+//! an element reads is finalized before it runs, so per-element values
+//! are bit-identical to the sequential order; the lagging row's escape
+//! payload is buffered and appended at pair end so the escape *stream*
+//! also stays in scan order. Decoding cannot use this schedule — it pops
+//! escapes from the stream in scan order, and the lagging row's values
+//! would still be in flight — so `drive_range` remains strictly
+//! sequential and is the only driver the decode sink runs on.
+
+use crate::compressor::quantized_walk_on;
+use crate::config::{EscapeCoding, KernelMode};
+use crate::error::SzError;
+use crate::predictor::{predict_with, PredictorKind};
+use crate::quantizer::{LinearQuantizer, ESCAPE};
+use crate::unpredictable;
+use ndfield::{Scalar, Shape};
+
+/// Output of a prediction + quantization walk (either implementation).
+pub struct WalkResult<T: Scalar> {
+    /// One quantization code per sample, scan order; `ESCAPE` marks
+    /// unpredictable samples.
+    pub codes: Vec<u32>,
+    /// Escaped samples, in scan order.
+    pub unpred: Vec<T>,
+}
+
+/// Per-element processing shared by the walk and its decode mirror: given
+/// the element's linear index and its prediction, produce the value the
+/// reconstruction buffer must see.
+trait ElementSink {
+    fn emit(&mut self, lin: usize, pred: f64) -> Result<f64, SzError>;
+
+    /// [`Self::emit`] for an element of the *lagging* row of a wavefront
+    /// row pair: identical arithmetic, but order-sensitive side effects
+    /// (the escape payload) must be buffered until [`Self::flush_pair`]
+    /// so the escape stream keeps scan order. The default forwards to
+    /// `emit`, which is only correct for sinks with no order-sensitive
+    /// state — the decode sink must never be driven through the
+    /// wavefront schedulers (it consumes escapes in scan order and the
+    /// lagging row's values are not yet in the stream).
+    #[inline(always)]
+    fn emit_lagged(&mut self, lin: usize, pred: f64) -> Result<f64, SzError> {
+        self.emit(lin, pred)
+    }
+
+    /// Called once both rows of a wavefront pair have completed; appends
+    /// any buffered lagging-row side effects in scan order.
+    #[inline]
+    fn flush_pair(&mut self) {}
+}
+
+/// Largest `f64` strictly below one half (`0.5 − 2⁻⁵⁴`). Adding it with
+/// the operand's sign and then truncating toward zero rounds
+/// half-away-from-zero: the result equals `f64::round` **bit for bit**
+/// for every finite input (this is the magic-constant expansion LLVM
+/// itself emits for `llvm.round.f64` on targets with native truncation).
+/// The walk spells it out because the SSE2 baseline lowers `f64::round`
+/// to an out-of-line soft-float call sitting on the hot loop's serial
+/// dependency chain; the fused form is a native add + `cvttsd2si`.
+const ROUND_MAGIC: f64 = 0.499_999_999_999_999_94;
+
+/// Sink for the compression walk: quantize the prediction error, emit the
+/// code, stash escapes.
+struct WalkSink<'a, T: Scalar> {
+    data: &'a [T],
+    codes: &'a mut [u32],
+    unpred: &'a mut Vec<T>,
+    /// Escapes from the lagging row of the wavefront pair in flight,
+    /// appended to `unpred` at [`ElementSink::flush_pair`] so the escape
+    /// stream stays in scan order.
+    deferred: Vec<T>,
+    eb: f64,
+    inv_bin: f64,
+    /// Largest representable |q|: `radius − 1`.
+    qmax: u64,
+    radius: i64,
+    escape: EscapeCoding,
+}
+
+impl<T: Scalar> WalkSink<'_, T> {
+    #[cold]
+    fn emit_escape(&mut self, lin: usize, xv: T, x: f64, defer: bool) -> f64 {
+        self.codes[lin] = ESCAPE;
+        if defer {
+            self.deferred.push(xv);
+        } else {
+            self.unpred.push(xv);
+        }
+        // The walk must see the value the decoder will reconstruct: the
+        // exact bits, or the bound-respecting truncation.
+        match self.escape {
+            EscapeCoding::Exact => x,
+            EscapeCoding::Truncated => unpredictable::truncate_to_bound(xv, self.eb)
+                .unwrap_or(xv)
+                .to_f64(),
+        }
+    }
+
+    #[inline(always)]
+    fn quantize_emit(&mut self, lin: usize, pred: f64, defer: bool) -> f64 {
+        let xv = self.data[lin];
+        let x = xv.to_f64();
+        let err = x - pred;
+        let scaled = err * self.inv_bin;
+        // Branch-free round-half-away-from-zero (see [`ROUND_MAGIC`]):
+        // bit-equal to the reference's `scaled.round()` for every finite
+        // input, while the saturating cast sends ±∞ and |scaled| ≥ 2⁶³
+        // far outside `qmax`. A NaN `scaled` casts to 0 and slips this
+        // gate, but then fails the bound check below (NaN comparisons are
+        // false) and escapes exactly like the reference's finiteness gate.
+        let q = (scaled + ROUND_MAGIC.copysign(scaled)) as i64;
+        if q.unsigned_abs() <= self.qmax {
+            let rerr = (q as f64) * 2.0 * self.eb;
+            // Round through the target precision: the decompressor emits
+            // T, so the bound must hold after that cast, and the walk
+            // must see the exact emitted value.
+            let xr = T::from_f64(pred + rerr);
+            let xrf = xr.to_f64();
+            if (x - xrf).abs() <= self.eb {
+                self.codes[lin] = (self.radius + q) as u32;
+                return xrf;
+            }
+        }
+        self.emit_escape(lin, xv, x, defer)
+    }
+}
+
+impl<T: Scalar> ElementSink for WalkSink<'_, T> {
+    #[inline(always)]
+    fn emit(&mut self, lin: usize, pred: f64) -> Result<f64, SzError> {
+        Ok(self.quantize_emit(lin, pred, false))
+    }
+
+    #[inline(always)]
+    fn emit_lagged(&mut self, lin: usize, pred: f64) -> Result<f64, SzError> {
+        Ok(self.quantize_emit(lin, pred, true))
+    }
+
+    #[inline]
+    fn flush_pair(&mut self) {
+        self.unpred.append(&mut self.deferred);
+    }
+}
+
+/// Sink for the decode mirror: map codes back to reconstructions,
+/// consuming the escape stream in scan order.
+struct DecodeSink<'a, T: Scalar> {
+    /// Codes for the linear range being decoded (chunk-relative).
+    codes: &'a [u32],
+    /// Linear index of `codes[0]`.
+    base: usize,
+    out: &'a mut [T],
+    unpred: &'a [T],
+    next_unpred: &'a mut usize,
+    eb: f64,
+    radius: i64,
+    alphabet: u32,
+}
+
+impl<T: Scalar> DecodeSink<'_, T> {
+    #[cold]
+    fn emit_escape(&mut self, lin: usize) -> Result<f64, SzError> {
+        if *self.next_unpred >= self.unpred.len() {
+            return Err(SzError::Format("more escapes than stored values"));
+        }
+        let v = self.unpred[*self.next_unpred];
+        *self.next_unpred += 1;
+        self.out[lin] = v;
+        Ok(v.to_f64())
+    }
+}
+
+impl<T: Scalar> ElementSink for DecodeSink<'_, T> {
+    #[inline(always)]
+    fn emit(&mut self, lin: usize, pred: f64) -> Result<f64, SzError> {
+        let code = self.codes[lin - self.base];
+        if code != ESCAPE {
+            if code >= self.alphabet {
+                return Err(SzError::Format("quantization code out of range"));
+            }
+            let v = T::from_f64(pred + (code as i64 - self.radius) as f64 * 2.0 * self.eb);
+            self.out[lin] = v;
+            Ok(v.to_f64())
+        } else {
+            self.emit_escape(lin)
+        }
+    }
+}
+
+/// Run the region-decomposed walk over the linear range `start..end`,
+/// which must cover whole outer-dimension slices. `recon[..start]` must
+/// already hold the reconstructions of every earlier sample.
+fn drive_range<S: ElementSink>(
+    shape: Shape,
+    kind: PredictorKind,
+    start: usize,
+    end: usize,
+    recon: &mut [f64],
+    sink: &mut S,
+) -> Result<(), SzError> {
+    if start >= end {
+        return Ok(());
+    }
+    match shape {
+        Shape::D1(_) => drive_1d(shape, kind, start, end, recon, sink),
+        Shape::D2(_, cols) => drive_2d(kind, cols, start, end, recon, sink),
+        Shape::D3(_, d1, d2) => drive_3d(shape, kind, d1, d2, start, end, recon, sink),
+    }
+}
+
+/// Boundary element: reference stencil on the full reconstruction prefix.
+#[inline]
+fn boundary<S: ElementSink>(
+    shape: Shape,
+    kind: PredictorKind,
+    lin: usize,
+    recon: &mut [f64],
+    sink: &mut S,
+) -> Result<(), SzError> {
+    let pred = predict_with(kind, recon, shape, lin);
+    recon[lin] = sink.emit(lin, pred)?;
+    Ok(())
+}
+
+/// [`boundary`] for an element of the lagging row of a wavefront pair.
+#[inline]
+fn boundary_lagged<S: ElementSink>(
+    shape: Shape,
+    kind: PredictorKind,
+    lin: usize,
+    recon: &mut [f64],
+    sink: &mut S,
+) -> Result<(), SzError> {
+    let pred = predict_with(kind, recon, shape, lin);
+    recon[lin] = sink.emit_lagged(lin, pred)?;
+    Ok(())
+}
+
+fn drive_1d<S: ElementSink>(
+    shape: Shape,
+    kind: PredictorKind,
+    start: usize,
+    end: usize,
+    recon: &mut [f64],
+    sink: &mut S,
+) -> Result<(), SzError> {
+    let mut lin = start;
+    match kind {
+        PredictorKind::Lorenzo1 => {
+            if lin == 0 {
+                let r = sink.emit(0, 0.0)?;
+                recon[0] = r;
+                lin = 1;
+            }
+            if lin < end {
+                let mut prev = recon[lin - 1];
+                for (slot, l) in recon[lin..end].iter_mut().zip(lin..end) {
+                    let r = sink.emit(l, prev)?;
+                    *slot = r;
+                    prev = r;
+                }
+            }
+        }
+        PredictorKind::Lorenzo2 => {
+            while lin < end && lin < 2 {
+                boundary(shape, kind, lin, recon, sink)?;
+                lin += 1;
+            }
+            if lin < end {
+                let mut p1 = recon[lin - 1];
+                let mut p2 = recon[lin - 2];
+                for (slot, l) in recon[lin..end].iter_mut().zip(lin..end) {
+                    let pred = 2.0 * p1 - p2;
+                    let r = sink.emit(l, pred)?;
+                    *slot = r;
+                    p2 = p1;
+                    p1 = r;
+                }
+            }
+        }
+        PredictorKind::Auto => unreachable!("Auto resolves before the walk"),
+    }
+    Ok(())
+}
+
+/// First grid row: degenerate 1-D Lorenzo (left neighbour only) for both
+/// stencils — Lorenzo² with `i < 2` falls back to the first-order form.
+fn first_row<S: ElementSink>(
+    cols: usize,
+    end_col: usize,
+    recon: &mut [f64],
+    sink: &mut S,
+) -> Result<(), SzError> {
+    let r = sink.emit(0, 0.0)?;
+    recon[0] = r;
+    let mut left = r;
+    for j in 1..end_col.min(cols) {
+        let r = sink.emit(j, left)?;
+        recon[j] = r;
+        left = r;
+    }
+    Ok(())
+}
+
+/// A row `i ≥ 1` through the first-order three-point stencil
+/// `r[i,j−1] + r[i−1,j] − r[i−1,j−1]` (also the Lorenzo² fallback row).
+fn l1_row<S: ElementSink>(
+    cols: usize,
+    row: usize,
+    recon: &mut [f64],
+    sink: &mut S,
+) -> Result<(), SzError> {
+    let (head, tail) = recon.split_at_mut(row);
+    let up = &head[row - cols..];
+    let cur = &mut tail[..cols];
+    // j = 0: stencil degrades to the above neighbour.
+    let r = sink.emit(row, up[0])?;
+    cur[0] = r;
+    let mut left = r;
+    for j in 1..cols {
+        let pred = left + up[j] - up[j - 1];
+        let r = sink.emit(row + j, pred)?;
+        cur[j] = r;
+        left = r;
+    }
+    Ok(())
+}
+
+/// The constant-folded two-layer 8-point 2-D Lorenzo² stencil, with
+/// `up1`/`up2` the linear offsets of rows `i−1` and `i−2`. The
+/// `pred += c·r` sequence mirrors the reference accumulation with its
+/// weights constant-folded (the sign·C(2,a)·C(2,b) products are exact
+/// small integers); both the sequential row and the wavefront pair call
+/// this one helper so their arithmetic cannot drift apart.
+#[inline(always)]
+fn l2_stencil_2d(recon: &[f64], l1: f64, l2: f64, up1: usize, up2: usize, j: usize) -> f64 {
+    let mut pred = 0.0;
+    pred += 2.0 * l1; //                       (a,b) = (0,1)
+    pred += -1.0 * l2; //                              (0,2)
+    pred += 2.0 * recon[up1 + j]; //                   (1,0)
+    pred += -4.0 * recon[up1 + j - 1]; //              (1,1)
+    pred += 2.0 * recon[up1 + j - 2]; //               (1,2)
+    pred += -1.0 * recon[up2 + j]; //                  (2,0)
+    pred += 2.0 * recon[up2 + j - 1]; //               (2,1)
+    pred += -1.0 * recon[up2 + j - 2]; //              (2,2)
+    pred
+}
+
+/// A row `i ≥ 2` through the two-layer stencil (`j < 2` falls back to the
+/// first-order form, exactly like the reference predictor).
+fn l2_row<S: ElementSink>(
+    cols: usize,
+    row: usize,
+    recon: &mut [f64],
+    sink: &mut S,
+) -> Result<(), SzError> {
+    let up1 = row - cols;
+    let up2 = row - 2 * cols;
+    let r = sink.emit(row, recon[up1])?;
+    recon[row] = r;
+    let mut l1 = r;
+    if cols >= 2 {
+        let pred = l1 + recon[up1 + 1] - recon[up1];
+        let r = sink.emit(row + 1, pred)?;
+        recon[row + 1] = r;
+        let mut l2 = l1;
+        l1 = r;
+        for j in 2..cols {
+            let pred = l2_stencil_2d(recon, l1, l2, up1, up2, j);
+            let r = sink.emit(row + j, pred)?;
+            recon[row + j] = r;
+            l2 = l1;
+            l1 = r;
+        }
+    }
+    Ok(())
+}
+
+fn drive_2d<S: ElementSink>(
+    kind: PredictorKind,
+    cols: usize,
+    start: usize,
+    end: usize,
+    recon: &mut [f64],
+    sink: &mut S,
+) -> Result<(), SzError> {
+    let (r0, r1) = (start / cols, end / cols);
+    for i in r0..r1 {
+        let row = i * cols;
+        match kind {
+            PredictorKind::Lorenzo1 => {
+                if i == 0 {
+                    first_row(cols, cols, recon, sink)?;
+                } else {
+                    l1_row(cols, row, recon, sink)?;
+                }
+            }
+            PredictorKind::Lorenzo2 => {
+                if i == 0 {
+                    first_row(cols, cols, recon, sink)?;
+                } else if i == 1 {
+                    l1_row(cols, row, recon, sink)?;
+                } else {
+                    l2_row(cols, row, recon, sink)?;
+                }
+            }
+            PredictorKind::Auto => unreachable!("Auto resolves before the walk"),
+        }
+    }
+    Ok(())
+}
+
+/// The first-order 3-D seven-point stencil: the reference's
+/// inclusion–exclusion chain `t1+t2+t3−t4−t5−t6+t7`, left-associated.
+/// `rjm1`/`pj`/`pjm1` are the linear offsets of rows (i, j−1, ·),
+/// (i−1, j, ·) and (i−1, j−1, ·). Shared by the sequential row and the
+/// wavefront pair so their arithmetic cannot drift apart.
+#[inline(always)]
+fn l1_stencil_3d(recon: &[f64], left: f64, rjm1: usize, pj: usize, pjm1: usize, k: usize) -> f64 {
+    left + recon[rjm1 + k] + recon[pj + k]
+        - recon[rjm1 + k - 1]
+        - recon[pj + k - 1]
+        - recon[pjm1 + k]
+        + recon[pjm1 + k - 1]
+}
+
+/// The 26-point two-layer 3-D Lorenzo² stencil, weights constant-folded,
+/// accumulation order identical to the reference's (a, b, c) loop nest.
+/// `r{a}{b}` are the linear offsets of rows (i−a, j−b, ·).
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn l2_stencil_3d(
+    recon: &[f64],
+    l1: f64,
+    l2: f64,
+    r01: usize,
+    r02: usize,
+    r10: usize,
+    r11: usize,
+    r12: usize,
+    r20: usize,
+    r21: usize,
+    r22: usize,
+    k: usize,
+) -> f64 {
+    let mut pred = 0.0;
+    pred += 2.0 * l1; //                    (a,b,c) = (0,0,1)
+    pred += -1.0 * l2; //                             (0,0,2)
+    pred += 2.0 * recon[r01 + k]; //                  (0,1,0)
+    pred += -4.0 * recon[r01 + k - 1]; //             (0,1,1)
+    pred += 2.0 * recon[r01 + k - 2]; //              (0,1,2)
+    pred += -1.0 * recon[r02 + k]; //                 (0,2,0)
+    pred += 2.0 * recon[r02 + k - 1]; //              (0,2,1)
+    pred += -1.0 * recon[r02 + k - 2]; //             (0,2,2)
+    pred += 2.0 * recon[r10 + k]; //                  (1,0,0)
+    pred += -4.0 * recon[r10 + k - 1]; //             (1,0,1)
+    pred += 2.0 * recon[r10 + k - 2]; //              (1,0,2)
+    pred += -4.0 * recon[r11 + k]; //                 (1,1,0)
+    pred += 8.0 * recon[r11 + k - 1]; //              (1,1,1)
+    pred += -4.0 * recon[r11 + k - 2]; //             (1,1,2)
+    pred += 2.0 * recon[r12 + k]; //                  (1,2,0)
+    pred += -4.0 * recon[r12 + k - 1]; //             (1,2,1)
+    pred += 2.0 * recon[r12 + k - 2]; //              (1,2,2)
+    pred += -1.0 * recon[r20 + k]; //                 (2,0,0)
+    pred += 2.0 * recon[r20 + k - 1]; //              (2,0,1)
+    pred += -1.0 * recon[r20 + k - 2]; //             (2,0,2)
+    pred += 2.0 * recon[r21 + k]; //                  (2,1,0)
+    pred += -4.0 * recon[r21 + k - 1]; //             (2,1,1)
+    pred += 2.0 * recon[r21 + k - 2]; //              (2,1,2)
+    pred += -1.0 * recon[r22 + k]; //                 (2,2,0)
+    pred += 2.0 * recon[r22 + k - 1]; //              (2,2,1)
+    pred += -1.0 * recon[r22 + k - 2]; //             (2,2,2)
+    pred
+}
+
+/// Plane-interior row `j ≥ 1` of a plane `i ≥ 1` through the first-order
+/// stencil; `k = 0` is a boundary element (left neighbours vanish).
+fn l1_3d_row<S: ElementSink>(
+    shape: Shape,
+    kind: PredictorKind,
+    d2: usize,
+    p: usize,
+    row: usize,
+    recon: &mut [f64],
+    sink: &mut S,
+) -> Result<(), SzError> {
+    boundary(shape, kind, row, recon, sink)?;
+    let rjm1 = row - d2; //       (i, j−1, ·)
+    let pj = row - p; //          (i−1, j, ·)
+    let pjm1 = row - p - d2; //   (i−1, j−1, ·)
+    let mut left = recon[row];
+    for k in 1..d2 {
+        let pred = l1_stencil_3d(recon, left, rjm1, pj, pjm1, k);
+        let r = sink.emit(row + k, pred)?;
+        recon[row + k] = r;
+        left = r;
+    }
+    Ok(())
+}
+
+/// Plane-interior row `j ≥ 2` of a plane `i ≥ 2` through the two-layer
+/// stencil; `k < 2` falls back to the reference per element.
+fn l2_3d_row<S: ElementSink>(
+    shape: Shape,
+    kind: PredictorKind,
+    d2: usize,
+    p: usize,
+    row: usize,
+    recon: &mut [f64],
+    sink: &mut S,
+) -> Result<(), SzError> {
+    for lin in row..row + d2.min(2) {
+        boundary(shape, kind, lin, recon, sink)?;
+    }
+    if d2 < 3 {
+        return Ok(());
+    }
+    let (r01, r02) = (row - d2, row - 2 * d2);
+    let (r10, r11, r12) = (row - p, row - p - d2, row - p - 2 * d2);
+    let (r20, r21, r22) = (row - 2 * p, row - 2 * p - d2, row - 2 * p - 2 * d2);
+    let mut l1 = recon[row + 1];
+    let mut l2 = recon[row];
+    for k in 2..d2 {
+        let pred = l2_stencil_3d(recon, l1, l2, r01, r02, r10, r11, r12, r20, r21, r22, k);
+        let r = sink.emit(row + k, pred)?;
+        recon[row + k] = r;
+        l2 = l1;
+        l1 = r;
+    }
+    Ok(())
+}
+
+fn drive_3d<S: ElementSink>(
+    shape: Shape,
+    kind: PredictorKind,
+    d1: usize,
+    d2: usize,
+    start: usize,
+    end: usize,
+    recon: &mut [f64],
+    sink: &mut S,
+) -> Result<(), SzError> {
+    let p = d1 * d2;
+    let (p0, p1) = (start / p, end / p);
+    for i in p0..p1 {
+        let base = i * p;
+        // Planes where the stencil is not fully available run the
+        // reference per element: plane 0 for Lorenzo, planes 0–1 for
+        // Lorenzo² (which falls back internally).
+        let boundary_plane = match kind {
+            PredictorKind::Lorenzo1 => i < 1,
+            PredictorKind::Lorenzo2 => i < 2,
+            PredictorKind::Auto => unreachable!("Auto resolves before the walk"),
+        };
+        if boundary_plane {
+            for lin in base..base + p {
+                boundary(shape, kind, lin, recon, sink)?;
+            }
+            continue;
+        }
+        match kind {
+            PredictorKind::Lorenzo1 => {
+                // Row j = 0 of the plane: stencil degrades along the face.
+                for lin in base..base + d2 {
+                    boundary(shape, kind, lin, recon, sink)?;
+                }
+                for j in 1..d1 {
+                    l1_3d_row(shape, kind, d2, p, base + j * d2, recon, sink)?;
+                }
+            }
+            PredictorKind::Lorenzo2 => {
+                // Rows j < 2 fall back to the first-order stencil.
+                for lin in base..base + (2 * d2).min(p) {
+                    boundary(shape, kind, lin, recon, sink)?;
+                }
+                for j in 2..d1 {
+                    l2_3d_row(shape, kind, d2, p, base + j * d2, recon, sink)?;
+                }
+            }
+            PredictorKind::Auto => unreachable!("Auto resolves before the walk"),
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Wavefront row pairs (compress walk only).
+//
+// The reconstruction chain `r → pred → r` is serial within a row, so the
+// straight walk is bound by one long floating-point dependency chain. A
+// row `i+1` element only needs row `i` up to the same column, so two
+// adjacent rows can advance together with the second trailing by one
+// column: two independent chains fill the pipeline and nearly double
+// throughput. Every element still sees the exact same stencil expression
+// (the shared `*_stencil_*` helpers) and the same finalized `recon`
+// inputs, so per-element results are bit-identical to the sequential
+// schedule; the only order-sensitive side effect — the escape payload —
+// is deferred for the lagging row and appended at `flush_pair`, keeping
+// the escape stream in scan order. The decode mirror must NOT use these
+// schedulers: it consumes escape values in scan order, and the lagging
+// row's escapes would still be in flight (see `ElementSink::emit_lagged`).
+// ---------------------------------------------------------------------
+
+/// First-order rows `a = rowa/cols ≥ 1` and `a+1` as a wavefront pair.
+/// Requires `cols ≥ 2`.
+fn l1_pair<S: ElementSink>(
+    cols: usize,
+    rowa: usize,
+    recon: &mut [f64],
+    sink: &mut S,
+) -> Result<(), SzError> {
+    let rowb = rowa + cols;
+    let a_up = rowa - cols;
+    // The lagging row's "row above" is the leading row itself.
+    let b_up = rowa;
+    // A col 0 (above neighbour only), A col 1, then B col 0.
+    let r = sink.emit(rowa, recon[a_up])?;
+    recon[rowa] = r;
+    let mut la = r;
+    let pred = la + recon[a_up + 1] - recon[a_up];
+    let r = sink.emit(rowa + 1, pred)?;
+    recon[rowa + 1] = r;
+    la = r;
+    let rb = sink.emit_lagged(rowb, recon[b_up])?;
+    recon[rowb] = rb;
+    let mut lb = rb;
+    for j in 2..cols {
+        let pa = la + recon[a_up + j] - recon[a_up + j - 1];
+        let ra = sink.emit(rowa + j, pa)?;
+        recon[rowa + j] = ra;
+        la = ra;
+        let pb = lb + recon[b_up + j - 1] - recon[b_up + j - 2];
+        let rb = sink.emit_lagged(rowb + j - 1, pb)?;
+        recon[rowb + j - 1] = rb;
+        lb = rb;
+    }
+    let pb = lb + recon[b_up + cols - 1] - recon[b_up + cols - 2];
+    let rb = sink.emit_lagged(rowb + cols - 1, pb)?;
+    recon[rowb + cols - 1] = rb;
+    sink.flush_pair();
+    Ok(())
+}
+
+/// Two-layer rows `a = rowa/cols ≥ 2` and `a+1` as a wavefront pair.
+/// Requires `cols ≥ 3`.
+fn l2_pair<S: ElementSink>(
+    cols: usize,
+    rowa: usize,
+    recon: &mut [f64],
+    sink: &mut S,
+) -> Result<(), SzError> {
+    let rowb = rowa + cols;
+    let (a_up1, a_up2) = (rowa - cols, rowa - 2 * cols);
+    let (b_up1, b_up2) = (rowa, rowa - cols);
+    // A cols 0–1: first-order fallback, exactly as in `l2_row`.
+    let r = sink.emit(rowa, recon[a_up1])?;
+    recon[rowa] = r;
+    let mut la1 = r;
+    let pred = la1 + recon[a_up1 + 1] - recon[a_up1];
+    let r = sink.emit(rowa + 1, pred)?;
+    recon[rowa + 1] = r;
+    let mut la2 = la1;
+    la1 = r;
+    // B col 0.
+    let rb = sink.emit_lagged(rowb, recon[b_up1])?;
+    recon[rowb] = rb;
+    let mut lb1 = rb;
+    // A col 2 (first full stencil), then B col 1 (first-order fallback).
+    let pa = l2_stencil_2d(recon, la1, la2, a_up1, a_up2, 2);
+    let ra = sink.emit(rowa + 2, pa)?;
+    recon[rowa + 2] = ra;
+    la2 = la1;
+    la1 = ra;
+    let pb = lb1 + recon[b_up1 + 1] - recon[b_up1];
+    let rb = sink.emit_lagged(rowb + 1, pb)?;
+    recon[rowb + 1] = rb;
+    let mut lb2 = lb1;
+    lb1 = rb;
+    for j in 3..cols {
+        let pa = l2_stencil_2d(recon, la1, la2, a_up1, a_up2, j);
+        let ra = sink.emit(rowa + j, pa)?;
+        recon[rowa + j] = ra;
+        la2 = la1;
+        la1 = ra;
+        let pb = l2_stencil_2d(recon, lb1, lb2, b_up1, b_up2, j - 1);
+        let rb = sink.emit_lagged(rowb + j - 1, pb)?;
+        recon[rowb + j - 1] = rb;
+        lb2 = lb1;
+        lb1 = rb;
+    }
+    let pb = l2_stencil_2d(recon, lb1, lb2, b_up1, b_up2, cols - 1);
+    let rb = sink.emit_lagged(rowb + cols - 1, pb)?;
+    recon[rowb + cols - 1] = rb;
+    sink.flush_pair();
+    Ok(())
+}
+
+/// First-order plane rows `j ≥ 1` and `j+1` (plane `i ≥ 1`) as a
+/// wavefront pair. Requires `d2 ≥ 2`.
+fn l1_3d_pair<S: ElementSink>(
+    shape: Shape,
+    kind: PredictorKind,
+    d2: usize,
+    p: usize,
+    rowa: usize,
+    recon: &mut [f64],
+    sink: &mut S,
+) -> Result<(), SzError> {
+    let rowb = rowa + d2;
+    let (a_rjm1, a_pj, a_pjm1) = (rowa - d2, rowa - p, rowa - p - d2);
+    // The lagging row's (i, j−1, ·) row is the leading row itself.
+    let (b_rjm1, b_pj, b_pjm1) = (rowa, rowb - p, rowa - p);
+    boundary(shape, kind, rowa, recon, sink)?;
+    let mut la = recon[rowa];
+    let pred = l1_stencil_3d(recon, la, a_rjm1, a_pj, a_pjm1, 1);
+    let r = sink.emit(rowa + 1, pred)?;
+    recon[rowa + 1] = r;
+    la = r;
+    boundary_lagged(shape, kind, rowb, recon, sink)?;
+    let mut lb = recon[rowb];
+    for k in 2..d2 {
+        let pa = l1_stencil_3d(recon, la, a_rjm1, a_pj, a_pjm1, k);
+        let ra = sink.emit(rowa + k, pa)?;
+        recon[rowa + k] = ra;
+        la = ra;
+        let pb = l1_stencil_3d(recon, lb, b_rjm1, b_pj, b_pjm1, k - 1);
+        let rb = sink.emit_lagged(rowb + k - 1, pb)?;
+        recon[rowb + k - 1] = rb;
+        lb = rb;
+    }
+    let pb = l1_stencil_3d(recon, lb, b_rjm1, b_pj, b_pjm1, d2 - 1);
+    let rb = sink.emit_lagged(rowb + d2 - 1, pb)?;
+    recon[rowb + d2 - 1] = rb;
+    sink.flush_pair();
+    Ok(())
+}
+
+/// Two-layer plane rows `j ≥ 2` and `j+1` (plane `i ≥ 2`) as a wavefront
+/// pair. Requires `d2 ≥ 3`.
+fn l2_3d_pair<S: ElementSink>(
+    shape: Shape,
+    kind: PredictorKind,
+    d2: usize,
+    p: usize,
+    rowa: usize,
+    recon: &mut [f64],
+    sink: &mut S,
+) -> Result<(), SzError> {
+    let rowb = rowa + d2;
+    let (a01, a02) = (rowa - d2, rowa - 2 * d2);
+    let (a10, a11, a12) = (rowa - p, rowa - p - d2, rowa - p - 2 * d2);
+    let (a20, a21, a22) = (rowa - 2 * p, rowa - 2 * p - d2, rowa - 2 * p - 2 * d2);
+    // Lagging row: its (i, j−1, ·)/(i, j−2, ·) rows are the leading row
+    // and the one before it.
+    let (b01, b02) = (rowa, rowa - d2);
+    let (b10, b11, b12) = (rowb - p, rowa - p, rowa - p - d2);
+    let (b20, b21, b22) = (rowb - 2 * p, rowa - 2 * p, rowa - 2 * p - d2);
+    // A cols 0–1: reference fallback, then A col 2 (first full stencil).
+    boundary(shape, kind, rowa, recon, sink)?;
+    boundary(shape, kind, rowa + 1, recon, sink)?;
+    let mut la1 = recon[rowa + 1];
+    let mut la2 = recon[rowa];
+    let pa = l2_stencil_3d(recon, la1, la2, a01, a02, a10, a11, a12, a20, a21, a22, 2);
+    let ra = sink.emit(rowa + 2, pa)?;
+    recon[rowa + 2] = ra;
+    la2 = la1;
+    la1 = ra;
+    // B cols 0–1: reference fallback.
+    boundary_lagged(shape, kind, rowb, recon, sink)?;
+    boundary_lagged(shape, kind, rowb + 1, recon, sink)?;
+    let mut lb1 = recon[rowb + 1];
+    let mut lb2 = recon[rowb];
+    for k in 3..d2 {
+        let pa = l2_stencil_3d(recon, la1, la2, a01, a02, a10, a11, a12, a20, a21, a22, k);
+        let ra = sink.emit(rowa + k, pa)?;
+        recon[rowa + k] = ra;
+        la2 = la1;
+        la1 = ra;
+        let pb = l2_stencil_3d(recon, lb1, lb2, b01, b02, b10, b11, b12, b20, b21, b22, k - 1);
+        let rb = sink.emit_lagged(rowb + k - 1, pb)?;
+        recon[rowb + k - 1] = rb;
+        lb2 = lb1;
+        lb1 = rb;
+    }
+    let pb = l2_stencil_3d(recon, lb1, lb2, b01, b02, b10, b11, b12, b20, b21, b22, d2 - 1);
+    let rb = sink.emit_lagged(rowb + d2 - 1, pb)?;
+    recon[rowb + d2 - 1] = rb;
+    sink.flush_pair();
+    Ok(())
+}
+
+/// Region-decomposed walk over a whole field with wavefront row pairing
+/// where the grid allows it. Compress-side only: the pairing defers the
+/// lagging row's escapes, which only [`WalkSink`] supports.
+fn drive_walk<S: ElementSink>(
+    shape: Shape,
+    kind: PredictorKind,
+    recon: &mut [f64],
+    sink: &mut S,
+) -> Result<(), SzError> {
+    let n = shape.len();
+    if n == 0 {
+        return Ok(());
+    }
+    match shape {
+        Shape::D1(_) => drive_1d(shape, kind, 0, n, recon, sink),
+        Shape::D2(rows, cols) => walk_2d(kind, rows, cols, recon, sink),
+        Shape::D3(d0, d1, d2) => walk_3d(shape, kind, d0, d1, d2, recon, sink),
+    }
+}
+
+fn walk_2d<S: ElementSink>(
+    kind: PredictorKind,
+    rows: usize,
+    cols: usize,
+    recon: &mut [f64],
+    sink: &mut S,
+) -> Result<(), SzError> {
+    match kind {
+        PredictorKind::Lorenzo1 => {
+            first_row(cols, cols, recon, sink)?;
+            let mut i = 1;
+            if cols >= 2 {
+                while i + 1 < rows {
+                    l1_pair(cols, i * cols, recon, sink)?;
+                    i += 2;
+                }
+            }
+            while i < rows {
+                l1_row(cols, i * cols, recon, sink)?;
+                i += 1;
+            }
+        }
+        PredictorKind::Lorenzo2 => {
+            first_row(cols, cols, recon, sink)?;
+            if rows >= 2 {
+                l1_row(cols, cols, recon, sink)?;
+            }
+            let mut i = 2;
+            if cols >= 3 {
+                while i + 1 < rows {
+                    l2_pair(cols, i * cols, recon, sink)?;
+                    i += 2;
+                }
+            }
+            while i < rows {
+                l2_row(cols, i * cols, recon, sink)?;
+                i += 1;
+            }
+        }
+        PredictorKind::Auto => unreachable!("Auto resolves before the walk"),
+    }
+    Ok(())
+}
+
+fn walk_3d<S: ElementSink>(
+    shape: Shape,
+    kind: PredictorKind,
+    d0: usize,
+    d1: usize,
+    d2: usize,
+    recon: &mut [f64],
+    sink: &mut S,
+) -> Result<(), SzError> {
+    let p = d1 * d2;
+    for i in 0..d0 {
+        let base = i * p;
+        let boundary_plane = match kind {
+            PredictorKind::Lorenzo1 => i < 1,
+            PredictorKind::Lorenzo2 => i < 2,
+            PredictorKind::Auto => unreachable!("Auto resolves before the walk"),
+        };
+        if boundary_plane {
+            for lin in base..base + p {
+                boundary(shape, kind, lin, recon, sink)?;
+            }
+            continue;
+        }
+        match kind {
+            PredictorKind::Lorenzo1 => {
+                for lin in base..base + d2 {
+                    boundary(shape, kind, lin, recon, sink)?;
+                }
+                let mut j = 1;
+                if d2 >= 2 {
+                    while j + 1 < d1 {
+                        l1_3d_pair(shape, kind, d2, p, base + j * d2, recon, sink)?;
+                        j += 2;
+                    }
+                }
+                while j < d1 {
+                    l1_3d_row(shape, kind, d2, p, base + j * d2, recon, sink)?;
+                    j += 1;
+                }
+            }
+            PredictorKind::Lorenzo2 => {
+                for lin in base..base + (2 * d2).min(p) {
+                    boundary(shape, kind, lin, recon, sink)?;
+                }
+                let mut j = 2;
+                if d2 >= 3 {
+                    while j + 1 < d1 {
+                        l2_3d_pair(shape, kind, d2, p, base + j * d2, recon, sink)?;
+                        j += 2;
+                    }
+                }
+                while j < d1 {
+                    l2_3d_row(shape, kind, d2, p, base + j * d2, recon, sink)?;
+                    j += 1;
+                }
+            }
+            PredictorKind::Auto => unreachable!("Auto resolves before the walk"),
+        }
+    }
+    Ok(())
+}
+
+/// Obs span name for a fused walk, by stencil and rank.
+fn walk_span(kind: PredictorKind, shape: Shape) -> &'static str {
+    match (kind, shape) {
+        (PredictorKind::Lorenzo1, Shape::D1(_)) => "sz.kernel.walk.l1.1d",
+        (PredictorKind::Lorenzo1, Shape::D2(..)) => "sz.kernel.walk.l1.2d",
+        (PredictorKind::Lorenzo1, Shape::D3(..)) => "sz.kernel.walk.l1.3d",
+        (PredictorKind::Lorenzo2, Shape::D1(_)) => "sz.kernel.walk.l2.1d",
+        (PredictorKind::Lorenzo2, Shape::D2(..)) => "sz.kernel.walk.l2.2d",
+        (PredictorKind::Lorenzo2, Shape::D3(..)) => "sz.kernel.walk.l2.3d",
+        (PredictorKind::Auto, _) => "sz.kernel.walk.auto",
+    }
+}
+
+/// Fused prediction + quantization walk over a whole field or block.
+///
+/// Byte-for-byte equivalent to [`walk_reference`]; `recon` is caller-owned
+/// scratch (resized to `data.len()`) holding the reconstruction the
+/// decoder will reproduce.
+///
+/// # Panics
+/// Debug-asserts that `pred` is concrete (`Auto` resolves earlier) and
+/// that `data` matches `shape`.
+#[allow(clippy::too_many_arguments)]
+pub fn walk_fused<T: Scalar>(
+    data: &[T],
+    shape: Shape,
+    eb: f64,
+    bins: usize,
+    pred: PredictorKind,
+    escape: EscapeCoding,
+    recon: &mut Vec<f64>,
+) -> WalkResult<T> {
+    debug_assert_eq!(data.len(), shape.len());
+    let _span = fpsnr_obs::span(walk_span(pred, shape));
+    let n = data.len();
+    let quant = LinearQuantizer::new(eb, bins);
+    recon.clear();
+    recon.resize(n, 0.0);
+    let mut codes = vec![ESCAPE; n];
+    let mut unpred = Vec::with_capacity(n / 64 + 4);
+    let mut sink = WalkSink {
+        data,
+        codes: &mut codes,
+        unpred: &mut unpred,
+        eb,
+        inv_bin: quant.inv_bin_width(),
+        qmax: (quant.center() - 1) as u64,
+        radius: quant.center() as i64,
+        escape,
+        deferred: Vec::new(),
+    };
+    drive_walk(shape, pred, recon, &mut sink).expect("walk sink is infallible");
+    debug_assert!(
+        sink.deferred.is_empty(),
+        "every wavefront pair must flush its deferred escapes"
+    );
+    WalkResult { codes, unpred }
+}
+
+/// The per-element reference walk (correctness oracle for the kernels).
+#[allow(clippy::too_many_arguments)]
+pub fn walk_reference<T: Scalar>(
+    data: &[T],
+    shape: Shape,
+    eb: f64,
+    bins: usize,
+    pred: PredictorKind,
+    escape: EscapeCoding,
+    recon: &mut Vec<f64>,
+) -> WalkResult<T> {
+    let out = quantized_walk_on(
+        data,
+        shape,
+        eb,
+        bins,
+        pred,
+        escape,
+        false,
+        recon,
+        KernelMode::Reference,
+    );
+    WalkResult {
+        codes: out.codes,
+        unpred: out.unpred,
+    }
+}
+
+/// Streaming fused decode mirror: feed quantization codes in scan order
+/// (whole outer-dimension slices at a time) and recover the samples.
+///
+/// Decoupling the reconstruction from entropy decoding lets the caller
+/// interleave LUT Huffman decoding with reconstruction plane by plane,
+/// instead of materializing the full code array first.
+pub struct FusedDecoder<T: Scalar> {
+    shape: Shape,
+    kind: PredictorKind,
+    eb: f64,
+    radius: i64,
+    alphabet: u32,
+    unpred: Vec<T>,
+    next_unpred: usize,
+    recon: Vec<f64>,
+    out: Vec<T>,
+    filled: usize,
+}
+
+impl<T: Scalar> FusedDecoder<T> {
+    /// Start a decode for `shape` with the container's stored parameters
+    /// and escape payload.
+    ///
+    /// # Panics
+    /// Panics when `eb`/`bins` are invalid — decoders validate stored
+    /// parameters before construction.
+    pub fn new(shape: Shape, eb: f64, bins: usize, kind: PredictorKind, unpred: Vec<T>) -> Self {
+        let quant = LinearQuantizer::new(eb, bins);
+        let n = shape.len();
+        FusedDecoder {
+            shape,
+            kind,
+            eb,
+            radius: quant.center() as i64,
+            alphabet: quant.alphabet() as u32,
+            unpred,
+            next_unpred: 0,
+            recon: vec![0.0; n],
+            out: vec![T::default(); n],
+            filled: 0,
+        }
+    }
+
+    /// Samples per outer-dimension slice: chunks passed to
+    /// [`FusedDecoder::push`] must hold a whole number of these.
+    pub fn slice_len(&self) -> usize {
+        match self.shape {
+            Shape::D1(_) => 1,
+            Shape::D2(_, cols) => cols,
+            Shape::D3(_, d1, d2) => d1 * d2,
+        }
+    }
+
+    /// Samples not yet decoded.
+    pub fn remaining(&self) -> usize {
+        self.shape.len() - self.filled
+    }
+
+    /// Decode the next chunk of quantization codes.
+    ///
+    /// # Errors
+    /// [`SzError::Format`] on out-of-range codes, escape underrun, or a
+    /// chunk that is not slice-aligned.
+    pub fn push(&mut self, codes: &[u32]) -> Result<(), SzError> {
+        let slice = self.slice_len();
+        if codes.len() > self.remaining() || (slice > 0 && codes.len() % slice != 0) {
+            return Err(SzError::Format("misaligned code chunk"));
+        }
+        let start = self.filled;
+        let end = start + codes.len();
+        let mut sink = DecodeSink {
+            codes,
+            base: start,
+            out: &mut self.out,
+            unpred: &self.unpred,
+            next_unpred: &mut self.next_unpred,
+            eb: self.eb,
+            radius: self.radius,
+            alphabet: self.alphabet,
+        };
+        drive_range(self.shape, self.kind, start, end, &mut self.recon, &mut sink)?;
+        self.filled = end;
+        Ok(())
+    }
+
+    /// Finish the decode, validating that every sample and every stored
+    /// escape value was consumed.
+    ///
+    /// # Errors
+    /// [`SzError::Format`] when samples are missing or escape values were
+    /// left over.
+    pub fn finish(self) -> Result<Vec<T>, SzError> {
+        if self.filled != self.shape.len() {
+            return Err(SzError::Format("decode ended before all samples"));
+        }
+        if self.next_unpred != self.unpred.len() {
+            return Err(SzError::Format("unused escape values"));
+        }
+        Ok(self.out)
+    }
+}
+
+/// One-shot fused reconstruction from a full code array.
+///
+/// # Errors
+/// Same failure modes as [`FusedDecoder::push`]/[`FusedDecoder::finish`].
+pub fn reconstruct_fused<T: Scalar>(
+    codes: &[u32],
+    unpred: Vec<T>,
+    shape: Shape,
+    eb: f64,
+    bins: usize,
+    kind: PredictorKind,
+) -> Result<Vec<T>, SzError> {
+    if codes.len() != shape.len() {
+        return Err(SzError::Format("code count does not match shape"));
+    }
+    let mut dec = FusedDecoder::new(shape, eb, bins, kind, unpred);
+    dec.push(codes)?;
+    dec.finish()
+}
+
+/// The per-element reference decode mirror (oracle for [`FusedDecoder`]):
+/// the exact loop the decompressor historically ran.
+///
+/// # Errors
+/// [`SzError::Format`] on out-of-range codes or escape-count mismatches.
+pub fn reconstruct_reference<T: Scalar>(
+    codes: &[u32],
+    unpred: &[T],
+    shape: Shape,
+    eb: f64,
+    bins: usize,
+    kind: PredictorKind,
+) -> Result<Vec<T>, SzError> {
+    let n = shape.len();
+    if codes.len() != n {
+        return Err(SzError::Format("code count does not match shape"));
+    }
+    let quant = LinearQuantizer::new(eb, bins);
+    let alphabet = quant.alphabet() as u32;
+    let mut recon = vec![0.0f64; n];
+    let mut out = vec![T::default(); n];
+    let mut next_unpred = 0usize;
+    for lin in 0..n {
+        let code = codes[lin];
+        if code == ESCAPE {
+            if next_unpred >= unpred.len() {
+                return Err(SzError::Format("more escapes than stored values"));
+            }
+            let v = unpred[next_unpred];
+            next_unpred += 1;
+            out[lin] = v;
+            recon[lin] = v.to_f64();
+        } else {
+            if code >= alphabet {
+                return Err(SzError::Format("quantization code out of range"));
+            }
+            let pred = predict_with(kind, &recon, shape, lin);
+            let v = T::from_f64(pred + quant.reconstruct(code));
+            out[lin] = v;
+            recon[lin] = v.to_f64();
+        }
+    }
+    if next_unpred != unpred.len() {
+        return Err(SzError::Format("unused escape values"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (i as f64 * 0.37).sin() * 5.0 + 0.01 * i as f64)
+            .collect()
+    }
+
+    fn bits(v: &[f64]) -> Vec<u64> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    fn check_equivalence(shape: Shape, kind: PredictorKind, eb: f64) {
+        let data = ramp(shape.len());
+        let mut ra = Vec::new();
+        let mut rb = Vec::new();
+        let fused = walk_fused(&data, shape, eb, 512, kind, EscapeCoding::Exact, &mut ra);
+        let refw = walk_reference(&data, shape, eb, 512, kind, EscapeCoding::Exact, &mut rb);
+        assert_eq!(fused.codes, refw.codes, "{shape:?} {kind:?} codes");
+        assert_eq!(
+            bits(&fused.unpred),
+            bits(&refw.unpred),
+            "{shape:?} {kind:?} unpred"
+        );
+        assert_eq!(bits(&ra), bits(&rb), "{shape:?} {kind:?} recon");
+        let dec_f =
+            reconstruct_fused(&fused.codes, fused.unpred, shape, eb, 512, kind).unwrap();
+        let dec_r = reconstruct_reference(&refw.codes, &refw.unpred, shape, eb, 512, kind).unwrap();
+        assert_eq!(dec_f, dec_r, "{shape:?} {kind:?} decode");
+        for (a, b) in dec_f.iter().zip(&data) {
+            assert!((a - b).abs() <= eb, "{shape:?} {kind:?} bound");
+        }
+    }
+
+    #[test]
+    fn fused_matches_reference_across_shapes() {
+        for kind in [PredictorKind::Lorenzo1, PredictorKind::Lorenzo2] {
+            for shape in [
+                Shape::D1(257),
+                Shape::D2(17, 23),
+                Shape::D3(7, 9, 11),
+                Shape::D1(1),
+                Shape::D2(1, 40),
+                Shape::D2(40, 1),
+                Shape::D3(1, 1, 64),
+                Shape::D3(2, 2, 2),
+                Shape::D3(64, 1, 1),
+                Shape::D3(1, 8, 8),
+                Shape::D3(8, 8, 1),
+                Shape::D3(8, 1, 8),
+            ] {
+                check_equivalence(shape, kind, 1e-3);
+                check_equivalence(shape, kind, 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn magic_round_matches_f64_round() {
+        // The identity the walk relies on: trunc(x + copysign(MAGIC, x))
+        // == x.round() for every finite x, compared here through the same
+        // saturating i64 cast the kernel performs.
+        let magic_round = |x: f64| (x + ROUND_MAGIC.copysign(x)) as i64;
+        let mut cases = vec![
+            0.0,
+            -0.0,
+            0.5,
+            1.5,
+            2.5,
+            0.499_999_999_999_999_94,  // largest f64 below 0.5
+            0.500_000_000_000_000_1,   // smallest f64 above 0.5
+            1.499_999_999_999_999_8,   // largest f64 below 1.5
+            f64::MIN_POSITIVE,
+            1e-310,                    // subnormal scale
+            4_503_599_627_370_495.5,   // 2^52 − 0.5: last half-integer
+            2_251_799_813_685_248.5,   // 2^51 + 0.5
+        ];
+        // Dense sweep around every half-integer and integer in ±64.
+        for i in -128i64..=128 {
+            let h = i as f64 * 0.5;
+            for ulps in -2i64..=2 {
+                let v = f64::from_bits((h.to_bits() as i64 + ulps * h.signum() as i64) as u64);
+                cases.push(v);
+            }
+        }
+        // Deterministic pseudo-random magnitudes across the useful range.
+        let mut s = 0x9e37_79b9_7f4a_7c15u64;
+        for _ in 0..20_000 {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            let mag = ((s >> 60) as i32) - 8; // 10^-8 ..= 10^7
+            let frac = (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+            cases.push(frac * 10f64.powi(mag));
+        }
+        for &v in &cases {
+            for x in [v, -v] {
+                assert_eq!(
+                    magic_round(x),
+                    x.round() as i64,
+                    "magic round diverged at {x:e} ({:#x})",
+                    x.to_bits()
+                );
+            }
+        }
+        // Non-finite inputs saturate (∞) or zero (NaN); the walk's later
+        // gates turn both into escapes.
+        assert_eq!(magic_round(f64::INFINITY), i64::MAX);
+        assert_eq!(magic_round(f64::NEG_INFINITY), i64::MIN);
+        assert_eq!(magic_round(f64::NAN), 0);
+    }
+
+    #[test]
+    fn chunked_decode_matches_one_shot() {
+        let shape = Shape::D3(12, 5, 7);
+        let data = ramp(shape.len());
+        let mut scratch = Vec::new();
+        let w = walk_fused(
+            &data,
+            shape,
+            1e-4,
+            1024,
+            PredictorKind::Lorenzo1,
+            EscapeCoding::Exact,
+            &mut scratch,
+        );
+        let whole = reconstruct_fused(
+            &w.codes,
+            w.unpred.clone(),
+            shape,
+            1e-4,
+            1024,
+            PredictorKind::Lorenzo1,
+        )
+        .unwrap();
+        let mut dec = FusedDecoder::new(shape, 1e-4, 1024, PredictorKind::Lorenzo1, w.unpred);
+        let slice = dec.slice_len();
+        for chunk in w.codes.chunks(3 * slice) {
+            dec.push(chunk).unwrap();
+        }
+        assert_eq!(dec.finish().unwrap(), whole);
+    }
+
+    #[test]
+    fn misaligned_chunk_rejected() {
+        let shape = Shape::D2(4, 6);
+        let mut dec: FusedDecoder<f32> =
+            FusedDecoder::new(shape, 0.1, 64, PredictorKind::Lorenzo1, Vec::new());
+        assert!(dec.push(&[32u32; 5]).is_err());
+    }
+
+    #[test]
+    fn escape_underrun_and_leftover_detected() {
+        let shape = Shape::D1(4);
+        // An ESCAPE code with no stored value.
+        let err = reconstruct_fused::<f32>(&[ESCAPE; 4], Vec::new(), shape, 0.1, 64, PredictorKind::Lorenzo1);
+        assert!(err.is_err());
+        // A stored value no code consumes.
+        let codes = [32u32; 4];
+        let err = reconstruct_fused(&codes, vec![1.0f32], shape, 0.1, 64, PredictorKind::Lorenzo1);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn nan_and_inf_escape_identically() {
+        let shape = Shape::D2(6, 6);
+        let mut data = ramp(36);
+        data[7] = f64::NAN;
+        data[20] = f64::INFINITY;
+        data[31] = f64::NEG_INFINITY;
+        let (mut ra, mut rb) = (Vec::new(), Vec::new());
+        let f = walk_fused(
+            &data,
+            shape,
+            1e-3,
+            256,
+            PredictorKind::Lorenzo1,
+            EscapeCoding::Exact,
+            &mut ra,
+        );
+        let r = walk_reference(
+            &data,
+            shape,
+            1e-3,
+            256,
+            PredictorKind::Lorenzo1,
+            EscapeCoding::Exact,
+            &mut rb,
+        );
+        assert_eq!(f.codes, r.codes);
+        assert_eq!(bits(&ra), bits(&rb));
+        // Non-finite samples escape (and poison neighbouring stencils into
+        // escaping too) — identically on both paths.
+        assert_eq!(bits(&f.unpred), bits(&r.unpred));
+        assert!(f.unpred.iter().any(|v| v.is_nan()));
+        assert!(f.unpred.contains(&f64::INFINITY));
+    }
+}

@@ -41,6 +41,7 @@ pub mod compressor;
 pub mod config;
 pub mod error;
 pub mod format;
+pub mod kernels;
 pub mod predictor;
 pub mod quantizer;
 pub mod ratemodel;
@@ -52,7 +53,7 @@ pub use compressor::{
     prediction_errors, quantization_probe, BlockDamage, CompressionDetail, DamageReport,
     DecodeLimits,
 };
-pub use config::{EntropyCoder, ErrorBound, EscapeCoding, LosslessBackend, SzConfig};
+pub use config::{EntropyCoder, ErrorBound, EscapeCoding, KernelMode, LosslessBackend, SzConfig};
 pub use error::{DecodeError, SzError};
 pub use predictor::PredictorKind;
 pub use quantizer::LinearQuantizer;

@@ -35,7 +35,15 @@ pub fn lorenzo_2d(recon: &[f64], cols: usize, i: usize, j: usize) -> f64 {
         (false, false) => 0.0,
         (false, true) => at(0, j - 1),
         (true, false) => at(i - 1, 0),
-        (true, true) => at(i, j - 1) + at(i - 1, j) - at(i - 1, j - 1),
+        (true, true) => {
+            // Interior: one window slice ending at the predicted sample
+            // covers all three neighbours (up-left at 0, up at 1, left at
+            // cols), replacing three independently bounds-checked indexed
+            // loads. Term order matches the indexed form bit for bit.
+            let base = i * cols + j;
+            let w = &recon[base - cols - 1..base];
+            w[cols] + w[1] - w[0]
+        }
     }
 }
 
@@ -44,6 +52,17 @@ pub fn lorenzo_2d(recon: &[f64], cols: usize, i: usize, j: usize) -> f64 {
 /// corner of the unit cube).
 #[inline]
 pub fn lorenzo_3d(recon: &[f64], d1: usize, d2: usize, i: usize, j: usize, k: usize) -> f64 {
+    if i > 0 && j > 0 && k > 0 {
+        // Interior: the seven stencil taps all live in a window of
+        // `d1·d2 + d2 + 2` samples ending at the predicted one, so a single
+        // slice bounds check replaces seven guarded indexed loads. The
+        // summation order is the guarded expression's, term for term, so
+        // the result is bit-identical.
+        let p = d1 * d2;
+        let base = (i * d1 + j) * d2 + k;
+        let w = &recon[base - p - d2 - 1..base];
+        return w[p + d2] + w[p + 1] + w[d2 + 1] - w[p] - w[d2] - w[1] + w[0];
+    }
     // Out-of-grid neighbours contribute 0; guard before indexing.
     let at = |cond: bool, ii: usize, jj: usize, kk: usize| {
         if cond {
@@ -155,17 +174,24 @@ pub fn lorenzo2_2d(recon: &[f64], cols: usize, i: usize, j: usize) -> f64 {
     }
     // weight(a,b) = −(−1)^(a+b) · C(2,a) · C(2,b), origin excluded; the
     // residual equals Δ₁²Δ₂²f, which vanishes for per-axis quadratics.
-    let at = |a: usize, b: usize| recon[(i - a) * cols + (j - b)];
+    //
+    // Unrolled over the three stencil rows, each loaded through one window
+    // slice (one bounds check per row instead of one per tap). The signed
+    // weights are the loop's `sign · C(2,a) · C(2,b)` products — exact
+    // small-integer constants, so folding them keeps every partial sum
+    // bit-identical to the loop form, accumulated in the same (a,b) order.
+    let r0 = &recon[i * cols + j - 2..i * cols + j];
+    let r1 = &recon[(i - 1) * cols + j - 2..(i - 1) * cols + j + 1];
+    let r2 = &recon[(i - 2) * cols + j - 2..(i - 2) * cols + j + 1];
     let mut pred = 0.0;
-    for a in 0..=2usize {
-        for b in 0..=2usize {
-            if a == 0 && b == 0 {
-                continue;
-            }
-            let sign = if (a + b) % 2 == 0 { -1.0 } else { 1.0 };
-            pred += sign * c2(a) * c2(b) * at(a, b);
-        }
-    }
+    pred += 2.0 * r0[1]; // (a,b) = (0,1)
+    pred -= r0[0]; // (0,2)
+    pred += 2.0 * r1[2]; // (1,0)
+    pred -= 4.0 * r1[1]; // (1,1)
+    pred += 2.0 * r1[0]; // (1,2)
+    pred -= r2[2]; // (2,0)
+    pred += 2.0 * r2[1]; // (2,1)
+    pred -= r2[0]; // (2,2)
     pred
 }
 
@@ -368,6 +394,65 @@ mod tests {
                 for k in 2..d2 {
                     let p = lorenzo2_3d(&recon, d1, d2, i, j, k);
                     assert!((p - f(i, j, k)).abs() < 1e-8, "({i},{j},{k})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn window_fast_paths_match_naive_formulas_bitwise() {
+        // The interior window-slice arms must reproduce the guarded
+        // indexed formulas *bit for bit* (container stability depends on
+        // it), so compare via to_bits on awkward values, including a
+        // negative zero and denormal-scale samples.
+        let (rows, cols) = (7usize, 9usize);
+        let mut recon: Vec<f64> = (0..rows * cols)
+            .map(|n| ((n as f64) * 0.7371).sin() * 1e3 + (n % 5) as f64 * 1e-310)
+            .collect();
+        recon[3 * cols + 4] = -0.0;
+        for i in 1..rows {
+            for j in 1..cols {
+                let naive = recon[i * cols + j - 1] + recon[(i - 1) * cols + j]
+                    - recon[(i - 1) * cols + j - 1];
+                assert_eq!(lorenzo_2d(&recon, cols, i, j).to_bits(), naive.to_bits());
+            }
+        }
+        for i in 2..rows {
+            for j in 2..cols {
+                let at = |a: usize, b: usize| recon[(i - a) * cols + (j - b)];
+                let mut naive = 0.0;
+                for a in 0..=2usize {
+                    for b in 0..=2usize {
+                        if a == 0 && b == 0 {
+                            continue;
+                        }
+                        let sign = if (a + b) % 2 == 0 { -1.0 } else { 1.0 };
+                        naive += sign * c2(a) * c2(b) * at(a, b);
+                    }
+                }
+                assert_eq!(lorenzo2_2d(&recon, cols, i, j).to_bits(), naive.to_bits());
+            }
+        }
+        let (d0, d1, d2) = (4usize, 5usize, 6usize);
+        let recon3: Vec<f64> = (0..d0 * d1 * d2)
+            .map(|n| ((n as f64) * 1.618).cos() / 3.0)
+            .collect();
+        for i in 1..d0 {
+            for j in 1..d1 {
+                for k in 1..d2 {
+                    let at = |a: usize, b: usize, c: usize| {
+                        recon3[((i - a) * d1 + (j - b)) * d2 + (k - c)]
+                    };
+                    let naive = at(0, 0, 1) + at(0, 1, 0) + at(1, 0, 0)
+                        - at(0, 1, 1)
+                        - at(1, 0, 1)
+                        - at(1, 1, 0)
+                        + at(1, 1, 1);
+                    assert_eq!(
+                        lorenzo_3d(&recon3, d1, d2, i, j, k).to_bits(),
+                        naive.to_bits(),
+                        "({i},{j},{k})"
+                    );
                 }
             }
         }

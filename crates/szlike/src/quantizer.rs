@@ -16,6 +16,10 @@
 pub struct LinearQuantizer {
     /// Absolute error bound; bin width is `2 * eb`.
     eb: f64,
+    /// Precomputed `1 / (2·eb)`: quantization multiplies by the inverse bin
+    /// width instead of dividing, and the fused kernels share the exact
+    /// same multiply so both walks stay bit-identical.
+    inv_bin: f64,
     /// Half the bin count (`n` in the paper; codes span `1..2n`).
     radius: u32,
 }
@@ -34,6 +38,7 @@ impl LinearQuantizer {
         assert!(bins >= 4 && bins % 2 == 0, "bad bin count {bins}");
         LinearQuantizer {
             eb,
+            inv_bin: 1.0 / (2.0 * eb),
             radius: (bins / 2) as u32,
         }
     }
@@ -42,6 +47,14 @@ impl LinearQuantizer {
     #[inline]
     pub fn error_bound(&self) -> f64 {
         self.eb
+    }
+
+    /// Precomputed inverse bin width `1 / (2·eb)`, the exact factor the
+    /// quantizer multiplies by. Fused kernels must use this value (not
+    /// recompute it) to stay bit-identical with [`Self::quantize`].
+    #[inline]
+    pub fn inv_bin_width(&self) -> f64 {
+        self.inv_bin
     }
 
     /// Bin width `δ = 2·eb`.
@@ -70,7 +83,7 @@ impl LinearQuantizer {
         if !err.is_finite() {
             return None;
         }
-        let scaled = err / (2.0 * self.eb);
+        let scaled = err * self.inv_bin;
         // round-half-away-from-zero matches SZ's (int)(x+0.5) on |x|.
         let q = scaled.round();
         // Valid codes are 1..2n-1 around the center n ⇒ |q| ≤ n−1.

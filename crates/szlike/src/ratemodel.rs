@@ -158,6 +158,7 @@ impl RateModel {
                     cfg.escape,
                     false,
                     &mut recon,
+                    cfg.kernel,
                 );
                 tally(&walk.codes);
             }
@@ -165,6 +166,7 @@ impl RateModel {
         } else {
             let walk = quantized_walk_on(
                 data, shape, eb_ref, PILOT_BINS, pred_kind, cfg.escape, false, &mut recon,
+                cfg.kernel,
             );
             tally(&walk.codes);
             1

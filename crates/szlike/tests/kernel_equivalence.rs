@@ -1,0 +1,154 @@
+//! Differential property tests: the fused kernels and the reference
+//! per-element walk must produce *byte-identical containers* for every
+//! shape, predictor, and partition — bit-identity is the contract that
+//! keeps the fused hot loops out of the format-stability blast radius.
+//!
+//! The unit tests inside `szlike::kernels` compare codes/unpredictables/
+//! reconstructions on hand-picked shapes; this suite drives the public
+//! `compress` entry point across randomized shapes (including degenerate
+//! dims of 1 and 2, where interior regions vanish) so the whole
+//! encode path — walk, entropy stage, container framing — is compared.
+
+use ndfield::{Field, Shape};
+use proptest::prelude::*;
+use szlike::{compress, decompress, ErrorBound, KernelMode, PredictorKind, SzConfig};
+
+/// Deterministic field mixing a smooth carrier with xorshift noise so both
+/// the quantized core and the escape path are exercised.
+fn field_from_seed(dims: &[usize], seed: u64) -> Field<f32> {
+    let n: usize = dims.iter().product();
+    let mut s = seed | 1;
+    let mut vals = Vec::with_capacity(n);
+    for i in 0..n {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        let noise = (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+        let smooth = ((i as f64) * 0.37).sin() * 2.0;
+        vals.push((smooth + noise * 0.2) as f32);
+    }
+    Field::from_vec(Shape::from_dims(dims), vals)
+}
+
+const EB: f64 = 1e-3;
+const PREDICTORS: [PredictorKind; 2] = [PredictorKind::Lorenzo1, PredictorKind::Lorenzo2];
+
+/// Compress with both kernel modes and assert the containers match byte
+/// for byte, then round-trip and assert the decoded samples are bit-equal
+/// and within the error bound.
+fn assert_kernels_agree(field: &Field<f32>, base: SzConfig, label: &str) -> Result<(), String> {
+    let fused = compress(field, &base.with_kernel(KernelMode::Fused))
+        .map_err(|e| format!("{label}: fused compress failed: {e}"))?;
+    let reference = compress(field, &base.with_kernel(KernelMode::Reference))
+        .map_err(|e| format!("{label}: reference compress failed: {e}"))?;
+    if fused != reference {
+        return Err(format!(
+            "{label}: container bytes differ (fused {} B vs reference {} B)",
+            fused.len(),
+            reference.len()
+        ));
+    }
+    let back: Field<f32> =
+        decompress(&fused).map_err(|e| format!("{label}: decompress failed: {e}"))?;
+    if back.shape() != field.shape() {
+        return Err(format!("{label}: shape changed through round-trip"));
+    }
+    for (i, (a, b)) in field.as_slice().iter().zip(back.as_slice()).enumerate() {
+        let err = (*a as f64 - *b as f64).abs();
+        if err > EB {
+            return Err(format!("{label}: sample {i}: |{a} - {b}| = {err} > {EB}"));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn fused_matches_reference_1d(
+        n in 1usize..600,
+        seed in any::<u64>(),
+        p in 0usize..2,
+    ) {
+        let field = field_from_seed(&[n], seed);
+        let cfg = SzConfig::new(ErrorBound::Abs(EB)).with_predictor(PREDICTORS[p]);
+        if let Err(msg) = assert_kernels_agree(&field, cfg, &format!("1D n={n} pred={p}")) {
+            prop_assert!(false, "{}", msg);
+        }
+    }
+
+    #[test]
+    fn fused_matches_reference_2d(
+        rows in 1usize..40,
+        cols in 1usize..40,
+        seed in any::<u64>(),
+        p in 0usize..2,
+    ) {
+        let field = field_from_seed(&[rows, cols], seed);
+        let cfg = SzConfig::new(ErrorBound::Abs(EB)).with_predictor(PREDICTORS[p]);
+        let label = format!("2D {rows}x{cols} pred={p}");
+        if let Err(msg) = assert_kernels_agree(&field, cfg, &label) {
+            prop_assert!(false, "{}", msg);
+        }
+    }
+
+    #[test]
+    fn fused_matches_reference_3d(
+        d0 in 1usize..12,
+        d1 in 1usize..12,
+        d2 in 1usize..12,
+        seed in any::<u64>(),
+        p in 0usize..2,
+    ) {
+        let field = field_from_seed(&[d0, d1, d2], seed);
+        let cfg = SzConfig::new(ErrorBound::Abs(EB)).with_predictor(PREDICTORS[p]);
+        let label = format!("3D {d0}x{d1}x{d2} pred={p}");
+        if let Err(msg) = assert_kernels_agree(&field, cfg, &label) {
+            prop_assert!(false, "{}", msg);
+        }
+    }
+
+    #[test]
+    fn fused_matches_reference_blocked(
+        rows in 1usize..30,
+        cols in 1usize..30,
+        seed in any::<u64>(),
+        block_rows in 1usize..7,
+        p in 0usize..2,
+    ) {
+        // block_rows >= 1 forces the blocked container, so every block's
+        // walk and the per-block decode mirror are compared.
+        let field = field_from_seed(&[rows, cols], seed);
+        let cfg = SzConfig::new(ErrorBound::Abs(EB))
+            .with_predictor(PREDICTORS[p])
+            .with_block_rows(block_rows);
+        let label = format!("blocked {rows}x{cols} block_rows={block_rows} pred={p}");
+        if let Err(msg) = assert_kernels_agree(&field, cfg, &label) {
+            prop_assert!(false, "{}", msg);
+        }
+    }
+
+    #[test]
+    fn fused_matches_reference_degenerate_shapes(
+        seed in any::<u64>(),
+        p in 0usize..2,
+        long in 3usize..60,
+    ) {
+        // Shapes where one or more dims are 1 or 2: the interior regions
+        // collapse and every element takes the boundary path, the exact
+        // cases a region-decomposition bug would miss.
+        let shapes: [&[usize]; 8] = [
+            &[1], &[2], &[1, long], &[long, 1], &[2, 2],
+            &[1, 1, long], &[long, 1, 1], &[2, 2, 2],
+        ];
+        for dims in shapes {
+            let field = field_from_seed(dims, seed);
+            let cfg = SzConfig::new(ErrorBound::Abs(EB)).with_predictor(PREDICTORS[p]);
+            let label = format!("degenerate {dims:?} pred={p}");
+            if let Err(msg) = assert_kernels_agree(&field, cfg, &label) {
+                prop_assert!(false, "{}", msg);
+            }
+        }
+    }
+}
