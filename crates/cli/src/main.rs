@@ -392,6 +392,50 @@ fn print_report(report: &szlike::DamageReport) {
     }
 }
 
+/// Print the structural section report: one line per lossless section with
+/// its flag and compressed/raw byte counts, then one line per bake-off
+/// chunk with the backend the per-chunk bake-off chose.
+fn print_sections(info: &szlike::ContainerInfo) {
+    if let Some(v) = info.blocked_version {
+        println!("blocked version   {v}");
+    }
+    if let Some(stage) = info.entropy_stage {
+        let name = match stage {
+            0 => "huffman (single-stream, legacy)",
+            1 => "range",
+            2 => "huffman (interleaved)",
+            _ => "unknown",
+        };
+        println!("entropy stage     {stage} = {name}");
+    }
+    println!("sections          {}", info.sections.len());
+    for s in &info.sections {
+        let flag_name = match s.flag {
+            0 => "stored",
+            1 => "deflate (legacy)",
+            2 => "bakeoff",
+            _ => "unknown",
+        };
+        let raw = s
+            .raw_len
+            .map(|r| format!("{r}"))
+            .unwrap_or_else(|| "?".into());
+        println!(
+            "  {:<14} flag {} ({flag_name})  comp {:>9}  raw {:>9}",
+            s.name, s.flag, s.comp_len, raw
+        );
+        for (i, c) in s.chunks.iter().enumerate() {
+            println!(
+                "    chunk {:<4} {:<8} raw {:>9} -> comp {:>9}",
+                i,
+                c.backend.name(),
+                c.raw_len,
+                c.comp_len
+            );
+        }
+    }
+}
+
 fn cmd_inspect(args: &Args) -> Result<(), String> {
     let input = args.require("--input")?;
     let bytes = std::fs::read(input).map_err(|e| format!("reading {input}: {e}"))?;
@@ -407,6 +451,12 @@ fn cmd_inspect(args: &Args) -> Result<(), String> {
             println!("mode              {:?}", header.mode);
             println!("shape             {}", header.shape);
             println!("samples           {}", header.shape.len());
+            // Structural walk: per-section lossless flags, compressed vs
+            // raw byte counts, and per-chunk bake-off backend choices.
+            match szlike::inspect_sections(&bytes) {
+                Ok(info) => print_sections(&info),
+                Err(e) => println!("sections          unreadable: {e}"),
+            }
             // Damage is informational for inspect: report it, exit 0.
             match partial_report(&bytes, 0) {
                 Ok(report) => print_report(&report),

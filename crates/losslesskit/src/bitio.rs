@@ -5,6 +5,30 @@
 //! least-significant-bit first within each byte (DEFLATE's convention), so a
 //! code written as `write_bits(0b101, 3)` occupies bit 0..3 of the current
 //! byte with bit 0 first.
+//!
+//! Both sides work **word-at-a-time**: the writer drains its 64-bit
+//! accumulator in one little-endian multi-byte copy per call, and the
+//! reader refills by loading 8 input bytes at once. The per-call width cap
+//! of 57 bits is what makes this sound — after any `write_bits`/`read_bits`
+//! the accumulator holds at most 7 residual bits, so a whole byte-aligned
+//! word always fits.
+//!
+//! ```
+//! use losslesskit::{BitReader, BitWriter};
+//!
+//! let mut w = BitWriter::new();
+//! w.write_bits(0b101, 3);
+//! w.write_bits(0x3FF, 10);
+//! let bytes = w.finish(); // final partial byte zero-padded
+//! assert_eq!(bytes.len(), 2); // 13 bits -> 2 bytes
+//!
+//! let mut r = BitReader::new(&bytes);
+//! assert_eq!(r.read_bits(3).unwrap(), 0b101);
+//! assert_eq!(r.peek_bits(10), 0x3FF); // peek never consumes
+//! r.consume(10);
+//! assert_eq!(r.bits_remaining(), 3); // the zero padding
+//! assert!(r.read_bits(4).is_err()); // reading past it is EOF, not a panic
+//! ```
 
 use crate::CodecError;
 
@@ -95,8 +119,26 @@ impl<'a> BitReader<'a> {
         }
     }
 
+    /// True when a [`BitReader::refill`] is guaranteed to leave ≥ 56 bits
+    /// buffered: at least 8 unread bytes remain, so the word-level load
+    /// tops the accumulator up regardless of its current fill. Gate for
+    /// the no-EOF-check decode rounds in [`crate::mshuf`].
     #[inline]
-    fn refill(&mut self) {
+    pub(crate) fn fast_ready(&self) -> bool {
+        self.data.len() - self.pos >= 8
+    }
+
+    /// Peek `n ≤ 56` already-buffered bits without touching the input.
+    /// Callers must have established the fill via [`BitReader::refill`]
+    /// after a positive [`BitReader::fast_ready`].
+    #[inline]
+    pub(crate) fn peek_buffered(&self, n: u32) -> u64 {
+        debug_assert!(self.nbits >= n, "peek_buffered past fill");
+        self.acc & ((1u64 << n) - 1)
+    }
+
+    #[inline]
+    pub(crate) fn refill(&mut self) {
         // Word-level fast path: load 8 bytes at once and splice in as many
         // as fit. Falls back to byte-at-a-time only within the final 7
         // bytes of the stream.

@@ -6,13 +6,16 @@
 //! trailer; our containers do the same (the SZ-like container appends one,
 //! verified on decompression).
 
-/// Precomputed table for the reflected IEEE polynomial 0xEDB88320.
-fn table() -> &'static [u32; 256] {
+/// Precomputed slice-by-8 tables for the reflected IEEE polynomial
+/// 0xEDB88320: `tables[0]` is the classic byte-at-a-time table, and
+/// `tables[k][b]` is the CRC of byte `b` followed by `k` zero bytes, which
+/// lets the update loop fold eight input bytes per iteration.
+fn tables() -> &'static [[u32; 256]; 8] {
     use std::sync::OnceLock;
-    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
-    TABLE.get_or_init(|| {
-        let mut t = [0u32; 256];
-        for (i, slot) in t.iter_mut().enumerate() {
+    static TABLES: OnceLock<[[u32; 256]; 8]> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut t = [[0u32; 256]; 8];
+        for i in 0..256usize {
             let mut c = i as u32;
             for _ in 0..8 {
                 c = if c & 1 == 1 {
@@ -21,21 +24,45 @@ fn table() -> &'static [u32; 256] {
                     c >> 1
                 };
             }
-            *slot = c;
+            t[0][i] = c;
+        }
+        for k in 1..8 {
+            for i in 0..256usize {
+                let prev = t[k - 1][i];
+                t[k][i] = t[0][(prev & 0xff) as usize] ^ (prev >> 8);
+            }
         }
         t
     })
 }
 
+#[inline]
+fn update_state(t: &[[u32; 256]; 8], mut c: u32, data: &[u8]) -> u32 {
+    // Slice-by-8: XOR the CRC into the first word's low half, then look up
+    // all eight bytes in independent tables — no serial 8-bit steps.
+    let mut chunks = data.chunks_exact(8);
+    for w in &mut chunks {
+        let lo = u32::from_le_bytes(w[..4].try_into().expect("4 bytes")) ^ c;
+        let hi = u32::from_le_bytes(w[4..].try_into().expect("4 bytes"));
+        c = t[7][(lo & 0xff) as usize]
+            ^ t[6][((lo >> 8) & 0xff) as usize]
+            ^ t[5][((lo >> 16) & 0xff) as usize]
+            ^ t[4][(lo >> 24) as usize]
+            ^ t[3][(hi & 0xff) as usize]
+            ^ t[2][((hi >> 8) & 0xff) as usize]
+            ^ t[1][((hi >> 16) & 0xff) as usize]
+            ^ t[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        c = t[0][((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+    }
+    c
+}
+
 /// CRC-32 of a byte slice (IEEE, reflected, init/xorout `0xFFFFFFFF` — the
 /// same parameterisation as gzip/zlib/PNG).
 pub fn crc32(data: &[u8]) -> u32 {
-    let t = table();
-    let mut c = 0xFFFF_FFFFu32;
-    for &b in data {
-        c = t[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
-    }
-    c ^ 0xFFFF_FFFF
+    update_state(tables(), 0xFFFF_FFFF, data) ^ 0xFFFF_FFFF
 }
 
 /// Streaming CRC-32 accumulator (same parameters as [`crc32`]).
@@ -58,10 +85,7 @@ impl Crc32 {
 
     /// Feed more bytes.
     pub fn update(&mut self, data: &[u8]) {
-        let t = table();
-        for &b in data {
-            self.state = t[((self.state ^ b as u32) & 0xff) as usize] ^ (self.state >> 8);
-        }
+        self.state = update_state(tables(), self.state, data);
     }
 
     /// Final checksum.

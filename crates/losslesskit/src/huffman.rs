@@ -13,6 +13,29 @@
 //! Degenerate inputs are handled explicitly: an empty stream encodes to
 //! nothing, and a single distinct symbol is assigned a 1-bit code so the
 //! bitstream stays self-delimiting.
+//!
+//! ```
+//! use losslesskit::{BitReader, BitWriter, HuffmanCodec};
+//!
+//! // Build from a dense frequency table; skewed counts get short codes.
+//! let symbols = [0u32, 0, 0, 0, 1, 1, 2, 0, 0, 1];
+//! let codec = HuffmanCodec::from_counts(&losslesskit::freq::count_dense(&symbols, 3));
+//!
+//! let mut w = BitWriter::new();
+//! codec.encode(&symbols, &mut w);
+//! let bytes = w.finish();
+//!
+//! // Only code *lengths* go on the wire; the decoder rebuilds the same
+//! // canonical codes from them.
+//! let mut table = Vec::new();
+//! codec.write_table(&mut table);
+//! let mut pos = 0;
+//! let decoder = HuffmanCodec::read_table(&table, &mut pos).unwrap();
+//!
+//! let mut out = Vec::new();
+//! decoder.decode(&mut BitReader::new(&bytes), symbols.len(), &mut out).unwrap();
+//! assert_eq!(out, symbols);
+//! ```
 
 use crate::bitio::{BitReader, BitWriter};
 use crate::varint;
@@ -24,8 +47,11 @@ use std::collections::BinaryHeap;
 /// symbols and pathologically skewed counts).
 const MAX_CODE_LEN: u32 = 28;
 
-/// Width of the single-level fast decode table.
-const FAST_BITS: u32 = 11;
+/// Width of the single-level fast decode table: 2^12 entries (32 KiB)
+/// fits L1 while covering ≥ 90% of symbols at SZ-typical quantization-code
+/// distributions (at 11 bits, ~20% of GRF-corpus symbols fell through to
+/// the sub-table's dependent second load).
+const FAST_BITS: u32 = 12;
 
 /// Largest alphabet [`HuffmanCodec::read_table`] accepts. The SZ pipeline
 /// caps quantization bins at 2^24 (alphabet = bins + escape) and the
@@ -42,7 +68,7 @@ const MAX_SUB_TABLE_ENTRIES: usize = 1 << 22;
 /// A canonical Huffman encoder/decoder for symbols `0..alphabet`.
 ///
 /// Decoding is fully table-driven (no bit-at-a-time tree walk): a primary
-/// table over `FAST_BITS` (11) peeked bits resolves every code of length
+/// table over `FAST_BITS` (12) peeked bits resolves every code of length
 /// ≤ `FAST_BITS` in one lookup, and each longer-code prefix points at a
 /// second-level subtable indexed by the remaining bits — the classic
 /// zlib/zstd two-level layout, bounded at two lookups per symbol.
@@ -217,20 +243,30 @@ impl HuffmanCodec {
         w.write_bits(self.wire[sym as usize] as u64, len);
     }
 
-    /// Encode a slice of symbols.
-    ///
-    /// Symbols are packed two at a time into a single `write_bits` call
+    /// Append the codes for two symbols in one packed `write_bits` call
     /// (2 × `MAX_CODE_LEN` = 56 bits fits the writer's per-call limit),
     /// halving writer bookkeeping on the entropy-stage hot path. The
-    /// emitted bitstream is identical to symbol-at-a-time encoding.
+    /// emitted bitstream is identical to two [`HuffmanCodec::encode_one`]
+    /// calls.
+    ///
+    /// # Panics
+    /// Panics if either symbol was absent from the frequency table.
+    #[inline]
+    pub fn encode_pair(&self, a: u32, b: u32, w: &mut BitWriter) {
+        let (s0, s1) = (a as usize, b as usize);
+        let (l0, l1) = (self.lens[s0] as u32, self.lens[s1] as u32);
+        debug_assert!(l0 > 0 && l1 > 0, "encoding symbol with no code");
+        let packed = self.wire[s0] as u64 | ((self.wire[s1] as u64) << l0);
+        w.write_bits(packed, l0 + l1);
+    }
+
+    /// Encode a slice of symbols (pairs packed via
+    /// [`HuffmanCodec::encode_pair`]; bitstream identical to
+    /// symbol-at-a-time encoding).
     pub fn encode(&self, symbols: &[u32], w: &mut BitWriter) {
         let mut pairs = symbols.chunks_exact(2);
         for pair in &mut pairs {
-            let (s0, s1) = (pair[0] as usize, pair[1] as usize);
-            let (l0, l1) = (self.lens[s0] as u32, self.lens[s1] as u32);
-            debug_assert!(l0 > 0 && l1 > 0, "encoding symbol with no code");
-            let packed = self.wire[s0] as u64 | ((self.wire[s1] as u64) << l0);
-            w.write_bits(packed, l0 + l1);
+            self.encode_pair(pair[0], pair[1], w);
         }
         for &s in pairs.remainder() {
             self.encode_one(s, w);
@@ -277,6 +313,33 @@ impl HuffmanCodec {
         }
         if r.bits_remaining() < total as usize {
             return Err(CodecError::UnexpectedEof);
+        }
+        r.consume(total as u32);
+        Ok(sym)
+    }
+
+    /// [`HuffmanCodec::decode_one`] without per-symbol EOF accounting:
+    /// assumes the reader has ≥ [`MAX_CODE_LEN`] bits buffered (the caller
+    /// refilled after [`BitReader::fast_ready`]), so any table miss is
+    /// genuine corruption, never a truncated stream. Hot path of the
+    /// multi-stream decode rounds in [`crate::mshuf`].
+    #[inline]
+    pub(crate) fn decode_one_buffered(&self, r: &mut BitReader<'_>) -> Result<u32, CodecError> {
+        let peek = r.peek_buffered(FAST_BITS) as usize;
+        let (payload, len) = self.fast_table[peek];
+        if len > 0 {
+            r.consume(len as u32);
+            return Ok(payload);
+        }
+        if payload == INVALID {
+            return Err(CodecError::Corrupt("bit pattern matches no Huffman code"));
+        }
+        let sub_bits = payload & 0x1f;
+        let base = (payload >> 5) as usize;
+        let ext = r.peek_buffered(FAST_BITS + sub_bits) as usize;
+        let (sym, total) = self.sub_table[base + (ext >> FAST_BITS)];
+        if total == 0 {
+            return Err(CodecError::Corrupt("bit pattern matches no Huffman code"));
         }
         r.consume(total as u32);
         Ok(sym)

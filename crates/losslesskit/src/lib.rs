@@ -13,20 +13,35 @@
 //! - [`freq`] — symbol histograms and Shannon entropy,
 //! - [`huffman`] — canonical Huffman coding over arbitrary `u32` alphabets
 //!   (SZ quantization codes routinely use 2^16 bins),
-//! - [`lz77`] — greedy hash-chain LZ77 matcher,
+//! - [`mshuf`] — multi-stream interleaved Huffman: round-robin independent
+//!   bitstreams that break the decoder's serial dependency chain,
+//! - [`lz77`] — hash-chain LZ77 matcher with lazy one-step deferral,
 //! - [`deflate_like`] — an LZ77 + dual-Huffman container standing in for
 //!   GZIP/DEFLATE (documented substitution: GZIP is not in the allowed
 //!   dependency set, and any LZ+entropy backend preserves all distortion
 //!   behaviour because the stage is lossless),
+//! - [`bakeoff`] — per-chunk lossless backend selection (stored / DEFLATE
+//!   / multi-stream Huffman / range) from measured chunk statistics,
 //! - [`rle`] — byte run-length coding used for sparse code planes,
 //! - [`range`]/[`fenwick`] — an adaptive range coder (fractional-bit
 //!   entropy stage) used by the entropy-coder ablation,
 //! - [`crc32`] — IEEE CRC-32 integrity trailers (bit rot in archived lossy
 //!   streams must fail loudly, not decode into plausible garbage).
+//!
+//! # The never-panic decode guarantee
+//!
+//! Every decoder in this crate is **total** on arbitrary input bytes: any
+//! byte slice — truncated, bit-flipped, adversarially constructed —
+//! produces either a successful decode or a [`CodecError`], never a panic
+//! and never an allocation proportional to a declared-but-unchecked size.
+//! The `*_bounded` entry points take explicit caller limits that are
+//! enforced *before* any size-proportional allocation. Integration tests
+//! exercise this with exhaustive truncation scans and fuzz-style corpora.
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod bakeoff;
 pub mod bitio;
 pub mod crc32;
 pub mod deflate_like;
@@ -34,6 +49,7 @@ pub mod fenwick;
 pub mod freq;
 pub mod huffman;
 pub mod lz77;
+pub mod mshuf;
 pub mod range;
 pub mod rle;
 pub mod varint;

@@ -50,15 +50,21 @@ impl Effort {
 const HASH_BITS: u32 = 15;
 const HASH_SIZE: usize = 1 << HASH_BITS;
 
-/// Byte-probe budget per position: `max_chain` candidates, each costing at
-/// most one fast-reject byte plus a `common_prefix` walk of at most
-/// `MAX_MATCH` bytes and one mismatch byte. The cap therefore never alters
-/// the token stream — it exists as a hard worst-case guarantee (and a
-/// regression tripwire) against the matcher degenerating to quadratic work
-/// on adversarial input, e.g. long constant runs feeding one hash chain.
+/// Matches shorter than this trigger the lazy one-step probe (zlib's
+/// `max_lazy` idea): short greedy matches are the ones a one-position
+/// deferral most often beats, while long matches are kept immediately.
+const LAZY_MAX: usize = 32;
+
+/// Byte-probe budget per match search: `max_chain` candidates, each
+/// costing at most four fast-reject bytes (the wide `u32` reject) plus a
+/// `common_prefix` walk of at most `MAX_MATCH` bytes and one mismatch
+/// byte. The cap therefore never alters the token stream — it exists as a
+/// hard worst-case guarantee (and a regression tripwire) against the
+/// matcher degenerating to quadratic work on adversarial input, e.g. long
+/// constant runs feeding one hash chain.
 #[inline]
 fn probe_budget(max_chain: usize) -> u64 {
-    (max_chain * (MAX_MATCH + 2)) as u64
+    (max_chain * (MAX_MATCH + 5)) as u64
 }
 
 /// Work counters for one [`tokenize_with_stats`] call. Counts are exact and
@@ -89,8 +95,89 @@ pub fn tokenize(data: &[u8], effort: Effort) -> Vec<Token> {
     tokenize_with_stats(data, effort).0
 }
 
-/// Tokenize `data` greedily, returning exact work counters alongside the
-/// token stream. The tokens are identical to [`tokenize`]'s.
+/// One chain walk at position `i` (caller guarantees `i + MIN_MATCH <=
+/// data.len()`). Returns `(best_len, best_dist, hash_of_i)`; `best_len`
+/// is 0 when nothing in the window matches.
+///
+/// Both reject paths are *necessary* conditions for a candidate to beat
+/// `best_len` — a candidate differing anywhere in the bytes they compare
+/// has a common prefix no longer than the current best — so rejects never
+/// change the outcome, only skip doomed `common_prefix` walks.
+#[inline]
+fn chain_search(
+    data: &[u8],
+    head: &[u32],
+    prev: &[u32],
+    i: usize,
+    max_chain: usize,
+    budget: u64,
+    stats: &mut MatchStats,
+) -> (usize, usize, usize) {
+    let n = data.len();
+    stats.positions += 1;
+    let h = hash3(data, i);
+    let mut best_len = 0usize;
+    let mut best_dist = 0usize;
+    let mut cand = head[h];
+    let mut chain = 0usize;
+    let mut pos_probes = 0u64;
+    let limit = i.saturating_sub(MAX_DIST);
+    while cand != u32::MAX && cand as usize >= limit && chain < max_chain {
+        let c = cand as usize;
+        stats.chain_steps += 1;
+        let viable = if best_len >= 4 && i + best_len < n {
+            // Wide fast reject: to beat `best_len`, the candidate must
+            // agree on the four bytes ending at offset `best_len`
+            // (`c < i` keeps `c + best_len` in bounds).
+            pos_probes += 4;
+            let a: [u8; 4] = data[c + best_len - 3..=c + best_len].try_into().expect("4 bytes");
+            let b: [u8; 4] = data[i + best_len - 3..=i + best_len].try_into().expect("4 bytes");
+            u32::from_le_bytes(a) == u32::from_le_bytes(b)
+        } else {
+            pos_probes += 1; // fast-reject byte
+            best_len == 0 || data.get(c + best_len) == data.get(i + best_len)
+        };
+        if viable {
+            let len = common_prefix(data, c, i);
+            pos_probes += len as u64 + 1; // matched bytes + mismatch
+            if len > best_len {
+                best_len = len;
+                best_dist = i - c;
+                if len >= MAX_MATCH {
+                    break;
+                }
+            }
+        }
+        if pos_probes >= budget {
+            break;
+        }
+        cand = prev[c];
+        chain += 1;
+    }
+    stats.probe_bytes += pos_probes;
+    (best_len, best_dist, h)
+}
+
+/// Push position `j` onto its hash chain (caller guarantees
+/// `j + MIN_MATCH <= data.len()` and that `j` is not already inserted —
+/// a double insert would make the chain self-referential).
+#[inline]
+fn chain_insert(data: &[u8], head: &mut [u32], prev: &mut [u32], j: usize) {
+    let hj = hash3(data, j);
+    prev[j] = head[hj];
+    head[hj] = j as u32;
+}
+
+/// Tokenize `data`, returning exact work counters alongside the token
+/// stream. The tokens are identical to [`tokenize`]'s.
+///
+/// [`Effort::Fast`] matches greedily; the other efforts add zlib-style
+/// lazy one-step deferral — when the greedy match at `i` is shorter than
+/// `LAZY_MAX`, the matcher also searches `i + 1` and, if that match is
+/// strictly longer, emits `data[i]` as a literal and takes the later
+/// match instead. Each deferral runs at most one extra bounded chain
+/// search, so total work stays linear (the property the adversarial test
+/// asserts via [`MatchStats`]).
 pub fn tokenize_with_stats(data: &[u8], effort: Effort) -> (Vec<Token>, MatchStats) {
     let n = data.len();
     let mut stats = MatchStats::default();
@@ -101,6 +188,7 @@ pub fn tokenize_with_stats(data: &[u8], effort: Effort) -> (Vec<Token>, MatchSta
     }
     let max_chain = effort.max_chain();
     let budget = probe_budget(max_chain);
+    let lazy = !matches!(effort, Effort::Fast);
     // u32 chain tables: half the memory traffic of `usize` tables, and the
     // chains are where the matcher spends its cache budget. `u32::MAX` is
     // the chain terminator; on inputs of 4 GiB or more, stored positions
@@ -114,41 +202,27 @@ pub fn tokenize_with_stats(data: &[u8], effort: Effort) -> (Vec<Token>, MatchSta
     while i < n {
         let mut best_len = 0usize;
         let mut best_dist = 0usize;
-        // Hash of the 3 bytes at `i`; valid whenever a search can run, and
+        // Hash of the 3 bytes at `i`; valid whenever a search ran, and
         // reused by the literal path's chain insert below.
         let mut h = 0usize;
         if i + MIN_MATCH <= n {
-            stats.positions += 1;
-            h = hash3(data, i);
-            let mut cand = head[h];
-            let mut chain = 0usize;
-            let mut pos_probes = 0u64;
-            let limit = i.saturating_sub(MAX_DIST);
-            while cand != u32::MAX && cand as usize >= limit && chain < max_chain {
-                let c = cand as usize;
-                stats.chain_steps += 1;
-                pos_probes += 1; // fast-reject byte
-                // Fast reject: compare the byte after the current best.
-                if best_len == 0 || data.get(c + best_len) == data.get(i + best_len) {
-                    let len = common_prefix(data, c, i);
-                    pos_probes += len as u64 + 1; // matched bytes + mismatch
-                    if len > best_len {
-                        best_len = len;
-                        best_dist = i - c;
-                        if len >= MAX_MATCH {
-                            break;
-                        }
-                    }
-                }
-                if pos_probes >= budget {
-                    break;
-                }
-                cand = prev[c];
-                chain += 1;
-            }
-            stats.probe_bytes += pos_probes;
+            (best_len, best_dist, h) = chain_search(data, &head, &prev, i, max_chain, budget, &mut stats);
         }
         if best_len >= MIN_MATCH {
+            // First covered position not yet on its hash chain.
+            let mut insert_from = i;
+            if lazy && best_len < LAZY_MAX && i + 1 + MIN_MATCH <= n {
+                chain_insert(data, &mut head, &mut prev, i);
+                insert_from = i + 1;
+                let (len1, dist1, _) =
+                    chain_search(data, &head, &prev, i + 1, max_chain, budget, &mut stats);
+                if len1 > best_len {
+                    tokens.push(Token::Literal(data[i]));
+                    i += 1;
+                    best_len = len1;
+                    best_dist = dist1;
+                }
+            }
             tokens.push(Token::Match {
                 len: best_len as u32,
                 dist: best_dist as u32,
@@ -156,11 +230,9 @@ pub fn tokenize_with_stats(data: &[u8], effort: Effort) -> (Vec<Token>, MatchSta
             // Insert every covered position into the hash chains so later
             // matches can reference inside this span.
             let end = (i + best_len).min(n - MIN_MATCH + 1);
-            let mut j = i;
+            let mut j = insert_from.max(i);
             while j < end {
-                let hj = hash3(data, j);
-                prev[j] = head[hj];
-                head[hj] = j as u32;
+                chain_insert(data, &mut head, &mut prev, j);
                 j += 1;
             }
             i += best_len;

@@ -7,6 +7,22 @@
 //! on both sides) and codes fractional bits, which pays off on the heavily
 //! peaked quantization-code distributions SZ produces; it is slower, which
 //! is exactly the trade-off the `ablation` bench quantifies.
+//!
+//! The stream is self-framing (symbol count and alphabet are in its
+//! header); decoding is total on arbitrary bytes — use the `_bounded`
+//! variant to cap the declared symbol count before allocation:
+//!
+//! ```
+//! use losslesskit::range::{range_encode, range_decode_bounded};
+//!
+//! let symbols: Vec<u32> = (0..500).map(|i| i % 3).collect();
+//! let packed = range_encode(&symbols, 3);
+//! let back = range_decode_bounded(&packed, symbols.len()).unwrap();
+//! assert_eq!(back, symbols);
+//! // A hostile header declaring more symbols than expected fails before
+//! // any proportional allocation.
+//! assert!(range_decode_bounded(&packed, 10).is_err());
+//! ```
 
 use crate::fenwick::Fenwick;
 use crate::varint;

@@ -42,14 +42,19 @@ use fpsnr_parallel::pool::ThreadPool;
 use losslesskit::bitio::{BitReader, BitWriter};
 use losslesskit::crc32::crc32;
 use losslesskit::huffman::HuffmanCodec;
-use losslesskit::{range, varint};
+use losslesskit::{mshuf, range, varint};
 use ndfield::{Field, Scalar, Shape};
 use std::borrow::Cow;
 use std::sync::{Arc, Mutex};
 
-/// Blocked-container version byte written by the encoder (v2: per-section
-/// lossless + CRC directory). The decoder also accepts version 1.
-const BLOCKED_VERSION: u8 = 2;
+/// Blocked-container version byte written by the encoder (v3: v2's
+/// per-section lossless + CRC directory, with the Huffman code streams
+/// interleaved across [`HUFF_STREAMS`] independent bit streams — entropy
+/// stage 2). The decoder also accepts versions 1 and 2.
+const BLOCKED_VERSION: u8 = 3;
+
+/// Interleaved Huffman streams per block section (entropy stage 2).
+const HUFF_STREAMS: usize = 4;
 
 /// Auto block sizing targets at least this many samples per block: small
 /// enough to feed 8–16 workers on a 64³ field, large enough that the
@@ -126,11 +131,7 @@ fn encode_block<T: Scalar>(
     cfg: &SzConfig,
 ) -> BlockBits {
     let stream = match codec {
-        Some(c) => {
-            let mut bw = BitWriter::with_capacity(codes.len() / 2);
-            c.encode(codes, &mut bw);
-            bw.finish()
-        }
+        Some(c) => mshuf::encode(codes, c, HUFF_STREAMS),
         None => range::range_encode(codes, bins),
     };
     let mut body = Vec::with_capacity(stream.len() + unpred.len() * T::BYTES + 16);
@@ -365,8 +366,10 @@ pub(crate) fn compress_blocked<T: Scalar>(
         EscapeCoding::Exact => 0,
         EscapeCoding::Truncated => 1,
     });
+    // Entropy stage byte: v3 writes interleaved Huffman as stage 2 (stage
+    // 0, the monolithic single-stream form, is decode-only legacy).
     out.push(match cfg.entropy {
-        EntropyCoder::Huffman => 0,
+        EntropyCoder::Huffman => 2,
         EntropyCoder::Range => 1,
     });
     varint::write_u64(&mut out, block_rows as u64);
@@ -415,6 +418,7 @@ fn decode_block<T: Scalar>(
     eb: f64,
     bins: usize,
     codec: Option<&HuffmanCodec>,
+    stage: u8,
     escape_tag: u8,
     pred_kind: PredictorKind,
 ) -> Result<Vec<T>, SzError> {
@@ -455,8 +459,8 @@ fn decode_block<T: Scalar>(
 
     // Fused replay of the block's compression walk (the Theorem-1 mirror).
     let mut dec = kernels::FusedDecoder::new(bshape, eb, bins, pred_kind, unpred_values);
-    match codec {
-        Some(c) => {
+    match (stage, codec) {
+        (0, Some(c)) => {
             let mut br = BitReader::new(stream);
             let slice = dec.slice_len().max(1);
             let chunk = (DECODE_CHUNK_CODES / slice).max(1) * slice;
@@ -468,7 +472,19 @@ fn decode_block<T: Scalar>(
                 dec.push(&codes)?;
             }
         }
-        None => {
+        (2, Some(c)) => {
+            let mut reader = mshuf::InterleavedReader::new(stream)?;
+            let slice = dec.slice_len().max(1);
+            let chunk = (DECODE_CHUNK_CODES / slice).max(1) * slice;
+            let mut codes = Vec::with_capacity(chunk.min(bn));
+            while dec.remaining() > 0 {
+                let now = chunk.min(dec.remaining());
+                codes.clear();
+                reader.decode(c, now, &mut codes)?;
+                dec.push(&codes)?;
+            }
+        }
+        _ => {
             let codes = range::range_decode_bounded(stream, bn)?;
             if codes.len() != bn {
                 return Err(SzError::Format("block range stream decoded wrong count"));
@@ -483,19 +499,23 @@ fn decode_block<T: Scalar>(
 const DECODE_CHUNK_CODES: usize = 16 * 1024;
 
 /// Pipeline parameters shared by every blocked-container version.
-struct BlockedParams {
-    eb: f64,
-    bins: usize,
-    pred_kind: PredictorKind,
-    escape_tag: u8,
-    stage: u8,
-    block_rows: usize,
-    n_blocks: usize,
+pub(crate) struct BlockedParams {
+    pub(crate) eb: f64,
+    pub(crate) bins: usize,
+    pub(crate) pred_kind: PredictorKind,
+    pub(crate) escape_tag: u8,
+    pub(crate) stage: u8,
+    pub(crate) block_rows: usize,
+    pub(crate) n_blocks: usize,
 }
 
 /// Read the version byte and the parameter block (identical in v1 and v2),
 /// validating every field against the header's shape.
-fn read_params(src: &[u8], pos: &mut usize, header: &Header) -> Result<(u8, BlockedParams), SzError> {
+pub(crate) fn read_params(
+    src: &[u8],
+    pos: &mut usize,
+    header: &Header,
+) -> Result<(u8, BlockedParams), SzError> {
     let version = take(src, pos, 1)?[0];
     let eb = read_f64(src, pos)?;
     if !(eb.is_finite() && eb > 0.0) {
@@ -511,8 +531,10 @@ fn read_params(src: &[u8], pos: &mut usize, header: &Header) -> Result<(u8, Bloc
     if escape_tag > 1 {
         return Err(SzError::Format("unknown escape coding tag"));
     }
+    // Stage 2 (interleaved Huffman) only exists from container v3 on; a
+    // v1/v2 container claiming it is corrupt, not merely newer.
     let stage = take(src, pos, 1)?[0];
-    if stage > 1 {
+    if stage > 2 || (stage == 2 && version < 3) {
         return Err(SzError::Format("unknown entropy stage"));
     }
     let block_rows = varint::read_u64(src, pos)? as usize;
@@ -547,7 +569,9 @@ pub(crate) fn decompress_blocked<T: Scalar>(
     let (version, params) = read_params(src, &mut pos, header)?;
     match version {
         1 => decode_v1(src, pos, header, &params, threads, limits),
-        2 => decode_v2(src, pos, header, &params, threads, limits, true).map(|(f, _)| f),
+        // v3 only changes the entropy stage inside each section; the
+        // container framing is identical to v2.
+        2 | 3 => decode_v2(src, pos, header, &params, threads, limits, true).map(|(f, _)| f),
         _ => Err(SzError::Format("unsupported blocked container version")),
     }
 }
@@ -578,7 +602,7 @@ pub(crate) fn decompress_blocked_partial<T: Scalar>(
                 },
             ))
         }
-        2 => {
+        2 | 3 => {
             let (field, damaged) = decode_v2::<T>(src, pos, header, &params, threads, limits, false)?;
             let lost: usize = damaged.iter().map(|d| d.sample_range.len()).sum();
             fpsnr_obs::add("sz.decode.corrupt_blocks", damaged.len() as u64);
@@ -673,6 +697,7 @@ fn decode_v1<T: Scalar>(
                 params.eb,
                 params.bins,
                 codec.as_ref(),
+                params.stage,
                 params.escape_tag,
                 params.pred_kind,
             )
@@ -704,13 +729,13 @@ fn read_shared_table(body: &[u8], bpos: &mut usize) -> Result<HuffmanCodec, SzEr
 
 /// One v2 directory entry: lossless flag + compressed length + CRC-32 of
 /// the compressed payload.
-struct SectionDesc {
-    flag: u8,
-    comp_len: usize,
-    crc: u32,
+pub(crate) struct SectionDesc {
+    pub(crate) flag: u8,
+    pub(crate) comp_len: usize,
+    pub(crate) crc: u32,
 }
 
-fn read_section_desc(src: &[u8], pos: &mut usize) -> Result<SectionDesc, SzError> {
+pub(crate) fn read_section_desc(src: &[u8], pos: &mut usize) -> Result<SectionDesc, SzError> {
     let flag = take(src, pos, 1)?[0];
     let comp_len = varint::read_u64(src, pos)? as usize;
     let crc_bytes = take(src, pos, 4)?;
@@ -736,7 +761,9 @@ fn decode_v2<T: Scalar>(
     limits: &DecodeLimits,
     strict: bool,
 ) -> Result<(Field<T>, Vec<BlockDamage>), SzError> {
-    let table_desc = if params.stage == 0 {
+    // Huffman stages (0 legacy, 2 interleaved) share one table section;
+    // the range stage (1) carries its model adaptively and has none.
+    let table_desc = if params.stage != 1 {
         Some(read_section_desc(src, &mut pos)?)
     } else {
         None
@@ -823,6 +850,7 @@ fn decode_v2<T: Scalar>(
                 params.eb,
                 params.bins,
                 codec.as_ref(),
+                params.stage,
                 params.escape_tag,
                 params.pred_kind,
             )

@@ -23,7 +23,7 @@ use crate::unpredictable;
 use losslesskit::bitio::{BitReader, BitWriter};
 use losslesskit::huffman::HuffmanCodec;
 use losslesskit::crc32::crc32;
-use losslesskit::{deflate_like, freq, range, varint};
+use losslesskit::{bakeoff, deflate_like, freq, mshuf, range, varint};
 use ndfield::{io as fio, Field, Scalar, Shape};
 use std::borrow::Cow;
 
@@ -271,13 +271,27 @@ fn compress_raw<T: Scalar>(
 
 /// Run the configured lossless backend; returns `(flag, bytes)` keeping the
 /// smaller of compressed/uncompressed so the backend can never inflate.
+///
+/// The `Lz` backend runs the per-chunk bake-off (flag 2): each 256 KiB
+/// chunk independently picks stored/DEFLATE/Huffman/range by measured
+/// entropy and probe cost. Flag 1 (whole-body DEFLATE) remains decodable
+/// for containers written before v3.
 pub(crate) fn apply_lossless(body: Vec<u8>, cfg: &SzConfig) -> (u8, Vec<u8>) {
     match cfg.lossless {
         LosslessBackend::None => (0, body),
         LosslessBackend::Lz => {
-            let lz = deflate_like::lz_compress_with(&body, cfg.effort);
-            if lz.len() < body.len() {
-                (1, lz)
+            let (baked, stats) = bakeoff::compress_with_stats(&body, cfg.effort);
+            if fpsnr_obs::is_enabled() {
+                for (i, backend) in bakeoff::Backend::ALL.iter().enumerate() {
+                    if stats.chunks[i] > 0 {
+                        let name = backend.name();
+                        fpsnr_obs::add(&format!("sz.lossless.chunks.{name}"), stats.chunks[i]);
+                        fpsnr_obs::add(&format!("sz.lossless.bytes.{name}"), stats.comp_bytes[i]);
+                    }
+                }
+            }
+            if baked.len() < body.len() {
+                (2, baked)
             } else {
                 (0, body)
             }
@@ -298,6 +312,7 @@ pub(crate) fn undo_lossless_bounded(
         1 => deflate_like::lz_decompress_bounded(payload, max_raw)
             .map(Cow::Owned)
             .map_err(SzError::from),
+        2 => bakeoff::decompress_bounded(payload, max_raw).map_err(SzError::from),
         _ => Err(SzError::Format("unknown lossless flag")),
     }
 }
@@ -457,8 +472,9 @@ fn compress_quantized<T: Scalar>(
     drop(quantize_span);
 
     // Stage 3 (sz.encode): entropy stage over the code alphabet
-    // (0 = escape): Huffman (SZ's choice, body stage 0) or the adaptive
-    // range coder (stage 1).
+    // (0 = escape): multi-stream interleaved Huffman (stage 2, the
+    // default since container v3) or the adaptive range coder (stage 1).
+    // Monolithic single-stream Huffman (stage 0) is decode-only legacy.
     let encode_span = fpsnr_obs::span("sz.encode");
     let mut body = Vec::with_capacity(walk.codes.len() / 2 + walk.unpred.len() * T::BYTES);
     let (table_len, stream_len) = match cfg.entropy {
@@ -467,15 +483,13 @@ fn compress_quantized<T: Scalar>(
             let codec = HuffmanCodec::from_counts(&counts);
             let mut table = Vec::new();
             codec.write_table(&mut table);
-            let mut bw = BitWriter::with_capacity(walk.codes.len() / 2);
-            codec.encode(&walk.codes, &mut bw);
-            let stream = bw.finish();
-            body.push(0u8);
+            let blob = mshuf::encode(&walk.codes, &codec, HUFF_STREAMS);
+            body.push(2u8);
             varint::write_u64(&mut body, table.len() as u64);
             body.extend_from_slice(&table);
-            varint::write_u64(&mut body, stream.len() as u64);
-            body.extend_from_slice(&stream);
-            (table.len(), stream.len())
+            varint::write_u64(&mut body, blob.len() as u64);
+            body.extend_from_slice(&blob);
+            (table.len(), blob.len())
         }
         EntropyCoder::Range => {
             let stream = range::range_encode(&walk.codes, bins);
@@ -687,7 +701,7 @@ pub fn decompress_with_limits<T: Scalar>(
 /// In strict mode a mismatch is an error; the forgiving (partial) path
 /// passes `strict = false` and gets the verdict back so it can keep going
 /// and report it instead.
-fn split_and_check_crc(src: &[u8], strict: bool) -> Result<(&[u8], bool), SzError> {
+pub(crate) fn split_and_check_crc(src: &[u8], strict: bool) -> Result<(&[u8], bool), SzError> {
     if src.len() < 4 {
         return Err(DecodeError::Truncated {
             stage: "crc trailer",
@@ -897,7 +911,7 @@ fn decompress_quantized<T: Scalar>(
     let stage = *body.first().ok_or(SzError::Format("empty body"))?;
     bpos += 1;
     let (codec, stream) = match stage {
-        0 => {
+        0 | 2 => {
             let table_len = varint::read_u64(&body, &mut bpos)? as usize;
             let table_end = bpos
                 .checked_add(table_len)
@@ -958,8 +972,8 @@ fn decompress_quantized<T: Scalar>(
     // stream in outer-slice chunks and reconstruct each chunk immediately.
     let _mirror = fpsnr_obs::span("sz.kernel.decode");
     let mut dec = kernels::FusedDecoder::new(header.shape, eb, bins, pred_kind, unpred_values);
-    match codec {
-        Some(codec) => {
+    match (stage, codec) {
+        (0, Some(codec)) => {
             let mut br = BitReader::new(stream);
             let slice = dec.slice_len().max(1);
             let chunk = (DECODE_CHUNK_CODES / slice).max(1) * slice;
@@ -971,7 +985,19 @@ fn decompress_quantized<T: Scalar>(
                 dec.push(&codes)?;
             }
         }
-        None => {
+        (2, Some(codec)) => {
+            let mut reader = mshuf::InterleavedReader::new(stream)?;
+            let slice = dec.slice_len().max(1);
+            let chunk = (DECODE_CHUNK_CODES / slice).max(1) * slice;
+            let mut codes = Vec::with_capacity(chunk.min(n));
+            while dec.remaining() > 0 {
+                let now = chunk.min(dec.remaining());
+                codes.clear();
+                reader.decode(&codec, now, &mut codes)?;
+                dec.push(&codes)?;
+            }
+        }
+        _ => {
             let codes = range::range_decode_bounded(stream, n)?;
             if codes.len() != n {
                 return Err(SzError::Format("range stream decoded wrong count"));
@@ -985,6 +1011,11 @@ fn decompress_quantized<T: Scalar>(
 /// Target Huffman-decode granularity for the fused mirror, in codes; the
 /// actual chunk is the nearest whole number of outer-dimension slices.
 const DECODE_CHUNK_CODES: usize = 16 * 1024;
+
+/// Interleaved Huffman streams written by the stage-2 entropy coder. Four
+/// independent streams give the decoder four parallel bit-level dependency
+/// chains, which is what lets it sustain >1 symbol per refill.
+const HUFF_STREAMS: usize = 4;
 
 fn decompress_log_rel<T: Scalar>(
     src: &[u8],

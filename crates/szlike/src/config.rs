@@ -99,7 +99,10 @@ pub enum KernelMode {
 pub enum LosslessBackend {
     /// Store the Huffman bytes as-is (fastest; ratio left on the table).
     None,
-    /// DEFLATE-like LZ77 + Huffman (the GZIP stand-in; default).
+    /// Per-chunk entropy bake-off ([`losslesskit::bakeoff`]): each 256 KiB
+    /// chunk of the serialized body independently picks stored, DEFLATE-like
+    /// LZ77+Huffman, order-0 Huffman or adaptive range coding, whichever
+    /// measures smallest (default).
     Lz,
 }
 

@@ -11,12 +11,17 @@
 //!
 //! Modes:
 //! - **Quantized** — the normal SZ pipeline (Lorenzo + quantization +
-//!   Huffman + optional LZ). Body: `f64 eb_abs`, `varint quant_bins`,
-//!   `u8 lz_flag`, `varint body_len`, body (Huffman table ‖ code bits ‖
-//!   escape payload, LZ-compressed when flagged).
+//!   entropy stage + optional lossless pass). Body: `f64 eb_abs`,
+//!   `varint quant_bins`, `u8 predictor`, `u8 lossless_flag`,
+//!   `varint body_len`, body (entropy stage ‖ escape payload). The entropy
+//!   stage byte is 0 (legacy single-stream Huffman), 1 (adaptive range
+//!   coder) or 2 (multi-stream interleaved Huffman, written since
+//!   container v3); the lossless flag is 0 (stored), 1 (legacy whole-body
+//!   DEFLATE) or 2 (per-chunk backend bake-off,
+//!   [`losslesskit::bakeoff`]).
 //! - **Constant** — the field has zero value range; body is one sample.
 //! - **Raw** — pathological inputs (e.g. zero range but NaNs present);
-//!   body is the LZ-compressed little-endian sample array.
+//!   body is the lossless-compressed little-endian sample array.
 //! - **LogPointwiseRel** — pointwise-relative mode via log transform; body
 //!   is a class plane, a nested Quantized container of `ln|x|`, and the
 //!   bit-exact non-finite payload.
@@ -24,8 +29,13 @@
 //!   into contiguous slabs along the slowest-varying dimension, each slab
 //!   runs its own prediction/quantization walk, and all slabs share one
 //!   Huffman table. Body: `u8 version`, `f64 eb_abs`, `varint quant_bins`,
-//!   `u8 predictor`, `u8 escape`, `varint block_rows`, `varint n_blocks`,
-//!   shared-table section, per-block sections.
+//!   `u8 predictor`, `u8 escape`, `u8 stage`, `varint block_rows`,
+//!   `varint n_blocks`, shared-table section, per-block sections. Version
+//!   3 writes entropy stage 2 inside each section; versions 1 and 2
+//!   remain decodable.
+//!
+//! The byte-level specification every version of these layouts is held
+//! to lives in `DESIGN.md` §13.
 
 use crate::error::{DecodeError, SzError};
 use losslesskit::varint;

@@ -1,0 +1,207 @@
+//! Structural container inspection without decoding samples.
+//!
+//! [`inspect_sections`] walks a container's framing — header, mode
+//! parameters, and every lossless section — and reports, per section, the
+//! lossless flag, the compressed size, the raw size where the framing
+//! records it, and (for bake-off sections, flag 2) the per-chunk backend
+//! choices. It never inflates payloads and never allocates proportionally
+//! to the declared sizes, so it is safe to point at arbitrary bytes.
+//!
+//! The CLI's `fpsnr inspect` prints this report; the layout it walks is
+//! specified byte-for-byte in `DESIGN.md` §13.
+
+use crate::blocked;
+use crate::compressor::{read_f64, split_and_check_crc, take};
+use crate::error::SzError;
+use crate::format::{self, Mode};
+use losslesskit::{bakeoff, varint};
+
+/// One lossless section of a container, as reported by
+/// [`inspect_sections`].
+#[derive(Debug, Clone)]
+pub struct SectionInfo {
+    /// What the section holds ("body", "shared table", "block 3", ...).
+    pub name: String,
+    /// Lossless flag: 0 stored, 1 whole-section DEFLATE, 2 bake-off.
+    pub flag: u8,
+    /// Compressed (on-wire) payload size in bytes.
+    pub comp_len: usize,
+    /// Raw (inflated) size, when the framing records it without inflating:
+    /// flag 0 stores raw bytes verbatim and flag 2 declares the raw length
+    /// in its header; flag 1 is only known after inflation.
+    pub raw_len: Option<usize>,
+    /// Per-chunk backend choices for bake-off sections (empty otherwise).
+    pub chunks: Vec<bakeoff::ChunkInfo>,
+}
+
+/// Container-level structure report.
+#[derive(Debug, Clone)]
+pub struct ContainerInfo {
+    /// Blocked-container version byte (None for monolithic modes).
+    pub blocked_version: Option<u8>,
+    /// Entropy stage byte when the mode records one (0 legacy Huffman,
+    /// 1 range, 2 interleaved Huffman).
+    pub entropy_stage: Option<u8>,
+    /// Every lossless section, in on-wire order.
+    pub sections: Vec<SectionInfo>,
+}
+
+/// Describe one lossless section given its flag and payload.
+fn section(name: String, flag: u8, payload: &[u8]) -> SectionInfo {
+    let (raw_len, chunks) = match flag {
+        0 => (Some(payload.len()), Vec::new()),
+        2 => match bakeoff::inspect(payload) {
+            Ok((raw, chunks)) => (Some(raw), chunks),
+            Err(_) => (None, Vec::new()),
+        },
+        _ => (None, Vec::new()),
+    };
+    SectionInfo {
+        name,
+        flag,
+        comp_len: payload.len(),
+        raw_len,
+        chunks,
+    }
+}
+
+/// Read a `u8 flag, varint len, payload` section starting at `pos`.
+fn read_flagged<'a>(src: &'a [u8], pos: &mut usize) -> Result<(u8, &'a [u8]), SzError> {
+    let flag = take(src, pos, 1)?[0];
+    let len = varint::read_u64(src, pos)? as usize;
+    Ok((flag, take(src, pos, len)?))
+}
+
+/// Walk a container's framing and report every lossless section.
+///
+/// The CRC trailer is split off but *not* required to match — inspection
+/// is for damaged containers too. Sample data is never decoded.
+///
+/// # Errors
+/// [`SzError`] when the framing itself (header, parameter block, section
+/// directory) is malformed or truncated.
+pub fn inspect_sections(src: &[u8]) -> Result<ContainerInfo, SzError> {
+    let (src, _crc_ok) = split_and_check_crc(src, false)?;
+    let mut pos = 0usize;
+    let header = format::read_header(src, &mut pos)?;
+    let mut info = ContainerInfo {
+        blocked_version: None,
+        entropy_stage: None,
+        sections: Vec::new(),
+    };
+    match header.mode {
+        Mode::Constant => {}
+        Mode::Raw => {
+            let (flag, payload) = read_flagged(src, &mut pos)?;
+            info.sections.push(section("body".into(), flag, payload));
+        }
+        Mode::Quantized => {
+            read_f64(src, &mut pos)?; // eb
+            varint::read_u64(src, &mut pos)?; // bins
+            take(src, &mut pos, 1)?; // predictor tag
+            let (flag, payload) = read_flagged(src, &mut pos)?;
+            // The entropy stage byte is the first byte of the body, which
+            // is only visible without inflating when the body is stored.
+            if flag == 0 {
+                info.entropy_stage = payload.first().copied();
+            }
+            info.sections.push(section("body".into(), flag, payload));
+        }
+        Mode::LogPointwiseRel => {
+            read_f64(src, &mut pos)?; // eb
+            let (flag, payload) = read_flagged(src, &mut pos)?;
+            info.sections
+                .push(section("class plane".into(), flag, payload));
+            // The rest (non-finite payload + nested container) has no
+            // lossless framing of its own at this level.
+        }
+        Mode::Blocked => {
+            let (version, params) = blocked::read_params(src, &mut pos, &header)?;
+            info.blocked_version = Some(version);
+            info.entropy_stage = Some(params.stage);
+            match version {
+                1 => {
+                    let n_chunks = varint::read_u64(src, &mut pos)? as usize;
+                    if n_chunks == 0 || n_chunks > src.len() {
+                        return Err(SzError::Format("implausible lossless chunk count"));
+                    }
+                    for i in 0..n_chunks {
+                        let (flag, payload) = read_flagged(src, &mut pos)?;
+                        info.sections
+                            .push(section(format!("chunk {i}"), flag, payload));
+                    }
+                }
+                _ => {
+                    // v2/v3: directory of (flag, len, crc) descriptors,
+                    // meta-CRC, then the payloads back to back.
+                    let mut descs = Vec::new();
+                    if params.stage != 1 {
+                        descs.push(("shared table".to_string(), blocked::read_section_desc(src, &mut pos)?));
+                    }
+                    for b in 0..params.n_blocks {
+                        descs.push((format!("block {b}"), blocked::read_section_desc(src, &mut pos)?));
+                    }
+                    take(src, &mut pos, 4)?; // meta-CRC
+                    for (name, d) in descs {
+                        let payload = take(src, &mut pos, d.comp_len)?;
+                        let _ = d.crc;
+                        info.sections.push(section(name, d.flag, payload));
+                    }
+                }
+            }
+        }
+    }
+    Ok(info)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compressor::compress;
+    use crate::config::{ErrorBound, SzConfig};
+    use ndfield::Field;
+
+    fn wavy(rows: usize, cols: usize) -> Field<f32> {
+        Field::from_fn_2d(rows, cols, |i, j| {
+            ((i as f32) * 0.07).sin() * ((j as f32) * 0.05).cos() * 10.0
+        })
+    }
+
+    #[test]
+    fn quantized_container_reports_body_section() {
+        let bytes = compress(&wavy(64, 64), &SzConfig::new(ErrorBound::Abs(1e-3))).unwrap();
+        let info = inspect_sections(&bytes).unwrap();
+        assert_eq!(info.sections.len(), 1);
+        let body = &info.sections[0];
+        assert_eq!(body.name, "body");
+        assert!(body.flag == 0 || body.flag == 2, "flag {}", body.flag);
+        if body.flag == 2 {
+            assert!(!body.chunks.is_empty());
+            let raw: usize = body.chunks.iter().map(|c| c.raw_len).sum();
+            assert_eq!(Some(raw), body.raw_len);
+        }
+    }
+
+    #[test]
+    fn blocked_container_reports_every_section() {
+        let cfg = SzConfig::new(ErrorBound::Abs(1e-3))
+            .with_threads(2)
+            .with_block_rows(16);
+        let bytes = compress(&wavy(64, 64), &cfg).unwrap();
+        let info = inspect_sections(&bytes).unwrap();
+        assert_eq!(info.blocked_version, Some(3));
+        assert_eq!(info.entropy_stage, Some(2));
+        // Shared table + 4 blocks.
+        assert_eq!(info.sections.len(), 5);
+        assert_eq!(info.sections[0].name, "shared table");
+        assert_eq!(info.sections[4].name, "block 3");
+    }
+
+    #[test]
+    fn inspection_is_total_on_truncated_input() {
+        let bytes = compress(&wavy(32, 32), &SzConfig::new(ErrorBound::Abs(1e-3))).unwrap();
+        for cut in 0..bytes.len() {
+            let _ = inspect_sections(&bytes[..cut]); // must not panic
+        }
+    }
+}

@@ -42,21 +42,27 @@
 //! (`drive_range`) parameterized over an element sink, so the decode
 //! mirror cannot drift from the walk by construction.
 //!
-//! # Wavefront row pairing (compress only)
+//! # Wavefront row pairing (both directions)
 //!
 //! The walk's throughput ceiling is the loop-carried reconstruction
 //! chain: each prediction reads the value the previous emit just wrote,
-//! so one row is one long serial floating-point dependency. The compress
-//! walk therefore schedules two adjacent interior rows together, the
-//! second lagging the first by one column (`l1_pair` and friends). The
+//! so one row is one long serial floating-point dependency. Both walks
+//! therefore schedule two adjacent interior rows together, the second
+//! lagging the first by one column (`l1_pair` and friends). The
 //! anti-diagonal independence of the Lorenzo stencils means every input
 //! an element reads is finalized before it runs, so per-element values
-//! are bit-identical to the sequential order; the lagging row's escape
-//! payload is buffered and appended at pair end so the escape *stream*
-//! also stays in scan order. Decoding cannot use this schedule — it pops
-//! escapes from the stream in scan order, and the lagging row's values
-//! would still be in flight — so `drive_range` remains strictly
-//! sequential and is the only driver the decode sink runs on.
+//! are bit-identical to the sequential order. The only order-sensitive
+//! state is the escape stream, handled per direction:
+//!
+//! - **compress** buffers the lagging row's escape values and appends
+//!   them at pair end (`flush_pair`), so the stream stays in scan order;
+//! - **decode** cannot buffer — it *consumes* the stream — but it holds
+//!   the pair's quantization codes before reconstructing, so `begin_pair`
+//!   counts the `ESCAPE` codes in the leading row and places a second
+//!   cursor exactly where the lagging row's escapes start. `flush_pair`
+//!   folds that cursor back into the main one.
+//!
+//! Either way the schedule is invisible in the bytes and in the samples.
 
 use crate::compressor::quantized_walk_on;
 use crate::config::{EscapeCoding, KernelMode};
@@ -83,19 +89,26 @@ trait ElementSink {
 
     /// [`Self::emit`] for an element of the *lagging* row of a wavefront
     /// row pair: identical arithmetic, but order-sensitive side effects
-    /// (the escape payload) must be buffered until [`Self::flush_pair`]
-    /// so the escape stream keeps scan order. The default forwards to
-    /// `emit`, which is only correct for sinks with no order-sensitive
-    /// state — the decode sink must never be driven through the
-    /// wavefront schedulers (it consumes escapes in scan order and the
-    /// lagging row's values are not yet in the stream).
+    /// (the escape payload) must be routed through pair-aware state —
+    /// the walk sink defers its escape values until [`Self::flush_pair`],
+    /// the decode sink pops from the lagging cursor primed by
+    /// [`Self::begin_pair`]. The default forwards to `emit`, which is
+    /// only correct for sinks with no order-sensitive state.
     #[inline(always)]
     fn emit_lagged(&mut self, lin: usize, pred: f64) -> Result<f64, SzError> {
         self.emit(lin, pred)
     }
 
-    /// Called once both rows of a wavefront pair have completed; appends
-    /// any buffered lagging-row side effects in scan order.
+    /// Called at the start of a wavefront pair — before any element of
+    /// either row is emitted — with the *leading* row's linear range.
+    /// Sinks that consume an ordered stream (the decode sink's escape
+    /// cursor) use it to position their lagging-row state; producers
+    /// ignore it.
+    #[inline]
+    fn begin_pair(&mut self, _a_start: usize, _a_end: usize) {}
+
+    /// Called once both rows of a wavefront pair have completed; folds
+    /// any buffered or forked lagging-row state back into scan order.
     #[inline]
     fn flush_pair(&mut self) {}
 }
@@ -203,6 +216,12 @@ struct DecodeSink<'a, T: Scalar> {
     out: &'a mut [T],
     unpred: &'a [T],
     next_unpred: &'a mut usize,
+    /// Escape cursor for the lagging row of the wavefront pair in flight.
+    /// [`ElementSink::begin_pair`] places it past the leading row's
+    /// escapes (counted from the codes, which the decoder holds before
+    /// reconstructing); [`ElementSink::flush_pair`] folds it back into
+    /// `next_unpred`.
+    lag_unpred: usize,
     eb: f64,
     radius: i64,
     alphabet: u32,
@@ -210,20 +229,27 @@ struct DecodeSink<'a, T: Scalar> {
 
 impl<T: Scalar> DecodeSink<'_, T> {
     #[cold]
-    fn emit_escape(&mut self, lin: usize) -> Result<f64, SzError> {
-        if *self.next_unpred >= self.unpred.len() {
+    fn emit_escape(&mut self, lin: usize, lagged: bool) -> Result<f64, SzError> {
+        let cursor = if lagged {
+            self.lag_unpred
+        } else {
+            *self.next_unpred
+        };
+        if cursor >= self.unpred.len() {
             return Err(SzError::Format("more escapes than stored values"));
         }
-        let v = self.unpred[*self.next_unpred];
-        *self.next_unpred += 1;
+        let v = self.unpred[cursor];
+        if lagged {
+            self.lag_unpred = cursor + 1;
+        } else {
+            *self.next_unpred = cursor + 1;
+        }
         self.out[lin] = v;
         Ok(v.to_f64())
     }
-}
 
-impl<T: Scalar> ElementSink for DecodeSink<'_, T> {
     #[inline(always)]
-    fn emit(&mut self, lin: usize, pred: f64) -> Result<f64, SzError> {
+    fn emit_at(&mut self, lin: usize, pred: f64, lagged: bool) -> Result<f64, SzError> {
         let code = self.codes[lin - self.base];
         if code != ESCAPE {
             if code >= self.alphabet {
@@ -233,14 +259,43 @@ impl<T: Scalar> ElementSink for DecodeSink<'_, T> {
             self.out[lin] = v;
             Ok(v.to_f64())
         } else {
-            self.emit_escape(lin)
+            self.emit_escape(lin, lagged)
         }
+    }
+}
+
+impl<T: Scalar> ElementSink for DecodeSink<'_, T> {
+    #[inline(always)]
+    fn emit(&mut self, lin: usize, pred: f64) -> Result<f64, SzError> {
+        self.emit_at(lin, pred, false)
+    }
+
+    #[inline(always)]
+    fn emit_lagged(&mut self, lin: usize, pred: f64) -> Result<f64, SzError> {
+        self.emit_at(lin, pred, true)
+    }
+
+    #[inline]
+    fn begin_pair(&mut self, a_start: usize, a_end: usize) {
+        // Every escape the leading row will consume is already visible in
+        // its codes, so the lagging row's first escape index is computable
+        // up front — this is what makes decode-side pairing sound.
+        let lead = &self.codes[a_start - self.base..a_end - self.base];
+        let lead_escapes = lead.iter().filter(|&&c| c == ESCAPE).count();
+        self.lag_unpred = *self.next_unpred + lead_escapes;
+    }
+
+    #[inline]
+    fn flush_pair(&mut self) {
+        *self.next_unpred = self.lag_unpred;
     }
 }
 
 /// Run the region-decomposed walk over the linear range `start..end`,
 /// which must cover whole outer-dimension slices. `recon[..start]` must
-/// already hold the reconstructions of every earlier sample.
+/// already hold the reconstructions of every earlier sample. Interior
+/// rows run in wavefront pairs (pairs never straddle the range ends, so
+/// chunked decodes only lose pairing at chunk seams, never correctness).
 fn drive_range<S: ElementSink>(
     shape: Shape,
     kind: PredictorKind,
@@ -254,8 +309,8 @@ fn drive_range<S: ElementSink>(
     }
     match shape {
         Shape::D1(_) => drive_1d(shape, kind, start, end, recon, sink),
-        Shape::D2(_, cols) => drive_2d(kind, cols, start, end, recon, sink),
-        Shape::D3(_, d1, d2) => drive_3d(shape, kind, d1, d2, start, end, recon, sink),
+        Shape::D2(_, cols) => walk_2d(kind, cols, start, end, recon, sink),
+        Shape::D3(_, d1, d2) => walk_3d(shape, kind, d1, d2, start, end, recon, sink),
     }
 }
 
@@ -427,39 +482,6 @@ fn l2_row<S: ElementSink>(
     Ok(())
 }
 
-fn drive_2d<S: ElementSink>(
-    kind: PredictorKind,
-    cols: usize,
-    start: usize,
-    end: usize,
-    recon: &mut [f64],
-    sink: &mut S,
-) -> Result<(), SzError> {
-    let (r0, r1) = (start / cols, end / cols);
-    for i in r0..r1 {
-        let row = i * cols;
-        match kind {
-            PredictorKind::Lorenzo1 => {
-                if i == 0 {
-                    first_row(cols, cols, recon, sink)?;
-                } else {
-                    l1_row(cols, row, recon, sink)?;
-                }
-            }
-            PredictorKind::Lorenzo2 => {
-                if i == 0 {
-                    first_row(cols, cols, recon, sink)?;
-                } else if i == 1 {
-                    l1_row(cols, row, recon, sink)?;
-                } else {
-                    l2_row(cols, row, recon, sink)?;
-                }
-            }
-            PredictorKind::Auto => unreachable!("Auto resolves before the walk"),
-        }
-    }
-    Ok(())
-}
 
 /// The first-order 3-D seven-point stencil: the reference's
 /// inclusion–exclusion chain `t1+t2+t3−t4−t5−t6+t7`, left-associated.
@@ -581,61 +603,9 @@ fn l2_3d_row<S: ElementSink>(
     Ok(())
 }
 
-fn drive_3d<S: ElementSink>(
-    shape: Shape,
-    kind: PredictorKind,
-    d1: usize,
-    d2: usize,
-    start: usize,
-    end: usize,
-    recon: &mut [f64],
-    sink: &mut S,
-) -> Result<(), SzError> {
-    let p = d1 * d2;
-    let (p0, p1) = (start / p, end / p);
-    for i in p0..p1 {
-        let base = i * p;
-        // Planes where the stencil is not fully available run the
-        // reference per element: plane 0 for Lorenzo, planes 0–1 for
-        // Lorenzo² (which falls back internally).
-        let boundary_plane = match kind {
-            PredictorKind::Lorenzo1 => i < 1,
-            PredictorKind::Lorenzo2 => i < 2,
-            PredictorKind::Auto => unreachable!("Auto resolves before the walk"),
-        };
-        if boundary_plane {
-            for lin in base..base + p {
-                boundary(shape, kind, lin, recon, sink)?;
-            }
-            continue;
-        }
-        match kind {
-            PredictorKind::Lorenzo1 => {
-                // Row j = 0 of the plane: stencil degrades along the face.
-                for lin in base..base + d2 {
-                    boundary(shape, kind, lin, recon, sink)?;
-                }
-                for j in 1..d1 {
-                    l1_3d_row(shape, kind, d2, p, base + j * d2, recon, sink)?;
-                }
-            }
-            PredictorKind::Lorenzo2 => {
-                // Rows j < 2 fall back to the first-order stencil.
-                for lin in base..base + (2 * d2).min(p) {
-                    boundary(shape, kind, lin, recon, sink)?;
-                }
-                for j in 2..d1 {
-                    l2_3d_row(shape, kind, d2, p, base + j * d2, recon, sink)?;
-                }
-            }
-            PredictorKind::Auto => unreachable!("Auto resolves before the walk"),
-        }
-    }
-    Ok(())
-}
 
 // ---------------------------------------------------------------------
-// Wavefront row pairs (compress walk only).
+// Wavefront row pairs (both walks).
 //
 // The reconstruction chain `r → pred → r` is serial within a row, so the
 // straight walk is bound by one long floating-point dependency chain. A
@@ -645,11 +615,12 @@ fn drive_3d<S: ElementSink>(
 // throughput. Every element still sees the exact same stencil expression
 // (the shared `*_stencil_*` helpers) and the same finalized `recon`
 // inputs, so per-element results are bit-identical to the sequential
-// schedule; the only order-sensitive side effect — the escape payload —
-// is deferred for the lagging row and appended at `flush_pair`, keeping
-// the escape stream in scan order. The decode mirror must NOT use these
-// schedulers: it consumes escape values in scan order, and the lagging
-// row's escapes would still be in flight (see `ElementSink::emit_lagged`).
+// schedule. The only order-sensitive state — the escape stream — is
+// handled through the sink's pair hooks: each pair opens with
+// `begin_pair` over the leading row's range (the decode sink counts the
+// ESCAPE codes there to place its lagging cursor) and closes with
+// `flush_pair` (the walk sink appends its deferred escape values, the
+// decode sink folds the lagging cursor forward). See the module docs.
 // ---------------------------------------------------------------------
 
 /// First-order rows `a = rowa/cols ≥ 1` and `a+1` as a wavefront pair.
@@ -664,6 +635,7 @@ fn l1_pair<S: ElementSink>(
     let a_up = rowa - cols;
     // The lagging row's "row above" is the leading row itself.
     let b_up = rowa;
+    sink.begin_pair(rowa, rowb);
     // A col 0 (above neighbour only), A col 1, then B col 0.
     let r = sink.emit(rowa, recon[a_up])?;
     recon[rowa] = r;
@@ -703,6 +675,7 @@ fn l2_pair<S: ElementSink>(
     let rowb = rowa + cols;
     let (a_up1, a_up2) = (rowa - cols, rowa - 2 * cols);
     let (b_up1, b_up2) = (rowa, rowa - cols);
+    sink.begin_pair(rowa, rowb);
     // A cols 0–1: first-order fallback, exactly as in `l2_row`.
     let r = sink.emit(rowa, recon[a_up1])?;
     recon[rowa] = r;
@@ -761,6 +734,7 @@ fn l1_3d_pair<S: ElementSink>(
     let (a_rjm1, a_pj, a_pjm1) = (rowa - d2, rowa - p, rowa - p - d2);
     // The lagging row's (i, j−1, ·) row is the leading row itself.
     let (b_rjm1, b_pj, b_pjm1) = (rowa, rowb - p, rowa - p);
+    sink.begin_pair(rowa, rowb);
     boundary(shape, kind, rowa, recon, sink)?;
     let mut la = recon[rowa];
     let pred = l1_stencil_3d(recon, la, a_rjm1, a_pj, a_pjm1, 1);
@@ -806,6 +780,7 @@ fn l2_3d_pair<S: ElementSink>(
     let (b01, b02) = (rowa, rowa - d2);
     let (b10, b11, b12) = (rowb - p, rowa - p, rowa - p - d2);
     let (b20, b21, b22) = (rowb - 2 * p, rowa - 2 * p, rowa - 2 * p - d2);
+    sink.begin_pair(rowa, rowb);
     // A cols 0–1: reference fallback, then A col 2 (first full stencil).
     boundary(shape, kind, rowa, recon, sink)?;
     boundary(shape, kind, rowa + 1, recon, sink)?;
@@ -840,61 +815,61 @@ fn l2_3d_pair<S: ElementSink>(
     Ok(())
 }
 
-/// Region-decomposed walk over a whole field with wavefront row pairing
-/// where the grid allows it. Compress-side only: the pairing defers the
-/// lagging row's escapes, which only [`WalkSink`] supports.
+/// Region-decomposed walk over a whole field — [`drive_range`] over the
+/// full linear range, wavefront pairing included.
 fn drive_walk<S: ElementSink>(
     shape: Shape,
     kind: PredictorKind,
     recon: &mut [f64],
     sink: &mut S,
 ) -> Result<(), SzError> {
-    let n = shape.len();
-    if n == 0 {
-        return Ok(());
-    }
-    match shape {
-        Shape::D1(_) => drive_1d(shape, kind, 0, n, recon, sink),
-        Shape::D2(rows, cols) => walk_2d(kind, rows, cols, recon, sink),
-        Shape::D3(d0, d1, d2) => walk_3d(shape, kind, d0, d1, d2, recon, sink),
-    }
+    drive_range(shape, kind, 0, shape.len(), recon, sink)
 }
 
+/// 2-D rows `start/cols .. end/cols`, interior rows in wavefront pairs.
 fn walk_2d<S: ElementSink>(
     kind: PredictorKind,
-    rows: usize,
     cols: usize,
+    start: usize,
+    end: usize,
     recon: &mut [f64],
     sink: &mut S,
 ) -> Result<(), SzError> {
+    let (r0, r1) = (start / cols, end / cols);
+    let mut i = r0;
     match kind {
         PredictorKind::Lorenzo1 => {
-            first_row(cols, cols, recon, sink)?;
-            let mut i = 1;
+            if i == 0 && i < r1 {
+                first_row(cols, cols, recon, sink)?;
+                i = 1;
+            }
             if cols >= 2 {
-                while i + 1 < rows {
+                while i + 1 < r1 {
                     l1_pair(cols, i * cols, recon, sink)?;
                     i += 2;
                 }
             }
-            while i < rows {
+            while i < r1 {
                 l1_row(cols, i * cols, recon, sink)?;
                 i += 1;
             }
         }
         PredictorKind::Lorenzo2 => {
-            first_row(cols, cols, recon, sink)?;
-            if rows >= 2 {
-                l1_row(cols, cols, recon, sink)?;
+            if i == 0 && i < r1 {
+                first_row(cols, cols, recon, sink)?;
+                i = 1;
             }
-            let mut i = 2;
+            if i == 1 && i < r1 {
+                l1_row(cols, cols, recon, sink)?;
+                i = 2;
+            }
             if cols >= 3 {
-                while i + 1 < rows {
+                while i + 1 < r1 {
                     l2_pair(cols, i * cols, recon, sink)?;
                     i += 2;
                 }
             }
-            while i < rows {
+            while i < r1 {
                 l2_row(cols, i * cols, recon, sink)?;
                 i += 1;
             }
@@ -904,17 +879,22 @@ fn walk_2d<S: ElementSink>(
     Ok(())
 }
 
+/// 3-D planes `start/(d1·d2) .. end/(d1·d2)`, plane-interior rows in
+/// wavefront pairs (pairing never crosses a plane, so any whole-plane
+/// range is safe).
 fn walk_3d<S: ElementSink>(
     shape: Shape,
     kind: PredictorKind,
-    d0: usize,
     d1: usize,
     d2: usize,
+    start: usize,
+    end: usize,
     recon: &mut [f64],
     sink: &mut S,
 ) -> Result<(), SzError> {
     let p = d1 * d2;
-    for i in 0..d0 {
+    let (p0, p1) = (start / p, end / p);
+    for i in p0..p1 {
         let base = i * p;
         let boundary_plane = match kind {
             PredictorKind::Lorenzo1 => i < 1,
@@ -1129,6 +1109,7 @@ impl<T: Scalar> FusedDecoder<T> {
             out: &mut self.out,
             unpred: &self.unpred,
             next_unpred: &mut self.next_unpred,
+            lag_unpred: 0,
             eb: self.eb,
             radius: self.radius,
             alphabet: self.alphabet,

@@ -41,6 +41,7 @@ pub mod compressor;
 pub mod config;
 pub mod error;
 pub mod format;
+pub mod inspect;
 pub mod kernels;
 pub mod predictor;
 pub mod quantizer;
@@ -55,6 +56,7 @@ pub use compressor::{
 };
 pub use config::{EntropyCoder, ErrorBound, EscapeCoding, KernelMode, LosslessBackend, SzConfig};
 pub use error::{DecodeError, SzError};
+pub use inspect::{inspect_sections, ContainerInfo, SectionInfo};
 pub use predictor::PredictorKind;
 pub use quantizer::LinearQuantizer;
 pub use ratemodel::RateModel;

@@ -10,8 +10,12 @@
 //! - `v1/`      — frozen containers produced by the PR-2 era code
 //!   (blocked layout version 1). Never regenerated; they prove the current
 //!   decoder stays backward-compatible.
+//! - `v2/`      — frozen containers produced by the PR-5 era code (blocked
+//!   layout version 2: per-section lossless + CRC directory, single-stream
+//!   Huffman, whole-body DEFLATE). Never regenerated.
 //! - `current/` — containers produced by the current encoder (blocked
-//!   layout version 2). Regenerated on purposeful format changes via
+//!   layout version 3: interleaved Huffman, per-chunk bake-off).
+//!   Regenerated on purposeful format changes via
 //!   `FPSNR_REGEN_FIXTURES=tests/fixtures/current cargo test -q --test
 //!   format_stability regenerate`.
 
@@ -199,6 +203,11 @@ pub fn golden_set() -> Vec<Golden> {
 /// Directory of the frozen v1 fixtures.
 pub fn v1_dir() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/v1")
+}
+
+/// Directory of the frozen v2 fixtures.
+pub fn v2_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/v2")
 }
 
 /// Directory of the current-version fixtures.

@@ -1,10 +1,10 @@
 //! Container-format integration tests: cross-mode decode dispatch, header
 //! integrity, failure behaviour on malformed inputs, and checked-in golden
-//! container fixtures proving byte stability and v1→v2 backward compat.
+//! container fixtures proving byte stability and v1/v2→v3 backward compat.
 
 mod common;
 
-use common::{current_dir, golden_set, v1_dir, Golden, GoldenField};
+use common::{current_dir, golden_set, v1_dir, v2_dir, Golden, GoldenField};
 use fixed_psnr::prelude::*;
 use fixed_psnr::sz::{self, format, LosslessBackend};
 
@@ -217,6 +217,27 @@ fn v1_fixtures_decode_backward_compatibly() {
             decode_bits(&frozen, &g),
             decode_bits(&fresh, &g),
             "{}: v1 container and current container decode to different samples",
+            g.name
+        );
+    }
+}
+
+/// Frozen v2-era containers (per-section CRC directory, single-stream
+/// Huffman stage 0, whole-body DEFLATE flag 1) must keep decoding, and
+/// must decode bit-exactly to what the current v3 encoder produces on the
+/// same field — the entropy/lossless rework never touches the lossy math.
+#[test]
+fn v2_fixtures_decode_backward_compatibly() {
+    for g in golden_set() {
+        let path = v2_dir().join(format!("{}.szr", g.name));
+        let frozen = std::fs::read(&path)
+            .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()));
+        assert_decodes_within_tol(g.name, &frozen, &g);
+        let fresh = g.compress();
+        assert_eq!(
+            decode_bits(&frozen, &g),
+            decode_bits(&fresh, &g),
+            "{}: v2 container and current container decode to different samples",
             g.name
         );
     }

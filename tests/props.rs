@@ -1,7 +1,9 @@
 //! Property-based integration tests (proptest) over the whole stack.
 
+use fixed_psnr::lossless::bakeoff::{self, Backend};
+use fixed_psnr::lossless::lz77::Effort;
 use fixed_psnr::lossless::{huffman::HuffmanCodec, lz_compress, lz_decompress};
-use fixed_psnr::lossless::{freq, BitReader, BitWriter};
+use fixed_psnr::lossless::{freq, mshuf, BitReader, BitWriter};
 use fixed_psnr::prelude::*;
 use fixed_psnr::sz;
 use proptest::prelude::*;
@@ -83,6 +85,68 @@ proptest! {
         let mut r = BitReader::new(&bytes);
         let mut out = Vec::new();
         codec2.decode(&mut r, symbols.len(), &mut out).unwrap();
+        prop_assert_eq!(out, symbols);
+    }
+
+    /// Every bake-off backend, forced individually, round-trips arbitrary
+    /// bytes.
+    #[test]
+    fn bakeoff_each_backend_roundtrips(
+        data in proptest::collection::vec(any::<u8>(), 0..6000),
+        backend_idx in 0usize..4,
+    ) {
+        let backend = Backend::ALL[backend_idx];
+        let comp = bakeoff::compress_forced(&data, Effort::Default, backend);
+        let back = bakeoff::decompress_bounded(&comp, data.len()).unwrap();
+        prop_assert_eq!(back.as_ref(), data.as_slice());
+    }
+
+    /// The bake-off's own per-chunk choice round-trips arbitrary bytes —
+    /// including inputs that mix compressible and incompressible chunks,
+    /// so adjacent chunks genuinely pick different backends.
+    #[test]
+    fn bakeoff_mixed_backends_roundtrip(
+        n_runs in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        // Alternate low-entropy runs with seeded noise: the chunked input
+        // exercises stored, Huffman and DEFLATE picks side by side.
+        let mut data = Vec::new();
+        let mut s = seed | 1;
+        let mut next = || { s ^= s << 13; s ^= s >> 7; s ^= s << 17; (s >> 32) as u8 };
+        for _ in 0..n_runs {
+            let byte = next();
+            let len = 1 + (next() as usize) * 2;
+            let noisy = next() & 1 == 0;
+            for _ in 0..len {
+                let b = if noisy { next() } else { byte };
+                data.push(b);
+            }
+        }
+        let comp = bakeoff::compress(&data, Effort::Default);
+        let back = bakeoff::decompress_bounded(&comp, data.len()).unwrap();
+        prop_assert_eq!(back.as_ref(), data.as_slice());
+        // The pick may never beat the stored baseline by losing to it.
+        prop_assert!(comp.len() <= data.len() + 32, "inflated past framing");
+    }
+
+    /// Interleaved multi-stream Huffman round-trips any symbol stream at
+    /// every supported stream count, through table serialization.
+    #[test]
+    fn mshuf_roundtrip_arbitrary_symbols(
+        alphabet in 2usize..300,
+        raw in proptest::collection::vec(any::<u32>(), 1..2000),
+        n_streams in 1usize..=8,
+    ) {
+        let symbols: Vec<u32> = raw.into_iter().map(|s| s % alphabet as u32).collect();
+        let counts = freq::count_dense(&symbols, alphabet);
+        let codec = HuffmanCodec::from_counts(&counts);
+        let blob = mshuf::encode(&symbols, &codec, n_streams);
+        let mut table = Vec::new();
+        codec.write_table(&mut table);
+        let mut pos = 0;
+        let codec2 = HuffmanCodec::read_table(&table, &mut pos).unwrap();
+        let out = mshuf::decode_all(&blob, &codec2, symbols.len()).unwrap();
         prop_assert_eq!(out, symbols);
     }
 
