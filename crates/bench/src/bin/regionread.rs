@@ -1,0 +1,195 @@
+//! Random-access region-read benchmark: how much decode work a region
+//! read over a chunk-grid container saves versus a full-field decode.
+//!
+//! ```text
+//! cargo run --release -p fpsnr-bench --bin regionread
+//! FPSNR_GRF_DIM=48 cargo run --release -p fpsnr-bench --bin regionread  # CI smoke
+//! ```
+//!
+//! A 3-D Gaussian random field of `FPSNR_GRF_DIM`³ samples is compressed
+//! into a v4 grid container (chunks of dim/8 per axis). The benchmark then
+//! reads a deterministic set of 1/64-volume regions (dim/4 per axis) twice:
+//!
+//! - **cold** — fresh store per region, measuring blocks decoded per read.
+//!   The gate: each 1/64-volume read must decode **< 1/16 of the blocks**
+//!   (it actually touches ≤ 27 of 512 on aligned grids).
+//! - **warm** — one shared store, repeating the same regions. The gate:
+//!   the repeat pass decodes **zero** blocks.
+//!
+//! Every region is also verified bit-identical against slicing the full
+//! decompress. Results go to `BENCH_regionread.json` (override with
+//! `FPSNR_OUT`); the process exits nonzero if any gate fails, so CI can
+//! run the binary directly.
+
+use datagen::grf::grf_3d;
+use ndfield::{Field, Shape};
+use std::fmt::Write as _;
+use std::ops::Range;
+use std::time::Instant;
+use szlike::{ErrorBound, Region, StoreOptions, SzConfig, SzStore};
+
+/// xorshift64 — deterministic region placement.
+fn next(h: &mut u64) -> u64 {
+    *h ^= *h << 13;
+    *h ^= *h >> 7;
+    *h ^= *h << 17;
+    *h
+}
+
+fn main() {
+    let dim: usize = std::env::var("FPSNR_GRF_DIM")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
+    let n_regions: usize = std::env::var("FPSNR_REGIONS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
+    let out_path =
+        std::env::var("FPSNR_OUT").unwrap_or_else(|_| "BENCH_regionread.json".to_string());
+    // Chunk edge dim/8 → an 8³ = 512-block grid, so a dim/4-edge region
+    // covers at most 27 blocks ≈ 1/19 of the directory, inside the 1/16
+    // gate. (Chunks of dim/4 would cover up to 8/64 = 1/8 and fail it.)
+    let chunk = (dim / 8).max(4);
+    let region_edge = (dim / 4).max(1);
+
+    let data: Vec<f32> = grf_3d(dim, dim, dim, 3.0, 20180713)
+        .into_iter()
+        .map(|v| v as f32)
+        .collect();
+    let field = Field::from_vec(Shape::D3(dim, dim, dim), data);
+    let raw_bytes = field.len() * 4;
+    let cfg = SzConfig::new(ErrorBound::ValueRangeRel(1e-4))
+        .with_auto_intervals(true)
+        .with_chunk_dims([chunk; 3]);
+    let bytes = szlike::compress(&field, &cfg).unwrap();
+
+    let t0 = Instant::now();
+    let full: Field<f32> = szlike::decompress(&bytes).unwrap();
+    let full_decode_s = t0.elapsed().as_secs_f64();
+
+    // Deterministic 1/64-volume regions.
+    let mut h = 0x2545F4914F6CDD1Du64;
+    let regions: Vec<[Range<usize>; 3]> = (0..n_regions)
+        .map(|_| {
+            std::array::from_fn(|_| {
+                let start = (next(&mut h) % (dim - region_edge + 1) as u64) as usize;
+                start..start + region_edge
+            })
+        })
+        .collect();
+
+    let probe: SzStore<f32> = SzStore::open(&bytes).unwrap();
+    let n_blocks = probe.grid().n_blocks();
+    let block_gate = n_blocks / 16;
+    drop(probe);
+
+    // Cold pass: fresh store per region, so every read starts uncached.
+    let mut gate_ok = true;
+    let mut cold_lat = Vec::with_capacity(n_regions);
+    let mut cold_blocks_total = 0u64;
+    let mut cold_bytes_decoded = 0u64;
+    let mut bytes_served = 0u64;
+    let mut max_cold_blocks = 0u64;
+    for axes in &regions {
+        let store: SzStore<f32> = SzStore::open(&bytes).unwrap();
+        let region = Region::new(axes).unwrap();
+        let t0 = Instant::now();
+        let got = store.read_region(&region).unwrap();
+        cold_lat.push(t0.elapsed().as_secs_f64());
+        let s = store.stats();
+        cold_blocks_total += s.blocks_decoded;
+        cold_bytes_decoded += s.bytes_decoded;
+        bytes_served += s.bytes_served;
+        max_cold_blocks = max_cold_blocks.max(s.blocks_decoded);
+        if s.blocks_decoded as usize >= block_gate {
+            eprintln!(
+                "GATE FAIL: region {axes:?} decoded {} of {n_blocks} blocks (gate < {block_gate})",
+                s.blocks_decoded
+            );
+            gate_ok = false;
+        }
+        // Bit-identity against the full decode.
+        let mut k = 0;
+        for i in axes[0].clone() {
+            for j in axes[1].clone() {
+                for l in axes[2].clone() {
+                    let want = full.as_slice()[(i * dim + j) * dim + l];
+                    assert_eq!(
+                        got.as_slice()[k].to_bits(),
+                        want.to_bits(),
+                        "region read diverged from full decode at ({i},{j},{l})"
+                    );
+                    k += 1;
+                }
+            }
+        }
+    }
+
+    // Warm pass: one store, every region twice — the repeat must be free.
+    let store = SzStore::<f32>::open_with(bytes.clone(), StoreOptions::default()).unwrap();
+    for axes in &regions {
+        store.read_region(&Region::new(axes).unwrap()).unwrap();
+    }
+    let decoded_after_first = store.stats().blocks_decoded;
+    let mut warm_lat = Vec::with_capacity(n_regions);
+    for axes in &regions {
+        let t0 = Instant::now();
+        store.read_region(&Region::new(axes).unwrap()).unwrap();
+        warm_lat.push(t0.elapsed().as_secs_f64());
+    }
+    let warm_stats = store.stats();
+    let warm_decodes = warm_stats.blocks_decoded - decoded_after_first;
+    if warm_decodes != 0 {
+        eprintln!("GATE FAIL: warm repeat pass decoded {warm_decodes} blocks (want 0)");
+        gate_ok = false;
+    }
+
+    let pct = |lat: &mut Vec<f64>, p: f64| -> f64 {
+        lat.sort_by(f64::total_cmp);
+        lat[((lat.len() as f64 - 1.0) * p).round() as usize]
+    };
+    let cold_p50 = pct(&mut cold_lat, 0.50);
+    let cold_p99 = pct(&mut cold_lat, 0.99);
+    let warm_p50 = pct(&mut warm_lat, 0.50);
+    let warm_p99 = pct(&mut warm_lat, 0.99);
+    let decode_ratio = cold_bytes_decoded as f64 / bytes_served.max(1) as f64;
+    let blocks_frac = cold_blocks_total as f64 / (n_regions * n_blocks) as f64;
+
+    println!(
+        "GRF {dim}^3, {chunk}^3 chunks -> {n_blocks} blocks, {n_regions} regions of {region_edge}^3\n\
+         full decode          {:.1} ms\n\
+         cold: avg {:.1} of {n_blocks} blocks/read (max {max_cold_blocks}, gate < {block_gate}), \
+         {decode_ratio:.3} bytes decoded/served, p50 {:.3} ms, p99 {:.3} ms\n\
+         warm: {warm_decodes} decodes over the repeat pass, p50 {:.3} ms, p99 {:.3} ms\n\
+         gates {}",
+        full_decode_s * 1e3,
+        cold_blocks_total as f64 / n_regions as f64,
+        cold_p50 * 1e3,
+        cold_p99 * 1e3,
+        warm_p50 * 1e3,
+        warm_p99 * 1e3,
+        if gate_ok { "OK" } else { "FAILED" }
+    );
+
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\n  \"bench\": \"regionread\",\n  \"grf_dim\": {dim},\n  \"raw_bytes\": {raw_bytes},\n  \
+         \"chunk\": {chunk},\n  \"n_blocks\": {n_blocks},\n  \"n_regions\": {n_regions},\n  \
+         \"region_edge\": {region_edge},\n  \"full_decode_s\": {full_decode_s:.6},\n  \
+         \"cold\": {{\"blocks_per_read\": {:.3}, \"max_blocks\": {max_cold_blocks}, \
+         \"block_gate\": {block_gate}, \"bytes_decoded\": {cold_bytes_decoded}, \
+         \"bytes_served\": {bytes_served}, \"decode_amplification\": {decode_ratio:.4}, \
+         \"blocks_fraction\": {blocks_frac:.4}, \"p50_s\": {cold_p50:.6}, \"p99_s\": {cold_p99:.6}}},\n  \
+         \"warm\": {{\"repeat_decodes\": {warm_decodes}, \"hits\": {}, \"p50_s\": {warm_p50:.6}, \
+         \"p99_s\": {warm_p99:.6}}},\n  \"gates_ok\": {gate_ok}\n}}\n",
+        cold_blocks_total as f64 / n_regions as f64,
+        warm_stats.hits,
+    );
+    std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    println!("wrote {out_path}");
+    if !gate_ok {
+        std::process::exit(1);
+    }
+}

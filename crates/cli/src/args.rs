@@ -18,7 +18,7 @@ pub struct Args {
 const VALUE_FLAGS: &[&str] = &[
     "--input", "-i", "--output", "-o", "--recon", "-r", "--type", "--dims", "--mode", "--bins",
     "--dataset", "--res", "--psnr", "--seed", "--threads", "--block-size", "--out-dir",
-    "--profile", "--ratio", "--ratio-tol",
+    "--profile", "--ratio", "--ratio-tol", "--chunks", "--region", "--addr", "--cache-mb",
 ];
 /// Boolean switches.
 const SWITCHES: &[&str] = &["--no-lz", "--verify", "--quiet", "--transform"];

@@ -12,6 +12,7 @@
 //! ```
 
 mod args;
+mod serve;
 
 use args::Args;
 use datagen::{DatasetId, DatasetSpec, Resolution};
@@ -49,6 +50,8 @@ fn run(argv: &[String]) -> Result<(), String> {
         "verify" => cmd_verify(&args),
         "gen" => cmd_gen(&args),
         "eval" => cmd_eval(&args),
+        "serve" => cmd_serve(&args),
+        "read" => cmd_read(&args),
         other => Err(format!("unknown command {other} (try `fpsnr help`)")),
     };
     if result.is_ok() {
@@ -93,7 +96,14 @@ COMMANDS
               [--bins N] [--no-lz] [--verify] [--transform]
               [--threads N]     block-parallel pipeline (0 = auto, 1 = off)
               [--block-size R]  rows per block (0 = derive from shape)
+              [--chunks AxBxC]  multi-dimensional chunk grid (v4 layout) for
+                                random-access region reads; 0 = full axis
   decompress  -i OUT -o RAW [--threads N]
+  read        -i OUT -o RAW --region S:ExS:ExS:E
+                             decode one region (only intersecting blocks)
+  serve       -i OUT [--addr HOST:PORT] [--cache-mb N]
+                             region-read server (length-prefixed TCP);
+                             prints cache/latency report on shutdown
   analyze     -i RAW -r RAW --type f32|f64 --dims DxDxD
   inspect     -i OUT         print container layout and a damage report
                              (always exits 0 if the header parses)
@@ -191,14 +201,21 @@ fn compress_typed<T: Scalar>(args: &Args) -> Result<(), String> {
         .map(|s| s.parse().map_err(|e| format!("bad --block-size: {e}")))
         .transpose()?
         .unwrap_or(0);
+    let chunk_dims = parse_chunks(args)?;
+    if chunk_dims != [0; 3] && block_rows != 0 {
+        return Err("--chunks and --block-size are mutually exclusive".into());
+    }
     let use_transform = args.has("--transform");
-    if use_transform && (threads != 1 || block_rows != 0) {
-        return Err("--transform does not support --threads/--block-size".into());
+    if use_transform && (threads != 1 || block_rows != 0 || chunk_dims != [0; 3]) {
+        return Err("--transform does not support --threads/--block-size/--chunks".into());
     }
     let bytes = match mode {
         CliMode::Budget(budget) => {
             if use_transform {
                 return Err("--transform does not support budget mode".into());
+            }
+            if chunk_dims != [0; 3] {
+                return Err("budget mode does not support --chunks".into());
             }
             let base = SzConfig::new(ErrorBound::Abs(1.0))
                 .with_quant_bins(bins)
@@ -223,6 +240,9 @@ fn compress_typed<T: Scalar>(args: &Args) -> Result<(), String> {
         CliMode::Ratio(target, tol) => {
             if use_transform {
                 return Err("--transform does not support fixed-ratio mode".into());
+            }
+            if chunk_dims != [0; 3] {
+                return Err("fixed-ratio mode does not support --chunks".into());
             }
             let opts = FixedRatioOptions {
                 tolerance: tol,
@@ -259,6 +279,7 @@ fn compress_typed<T: Scalar>(args: &Args) -> Result<(), String> {
                     lossless,
                     threads,
                     block_rows,
+                    chunk_dims,
                     ..FixedPsnrOptions::default()
                 };
                 fpsnr_core::fixed_psnr::compress_fixed_psnr_only(&field, target, &opts)
@@ -274,7 +295,8 @@ fn compress_typed<T: Scalar>(args: &Args) -> Result<(), String> {
                     .with_quant_bins(bins)
                     .with_lossless(lossless)
                     .with_threads(threads)
-                    .with_block_rows(block_rows);
+                    .with_block_rows(block_rows)
+                    .with_chunk_dims(chunk_dims);
                 szlike::compress(&field, &cfg).map_err(|e| e.to_string())?
             }
         }
@@ -303,6 +325,39 @@ fn parse_threads(args: &Args) -> Result<Option<usize>, String> {
     args.get("--threads")
         .map(|s| s.parse().map_err(|e| format!("bad --threads: {e}")))
         .transpose()
+}
+
+/// Parse `--chunks 64x64x64` into chunk extents ([0; 3] when absent — the
+/// slab layout). A 0 extent means "full axis".
+fn parse_chunks(args: &Args) -> Result<[usize; 3], String> {
+    let Some(raw) = args.get("--chunks") else {
+        return Ok([0; 3]);
+    };
+    let parts: Result<Vec<usize>, _> = raw.split('x').map(|p| p.parse::<usize>()).collect();
+    let parts = parts.map_err(|e| format!("bad --chunks {raw}: {e}"))?;
+    if parts.is_empty() || parts.len() > 3 {
+        return Err(format!("--chunks wants 1-3 extents, got {raw}"));
+    }
+    let mut dims = [0usize; 3];
+    dims[..parts.len()].copy_from_slice(&parts);
+    if dims == [0; 3] {
+        return Err("--chunks of all zeros selects no grid; omit the flag instead".into());
+    }
+    Ok(dims)
+}
+
+/// Parse `--region 5:14x0:24x7:9` into per-axis half-open ranges.
+fn parse_region(raw: &str) -> Result<szlike::Region, String> {
+    let mut axes = Vec::new();
+    for part in raw.split('x') {
+        let (s, e) = part
+            .split_once(':')
+            .ok_or_else(|| format!("bad --region axis {part} (want start:end)"))?;
+        let s: usize = s.parse().map_err(|e| format!("bad --region start: {e}"))?;
+        let e: usize = e.parse().map_err(|e| format!("bad --region end: {e}"))?;
+        axes.push(s..e);
+    }
+    szlike::Region::new(&axes).map_err(|e| e.to_string())
 }
 
 /// Decode any container this toolchain produces, dispatching on the magic.
@@ -398,6 +453,22 @@ fn print_report(report: &szlike::DamageReport) {
 fn print_sections(info: &szlike::ContainerInfo) {
     if let Some(v) = info.blocked_version {
         println!("blocked version   {v}");
+    }
+    let fmt_dims = |d: &[usize]| {
+        d.iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+            .join("x")
+    };
+    if let Some(chunk) = &info.chunk_dims {
+        println!("chunk dims        {}", fmt_dims(chunk));
+    }
+    if let Some(grid) = &info.grid_dims {
+        println!(
+            "chunk grid        {} ({} blocks)",
+            fmt_dims(grid),
+            grid.iter().product::<usize>()
+        );
     }
     if let Some(stage) = info.entropy_stage {
         let name = match stage {
@@ -618,6 +689,70 @@ fn cmd_eval(args: &Args) -> Result<(), String> {
         summary.stdev,
         summary.meet_rate * 100.0,
         summary.n_fields
+    );
+    Ok(())
+}
+
+/// Parse `--cache-mb` into store options (default 64 MiB).
+fn parse_store_options(args: &Args) -> Result<szlike::StoreOptions, String> {
+    let cache_mb: usize = args
+        .get("--cache-mb")
+        .map(|s| s.parse().map_err(|e| format!("bad --cache-mb: {e}")))
+        .transpose()?
+        .unwrap_or(64);
+    Ok(szlike::StoreOptions {
+        cache_budget: cache_mb << 20,
+        ..szlike::StoreOptions::default()
+    })
+}
+
+/// `fpsnr serve`: answer region reads over TCP until a SHUTDOWN request,
+/// then print the cache / latency report.
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let input = args.require("--input")?;
+    let bytes = std::fs::read(input).map_err(|e| format!("reading {input}: {e}"))?;
+    let store = serve::AnyStore::open(bytes, parse_store_options(args)?)?;
+    let dims = store.dims();
+    let addr = args.get("--addr").unwrap_or("127.0.0.1:0");
+    let listener =
+        std::net::TcpListener::bind(addr).map_err(|e| format!("binding {addr}: {e}"))?;
+    let local = listener.local_addr().map_err(|e| e.to_string())?;
+    println!(
+        "serving {input} ({}) on {local}",
+        dims.iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("x")
+    );
+    let report = serve::run_server(listener, store)?;
+    println!("{}", report.render());
+    Ok(())
+}
+
+/// `fpsnr read`: decode one region of a blocked container to a raw file,
+/// touching only the blocks that intersect it.
+fn cmd_read(args: &Args) -> Result<(), String> {
+    let input = args.require("--input")?;
+    let bytes = std::fs::read(input).map_err(|e| format!("reading {input}: {e}"))?;
+    let region = parse_region(args.require("--region")?)?;
+    let out = args.require("--output")?;
+    let mut pos = 0usize;
+    let header = format::read_header(&bytes, &mut pos).map_err(|e| e.to_string())?;
+    let opts = parse_store_options(args)?;
+    let (n_samples, n_blocks, stats) = if header.scalar_tag == "f64" {
+        let store = szlike::SzStore::<f64>::open_with(bytes, opts).map_err(|e| e.to_string())?;
+        let field = store.read_region(&region).map_err(|e| e.to_string())?;
+        fio::write_raw(&field, out).map_err(|e| format!("writing {out}: {e}"))?;
+        (field.len(), store.grid().n_blocks(), store.stats())
+    } else {
+        let store = szlike::SzStore::<f32>::open_with(bytes, opts).map_err(|e| e.to_string())?;
+        let field = store.read_region(&region).map_err(|e| e.to_string())?;
+        fio::write_raw(&field, out).map_err(|e| format!("writing {out}: {e}"))?;
+        (field.len(), store.grid().n_blocks(), store.stats())
+    };
+    println!(
+        "read {n_samples} samples by decoding {} of {n_blocks} blocks ({} bytes decoded for {} served)",
+        stats.blocks_decoded, stats.bytes_decoded, stats.bytes_served,
     );
     Ok(())
 }

@@ -1,0 +1,535 @@
+//! `fpsnr serve` — a long-running region-read server over one container.
+//!
+//! The server opens a blocked container behind an [`szlike::SzStore`] and
+//! answers region-read requests over TCP, so many clients can pull
+//! sub-volumes out of one compressed file without anyone ever decoding the
+//! whole field. All concurrency is std: a non-blocking accept loop hands
+//! each connection to its own thread, and the store's sharded single-flight
+//! cache makes concurrent overlapping reads share block decodes.
+//!
+//! ## Wire protocol (length-prefixed frames)
+//!
+//! Every message — request or response — is one frame: a `u32` little-endian
+//! payload length (capped at 1 GiB) followed by the payload. Requests start
+//! with an op byte:
+//!
+//! | op | name     | request payload after the op byte                    |
+//! |----|----------|------------------------------------------------------|
+//! | 1  | READ     | `rank: u8`, then per axis `varint start, varint end` |
+//! | 2  | STATS    | (empty)                                              |
+//! | 3  | SHUTDOWN | (empty)                                              |
+//!
+//! Responses start with a status byte (0 ok, 1 error). An error payload is
+//! a UTF-8 message. A READ ok payload is `scalar_bytes: u8` (4 or 8),
+//! `rank: u8`, per-axis `varint` extents, then the samples little-endian in
+//! row-major region order — bit-identical to slicing a full decompress. A
+//! STATS ok payload is a JSON object of the store's counters. SHUTDOWN
+//! acknowledges with an empty ok frame, then the server drains and exits.
+//!
+//! A connection may issue any number of requests; the server answers in
+//! order. On exit the server prints a [`ServeReport`]: cache hit rate,
+//! bytes decoded per byte served (the random-access win), and request
+//! latency percentiles, all sourced from the store's `fpsnr-obs`-mirrored
+//! counters.
+
+use losslesskit::varint;
+use ndfield::Scalar;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use szlike::{Region, StoreOptions, StoreStats, SzStore};
+
+/// Frame length cap — a region read of a whole 1-GiB field is the largest
+/// legitimate response; anything bigger is a protocol error.
+const MAX_FRAME: usize = 1 << 30;
+
+/// Request op bytes.
+pub const OP_READ: u8 = 1;
+/// Snapshot the store counters as JSON.
+pub const OP_STATS: u8 = 2;
+/// Stop the server after acknowledging.
+pub const OP_SHUTDOWN: u8 = 3;
+
+/// A store of either scalar type, dispatching on the container header.
+pub enum AnyStore {
+    /// 32-bit float container.
+    F32(SzStore<f32>),
+    /// 64-bit float container.
+    F64(SzStore<f64>),
+}
+
+impl AnyStore {
+    /// Open `bytes` as whichever scalar type its header declares.
+    pub fn open(bytes: Vec<u8>, opts: StoreOptions) -> Result<AnyStore, String> {
+        let mut pos = 0usize;
+        let header = szlike::format::read_header(&bytes, &mut pos).map_err(|e| e.to_string())?;
+        match header.scalar_tag {
+            "f32" => Ok(AnyStore::F32(
+                SzStore::open_with(bytes, opts).map_err(|e| e.to_string())?,
+            )),
+            "f64" => Ok(AnyStore::F64(
+                SzStore::open_with(bytes, opts).map_err(|e| e.to_string())?,
+            )),
+            other => Err(format!("unsupported scalar type {other}")),
+        }
+    }
+
+    /// The stored field's extents.
+    pub fn dims(&self) -> Vec<usize> {
+        match self {
+            AnyStore::F32(s) => s.shape().dims(),
+            AnyStore::F64(s) => s.shape().dims(),
+        }
+    }
+
+    /// Counter snapshot (see [`SzStore::stats`]).
+    pub fn stats(&self) -> StoreStats {
+        match self {
+            AnyStore::F32(s) => s.stats(),
+            AnyStore::F64(s) => s.stats(),
+        }
+    }
+
+    /// Serve one READ: decode the intersecting blocks and frame the
+    /// samples (scalar width, rank, extents, LE data).
+    fn read_region_framed(&self, region: &Region) -> Result<Vec<u8>, String> {
+        fn framed<T: Scalar>(store: &SzStore<T>, region: &Region) -> Result<Vec<u8>, String> {
+            let field = store.read_region(region).map_err(|e| e.to_string())?;
+            let dims = field.shape().dims();
+            let mut out = Vec::with_capacity(2 + field.len() * T::BYTES + 4 * dims.len());
+            out.push(T::BYTES as u8);
+            out.push(dims.len() as u8);
+            for d in &dims {
+                varint::write_u64(&mut out, *d as u64);
+            }
+            for v in field.as_slice() {
+                v.write_le(&mut out);
+            }
+            Ok(out)
+        }
+        match self {
+            AnyStore::F32(s) => framed(s, region),
+            AnyStore::F64(s) => framed(s, region),
+        }
+    }
+}
+
+/// Render the store counters as a JSON object (STATS payload).
+pub fn stats_json(s: &StoreStats) -> String {
+    format!(
+        concat!(
+            "{{\"hits\":{},\"misses\":{},\"waits\":{},\"evictions\":{},",
+            "\"blocks_decoded\":{},\"bytes_decoded\":{},\"regions\":{},",
+            "\"bytes_served\":{},\"cached_blocks\":{},\"cached_bytes\":{},",
+            "\"hit_rate\":{:.4},\"decode_amplification\":{:.4}}}"
+        ),
+        s.hits,
+        s.misses,
+        s.waits,
+        s.evictions,
+        s.blocks_decoded,
+        s.bytes_decoded,
+        s.regions,
+        s.bytes_served,
+        s.cached_blocks,
+        s.cached_bytes,
+        s.hit_rate(),
+        s.decode_amplification(),
+    )
+}
+
+/// What the server measured over its lifetime, printed on shutdown.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Final store counters.
+    pub stats: StoreStats,
+    /// READ requests answered (ok or error).
+    pub requests: u64,
+    /// Median READ latency.
+    pub p50: Duration,
+    /// 99th-percentile READ latency.
+    pub p99: Duration,
+}
+
+impl ServeReport {
+    /// Human-readable multi-line report.
+    pub fn render(&self) -> String {
+        let s = &self.stats;
+        format!(
+            "requests          {}\n\
+             regions served    {} ({} bytes)\n\
+             blocks decoded    {} ({} bytes)\n\
+             cache             {} hits / {} misses / {} waits ({:.1}% hit rate)\n\
+             evictions         {}\n\
+             decode amplification {:.3} bytes decoded per byte served\n\
+             latency           p50 {:?}  p99 {:?}",
+            self.requests,
+            s.regions,
+            s.bytes_served,
+            s.blocks_decoded,
+            s.bytes_decoded,
+            s.hits,
+            s.misses,
+            s.waits,
+            s.hit_rate() * 100.0,
+            s.evictions,
+            s.decode_amplification(),
+            self.p50,
+            self.p99,
+        )
+    }
+}
+
+/// Read one length-prefixed frame (`None` on clean EOF at a frame
+/// boundary).
+fn read_frame(stream: &mut TcpStream) -> Result<Option<Vec<u8>>, String> {
+    let mut len_buf = [0u8; 4];
+    match stream.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(format!("reading frame length: {e}")),
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(format!("frame of {len} bytes exceeds the 1 GiB cap"));
+    }
+    let mut payload = vec![0u8; len];
+    stream
+        .read_exact(&mut payload)
+        .map_err(|e| format!("reading frame payload: {e}"))?;
+    Ok(Some(payload))
+}
+
+/// Write one length-prefixed frame.
+fn write_frame(stream: &mut TcpStream, payload: &[u8]) -> Result<(), String> {
+    let len = u32::try_from(payload.len()).map_err(|_| "frame too large".to_string())?;
+    stream
+        .write_all(&len.to_le_bytes())
+        .and_then(|()| stream.write_all(payload))
+        .map_err(|e| format!("writing frame: {e}"))
+}
+
+/// Parse a READ payload (after the op byte) into a region.
+fn parse_read(payload: &[u8]) -> Result<Region, String> {
+    let mut pos = 0usize;
+    let rank = *payload.first().ok_or("READ payload missing rank")? as usize;
+    pos += 1;
+    if rank == 0 || rank > 3 {
+        return Err(format!("bad region rank {rank}"));
+    }
+    let mut axes: Vec<Range<usize>> = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        let s = varint::read_u64(payload, &mut pos).map_err(|e| e.to_string())? as usize;
+        let e = varint::read_u64(payload, &mut pos).map_err(|e| e.to_string())? as usize;
+        axes.push(s..e);
+    }
+    if pos != payload.len() {
+        return Err("trailing bytes after READ region".to_string());
+    }
+    Region::new(&axes).map_err(|e| e.to_string())
+}
+
+/// Answer requests on one connection until EOF or SHUTDOWN.
+fn handle_connection(
+    mut stream: TcpStream,
+    store: &AnyStore,
+    shutdown: &AtomicBool,
+    latencies: &Mutex<Vec<u64>>,
+) -> Result<(), String> {
+    while let Some(frame) = read_frame(&mut stream)? {
+        let Some((&op, payload)) = frame.split_first() else {
+            write_frame(&mut stream, &err_payload("empty request frame"))?;
+            continue;
+        };
+        match op {
+            OP_READ => {
+                let start = Instant::now();
+                let reply = parse_read(payload)
+                    .and_then(|region| store.read_region_framed(&region));
+                let micros = start.elapsed().as_micros() as u64;
+                latencies.lock().expect("latency lock").push(micros);
+                match reply {
+                    Ok(mut body) => {
+                        body.insert(0, 0);
+                        write_frame(&mut stream, &body)?;
+                    }
+                    Err(msg) => write_frame(&mut stream, &err_payload(&msg))?,
+                }
+            }
+            OP_STATS => {
+                let mut body = vec![0u8];
+                body.extend_from_slice(stats_json(&store.stats()).as_bytes());
+                write_frame(&mut stream, &body)?;
+            }
+            OP_SHUTDOWN => {
+                shutdown.store(true, Ordering::SeqCst);
+                write_frame(&mut stream, &[0])?;
+                return Ok(());
+            }
+            other => write_frame(&mut stream, &err_payload(&format!("unknown op {other}")))?,
+        }
+    }
+    Ok(())
+}
+
+fn err_payload(msg: &str) -> Vec<u8> {
+    let mut body = vec![1u8];
+    body.extend_from_slice(msg.as_bytes());
+    body
+}
+
+/// Run the accept loop until a SHUTDOWN request lands, then drain the
+/// connection threads and return the lifetime report.
+///
+/// # Errors
+/// Socket-level failures configuring the listener. Per-connection errors
+/// (malformed frames, broken pipes) end that connection only.
+pub fn run_server(listener: TcpListener, store: AnyStore) -> Result<ServeReport, String> {
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("nonblocking listener: {e}"))?;
+    let store = Arc::new(store);
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let latencies = Arc::new(Mutex::new(Vec::<u64>::new()));
+    let mut workers = Vec::new();
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                stream.set_nodelay(true).ok();
+                let store = Arc::clone(&store);
+                let shutdown = Arc::clone(&shutdown);
+                let latencies = Arc::clone(&latencies);
+                workers.push(std::thread::spawn(move || {
+                    // A connection error poisons only that connection.
+                    let _ = handle_connection(stream, &store, &shutdown, &latencies);
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(3));
+            }
+            Err(e) => return Err(format!("accept: {e}")),
+        }
+    }
+    for w in workers {
+        let _ = w.join();
+    }
+    let mut lat = latencies.lock().expect("latency lock").clone();
+    lat.sort_unstable();
+    let pct = |p: f64| -> Duration {
+        if lat.is_empty() {
+            Duration::ZERO
+        } else {
+            let idx = ((lat.len() as f64 - 1.0) * p).round() as usize;
+            Duration::from_micros(lat[idx])
+        }
+    };
+    Ok(ServeReport {
+        stats: store.stats(),
+        requests: lat.len() as u64,
+        p50: pct(0.50),
+        p99: pct(0.99),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Client helpers — exercised by the protocol tests below.
+// ---------------------------------------------------------------------------
+
+/// One decoded READ response.
+#[cfg(test)]
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionReply {
+    /// Scalar width in bytes (4 or 8).
+    pub scalar_bytes: u8,
+    /// Region extents, row-major.
+    pub dims: Vec<usize>,
+    /// Raw little-endian sample bytes (`dims` product × `scalar_bytes`).
+    pub data: Vec<u8>,
+}
+
+/// Issue a READ for `axes` and decode the reply.
+///
+/// # Errors
+/// Transport failures, server-reported errors, or a malformed reply.
+#[cfg(test)]
+pub fn client_read(stream: &mut TcpStream, axes: &[Range<usize>]) -> Result<RegionReply, String> {
+    let mut req = vec![OP_READ, axes.len() as u8];
+    for r in axes {
+        varint::write_u64(&mut req, r.start as u64);
+        varint::write_u64(&mut req, r.end as u64);
+    }
+    write_frame(stream, &req)?;
+    let reply = read_frame(stream)?.ok_or("server closed the connection")?;
+    let (status, body) = reply.split_first().ok_or("empty reply frame")?;
+    if *status != 0 {
+        return Err(format!("server error: {}", String::from_utf8_lossy(body)));
+    }
+    let mut pos = 0usize;
+    let scalar_bytes = *body.first().ok_or("reply missing scalar width")?;
+    pos += 1;
+    let rank = *body.get(pos).ok_or("reply missing rank")? as usize;
+    pos += 1;
+    let mut dims = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        dims.push(varint::read_u64(body, &mut pos).map_err(|e| e.to_string())? as usize);
+    }
+    let expect = dims.iter().product::<usize>() * scalar_bytes as usize;
+    let data = body[pos..].to_vec();
+    if data.len() != expect {
+        return Err(format!("reply holds {} sample bytes, want {expect}", data.len()));
+    }
+    Ok(RegionReply {
+        scalar_bytes,
+        dims,
+        data,
+    })
+}
+
+/// Issue a STATS request and return the JSON payload.
+///
+/// # Errors
+/// Transport failures or a server-reported error.
+#[cfg(test)]
+pub fn client_stats(stream: &mut TcpStream) -> Result<String, String> {
+    write_frame(stream, &[OP_STATS])?;
+    let reply = read_frame(stream)?.ok_or("server closed the connection")?;
+    let (status, body) = reply.split_first().ok_or("empty reply frame")?;
+    if *status != 0 {
+        return Err(format!("server error: {}", String::from_utf8_lossy(body)));
+    }
+    Ok(String::from_utf8_lossy(body).into_owned())
+}
+
+/// Issue a SHUTDOWN request and wait for the acknowledgement.
+///
+/// # Errors
+/// Transport failures.
+#[cfg(test)]
+pub fn client_shutdown(stream: &mut TcpStream) -> Result<(), String> {
+    write_frame(stream, &[OP_SHUTDOWN])?;
+    read_frame(stream)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndfield::Field;
+    use szlike::{compress, ErrorBound, SzConfig};
+
+    fn grid_bytes(d: usize, chunk: usize) -> (Field<f32>, Vec<u8>) {
+        let field = Field::from_fn_3d(d, d, d, |i, j, k| {
+            ((i as f32) * 0.11).sin() + ((j as f32) * 0.07 + (k as f32) * 0.05).cos()
+        });
+        let cfg = SzConfig::new(ErrorBound::Abs(1e-3)).with_chunk_dims([chunk; 3]);
+        let bytes = compress(&field, &cfg).unwrap();
+        (field, bytes)
+    }
+
+    fn spawn_server(bytes: Vec<u8>) -> (std::net::SocketAddr, std::thread::JoinHandle<ServeReport>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let store = AnyStore::open(bytes, StoreOptions::default()).unwrap();
+        let handle =
+            std::thread::spawn(move || run_server(listener, store).expect("server run"));
+        (addr, handle)
+    }
+
+    #[test]
+    fn serves_concurrent_region_reads_and_reconciles_counters() {
+        let (field, bytes) = grid_bytes(24, 8);
+        let full: Vec<f32> = szlike::decompress::<f32>(&bytes).unwrap().as_slice().to_vec();
+        let (addr, handle) = spawn_server(bytes);
+        let field_dims = field.shape().dims();
+        assert_eq!(field_dims, vec![24, 24, 24]);
+
+        let mut clients = Vec::new();
+        for t in 0..3usize {
+            let full = full.clone();
+            clients.push(std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).unwrap();
+                for r in 0..5usize {
+                    let lo = (3 * t + r) % 12;
+                    let axes = [lo..lo + 10, 2..20, lo..lo + 7];
+                    let reply = client_read(&mut stream, &axes).unwrap();
+                    assert_eq!(reply.scalar_bytes, 4);
+                    assert_eq!(reply.dims, vec![10, 18, 7]);
+                    let mut k = 0;
+                    for i in axes[0].clone() {
+                        for j in axes[1].clone() {
+                            for l in axes[2].clone() {
+                                let got = f32::from_le_bytes(
+                                    reply.data[4 * k..4 * k + 4].try_into().unwrap(),
+                                );
+                                let want = full[(i * 24 + j) * 24 + l];
+                                assert_eq!(got.to_bits(), want.to_bits());
+                                k += 1;
+                            }
+                        }
+                    }
+                }
+            }));
+        }
+        for c in clients {
+            c.join().unwrap();
+        }
+
+        let mut ctl = TcpStream::connect(addr).unwrap();
+        let stats = client_stats(&mut ctl).unwrap();
+        assert!(stats.contains("\"regions\":15"), "{stats}");
+        client_shutdown(&mut ctl).unwrap();
+        let report = handle.join().unwrap();
+        assert_eq!(report.requests, 15);
+        let s = report.stats;
+        assert_eq!(s.block_requests(), s.hits + s.misses + s.waits);
+        assert_eq!(s.blocks_decoded, s.misses);
+        assert!(s.blocks_decoded <= 27, "{} decodes", s.blocks_decoded);
+        assert!(report.p99 >= report.p50);
+    }
+
+    #[test]
+    fn bad_requests_get_error_frames_not_disconnects() {
+        let (_, bytes) = grid_bytes(16, 8);
+        let (addr, handle) = spawn_server(bytes);
+        let mut stream = TcpStream::connect(addr).unwrap();
+        // Region outside the field.
+        let err = client_read(&mut stream, &[0..99, 0..16, 0..16]).unwrap_err();
+        assert!(err.contains("server error"), "{err}");
+        // Unknown op.
+        write_frame(&mut stream, &[99]).unwrap();
+        let reply = read_frame(&mut stream).unwrap().unwrap();
+        assert_eq!(reply[0], 1);
+        // The connection still works afterwards.
+        let ok = client_read(&mut stream, &[0..4, 0..4, 0..4]).unwrap();
+        assert_eq!(ok.dims, vec![4, 4, 4]);
+        client_shutdown(&mut stream).unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn f64_containers_serve_wide_samples() {
+        let field = Field::from_fn_2d(32, 32, |i, j| ((i * 32 + j) as f64).sqrt());
+        let cfg = SzConfig::new(ErrorBound::Abs(1e-6)).with_chunk_dims([8, 8, 0]);
+        let bytes = compress(&field, &cfg).unwrap();
+        let full: Vec<f64> = szlike::decompress::<f64>(&bytes).unwrap().as_slice().to_vec();
+        let (addr, handle) = spawn_server(bytes);
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let reply = client_read(&mut stream, &[5..9, 20..32]).unwrap();
+        assert_eq!(reply.scalar_bytes, 8);
+        assert_eq!(reply.dims, vec![4, 12]);
+        let mut k = 0;
+        for i in 5..9 {
+            for j in 20..32 {
+                let got =
+                    f64::from_le_bytes(reply.data[8 * k..8 * k + 8].try_into().unwrap());
+                assert_eq!(got.to_bits(), full[i * 32 + j].to_bits());
+                k += 1;
+            }
+        }
+        client_shutdown(&mut stream).unwrap();
+        handle.join().unwrap();
+    }
+}

@@ -102,6 +102,10 @@ pub struct FixedPsnrOptions {
     /// Block size in slowest-dimension rows for the blocked path (0 = auto;
     /// forwarded to [`SzConfig::block_rows`]).
     pub block_rows: usize,
+    /// Multi-dimensional chunk extents for the grid-blocked (v4) container
+    /// layout (all-zero = slab layout; forwarded to
+    /// [`SzConfig::chunk_dims`]; mutually exclusive with `block_rows`).
+    pub chunk_dims: [usize; 3],
     /// Walk implementation for the SZ hot loop (forwarded to
     /// [`SzConfig::kernel`]; container bytes are identical either way).
     pub kernel: KernelMode,
@@ -115,6 +119,7 @@ impl Default for FixedPsnrOptions {
             lossless: LosslessBackend::Lz,
             threads: 1,
             block_rows: 0,
+            chunk_dims: [0; 3],
             kernel: KernelMode::Fused,
         }
     }
@@ -128,6 +133,7 @@ impl FixedPsnrOptions {
             .with_lossless(self.lossless)
             .with_threads(self.threads)
             .with_block_rows(self.block_rows)
+            .with_chunk_dims(self.chunk_dims)
             .with_kernel(self.kernel)
     }
 }

@@ -1,8 +1,12 @@
 //! Block-parallel quantized pipeline ([`Mode::Blocked`]).
 //!
-//! The field is split into contiguous slabs of `block_rows` slices along
-//! the slowest-varying dimension (so every block is a contiguous range of
-//! the row-major sample array). Each block runs its own prediction +
+//! The field is partitioned by a [`ChunkGrid`]: by default into contiguous
+//! slabs of `block_rows` slices along the slowest-varying dimension (the
+//! v1–v3 layout, where every block is a contiguous range of the row-major
+//! sample array), or — when [`SzConfig::chunk_dims`] is set — into a
+//! multi-dimensional grid of axis-aligned chunks (the v4 layout, whose
+//! directory is indexed by grid coordinate so region reads along *any*
+//! axis touch few blocks). Each block runs its own prediction +
 //! quantization walk with reconstruction state starting from zero, which
 //! keeps the paper's Theorem 1 intact *per block*: the decoder replays each
 //! block's walk independently, so `X − X̃ = Xpe − X̃pe` holds inside every
@@ -29,17 +33,18 @@
 //! decoding with any thread count produces identical samples.
 
 use crate::compressor::{
-    apply_lossless, choose_intervals, quantized_walk_on, read_f64, select_predictor, take,
-    undo_lossless_bounded, BlockDamage, CompressionDetail, DamageReport, DecodeLimits, WalkOutput,
+    apply_lossless, choose_intervals, quantized_walk_on, read_escape_values, read_f64,
+    replay_quantized_walk, select_predictor, take, undo_lossless_bounded, BlockDamage,
+    CompressionDetail, DamageReport, DecodeLimits, WalkOutput,
 };
 use crate::config::{EntropyCoder, EscapeCoding, KernelMode, SzConfig};
 use crate::error::{DecodeError, SzError};
 use crate::format::{self, Header, Mode};
-use crate::kernels;
+use crate::grid::ChunkGrid;
 use crate::predictor::PredictorKind;
 use crate::unpredictable;
 use fpsnr_parallel::pool::ThreadPool;
-use losslesskit::bitio::{BitReader, BitWriter};
+use losslesskit::bitio::BitWriter;
 use losslesskit::crc32::crc32;
 use losslesskit::huffman::HuffmanCodec;
 use losslesskit::{mshuf, range, varint};
@@ -47,11 +52,16 @@ use ndfield::{Field, Scalar, Shape};
 use std::borrow::Cow;
 use std::sync::{Arc, Mutex};
 
-/// Blocked-container version byte written by the encoder (v3: v2's
+/// Blocked-container version byte for slab partitions (v3: v2's
 /// per-section lossless + CRC directory, with the Huffman code streams
 /// interleaved across [`HUFF_STREAMS`] independent bit streams — entropy
 /// stage 2). The decoder also accepts versions 1 and 2.
 const BLOCKED_VERSION: u8 = 3;
+
+/// Blocked-container version byte for multi-dimensional chunk grids: same
+/// section framing as v3, but the partition parameters are per-axis chunk
+/// extents and the directory is indexed by row-major grid coordinate.
+const BLOCKED_VERSION_GRID: u8 = 4;
 
 /// Interleaved Huffman streams per block section (entropy stage 2).
 const HUFF_STREAMS: usize = 4;
@@ -62,9 +72,24 @@ const HUFF_STREAMS: usize = 4;
 const AUTO_BLOCK_SAMPLES: usize = 32 * 1024;
 
 /// Whether the configuration routes quantized compression through the
-/// blocked container (any explicit parallelism or block-size request).
+/// blocked container (any explicit parallelism, block-size, or chunk-grid
+/// request).
 pub(crate) fn use_blocked(cfg: &SzConfig) -> bool {
-    cfg.threads != 1 || cfg.block_rows > 0
+    cfg.threads != 1 || cfg.block_rows > 0 || cfg.chunk_dims != [0; 3]
+}
+
+/// Resolve the partition for a compression run: the slab layout (v3) by
+/// default, or a multi-dimensional chunk grid (v4) when the config asks
+/// for one. Depends only on the shape and the config — never on the
+/// thread count (determinism).
+fn resolve_partition(shape: Shape, cfg: &SzConfig) -> Result<(u8, ChunkGrid), SzError> {
+    if cfg.chunk_dims == [0; 3] {
+        let block_rows = resolve_block_rows(shape, cfg.block_rows);
+        Ok((BLOCKED_VERSION, ChunkGrid::slab(shape, block_rows)))
+    } else {
+        let grid = ChunkGrid::from_chunk_dims(shape, &cfg.chunk_dims)?;
+        Ok((BLOCKED_VERSION_GRID, grid))
+    }
 }
 
 /// Resolve the rows-per-block knob. Depends only on the shape and the
@@ -161,12 +186,13 @@ fn encode_block<T: Scalar>(
 
 /// Phase 1: the per-block prediction + quantization walks. On the pool
 /// path each worker pops a reusable reconstruction buffer from a shared
-/// arena, so a thread processing many blocks allocates it once.
+/// arena, so a thread processing many blocks allocates it once. Slab
+/// blocks are walked in place over the field's own storage; grid blocks
+/// are gathered into a contiguous scratch buffer first.
 #[allow(clippy::too_many_arguments)]
 fn run_walks<T: Scalar>(
     field: &Field<T>,
-    block_rows: usize,
-    n_blocks: usize,
+    grid: &ChunkGrid,
     eb: f64,
     bins: usize,
     pred_kind: PredictorKind,
@@ -174,16 +200,24 @@ fn run_walks<T: Scalar>(
     kernel: KernelMode,
     pool: Option<&ThreadPool>,
 ) -> Vec<WalkOutput<T>> {
-    let shape = field.shape();
+    let n_blocks = grid.n_blocks();
     let data = field.as_slice();
+    let slab = grid.is_slab();
     match pool {
         None => {
             let mut recon = Vec::new();
+            let mut gathered: Vec<T> = Vec::new();
             (0..n_blocks)
                 .map(|b| {
-                    let (r, bshape) = block_range(shape, block_rows, b);
+                    let bshape = grid.block_shape(b);
+                    let samples: &[T] = if slab {
+                        &data[grid.covering_range(b)]
+                    } else {
+                        grid.gather(data, b, &mut gathered);
+                        &gathered
+                    };
                     quantized_walk_on(
-                        &data[r], bshape, eb, bins, pred_kind, escape, false, &mut recon,
+                        samples, bshape, eb, bins, pred_kind, escape, false, &mut recon,
                         kernel,
                     )
                 })
@@ -194,10 +228,16 @@ fn run_walks<T: Scalar>(
                 Arc::new(Mutex::new((0..n_blocks).map(|_| None).collect()));
             let scratch: Arc<Mutex<Vec<Vec<f64>>>> = Arc::new(Mutex::new(Vec::new()));
             for b in 0..n_blocks {
-                let (r, bshape) = block_range(shape, block_rows, b);
+                let bshape = grid.block_shape(b);
                 // Pool jobs are 'static: hand each one an owned copy of its
-                // slab (a straight memcpy, dwarfed by the walk itself).
-                let slab = data[r].to_vec();
+                // block (a strided memcpy, dwarfed by the walk itself).
+                let block = if slab {
+                    data[grid.covering_range(b)].to_vec()
+                } else {
+                    let mut buf = Vec::new();
+                    grid.gather(data, b, &mut buf);
+                    buf
+                };
                 let results = Arc::clone(&results);
                 let scratch = Arc::clone(&scratch);
                 pool.execute(move || {
@@ -207,7 +247,7 @@ fn run_walks<T: Scalar>(
                         .pop()
                         .unwrap_or_default();
                     let out = quantized_walk_on(
-                        &slab, bshape, eb, bins, pred_kind, escape, false, &mut recon, kernel,
+                        &block, bshape, eb, bins, pred_kind, escape, false, &mut recon, kernel,
                     );
                     scratch.lock().expect("scratch arena lock").push(recon);
                     results.lock().expect("walk results lock")[b] = Some(out);
@@ -282,8 +322,8 @@ pub(crate) fn compress_blocked<T: Scalar>(
     drop(predict_span);
 
     let shape = field.shape();
-    let block_rows = resolve_block_rows(shape, cfg.block_rows);
-    let n_blocks = shape.dims()[0].div_ceil(block_rows);
+    let (version, grid) = resolve_partition(shape, cfg)?;
+    let n_blocks = grid.n_blocks();
     let lz_threads = resolve_threads(cfg.threads).max(1);
     let threads = lz_threads.min(n_blocks);
     let pool = (threads > 1).then(|| ThreadPool::new(threads));
@@ -292,8 +332,7 @@ pub(crate) fn compress_blocked<T: Scalar>(
     let walk_span = fpsnr_obs::span("sz.block.walk");
     let walks = run_walks(
         field,
-        block_rows,
-        n_blocks,
+        &grid,
         eb_abs,
         bins,
         pred_kind,
@@ -350,7 +389,7 @@ pub(crate) fn compress_blocked<T: Scalar>(
         fpsnr_parallel::par_map(&payloads, lz_threads, |&p| apply_lossless(p.to_vec(), cfg));
     drop(lossless_span);
 
-    // v2 layout: params, then a CRC-32 directory (one descriptor per
+    // v2/v3/v4 layout: params, then a CRC-32 directory (one descriptor per
     // section: lossless flag, compressed length, CRC of the compressed
     // payload), a meta-CRC sealing everything up to this point, then the
     // payloads back to back. The decoder can verify each slab before
@@ -358,7 +397,7 @@ pub(crate) fn compress_blocked<T: Scalar>(
     let packed_total: usize = packed.iter().map(|(_, p)| p.len() + 10).sum();
     let mut out = Vec::with_capacity(packed_total + 64);
     format::write_header(&mut out, T::TAG, Mode::Blocked, shape)?;
-    out.push(BLOCKED_VERSION);
+    out.push(version);
     out.extend_from_slice(&eb_abs.to_le_bytes());
     varint::write_u64(&mut out, bins as u64);
     out.push(pred_kind.tag());
@@ -366,14 +405,22 @@ pub(crate) fn compress_blocked<T: Scalar>(
         EscapeCoding::Exact => 0,
         EscapeCoding::Truncated => 1,
     });
-    // Entropy stage byte: v3 writes interleaved Huffman as stage 2 (stage
-    // 0, the monolithic single-stream form, is decode-only legacy).
+    // Entropy stage byte: v3/v4 write interleaved Huffman as stage 2
+    // (stage 0, the monolithic single-stream form, is decode-only legacy).
     out.push(match cfg.entropy {
         EntropyCoder::Huffman => 2,
         EntropyCoder::Range => 1,
     });
-    varint::write_u64(&mut out, block_rows as u64);
-    varint::write_u64(&mut out, n_blocks as u64);
+    if version >= BLOCKED_VERSION_GRID {
+        // v4 partition parameters: per-axis chunk extents. The grid dims
+        // (and the block count) are derived from the header shape.
+        for c in grid.chunk_dims() {
+            varint::write_u64(&mut out, c as u64);
+        }
+    } else {
+        varint::write_u64(&mut out, grid.block_rows() as u64);
+        varint::write_u64(&mut out, n_blocks as u64);
+    }
     if let Some((flag, payload)) = &table_packed {
         out.push(*flag);
         varint::write_u64(&mut out, payload.len() as u64);
@@ -407,22 +454,17 @@ pub(crate) fn compress_blocked<T: Scalar>(
     Ok((out, detail))
 }
 
-/// Decode one block: undo the lossless pass, entropy-decode the codes, then
-/// replay the walk (the Theorem-1 mirror, per block).
-#[allow(clippy::too_many_arguments)]
-fn decode_block<T: Scalar>(
+/// Decode one block's (already-inflated) body to its samples: parse the
+/// code stream and escape payload, then replay the walk (the Theorem-1
+/// mirror, per block). This is the single per-block decode routine shared
+/// by full decode, forgiving partial decode, and the random-access store.
+pub(crate) fn decode_block_body<T: Scalar>(
     body: &[u8],
-    block_index: usize,
-    block_rows: usize,
-    shape: Shape,
-    eb: f64,
-    bins: usize,
+    bshape: Shape,
+    params: &BlockedParams,
     codec: Option<&HuffmanCodec>,
-    stage: u8,
-    escape_tag: u8,
-    pred_kind: PredictorKind,
 ) -> Result<Vec<T>, SzError> {
-    let (bshape, bn) = block_shape(shape, block_rows, block_index);
+    let bn = bshape.len();
     let mut bpos = 0usize;
     // Locate the code stream but defer entropy decoding: the escape
     // payload behind it parses first so the fused mirror can interleave
@@ -437,66 +479,19 @@ fn decode_block<T: Scalar>(
     if n_unpred > bn {
         return Err(SzError::Format("more escapes than block samples"));
     }
-    let unpred_values: Vec<T> = match escape_tag {
-        0 => {
-            if n_unpred * T::BYTES > body.len().saturating_sub(bpos) {
-                return Err(SzError::Format("block escape payload overruns body"));
-            }
-            (0..n_unpred)
-                .map(|i| T::read_le(&body[bpos + i * T::BYTES..]))
-                .collect()
-        }
-        1 => {
-            let bits_len = varint::read_u64(body, &mut bpos)? as usize;
-            if bits_len > body.len().saturating_sub(bpos) {
-                return Err(SzError::Format("block escape bitstream overruns body"));
-            }
-            let mut br = BitReader::new(&body[bpos..bpos + bits_len]);
-            unpredictable::decode::<T>(&mut br, n_unpred, eb)?
-        }
-        _ => return Err(SzError::Format("unknown escape coding tag")),
-    };
-
-    // Fused replay of the block's compression walk (the Theorem-1 mirror).
-    let mut dec = kernels::FusedDecoder::new(bshape, eb, bins, pred_kind, unpred_values);
-    match (stage, codec) {
-        (0, Some(c)) => {
-            let mut br = BitReader::new(stream);
-            let slice = dec.slice_len().max(1);
-            let chunk = (DECODE_CHUNK_CODES / slice).max(1) * slice;
-            let mut codes = Vec::with_capacity(chunk.min(bn));
-            while dec.remaining() > 0 {
-                let now = chunk.min(dec.remaining());
-                codes.clear();
-                c.decode(&mut br, now, &mut codes)?;
-                dec.push(&codes)?;
-            }
-        }
-        (2, Some(c)) => {
-            let mut reader = mshuf::InterleavedReader::new(stream)?;
-            let slice = dec.slice_len().max(1);
-            let chunk = (DECODE_CHUNK_CODES / slice).max(1) * slice;
-            let mut codes = Vec::with_capacity(chunk.min(bn));
-            while dec.remaining() > 0 {
-                let now = chunk.min(dec.remaining());
-                codes.clear();
-                reader.decode(c, now, &mut codes)?;
-                dec.push(&codes)?;
-            }
-        }
-        _ => {
-            let codes = range::range_decode_bounded(stream, bn)?;
-            if codes.len() != bn {
-                return Err(SzError::Format("block range stream decoded wrong count"));
-            }
-            dec.push(&codes)?;
-        }
-    }
-    dec.finish()
+    let unpred_values: Vec<T> =
+        read_escape_values(body, &mut bpos, n_unpred, params.escape_tag, params.eb)?;
+    replay_quantized_walk(
+        stream,
+        codec,
+        params.stage,
+        bshape,
+        params.eb,
+        params.bins,
+        params.pred_kind,
+        unpred_values,
+    )
 }
-
-/// Target Huffman-decode granularity for the fused block mirror, in codes.
-const DECODE_CHUNK_CODES: usize = 16 * 1024;
 
 /// Pipeline parameters shared by every blocked-container version.
 pub(crate) struct BlockedParams {
@@ -505,18 +500,22 @@ pub(crate) struct BlockedParams {
     pub(crate) pred_kind: PredictorKind,
     pub(crate) escape_tag: u8,
     pub(crate) stage: u8,
-    pub(crate) block_rows: usize,
-    pub(crate) n_blocks: usize,
+    /// The block partition: a slab grid for v1–v3, a chunk grid for v4.
+    pub(crate) grid: ChunkGrid,
 }
 
-/// Read the version byte and the parameter block (identical in v1 and v2),
-/// validating every field against the header's shape.
+/// Read the version byte and the parameter block, validating every field
+/// against the header's shape. v1–v3 store `block_rows` + `n_blocks`
+/// (slab partition); v4 stores per-axis chunk extents (grid partition).
 pub(crate) fn read_params(
     src: &[u8],
     pos: &mut usize,
     header: &Header,
 ) -> Result<(u8, BlockedParams), SzError> {
     let version = take(src, pos, 1)?[0];
+    if version == 0 || version > BLOCKED_VERSION_GRID {
+        return Err(SzError::Format("unsupported blocked container version"));
+    }
     let eb = read_f64(src, pos)?;
     if !(eb.is_finite() && eb > 0.0) {
         return Err(SzError::Format("bad stored error bound"));
@@ -537,12 +536,26 @@ pub(crate) fn read_params(
     if stage > 2 || (stage == 2 && version < 3) {
         return Err(SzError::Format("unknown entropy stage"));
     }
-    let block_rows = varint::read_u64(src, pos)? as usize;
-    let n_blocks = varint::read_u64(src, pos)? as usize;
-    let rows = header.shape.dims()[0];
-    if block_rows == 0 || block_rows > rows || n_blocks != rows.div_ceil(block_rows) {
-        return Err(SzError::Format("inconsistent block partition"));
-    }
+    let dims = header.shape.dims();
+    let grid = if version >= BLOCKED_VERSION_GRID {
+        let mut chunk = [0usize; 3];
+        for (a, &d) in dims.iter().enumerate() {
+            let c = varint::read_u64(src, pos)? as usize;
+            if c == 0 || c > d {
+                return Err(SzError::Format("inconsistent chunk partition"));
+            }
+            chunk[a] = c;
+        }
+        ChunkGrid::from_chunk_dims(header.shape, &chunk[..dims.len()])?
+    } else {
+        let block_rows = varint::read_u64(src, pos)? as usize;
+        let n_blocks = varint::read_u64(src, pos)? as usize;
+        let rows = dims[0];
+        if block_rows == 0 || block_rows > rows || n_blocks != rows.div_ceil(block_rows) {
+            return Err(SzError::Format("inconsistent block partition"));
+        }
+        ChunkGrid::slab(header.shape, block_rows)
+    };
     Ok((
         version,
         BlockedParams {
@@ -551,8 +564,7 @@ pub(crate) fn read_params(
             pred_kind,
             escape_tag,
             stage,
-            block_rows,
-            n_blocks,
+            grid,
         },
     ))
 }
@@ -569,9 +581,12 @@ pub(crate) fn decompress_blocked<T: Scalar>(
     let (version, params) = read_params(src, &mut pos, header)?;
     match version {
         1 => decode_v1(src, pos, header, &params, threads, limits),
-        // v3 only changes the entropy stage inside each section; the
-        // container framing is identical to v2.
-        2 | 3 => decode_v2(src, pos, header, &params, threads, limits, true).map(|(f, _)| f),
+        // v3 only changes the entropy stage inside each section, and v4
+        // only the partition parameters; the section framing (directory,
+        // meta-CRC, payloads) is identical to v2.
+        2..=BLOCKED_VERSION_GRID => {
+            decode_v2(src, pos, header, &params, threads, limits, true).map(|(f, _)| f)
+        }
         _ => Err(SzError::Format("unsupported blocked container version")),
     }
 }
@@ -595,26 +610,30 @@ pub(crate) fn decompress_blocked_partial<T: Scalar>(
             Ok((
                 field,
                 DamageReport {
-                    n_blocks: params.n_blocks,
+                    n_blocks: params.grid.n_blocks(),
                     damaged: Vec::new(),
                     recovered_samples: n,
                     container_crc_ok: crc_ok,
                 },
             ))
         }
-        2 | 3 => {
+        2..=BLOCKED_VERSION_GRID => {
+            let n_blocks = params.grid.n_blocks();
             let (field, damaged) = decode_v2::<T>(src, pos, header, &params, threads, limits, false)?;
-            let lost: usize = damaged.iter().map(|d| d.sample_range.len()).sum();
+            // A damaged grid block is a strided footprint, not a contiguous
+            // range, so count lost samples through the grid geometry (its
+            // `sample_range` is only a covering interval).
+            let lost: usize = damaged.iter().map(|d| params.grid.block_len(d.index)).sum();
             fpsnr_obs::add("sz.decode.corrupt_blocks", damaged.len() as u64);
             fpsnr_obs::add(
                 "sz.decode.recovered_blocks",
-                (params.n_blocks - damaged.len()) as u64,
+                (n_blocks - damaged.len()) as u64,
             );
             let n = field.len();
             Ok((
                 field,
                 DamageReport {
-                    n_blocks: params.n_blocks,
+                    n_blocks,
                     damaged,
                     recovered_samples: n - lost,
                     container_crc_ok: crc_ok,
@@ -676,8 +695,9 @@ fn decode_v1<T: Scalar>(
     } else {
         None
     };
-    let mut sections = Vec::with_capacity(params.n_blocks);
-    for _ in 0..params.n_blocks {
+    let n_blocks = params.grid.n_blocks();
+    let mut sections = Vec::with_capacity(n_blocks);
+    for _ in 0..n_blocks {
         let slen = varint::read_u64(&body, &mut bpos)? as usize;
         if slen > body.len().saturating_sub(bpos) {
             return Err(SzError::Format("block section overruns body"));
@@ -689,19 +709,9 @@ fn decode_v1<T: Scalar>(
     let shape = header.shape;
     let decoded: Vec<Result<Vec<T>, SzError>> =
         fpsnr_parallel::par_map_indexed(&sections, threads, |b, &section| {
-            decode_block::<T>(
-                section,
-                b,
-                params.block_rows,
-                shape,
-                params.eb,
-                params.bins,
-                codec.as_ref(),
-                params.stage,
-                params.escape_tag,
-                params.pred_kind,
-            )
+            decode_block_body::<T>(section, params.grid.block_shape(b), params, codec.as_ref())
         });
+    // v1 grids are always slabs, so blocks concatenate in order.
     let mut out = Vec::with_capacity(shape.len());
     for r in decoded {
         out.extend_from_slice(&r?);
@@ -714,7 +724,7 @@ fn decode_v1<T: Scalar>(
 
 /// Parse a `varint tlen | table` section into a Huffman codec, requiring
 /// the table to span the declared length exactly.
-fn read_shared_table(body: &[u8], bpos: &mut usize) -> Result<HuffmanCodec, SzError> {
+pub(crate) fn read_shared_table(body: &[u8], bpos: &mut usize) -> Result<HuffmanCodec, SzError> {
     let tlen = varint::read_u64(body, bpos)? as usize;
     let tend = bpos
         .checked_add(tlen)
@@ -768,8 +778,9 @@ fn decode_v2<T: Scalar>(
     } else {
         None
     };
-    let mut dir = Vec::with_capacity(params.n_blocks.min(src.len()));
-    for _ in 0..params.n_blocks {
+    let n_blocks = params.grid.n_blocks();
+    let mut dir = Vec::with_capacity(n_blocks.min(src.len()));
+    for _ in 0..n_blocks {
         dir.push(read_section_desc(src, &mut pos)?);
     }
     // The meta-CRC seals everything from the container start through the
@@ -794,7 +805,7 @@ fn decode_v2<T: Scalar>(
         }
         None => None,
     };
-    let mut payloads = Vec::with_capacity(params.n_blocks);
+    let mut payloads = Vec::with_capacity(n_blocks);
     for d in &dir {
         let off = pos;
         payloads.push((d.flag, d.crc, off, take(src, &mut pos, d.comp_len)?));
@@ -829,7 +840,7 @@ fn decode_v2<T: Scalar>(
             if strict {
                 return Err(e.clone());
             }
-            (0..params.n_blocks)
+            (0..n_blocks)
                 .map(|_| Err(SzError::Format("shared entropy table damaged")))
                 .collect()
         }
@@ -842,30 +853,20 @@ fn decode_v2<T: Scalar>(
                 .into());
             }
             let body = undo_lossless_bounded(flag, payload, max_body)?;
-            decode_block::<T>(
-                &body,
-                b,
-                params.block_rows,
-                shape,
-                params.eb,
-                params.bins,
-                codec.as_ref(),
-                params.stage,
-                params.escape_tag,
-                params.pred_kind,
-            )
+            decode_block_body::<T>(&body, params.grid.block_shape(b), params, codec.as_ref())
         }),
     };
 
-    let mut out = Vec::with_capacity(shape.len());
+    // Assemble by scatter: for slab grids every scatter is one contiguous
+    // copy; for v4 grids each block lands on its strided footprint.
+    let mut out = vec![T::default(); shape.len()];
     for (b, r) in decoded.into_iter().enumerate() {
-        let (range, _) = block_range(shape, params.block_rows, b);
         match r {
             Ok(samples) => {
-                if samples.len() != range.len() {
+                if samples.len() != params.grid.block_len(b) {
                     return Err(SzError::Format("blocked payload sample count mismatch"));
                 }
-                out.extend_from_slice(&samples);
+                params.grid.scatter(&samples, b, &mut out);
             }
             Err(e) => {
                 if strict {
@@ -875,17 +876,16 @@ fn decode_v2<T: Scalar>(
                     Err(te) => format!("shared entropy table damaged: {te}"),
                     Ok(_) => e.to_string(),
                 };
-                out.resize(range.end, T::from_f64(f64::NAN));
+                params.grid.fill_block(b, T::from_f64(f64::NAN), &mut out);
                 damaged.push(BlockDamage {
                     index: b,
-                    sample_range: range,
+                    // For grid blocks this is the covering row-major
+                    // interval, not an exact footprint (see BlockDamage).
+                    sample_range: params.grid.covering_range(b),
                     reason,
                 });
             }
         }
-    }
-    if out.len() != shape.len() {
-        return Err(SzError::Format("blocked payload sample count mismatch"));
     }
     Ok((Field::from_vec(shape, out), damaged))
 }

@@ -725,7 +725,10 @@ pub(crate) fn split_and_check_crc(src: &[u8], strict: bool) -> Result<(&[u8], bo
     Ok((body, ok))
 }
 
-fn check_type_and_limits<T: Scalar>(header: &Header, limits: &DecodeLimits) -> Result<(), SzError> {
+pub(crate) fn check_type_and_limits<T: Scalar>(
+    header: &Header,
+    limits: &DecodeLimits,
+) -> Result<(), SzError> {
     if header.scalar_tag != T::TAG {
         return Err(SzError::TypeMismatch {
             found: header.scalar_tag.to_string(),
@@ -750,7 +753,10 @@ fn check_type_and_limits<T: Scalar>(header: &Header, limits: &DecodeLimits) -> R
 pub struct BlockDamage {
     /// Index of the damaged block (0 for monolithic containers).
     pub index: usize,
-    /// Row-major linear sample range the damaged block covers.
+    /// Row-major linear sample range the damaged block covers. For slab
+    /// blocks (v1–v3 containers) this is exactly the block's samples; for
+    /// v4 grid blocks it is the smallest contiguous interval covering the
+    /// block's strided footprint.
     pub sample_range: std::ops::Range<usize>,
     /// What failed — CRC mismatch, truncation, malformed payload.
     pub reason: String,
@@ -946,32 +952,83 @@ fn decompress_quantized<T: Scalar>(
     }
     let escape_tag = *body.get(bpos).ok_or(SzError::Format("missing escape tag"))?;
     bpos += 1;
-    let unpred_values: Vec<T> = match escape_tag {
-        0 => {
-            // `n_unpred <= n` was checked above, so the multiply cannot
-            // overflow for any shape that passed the header limits.
-            if n_unpred * T::BYTES > body.len().saturating_sub(bpos) {
-                return Err(SzError::Format("escape payload overruns body"));
-            }
-            (0..n_unpred)
-                .map(|i| T::read_le(&body[bpos + i * T::BYTES..]))
-                .collect()
-        }
-        1 => {
-            let bits_len = varint::read_u64(&body, &mut bpos)? as usize;
-            if bits_len > body.len().saturating_sub(bpos) {
-                return Err(SzError::Format("escape bitstream overruns body"));
-            }
-            let mut br = BitReader::new(&body[bpos..bpos + bits_len]);
-            unpredictable::decode::<T>(&mut br, n_unpred, eb)?
-        }
-        _ => return Err(SzError::Format("unknown escape coding tag")),
-    };
+    let unpred_values: Vec<T> = read_escape_values(&body, &mut bpos, n_unpred, escape_tag, eb)?;
 
     // Fused mirror of the compression walk (Theorem 1): decode the code
     // stream in outer-slice chunks and reconstruct each chunk immediately.
     let _mirror = fpsnr_obs::span("sz.kernel.decode");
-    let mut dec = kernels::FusedDecoder::new(header.shape, eb, bins, pred_kind, unpred_values);
+    let samples = replay_quantized_walk(
+        stream,
+        codec.as_ref(),
+        stage,
+        header.shape,
+        eb,
+        bins,
+        pred_kind,
+        unpred_values,
+    )?;
+    Ok(Field::from_vec(header.shape, samples))
+}
+
+/// Parse an escape payload (tag 0: raw IEEE bits, tag 1: truncated binary
+/// representation) starting at `bpos`, advancing it past the payload.
+///
+/// This is the single escape parser shared by the monolithic body, every
+/// blocked-container block, and the random-access store.
+pub(crate) fn read_escape_values<T: Scalar>(
+    body: &[u8],
+    bpos: &mut usize,
+    n_unpred: usize,
+    escape_tag: u8,
+    eb: f64,
+) -> Result<Vec<T>, SzError> {
+    match escape_tag {
+        0 => {
+            // The caller has bounded `n_unpred` by the sample count, so the
+            // multiply cannot overflow for any shape that passed the header
+            // limits.
+            if n_unpred * T::BYTES > body.len().saturating_sub(*bpos) {
+                return Err(SzError::Format("escape payload overruns body"));
+            }
+            let vals = (0..n_unpred)
+                .map(|i| T::read_le(&body[*bpos + i * T::BYTES..]))
+                .collect();
+            *bpos += n_unpred * T::BYTES;
+            Ok(vals)
+        }
+        1 => {
+            let bits_len = varint::read_u64(body, bpos)? as usize;
+            if bits_len > body.len().saturating_sub(*bpos) {
+                return Err(SzError::Format("escape bitstream overruns body"));
+            }
+            let mut br = BitReader::new(&body[*bpos..*bpos + bits_len]);
+            let vals = unpredictable::decode::<T>(&mut br, n_unpred, eb)?;
+            *bpos += bits_len;
+            Ok(vals)
+        }
+        _ => Err(SzError::Format("unknown escape coding tag")),
+    }
+}
+
+/// Entropy-decode a code stream and replay the prediction–quantization walk
+/// over `shape` (the Theorem-1 mirror), interleaving decode and
+/// reconstruction in outer-slice chunks.
+///
+/// The single walk-replay routine shared by the monolithic body, every
+/// blocked-container block, and the random-access store.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn replay_quantized_walk<T: Scalar>(
+    stream: &[u8],
+    codec: Option<&HuffmanCodec>,
+    stage: u8,
+    shape: Shape,
+    eb: f64,
+    bins: usize,
+    pred_kind: PredictorKind,
+    unpred: Vec<T>,
+) -> Result<Vec<T>, SzError> {
+    let n = shape.len();
+    let mut dec = kernels::FusedDecoder::new(shape, eb, bins, pred_kind, unpred);
     match (stage, codec) {
         (0, Some(codec)) => {
             let mut br = BitReader::new(stream);
@@ -993,7 +1050,7 @@ fn decompress_quantized<T: Scalar>(
             while dec.remaining() > 0 {
                 let now = chunk.min(dec.remaining());
                 codes.clear();
-                reader.decode(&codec, now, &mut codes)?;
+                reader.decode(codec, now, &mut codes)?;
                 dec.push(&codes)?;
             }
         }
@@ -1005,7 +1062,7 @@ fn decompress_quantized<T: Scalar>(
             dec.push(&codes)?;
         }
     }
-    Ok(Field::from_vec(header.shape, dec.finish()?))
+    dec.finish()
 }
 
 /// Target Huffman-decode granularity for the fused mirror, in codes; the

@@ -144,8 +144,17 @@ pub struct SzConfig {
     pub threads: usize,
     /// Rows (slowest-varying-dimension slices) per block in the blocked
     /// path; 0 = derive from the shape. The blocked container is used when
-    /// `threads != 1` or `block_rows > 0`.
+    /// `threads != 1`, `block_rows > 0`, or `chunk_dims` is set.
     pub block_rows: usize,
+    /// Per-axis chunk extents for the multi-dimensional chunk-grid layout
+    /// (container v4). All-zero (the default) keeps the slab layout; a
+    /// non-zero entry cuts that axis into chunks of that extent, and a
+    /// zero entry inside a non-zero request means "full extent on this
+    /// axis". Trailing entries beyond the field's rank must be zero. Chunk
+    /// grids make random-access region reads cheap along every axis
+    /// (see `szlike::store`) at a small ratio cost from the extra
+    /// per-block framing.
+    pub chunk_dims: [usize; 3],
     /// Which walk implementation runs the hot loop. Container bytes are
     /// identical either way; [`KernelMode::Fused`] is the fast default.
     pub kernel: KernelMode,
@@ -167,6 +176,7 @@ impl SzConfig {
             effort: Effort::Default,
             threads: 1,
             block_rows: 0,
+            chunk_dims: [0; 3],
             kernel: KernelMode::Fused,
         }
     }
@@ -219,6 +229,14 @@ impl SzConfig {
         self
     }
 
+    /// Request the multi-dimensional chunk-grid layout (container v4) with
+    /// the given per-axis chunk extents. Entries beyond the field's rank
+    /// must be zero; a zero entry means "full extent on this axis".
+    pub fn with_chunk_dims(mut self, chunk_dims: [usize; 3]) -> Self {
+        self.chunk_dims = chunk_dims;
+        self
+    }
+
     /// Select the walk implementation (fused kernels vs reference oracle).
     pub fn with_kernel(mut self, kernel: KernelMode) -> Self {
         self.kernel = kernel;
@@ -254,6 +272,13 @@ impl SzConfig {
                 "threads {} exceeds the 4096 sanity cap",
                 self.threads
             )));
+        }
+        if self.chunk_dims != [0; 3] && self.block_rows > 0 {
+            return Err(SzError::BadConfig(
+                "block_rows and chunk_dims are mutually exclusive: the chunk \
+                 grid already fixes the axis-0 extent"
+                    .to_string(),
+            ));
         }
         Ok(())
     }

@@ -42,6 +42,11 @@ pub struct ContainerInfo {
     /// Entropy stage byte when the mode records one (0 legacy Huffman,
     /// 1 range, 2 interleaved Huffman).
     pub entropy_stage: Option<u8>,
+    /// Chunk-grid geometry for blocked containers: per-axis chunk extents
+    /// (`rank` entries). Slab containers report `[block_rows, full, ...]`.
+    pub chunk_dims: Option<Vec<usize>>,
+    /// Per-axis block counts of the chunk grid (`rank` entries).
+    pub grid_dims: Option<Vec<usize>>,
     /// Every lossless section, in on-wire order.
     pub sections: Vec<SectionInfo>,
 }
@@ -87,6 +92,8 @@ pub fn inspect_sections(src: &[u8]) -> Result<ContainerInfo, SzError> {
     let mut info = ContainerInfo {
         blocked_version: None,
         entropy_stage: None,
+        chunk_dims: None,
+        grid_dims: None,
         sections: Vec::new(),
     };
     match header.mode {
@@ -119,6 +126,8 @@ pub fn inspect_sections(src: &[u8]) -> Result<ContainerInfo, SzError> {
             let (version, params) = blocked::read_params(src, &mut pos, &header)?;
             info.blocked_version = Some(version);
             info.entropy_stage = Some(params.stage);
+            info.chunk_dims = Some(params.grid.chunk_dims());
+            info.grid_dims = Some(params.grid.grid_dims());
             match version {
                 1 => {
                     let n_chunks = varint::read_u64(src, &mut pos)? as usize;
@@ -132,14 +141,25 @@ pub fn inspect_sections(src: &[u8]) -> Result<ContainerInfo, SzError> {
                     }
                 }
                 _ => {
-                    // v2/v3: directory of (flag, len, crc) descriptors,
-                    // meta-CRC, then the payloads back to back.
+                    // v2+: directory of (flag, len, crc) descriptors,
+                    // meta-CRC, then the payloads back to back. Grid (v4)
+                    // containers name blocks by their grid coordinate.
                     let mut descs = Vec::new();
                     if params.stage != 1 {
                         descs.push(("shared table".to_string(), blocked::read_section_desc(src, &mut pos)?));
                     }
-                    for b in 0..params.n_blocks {
-                        descs.push((format!("block {b}"), blocked::read_section_desc(src, &mut pos)?));
+                    for b in 0..params.grid.n_blocks() {
+                        let name = if version >= 4 {
+                            let c = params.grid.coord(b);
+                            match params.grid.rank() {
+                                1 => format!("block {b} @ ({})", c[0]),
+                                2 => format!("block {b} @ ({},{})", c[0], c[1]),
+                                _ => format!("block {b} @ ({},{},{})", c[0], c[1], c[2]),
+                            }
+                        } else {
+                            format!("block {b}")
+                        };
+                        descs.push((name, blocked::read_section_desc(src, &mut pos)?));
                     }
                     take(src, &mut pos, 4)?; // meta-CRC
                     for (name, d) in descs {

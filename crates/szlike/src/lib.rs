@@ -41,11 +41,13 @@ pub mod compressor;
 pub mod config;
 pub mod error;
 pub mod format;
+pub mod grid;
 pub mod inspect;
 pub mod kernels;
 pub mod predictor;
 pub mod quantizer;
 pub mod ratemodel;
+pub mod store;
 pub mod unpredictable;
 
 pub use compressor::{
@@ -56,7 +58,9 @@ pub use compressor::{
 };
 pub use config::{EntropyCoder, ErrorBound, EscapeCoding, KernelMode, LosslessBackend, SzConfig};
 pub use error::{DecodeError, SzError};
+pub use grid::{ChunkGrid, Region};
 pub use inspect::{inspect_sections, ContainerInfo, SectionInfo};
+pub use store::{StoreOptions, StoreStats, SzStore};
 pub use predictor::PredictorKind;
 pub use quantizer::LinearQuantizer;
 pub use ratemodel::RateModel;

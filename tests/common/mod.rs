@@ -200,6 +200,34 @@ pub fn golden_set() -> Vec<Golden> {
     v
 }
 
+/// Golden fixtures for the chunk-grid (v4) blocked layout, kept separate
+/// from [`golden_set`]: the frozen `v1/` and `v2/` directories predate the
+/// grid layout, so the backward-compat sweeps must not expect these names.
+/// The `current/` bytes are regenerated together with the main set via
+/// `FPSNR_REGEN_FIXTURES`.
+pub fn grid_golden_set() -> Vec<Golden> {
+    vec![
+        Golden::f32(
+            "grid_f32_3d",
+            field_f32(Shape::D3(24, 20, 16)),
+            SzConfig::new(ErrorBound::Abs(1e-3)).with_chunk_dims([8, 8, 8]),
+            1e-3,
+        ),
+        Golden::f64(
+            "grid_f64_2d",
+            field_f64(Shape::D2(45, 40)),
+            SzConfig::new(ErrorBound::Abs(1e-6)).with_chunk_dims([16, 12, 0]),
+            1e-6,
+        ),
+        Golden::f32(
+            "grid_f32_1d",
+            field_f32(Shape::D1(3000)),
+            SzConfig::new(ErrorBound::Abs(1e-3)).with_chunk_dims([512, 0, 0]),
+            1e-3,
+        ),
+    ]
+}
+
 /// Directory of the frozen v1 fixtures.
 pub fn v1_dir() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/v1")

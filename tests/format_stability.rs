@@ -4,7 +4,7 @@
 
 mod common;
 
-use common::{current_dir, golden_set, v1_dir, v2_dir, Golden, GoldenField};
+use common::{current_dir, golden_set, grid_golden_set, v1_dir, v2_dir, Golden, GoldenField};
 use fixed_psnr::prelude::*;
 use fixed_psnr::sz::{self, format, LosslessBackend};
 
@@ -175,7 +175,7 @@ fn regenerate_golden_fixtures() {
     };
     let dir = std::path::PathBuf::from(dir);
     std::fs::create_dir_all(&dir).unwrap();
-    for g in golden_set() {
+    for g in golden_set().iter().chain(grid_golden_set().iter()) {
         let path = dir.join(format!("{}.szr", g.name));
         std::fs::write(&path, g.compress()).unwrap();
         eprintln!("wrote {}", path.display());
@@ -199,6 +199,48 @@ fn current_fixtures_are_byte_stable() {
             g.name
         );
         assert_decodes_within_tol(g.name, &frozen, &g);
+    }
+}
+
+/// The chunk-grid (v4) fixtures must also be byte-stable: the grid layout
+/// is part of the documented format, and its directory order (row-major
+/// grid coordinates) and per-axis chunk varints must never drift.
+#[test]
+fn grid_fixtures_are_byte_stable() {
+    for g in grid_golden_set() {
+        let path = current_dir().join(format!("{}.szr", g.name));
+        let frozen = std::fs::read(&path)
+            .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()));
+        let fresh = g.compress();
+        assert_eq!(
+            fresh, frozen,
+            "{}: grid encoder output drifted from checked-in fixture; if the \
+             format change is intentional, regenerate via \
+             FPSNR_REGEN_FIXTURES=tests/fixtures/current",
+            g.name
+        );
+        assert_decodes_within_tol(g.name, &frozen, &g);
+    }
+}
+
+/// A grid (v4) container must decode to exactly the same samples as a slab
+/// container of the same field: the partition changes walk boundaries, not
+/// the per-block lossy math, and both layouts replay Theorem 1 per block.
+#[test]
+fn grid_and_slab_layouts_decode_identically_per_block_math() {
+    for g in grid_golden_set() {
+        let frozen = std::fs::read(current_dir().join(format!("{}.szr", g.name)))
+            .expect("grid fixture");
+        let mut pos = 0;
+        let header = format::read_header(&frozen, &mut pos).unwrap();
+        assert_eq!(header.mode, format::Mode::Blocked, "{}", g.name);
+        let fresh = g.compress();
+        assert_eq!(
+            decode_bits(&frozen, &g),
+            decode_bits(&fresh, &g),
+            "{}: frozen and fresh grid containers decode differently",
+            g.name
+        );
     }
 }
 
