@@ -19,7 +19,7 @@ use ndfield::{Field, Shape};
 use std::fmt::Write as _;
 use std::time::Instant;
 use szlike::kernels::{reconstruct_fused, reconstruct_reference, walk_fused, walk_reference};
-use szlike::{ErrorBound, EscapeCoding, KernelMode, PredictorKind, SzConfig};
+use szlike::{ErrorBound, EscapeCoding, KernelMode, PredictorModel, SzConfig};
 
 /// Best-of-N wall-clock for one closure, in seconds.
 fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
@@ -57,7 +57,7 @@ fn run_corpus(name: &'static str, field: &Field<f32>, reps: usize) -> CorpusResu
     let shape = field.shape();
     let eb = EB_REL * field.value_range();
     let data = field.as_slice();
-    let pred = PredictorKind::Lorenzo1;
+    let pred = PredictorModel::Lorenzo1;
 
     // Stage benches: raw walk and raw reconstruct, outside the container.
     let mut scratch = Vec::new();

@@ -1,0 +1,279 @@
+//! Per-block predictor bake-off: `--predictor auto` vs Lorenzo-only, at
+//! fixed PSNR, over the shared evaluation corpora (the same fields the
+//! accuracy harnesses sweep — registry NYX/ATM/Hurricane at seed 27, the
+//! power-law GRF trio, the drifting time series).
+//!
+//! ```text
+//! cargo run --release -p fpsnr-bench --bin predictors
+//! FPSNR_TARGETS=80,100 cargo run --release -p fpsnr-bench --bin predictors  # CI smoke
+//! ```
+//!
+//! Writes `BENCH_predictors.json` (override with `FPSNR_OUT`) recording,
+//! per corpus × target: total compressed bytes for both predictor
+//! configurations, the byte delta, wall time, and the per-block predictor
+//! histogram of every v5 container. Exits nonzero if any gate fails —
+//! the gates mirror `tests/fixed_psnr_accuracy.rs` and are calibrated
+//! one notch below the measured uplift (EXPERIMENTS.md) so only a real
+//! selection regression trips them:
+//!
+//! - **guardrail** — on every corpus × target, auto never costs more
+//!   than 0.5% over Lorenzo (measured worst case: +0.14%, pure v5
+//!   per-block tag bytes);
+//! - **uplift** — auto beats Lorenzo by ≥ 10% on ATM @ 80 dB (measured
+//!   −14.7%), ≥ 5% on the time series @ 80 dB (measured −9.9%), and
+//!   ≥ 15% on NYX @ 30 dB (measured −23.2%) — each gate checked only
+//!   when its target is in the sweep;
+//! - **diversity** — the auto containers use ≥ 2 distinct predictors
+//!   (the bake-off actually mixes models, it is not Lorenzo in a v5
+//!   wrapper).
+
+use datagen::grf::grf_2d;
+use datagen::timeseries::DriftField;
+use datagen::{generate, DatasetId, Resolution};
+use fpsnr_core::fixed_psnr::{compress_fixed_psnr, FixedPsnrOptions};
+use ndfield::{Field, Scalar, Shape};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+use szlike::PredictorKind;
+
+/// Corpus seeds/shapes pinned to `tests/common/corpora.rs` so this bench
+/// regenerates the EXPERIMENTS.md table over identical bytes.
+const REGISTRY_SEED: u64 = 27;
+const GRF_ALPHAS: [f64; 3] = [1.5, 2.5, 3.5];
+const GRF_SEED_BASE: u64 = 28;
+
+struct CellResult {
+    corpus: &'static str,
+    target: f64,
+    lorenzo_bytes: usize,
+    auto_bytes: usize,
+    lorenzo_s: f64,
+    auto_s: f64,
+    /// predictor name -> block count, summed over the corpus' containers.
+    mix: BTreeMap<String, usize>,
+}
+
+impl CellResult {
+    fn delta_pct(&self) -> f64 {
+        (self.auto_bytes as f64 / self.lorenzo_bytes as f64 - 1.0) * 100.0
+    }
+}
+
+fn run_cell<T: Scalar>(
+    corpus: &'static str,
+    fields: &[(String, Field<T>)],
+    target: f64,
+) -> CellResult {
+    let lorenzo = FixedPsnrOptions {
+        threads: 0,
+        ..FixedPsnrOptions::default()
+    };
+    let auto = FixedPsnrOptions {
+        predictor: PredictorKind::Auto,
+        ..lorenzo
+    };
+    let total = |opts: &FixedPsnrOptions, mix: Option<&mut BTreeMap<String, usize>>| {
+        let t0 = Instant::now();
+        let mut bytes = 0usize;
+        let mut containers = Vec::new();
+        for (name, f) in fields {
+            let run = compress_fixed_psnr(f, target, opts)
+                .unwrap_or_else(|e| panic!("{corpus}/{name} @ {target} dB: {e}"));
+            bytes += run.bytes.len();
+            containers.push(run.bytes);
+        }
+        let elapsed = t0.elapsed().as_secs_f64();
+        if let Some(mix) = mix {
+            for c in &containers {
+                if let Ok(Some(names)) = szlike::inspect_block_predictors(c) {
+                    for n in names {
+                        *mix.entry(n).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        (bytes, elapsed)
+    };
+    let (lorenzo_bytes, lorenzo_s) = total(&lorenzo, None);
+    let mut mix = BTreeMap::new();
+    let (auto_bytes, auto_s) = total(&auto, Some(&mut mix));
+    CellResult {
+        corpus,
+        target,
+        lorenzo_bytes,
+        auto_bytes,
+        lorenzo_s,
+        auto_s,
+        mix,
+    }
+}
+
+fn registry(id: DatasetId) -> Vec<(String, Field<f32>)> {
+    generate(id, Resolution::Small, REGISTRY_SEED)
+        .into_iter()
+        .map(|nf| (nf.name, nf.data))
+        .collect()
+}
+
+fn grf_corpus() -> Vec<(String, Field<f64>)> {
+    GRF_ALPHAS
+        .iter()
+        .enumerate()
+        .map(|(k, &alpha)| {
+            (
+                format!("grf_a{alpha}"),
+                Field::from_vec(
+                    Shape::D2(64, 128),
+                    grf_2d(64, 128, alpha, GRF_SEED_BASE + k as u64),
+                ),
+            )
+        })
+        .collect()
+}
+
+fn ts_corpus() -> Vec<(String, Field<f32>)> {
+    DriftField::default()
+        .series(6, 0.5)
+        .into_iter()
+        .enumerate()
+        .map(|(k, f)| (format!("ts_{k}"), f))
+        .collect()
+}
+
+fn main() {
+    let targets: Vec<f64> = std::env::var("FPSNR_TARGETS")
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .map(|t| t.trim().parse().expect("FPSNR_TARGETS: bad number"))
+                .collect()
+        })
+        .unwrap_or_else(|| vec![30.0, 40.0, 50.0, 60.0, 80.0, 100.0]);
+    let out_path =
+        std::env::var("FPSNR_OUT").unwrap_or_else(|_| "BENCH_predictors.json".to_string());
+
+    let grf = grf_corpus();
+    let ts = ts_corpus();
+    let nyx = registry(DatasetId::Nyx);
+    let atm = registry(DatasetId::Atm);
+    let hurricane = registry(DatasetId::Hurricane);
+
+    println!("predictor bake-off (auto vs lorenzo), blocked containers, targets {targets:?}");
+    let mut results: Vec<CellResult> = Vec::new();
+    for &target in &targets {
+        results.push(run_cell("GRF", &grf, target));
+        results.push(run_cell("TS", &ts, target));
+        results.push(run_cell("NYX", &nyx, target));
+        results.push(run_cell("ATM", &atm, target));
+        results.push(run_cell("Hurricane", &hurricane, target));
+    }
+
+    let mut failures: Vec<String> = Vec::new();
+    let mut global_mix: BTreeMap<String, usize> = BTreeMap::new();
+    for r in &results {
+        let mix: Vec<String> = r.mix.iter().map(|(k, v)| format!("{k}:{v}")).collect();
+        println!(
+            "  {:<9} @ {:>5.1} dB: lorenzo {:>8} B  auto {:>8} B  ({:+6.2}%)  [{}]",
+            r.corpus,
+            r.target,
+            r.lorenzo_bytes,
+            r.auto_bytes,
+            r.delta_pct(),
+            mix.join(" ")
+        );
+        for (k, v) in &r.mix {
+            *global_mix.entry(k.clone()).or_insert(0) += v;
+        }
+        // Guardrail: never more than the per-block tag overhead.
+        if r.auto_bytes as f64 > r.lorenzo_bytes as f64 * 1.005 {
+            failures.push(format!(
+                "{} @ {} dB: auto {} B exceeds lorenzo {} B by more than 0.5%",
+                r.corpus, r.target, r.auto_bytes, r.lorenzo_bytes
+            ));
+        }
+    }
+    // Uplift gates, each active only when its target was swept.
+    for (corpus, target, ceiling, measured) in [
+        ("ATM", 80.0, 0.90, "-14.7%"),
+        ("TS", 80.0, 0.95, "-9.9%"),
+        ("NYX", 30.0, 0.85, "-23.2%"),
+    ] {
+        if let Some(r) = results
+            .iter()
+            .find(|r| r.corpus == corpus && r.target == target)
+        {
+            if r.auto_bytes as f64 > r.lorenzo_bytes as f64 * ceiling {
+                failures.push(format!(
+                    "{corpus} @ {target} dB: auto {} B vs lorenzo {} B — uplift fell below \
+                     {:.0}% (measured {measured})",
+                    r.auto_bytes,
+                    r.lorenzo_bytes,
+                    (1.0 - ceiling) * 100.0
+                ));
+            }
+        }
+    }
+    let distinct: Vec<&String> = global_mix
+        .keys()
+        .filter(|k| !k.starts_with("unknown") && *k != "damaged")
+        .collect();
+    println!(
+        "  predictor mix over all auto containers: {}",
+        global_mix
+            .iter()
+            .map(|(k, v)| format!("{k}:{v}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    if distinct.len() < 2 {
+        failures.push(format!(
+            "auto containers used {} distinct predictor(s) ({distinct:?}); the bake-off \
+             should mix at least 2",
+            distinct.len()
+        ));
+    }
+
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\n  \"bench\": \"predictors\",\n  \"targets\": {targets:?},\n  \"cells\": ["
+    );
+    for (i, r) in results.iter().enumerate() {
+        let mix: Vec<String> = r
+            .mix
+            .iter()
+            .map(|(k, v)| format!("\"{k}\": {v}"))
+            .collect();
+        let _ = write!(
+            json,
+            "{}\n    {{\"corpus\": \"{}\", \"target_db\": {}, \"lorenzo_bytes\": {}, \
+             \"auto_bytes\": {}, \"delta_pct\": {:.4}, \"lorenzo_s\": {:.4}, \
+             \"auto_s\": {:.4}, \"predictor_blocks\": {{{}}}}}",
+            if i == 0 { "" } else { "," },
+            r.corpus,
+            r.target,
+            r.lorenzo_bytes,
+            r.auto_bytes,
+            r.delta_pct(),
+            r.lorenzo_s,
+            r.auto_s,
+            mix.join(", ")
+        );
+    }
+    let _ = write!(
+        json,
+        "\n  ],\n  \"distinct_predictors\": {},\n  \"gates_passed\": {}\n}}\n",
+        distinct.len(),
+        failures.is_empty()
+    );
+    std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    println!("wrote {out_path}");
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -22,7 +22,7 @@ use fpsnr_core::{ebrel_for_psnr, psnr_sz_estimate, FixedRatioOptions};
 use fpsnr_metrics::{Distortion, PointwiseError, RateStats};
 use ndfield::{io as fio, Field, Scalar, Shape};
 use fpsnr_transform::{transform_compress, transform_decompress, TransformConfig};
-use szlike::{format, ErrorBound, LosslessBackend, SzConfig};
+use szlike::{format, ErrorBound, LosslessBackend, PredictorKind, SzConfig};
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -94,6 +94,9 @@ COMMANDS
                                 (ratio-quality model + <=2 refinements)
               [--ratio-tol T]   relative tolerance band (default 0.1)
               [--bins N] [--no-lz] [--verify] [--transform]
+              [--predictor auto|lorenzo|lorenzo2|regression|spline]
+                                prediction stage (default lorenzo); auto
+                                runs the per-block cost bake-off (v5)
               [--threads N]     block-parallel pipeline (0 = auto, 1 = off)
               [--block-size R]  rows per block (0 = derive from shape)
               [--chunks AxBxC]  multi-dimensional chunk grid (v4 layout) for
@@ -205,9 +208,13 @@ fn compress_typed<T: Scalar>(args: &Args) -> Result<(), String> {
     if chunk_dims != [0; 3] && block_rows != 0 {
         return Err("--chunks and --block-size are mutually exclusive".into());
     }
+    let predictor = parse_predictor(args)?;
     let use_transform = args.has("--transform");
     if use_transform && (threads != 1 || block_rows != 0 || chunk_dims != [0; 3]) {
         return Err("--transform does not support --threads/--block-size/--chunks".into());
+    }
+    if use_transform && predictor != PredictorKind::Lorenzo1 {
+        return Err("--transform does not support --predictor".into());
     }
     let bytes = match mode {
         CliMode::Budget(budget) => {
@@ -222,7 +229,8 @@ fn compress_typed<T: Scalar>(args: &Args) -> Result<(), String> {
                 .with_lossless(lossless)
                 .with_auto_intervals(true)
                 .with_threads(threads)
-                .with_block_rows(block_rows);
+                .with_block_rows(block_rows)
+                .with_predictor(predictor);
             let (bytes, report) = fpsnr_core::mode::compress_with_mode(
                 &field,
                 fpsnr_core::mode::CompressionMode::ByteBudget(budget),
@@ -250,6 +258,7 @@ fn compress_typed<T: Scalar>(args: &Args) -> Result<(), String> {
                 lossless,
                 threads,
                 block_rows,
+                predictor,
                 ..FixedRatioOptions::new(target)
             };
             let run =
@@ -280,6 +289,7 @@ fn compress_typed<T: Scalar>(args: &Args) -> Result<(), String> {
                     threads,
                     block_rows,
                     chunk_dims,
+                    predictor,
                     ..FixedPsnrOptions::default()
                 };
                 fpsnr_core::fixed_psnr::compress_fixed_psnr_only(&field, target, &opts)
@@ -296,7 +306,8 @@ fn compress_typed<T: Scalar>(args: &Args) -> Result<(), String> {
                     .with_lossless(lossless)
                     .with_threads(threads)
                     .with_block_rows(block_rows)
-                    .with_chunk_dims(chunk_dims);
+                    .with_chunk_dims(chunk_dims)
+                    .with_predictor(predictor);
                 szlike::compress(&field, &cfg).map_err(|e| e.to_string())?
             }
         }
@@ -318,6 +329,16 @@ fn compress_typed<T: Scalar>(args: &Args) -> Result<(), String> {
         println!("verified: PSNR {:.2} dB, NRMSE {:.3e}", d.psnr(), d.nrmse());
     }
     Ok(())
+}
+
+/// Parse `--predictor` (default Lorenzo — the legacy container layout).
+fn parse_predictor(args: &Args) -> Result<PredictorKind, String> {
+    match args.get("--predictor") {
+        None => Ok(PredictorKind::Lorenzo1),
+        Some(raw) => PredictorKind::parse(raw).ok_or_else(|| {
+            format!("bad --predictor {raw} (want auto, lorenzo, lorenzo2, regression, or spline)")
+        }),
+    }
 }
 
 /// Parse `--threads` (None when absent).
@@ -470,6 +491,9 @@ fn print_sections(info: &szlike::ContainerInfo) {
             grid.iter().product::<usize>()
         );
     }
+    if let Some(pred) = &info.predictor {
+        println!("predictor         {pred}");
+    }
     if let Some(stage) = info.entropy_stage {
         let name = match stage {
             0 => "huffman (single-stream, legacy)",
@@ -507,6 +531,27 @@ fn print_sections(info: &szlike::ContainerInfo) {
     }
 }
 
+/// Print the per-block predictor map of a v5 container: one line per
+/// block plus a histogram so mixed selections are visible at a glance.
+fn print_block_predictors(names: &[String]) {
+    let mut counts: Vec<(&str, usize)> = Vec::new();
+    for n in names {
+        match counts.iter_mut().find(|(k, _)| k == n) {
+            Some((_, c)) => *c += 1,
+            None => counts.push((n.as_str(), 1)),
+        }
+    }
+    let summary = counts
+        .iter()
+        .map(|(k, c)| format!("{k} x{c}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    println!("block predictors  {summary}");
+    for (i, n) in names.iter().enumerate() {
+        println!("  block {i:>4}  {n}");
+    }
+}
+
 fn cmd_inspect(args: &Args) -> Result<(), String> {
     let input = args.require("--input")?;
     let bytes = std::fs::read(input).map_err(|e| format!("reading {input}: {e}"))?;
@@ -527,6 +572,13 @@ fn cmd_inspect(args: &Args) -> Result<(), String> {
             match szlike::inspect_sections(&bytes) {
                 Ok(info) => print_sections(&info),
                 Err(e) => println!("sections          unreadable: {e}"),
+            }
+            // v5 mixed-predictor containers: show which predictor the
+            // cost bake-off picked for every block, in directory order.
+            match szlike::inspect_block_predictors(&bytes) {
+                Ok(Some(names)) => print_block_predictors(&names),
+                Ok(None) => {}
+                Err(e) => println!("block predictors  unreadable: {e}"),
             }
             // Damage is informational for inspect: report it, exit 0.
             match partial_report(&bytes, 0) {

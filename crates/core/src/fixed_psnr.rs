@@ -81,7 +81,8 @@ use fpsnr_metrics::{Distortion, RateStats};
 use fpsnr_transform::{transform_compress, transform_decompress, TransformConfig};
 use ndfield::{Field, Scalar};
 use szlike::{
-    compress_with_detail, decompress, ErrorBound, KernelMode, LosslessBackend, SzConfig, SzError,
+    compress_with_detail, decompress, ErrorBound, KernelMode, LosslessBackend, PredictorKind,
+    SzConfig, SzError,
 };
 
 /// Knobs forwarded to the underlying compressor.
@@ -109,6 +110,10 @@ pub struct FixedPsnrOptions {
     /// Walk implementation for the SZ hot loop (forwarded to
     /// [`SzConfig::kernel`]; container bytes are identical either way).
     pub kernel: KernelMode,
+    /// Predictor selection (forwarded to [`SzConfig::predictor`]).
+    /// `Lorenzo1` (the default) keeps the legacy container versions;
+    /// `Auto` enables the per-block cost-driven bake-off (v5 layout).
+    pub predictor: PredictorKind,
 }
 
 impl Default for FixedPsnrOptions {
@@ -121,6 +126,7 @@ impl Default for FixedPsnrOptions {
             block_rows: 0,
             chunk_dims: [0; 3],
             kernel: KernelMode::Fused,
+            predictor: PredictorKind::Lorenzo1,
         }
     }
 }
@@ -135,6 +141,7 @@ impl FixedPsnrOptions {
             .with_block_rows(self.block_rows)
             .with_chunk_dims(self.chunk_dims)
             .with_kernel(self.kernel)
+            .with_predictor(self.predictor)
     }
 }
 

@@ -27,7 +27,7 @@
 
 use ndfield::{Field, Scalar};
 use szlike::ratemodel::RateModel;
-use szlike::{compress, ErrorBound, KernelMode, LosslessBackend, SzConfig, SzError};
+use szlike::{compress, ErrorBound, KernelMode, LosslessBackend, PredictorKind, SzConfig, SzError};
 
 /// A fixed-ratio request plus the knobs forwarded to the compressor.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -54,6 +54,10 @@ pub struct FixedRatioOptions {
     pub block_rows: usize,
     /// Walk implementation for the SZ hot loop (bytes identical either way).
     pub kernel: KernelMode,
+    /// Predictor selection (forwarded to [`SzConfig::predictor`]); the
+    /// pilot's rate model runs under the same predictor so its bits/value
+    /// curve matches what the real passes compress with.
+    pub predictor: PredictorKind,
 }
 
 impl FixedRatioOptions {
@@ -70,6 +74,7 @@ impl FixedRatioOptions {
             threads: 1,
             block_rows: 0,
             kernel: KernelMode::Fused,
+            predictor: PredictorKind::Lorenzo1,
         }
     }
 
@@ -81,6 +86,7 @@ impl FixedRatioOptions {
             .with_threads(self.threads)
             .with_block_rows(self.block_rows)
             .with_kernel(self.kernel)
+            .with_predictor(self.predictor)
     }
 
     fn validate(&self) -> Result<(), SzError> {

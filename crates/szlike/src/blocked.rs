@@ -34,14 +34,14 @@
 
 use crate::compressor::{
     apply_lossless, choose_intervals, quantized_walk_on, read_escape_values, read_f64,
-    replay_quantized_walk, select_predictor, take, undo_lossless_bounded, BlockDamage,
+    replay_quantized_walk, select_model, take, undo_lossless_bounded, BlockDamage,
     CompressionDetail, DamageReport, DecodeLimits, WalkOutput,
 };
 use crate::config::{EntropyCoder, EscapeCoding, KernelMode, SzConfig};
 use crate::error::{DecodeError, SzError};
 use crate::format::{self, Header, Mode};
 use crate::grid::ChunkGrid;
-use crate::predictor::PredictorKind;
+use crate::predictor::{Predictor, PredictorKind, PredictorModel, REGRESSION_COEFF_BYTES};
 use crate::unpredictable;
 use fpsnr_parallel::pool::ThreadPool;
 use losslesskit::bitio::BitWriter;
@@ -62,6 +62,18 @@ const BLOCKED_VERSION: u8 = 3;
 /// section framing as v3, but the partition parameters are per-axis chunk
 /// extents and the directory is indexed by row-major grid coordinate.
 const BLOCKED_VERSION_GRID: u8 = 4;
+
+/// Blocked-container version byte for mixed per-block predictors: same
+/// section framing and per-axis partition encoding as v4, but the
+/// container-level predictor byte is the [`PER_BLOCK_PREDICTORS`] sentinel
+/// and each block payload starts with its own predictor tag (+ fitted
+/// regression coefficients for tag 3) ahead of the code stream, so the
+/// decoder replays exactly the predictor the encoder chose per block.
+const BLOCKED_VERSION_MIXED: u8 = 5;
+
+/// Container-level predictor byte of a v5 container: "look inside each
+/// block". Deliberately outside every [`PredictorKind`] tag.
+const PER_BLOCK_PREDICTORS: u8 = 0xFF;
 
 /// Interleaved Huffman streams per block section (entropy stage 2).
 const HUFF_STREAMS: usize = 4;
@@ -147,6 +159,7 @@ struct BlockBits {
     n_unpred: usize,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn encode_block<T: Scalar>(
     codes: &[u32],
     unpred: &[T],
@@ -154,12 +167,22 @@ fn encode_block<T: Scalar>(
     bins: usize,
     eb: f64,
     cfg: &SzConfig,
+    model: PredictorModel,
+    per_block_header: bool,
 ) -> BlockBits {
     let stream = match codec {
         Some(c) => mshuf::encode(codes, c, HUFF_STREAMS),
         None => range::range_encode(codes, bins),
     };
     let mut body = Vec::with_capacity(stream.len() + unpred.len() * T::BYTES + 16);
+    if per_block_header {
+        // v5 per-block predictor prefix: tag byte, then the fitted
+        // coefficients for regression. It lives inside the block payload so
+        // the per-block CRC covers it — a flipped tag or truncated
+        // coefficient run reads as block damage, never as silent misreplay.
+        body.push(model.tag());
+        body.extend_from_slice(&model.coeff_bytes());
+    }
     varint::write_u64(&mut body, stream.len() as u64);
     body.extend_from_slice(&stream);
     varint::write_u64(&mut body, unpred.len() as u64);
@@ -189,17 +212,22 @@ fn encode_block<T: Scalar>(
 /// arena, so a thread processing many blocks allocates it once. Slab
 /// blocks are walked in place over the field's own storage; grid blocks
 /// are gathered into a contiguous scratch buffer first.
+///
+/// Predictor selection happens here, per block, inside the walk task:
+/// [`select_model`] depends only on the block's samples and the config, so
+/// the chosen models — and therefore the container bytes — are identical
+/// for any thread count.
 #[allow(clippy::too_many_arguments)]
 fn run_walks<T: Scalar>(
     field: &Field<T>,
     grid: &ChunkGrid,
     eb: f64,
     bins: usize,
-    pred_kind: PredictorKind,
+    kind: PredictorKind,
     escape: EscapeCoding,
     kernel: KernelMode,
     pool: Option<&ThreadPool>,
-) -> Vec<WalkOutput<T>> {
+) -> Vec<(PredictorModel, WalkOutput<T>)> {
     let n_blocks = grid.n_blocks();
     let data = field.as_slice();
     let slab = grid.is_slab();
@@ -216,15 +244,16 @@ fn run_walks<T: Scalar>(
                         grid.gather(data, b, &mut gathered);
                         &gathered
                     };
-                    quantized_walk_on(
-                        samples, bshape, eb, bins, pred_kind, escape, false, &mut recon,
-                        kernel,
-                    )
+                    let model = select_model(samples, bshape, kind, eb, bins);
+                    let out = quantized_walk_on(
+                        samples, bshape, eb, bins, model, escape, false, &mut recon, kernel,
+                    );
+                    (model, out)
                 })
                 .collect()
         }
         Some(pool) => {
-            let results: Arc<Mutex<Vec<Option<WalkOutput<T>>>>> =
+            let results: Arc<Mutex<Vec<Option<(PredictorModel, WalkOutput<T>)>>>> =
                 Arc::new(Mutex::new((0..n_blocks).map(|_| None).collect()));
             let scratch: Arc<Mutex<Vec<Vec<f64>>>> = Arc::new(Mutex::new(Vec::new()));
             for b in 0..n_blocks {
@@ -246,11 +275,12 @@ fn run_walks<T: Scalar>(
                         .expect("scratch arena lock")
                         .pop()
                         .unwrap_or_default();
+                    let model = select_model(&block, bshape, kind, eb, bins);
                     let out = quantized_walk_on(
-                        &block, bshape, eb, bins, pred_kind, escape, false, &mut recon, kernel,
+                        &block, bshape, eb, bins, model, escape, false, &mut recon, kernel,
                     );
                     scratch.lock().expect("scratch arena lock").push(recon);
-                    results.lock().expect("walk results lock")[b] = Some(out);
+                    results.lock().expect("walk results lock")[b] = Some((model, out));
                 });
             }
             pool.wait();
@@ -265,30 +295,51 @@ fn run_walks<T: Scalar>(
 
 /// Phase 3: per-block entropy encode + escape payload + lossless pass, all
 /// against the shared codec.
+#[allow(clippy::too_many_arguments)]
 fn run_encodes<T: Scalar>(
-    walks: Vec<WalkOutput<T>>,
+    walks: Vec<(PredictorModel, WalkOutput<T>)>,
     codec: Option<Arc<HuffmanCodec>>,
     bins: usize,
     eb: f64,
     cfg: &SzConfig,
+    per_block_header: bool,
     pool: Option<&ThreadPool>,
 ) -> Vec<BlockBits> {
     match pool {
         None => walks
             .into_iter()
-            .map(|w| encode_block(&w.codes, &w.unpred, codec.as_deref(), bins, eb, cfg))
+            .map(|(m, w)| {
+                encode_block(
+                    &w.codes,
+                    &w.unpred,
+                    codec.as_deref(),
+                    bins,
+                    eb,
+                    cfg,
+                    m,
+                    per_block_header,
+                )
+            })
             .collect(),
         Some(pool) => {
             let n = walks.len();
             let results: Arc<Mutex<Vec<Option<BlockBits>>>> =
                 Arc::new(Mutex::new((0..n).map(|_| None).collect()));
             let cfg = *cfg;
-            for (b, w) in walks.into_iter().enumerate() {
+            for (b, (m, w)) in walks.into_iter().enumerate() {
                 let codec = codec.clone();
                 let results = Arc::clone(&results);
                 pool.execute(move || {
-                    let bits =
-                        encode_block(&w.codes, &w.unpred, codec.as_deref(), bins, eb, &cfg);
+                    let bits = encode_block(
+                        &w.codes,
+                        &w.unpred,
+                        codec.as_deref(),
+                        bins,
+                        eb,
+                        &cfg,
+                        m,
+                        per_block_header,
+                    );
                     results.lock().expect("encode results lock")[b] = Some(bits);
                 });
             }
@@ -310,19 +361,27 @@ pub(crate) fn compress_blocked<T: Scalar>(
     vr: f64,
     cfg: &SzConfig,
 ) -> Result<(Vec<u8>, CompressionDetail), SzError> {
-    // Global model selection, exactly as the monolithic path does it: both
-    // knobs sample the whole field once and are shared by every block.
+    // Global interval sizing, exactly as the monolithic path does it: one
+    // whole-field sample shared by every block. Predictor selection moved
+    // *into* the per-block walk tasks (see `run_walks`): forced Lorenzo
+    // kinds stay uniform (the legacy v3/v4 layouts, byte-identical), while
+    // Auto / Regression / Spline route to the v5 mixed-predictor layout
+    // where each block carries the model it actually replayed.
     let predict_span = fpsnr_obs::span("sz.predict");
     let bins = if cfg.auto_intervals {
         choose_intervals(field, eb_abs, cfg.quant_bins, cfg.pred_threshold)
     } else {
         cfg.quant_bins
     };
-    let pred_kind = select_predictor(field, cfg.predictor, eb_abs);
     drop(predict_span);
+    let per_block = !matches!(
+        cfg.predictor,
+        PredictorKind::Lorenzo1 | PredictorKind::Lorenzo2
+    );
 
     let shape = field.shape();
     let (version, grid) = resolve_partition(shape, cfg)?;
+    let version = if per_block { BLOCKED_VERSION_MIXED } else { version };
     let n_blocks = grid.n_blocks();
     let lz_threads = resolve_threads(cfg.threads).max(1);
     let threads = lz_threads.min(n_blocks);
@@ -335,7 +394,7 @@ pub(crate) fn compress_blocked<T: Scalar>(
         &grid,
         eb_abs,
         bins,
-        pred_kind,
+        cfg.predictor,
         cfg.escape,
         cfg.kernel,
         pool.as_ref(),
@@ -347,7 +406,7 @@ pub(crate) fn compress_blocked<T: Scalar>(
     let (codec, table) = match cfg.entropy {
         EntropyCoder::Huffman => {
             let mut counts = vec![0u64; bins];
-            for w in &walks {
+            for (_, w) in &walks {
                 for &c in &w.codes {
                     counts[c as usize] += 1;
                 }
@@ -364,7 +423,7 @@ pub(crate) fn compress_blocked<T: Scalar>(
 
     // Phase 3 (sz.block.encode): per-block entropy + lossless stages.
     let encode_span = fpsnr_obs::span("sz.block.encode");
-    let blocks = run_encodes(walks, codec, bins, eb_abs, cfg, pool.as_ref());
+    let blocks = run_encodes(walks, codec, bins, eb_abs, cfg, per_block, pool.as_ref());
     drop(encode_span);
 
     // Stage 4 (sz.lossless): compress each section INDEPENDENTLY — the
@@ -400,20 +459,25 @@ pub(crate) fn compress_blocked<T: Scalar>(
     out.push(version);
     out.extend_from_slice(&eb_abs.to_le_bytes());
     varint::write_u64(&mut out, bins as u64);
-    out.push(pred_kind.tag());
+    out.push(if per_block {
+        PER_BLOCK_PREDICTORS
+    } else {
+        cfg.predictor.tag()
+    });
     out.push(match cfg.escape {
         EscapeCoding::Exact => 0,
         EscapeCoding::Truncated => 1,
     });
-    // Entropy stage byte: v3/v4 write interleaved Huffman as stage 2
+    // Entropy stage byte: v3+ write interleaved Huffman as stage 2
     // (stage 0, the monolithic single-stream form, is decode-only legacy).
     out.push(match cfg.entropy {
         EntropyCoder::Huffman => 2,
         EntropyCoder::Range => 1,
     });
     if version >= BLOCKED_VERSION_GRID {
-        // v4 partition parameters: per-axis chunk extents. The grid dims
-        // (and the block count) are derived from the header shape.
+        // v4/v5 partition parameters: per-axis chunk extents. The grid
+        // dims (and the block count) are derived from the header shape;
+        // slab partitions encode as a grid with full non-leading extents.
         for c in grid.chunk_dims() {
             varint::write_u64(&mut out, c as u64);
         }
@@ -466,6 +530,30 @@ pub(crate) fn decode_block_body<T: Scalar>(
 ) -> Result<Vec<T>, SzError> {
     let bn = bshape.len();
     let mut bpos = 0usize;
+    // v5 blocks lead with their own predictor prefix; earlier versions
+    // inherit the container-level model.
+    let model = match params.pred {
+        BlockPredictors::Uniform(model) => model,
+        BlockPredictors::PerBlock => {
+            let tag = *body
+                .first()
+                .ok_or(SzError::Format("missing block predictor tag"))?;
+            bpos += 1;
+            let coeffs: &[u8] = if tag == 3 {
+                let end = bpos
+                    .checked_add(REGRESSION_COEFF_BYTES)
+                    .filter(|&e| e <= body.len())
+                    .ok_or(SzError::Format("truncated regression coefficients"))?;
+                let c = &body[bpos..end];
+                bpos = end;
+                c
+            } else {
+                &[]
+            };
+            PredictorModel::from_tag_and_coeffs(tag, coeffs)
+                .ok_or(SzError::Format("unknown block predictor tag"))?
+        }
+    };
     // Locate the code stream but defer entropy decoding: the escape
     // payload behind it parses first so the fused mirror can interleave
     // Huffman decoding with reconstruction slice by slice.
@@ -488,32 +576,43 @@ pub(crate) fn decode_block_body<T: Scalar>(
         bshape,
         params.eb,
         params.bins,
-        params.pred_kind,
+        model,
         unpred_values,
     )
+}
+
+/// Where a blocked container's predictor lives: one container-level model
+/// shared by every block (v1–v4), or a per-block prefix inside each block
+/// payload (v5).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum BlockPredictors {
+    Uniform(PredictorModel),
+    PerBlock,
 }
 
 /// Pipeline parameters shared by every blocked-container version.
 pub(crate) struct BlockedParams {
     pub(crate) eb: f64,
     pub(crate) bins: usize,
-    pub(crate) pred_kind: PredictorKind,
+    pub(crate) pred: BlockPredictors,
     pub(crate) escape_tag: u8,
     pub(crate) stage: u8,
-    /// The block partition: a slab grid for v1–v3, a chunk grid for v4.
+    /// The block partition: a slab grid for v1–v3, a chunk grid for v4/v5.
     pub(crate) grid: ChunkGrid,
 }
 
 /// Read the version byte and the parameter block, validating every field
 /// against the header's shape. v1–v3 store `block_rows` + `n_blocks`
-/// (slab partition); v4 stores per-axis chunk extents (grid partition).
+/// (slab partition); v4/v5 store per-axis chunk extents (grid partition).
+/// v5 additionally requires the [`PER_BLOCK_PREDICTORS`] sentinel — its
+/// predictors live inside the block payloads.
 pub(crate) fn read_params(
     src: &[u8],
     pos: &mut usize,
     header: &Header,
 ) -> Result<(u8, BlockedParams), SzError> {
     let version = take(src, pos, 1)?[0];
-    if version == 0 || version > BLOCKED_VERSION_GRID {
+    if version == 0 || version > BLOCKED_VERSION_MIXED {
         return Err(SzError::Format("unsupported blocked container version"));
     }
     let eb = read_f64(src, pos)?;
@@ -524,8 +623,20 @@ pub(crate) fn read_params(
     if bins < 4 || bins % 2 != 0 || bins > (1 << 24) {
         return Err(SzError::Format("bad stored bin count"));
     }
-    let pred_kind = PredictorKind::from_tag(take(src, pos, 1)?[0])
-        .ok_or(SzError::Format("unknown predictor tag"))?;
+    let pred_byte = take(src, pos, 1)?[0];
+    let pred = if version >= BLOCKED_VERSION_MIXED {
+        if pred_byte != PER_BLOCK_PREDICTORS {
+            return Err(SzError::Format("v5 container without per-block sentinel"));
+        }
+        BlockPredictors::PerBlock
+    } else {
+        // A container-level tag must be self-contained: regression (tag 3)
+        // needs coefficients, which only v5's per-block prefix carries.
+        BlockPredictors::Uniform(
+            PredictorModel::from_tag_and_coeffs(pred_byte, &[])
+                .ok_or(SzError::Format("unknown predictor tag"))?,
+        )
+    };
     let escape_tag = take(src, pos, 1)?[0];
     if escape_tag > 1 {
         return Err(SzError::Format("unknown escape coding tag"));
@@ -561,7 +672,7 @@ pub(crate) fn read_params(
         BlockedParams {
             eb,
             bins,
-            pred_kind,
+            pred,
             escape_tag,
             stage,
             grid,
@@ -584,7 +695,7 @@ pub(crate) fn decompress_blocked<T: Scalar>(
         // v3 only changes the entropy stage inside each section, and v4
         // only the partition parameters; the section framing (directory,
         // meta-CRC, payloads) is identical to v2.
-        2..=BLOCKED_VERSION_GRID => {
+        2..=BLOCKED_VERSION_MIXED => {
             decode_v2(src, pos, header, &params, threads, limits, true).map(|(f, _)| f)
         }
         _ => Err(SzError::Format("unsupported blocked container version")),
@@ -617,7 +728,7 @@ pub(crate) fn decompress_blocked_partial<T: Scalar>(
                 },
             ))
         }
-        2..=BLOCKED_VERSION_GRID => {
+        2..=BLOCKED_VERSION_MIXED => {
             let n_blocks = params.grid.n_blocks();
             let (field, damaged) = decode_v2::<T>(src, pos, header, &params, threads, limits, false)?;
             // A damaged grid block is a strided footprint, not a contiguous

@@ -17,7 +17,9 @@ use crate::config::{EntropyCoder, ErrorBound, EscapeCoding, KernelMode, Lossless
 use crate::error::{DecodeError, SzError};
 use crate::format::{self, Header, Mode};
 use crate::kernels;
-use crate::predictor::{predict_with, PredictorKind};
+use crate::predictor::{
+    fit_regression, Predictor, PredictorKind, PredictorModel, REGRESSION_COEFF_BYTES,
+};
 use crate::quantizer::{LinearQuantizer, ESCAPE};
 use crate::unpredictable;
 use losslesskit::bitio::{BitReader, BitWriter};
@@ -79,7 +81,7 @@ fn quantized_walk<T: Scalar>(
     field: &Field<T>,
     eb: f64,
     bins: usize,
-    pred_kind: PredictorKind,
+    model: PredictorModel,
     escape: EscapeCoding,
     collect_errors: bool,
     kernel: KernelMode,
@@ -90,7 +92,7 @@ fn quantized_walk<T: Scalar>(
         field.shape(),
         eb,
         bins,
-        pred_kind,
+        model,
         escape,
         collect_errors,
         &mut recon,
@@ -113,14 +115,14 @@ pub(crate) fn quantized_walk_on<T: Scalar>(
     shape: Shape,
     eb: f64,
     bins: usize,
-    pred_kind: PredictorKind,
+    model: PredictorModel,
     escape: EscapeCoding,
     collect_errors: bool,
     recon: &mut Vec<f64>,
     kernel: KernelMode,
 ) -> WalkOutput<T> {
     if kernel == KernelMode::Fused && !collect_errors {
-        let out = crate::kernels::walk_fused(data, shape, eb, bins, pred_kind, escape, recon);
+        let out = crate::kernels::walk_fused(data, shape, eb, bins, model, escape, recon);
         return WalkOutput {
             codes: out.codes,
             unpred: out.unpred,
@@ -137,7 +139,7 @@ pub(crate) fn quantized_walk_on<T: Scalar>(
     let mut pred_errors = collect_errors.then(|| Vec::with_capacity(n));
     for lin in 0..n {
         let x = data[lin].to_f64();
-        let pred = predict_with(pred_kind, &recon, shape, lin);
+        let pred = model.predict(recon, shape, lin);
         let err = x - pred;
         if let Some(errs) = pred_errors.as_mut() {
             errs.push(err);
@@ -390,62 +392,133 @@ pub(crate) fn choose_intervals<T: Scalar>(
     cap
 }
 
-/// Resolve `PredictorKind::Auto` by sampling both stencils against the
-/// original data (early SZ's best-fit predictor selection, done once per
-/// field) — *plus* a quantization-noise penalty the sampling cannot see.
+/// Largest sample count the `Auto` bake-off walks per candidate. Above
+/// this, scoring runs on the leading whole-row slab that fits the cap —
+/// prediction only ever looks backward, so the slab's codes are exactly
+/// the codes the real walk would emit for those samples.
+const SELECT_SCORE_CAP: usize = 65_536;
+
+/// Handicap (bits/value) a challenger must clear before it unseats
+/// Lorenzo¹ in the `Auto` bake-off. The cost model scores the entropy of
+/// the code stream in isolation, but the container's LZ tail typically
+/// recovers several tenths of a bit/value more from Lorenzo's spatially
+/// correlated codes than from coefficient-predictor codes — without the
+/// handicap, sub-half-bit "wins" on the entropy score turned into
+/// 5–16% *larger* containers on smooth GRF textures. Calibrated against
+/// the shared evaluation corpora (see `tests/fixed_psnr_accuracy.rs`).
+const SELECT_LZ_SLACK_BITS: f64 = 0.5;
+
+/// The leading whole-row slab of `shape` holding at most `cap` samples
+/// (never less than one row/plane), with its sample count.
+fn score_slab(shape: Shape, cap: usize) -> (Shape, usize) {
+    match shape {
+        Shape::D1(n) => {
+            let n = n.min(cap).max(1);
+            (Shape::D1(n), n)
+        }
+        Shape::D2(r, c) => {
+            let r = (cap / c.max(1)).clamp(1, r);
+            (Shape::D2(r, c), r * c)
+        }
+        Shape::D3(a, b, c) => {
+            let per = (b * c).max(1);
+            let a = (cap / per).clamp(1, a);
+            (Shape::D3(a, b, c), a * per)
+        }
+    }
+}
+
+/// Resolve a requested `PredictorKind` into the concrete [`PredictorModel`]
+/// the walk will replay. Forced kinds map directly (Regression fits its
+/// hyperplane here); `Auto` runs a cost-driven bake-off.
 ///
-/// During the real walk the stencil reads *reconstructed* values carrying
-/// uniform ±eb noise; a stencil with weight vector `w` amplifies that
-/// noise by `‖w‖₂`. Order-2 stencils have much larger norms (2-D: √35 vs
-/// √3), which is exactly why SZ defaults to order 1. The score adds the
-/// expected |noise| contribution `0.46·‖w‖₂·eb` (mean |N(0,σ)| = 0.8σ,
-/// σ = eb/√3 for uniform quantization error) so order 2 only wins when the
-/// structural gain genuinely beats its noise amplification.
-pub(crate) fn select_predictor<T: Scalar>(
-    field: &Field<T>,
+/// `Auto` runs the *real* prediction–quantization walk (reconstruction
+/// feedback included) once per candidate over a leading slab of at most
+/// [`SELECT_SCORE_CAP`] samples, then estimates coded bits/value from the
+/// resulting code magnitudes with
+/// [`crate::ratemodel::candidate_bits_per_value`] — the same
+/// entropy-of-quantized-magnitudes model the rate pilot uses — and picks
+/// the cheapest. Walking for real instead of sampling residuals against
+/// the original data matters at coarse bounds: there the quantization
+/// noise a neighbour stencil feeds back is the *same* noise it just
+/// removed (piecewise-constant reconstructions predict themselves
+/// exactly), which an additive analytic penalty systematically
+/// overcharges — coarse-bound Lorenzo looked ~½ bit/value worse than it
+/// is and lost bake-offs it should have won.
+///
+/// Regression additionally pays its coefficient payload up front:
+/// `8·REGRESSION_COEFF_BYTES / n` extra bits/value.
+///
+/// Ties break deterministically toward the earlier candidate in the fixed
+/// order Lorenzo¹, Lorenzo², Regression, Spline, so containers are
+/// byte-reproducible across runs and thread counts.
+pub(crate) fn select_model<T: Scalar>(
+    data: &[T],
+    shape: Shape,
     kind: PredictorKind,
     eb: f64,
-) -> PredictorKind {
-    if kind != PredictorKind::Auto {
-        return kind;
-    }
-    const TARGET_SAMPLES: usize = 16_384;
-    let n = field.len();
-    let stride = (n / TARGET_SAMPLES).max(1);
-    let orig: Vec<f64> = field.as_slice().iter().map(|v| v.to_f64()).collect();
-    let shape = field.shape();
-    let mut sum1 = 0.0f64;
-    let mut sum2 = 0.0f64;
-    let mut count = 0usize;
-    let mut lin = 0usize;
-    while lin < n {
-        let x = orig[lin];
-        if x.is_finite() {
-            let e1 = x - predict_with(PredictorKind::Lorenzo1, &orig, shape, lin);
-            let e2 = x - predict_with(PredictorKind::Lorenzo2, &orig, shape, lin);
-            if e1.is_finite() && e2.is_finite() {
-                sum1 += e1.abs();
-                sum2 += e2.abs();
-                count += 1;
-            }
+    bins: usize,
+) -> PredictorModel {
+    match kind {
+        PredictorKind::Lorenzo1 => return PredictorModel::Lorenzo1,
+        PredictorKind::Lorenzo2 => return PredictorModel::Lorenzo2,
+        PredictorKind::Spline => return PredictorModel::Spline,
+        PredictorKind::Regression => {
+            return PredictorModel::Regression(fit_regression(data, shape))
         }
-        lin += stride;
+        PredictorKind::Auto => {}
     }
-    if count == 0 {
-        return PredictorKind::Lorenzo1;
+    let n = data.len();
+    if n == 0 || eb <= 0.0 {
+        return PredictorModel::Lorenzo1;
     }
-    // ‖w‖₂² per rank: order-1 interior stencils (1,3,7), order-2 (5,35,215).
-    let rank = shape.rank();
-    let gain1 = [1.0f64, 3.0, 7.0][rank - 1].sqrt();
-    let gain2 = [5.0f64, 35.0, 215.0][rank - 1].sqrt();
-    let noise = 0.46 * eb;
-    let score1 = sum1 / count as f64 + gain1 * noise;
-    let score2 = sum2 / count as f64 + gain2 * noise;
-    if score2 < score1 {
-        PredictorKind::Lorenzo2
-    } else {
-        PredictorKind::Lorenzo1
+    let (slab_shape, slab_len) = score_slab(shape, SELECT_SCORE_CAP);
+    let slab = &data[..slab_len.min(n)];
+    let regression = PredictorModel::Regression(fit_regression(data, shape));
+    let candidates: [(PredictorModel, f64); 4] = [
+        (PredictorModel::Lorenzo1, 0.0),
+        (PredictorModel::Lorenzo2, SELECT_LZ_SLACK_BITS),
+        (
+            regression,
+            SELECT_LZ_SLACK_BITS + (REGRESSION_COEFF_BYTES * 8) as f64 / n as f64,
+        ),
+        (PredictorModel::Spline, SELECT_LZ_SLACK_BITS),
+    ];
+    let radius = (bins as u64 / 2).saturating_sub(1).max(1);
+    let code_radius = (bins / 2) as i64;
+    let sample_bits = (T::BYTES * 8) as f64;
+    let mut best = PredictorModel::Lorenzo1;
+    let mut best_cost = f64::INFINITY;
+    let mut recon = Vec::new();
+    let mut qmags = Vec::with_capacity(slab.len());
+    for (model, extra_bits) in candidates {
+        let walk = quantized_walk_on(
+            slab,
+            slab_shape,
+            eb,
+            bins,
+            model,
+            EscapeCoding::Exact,
+            false,
+            &mut recon,
+            KernelMode::Fused,
+        );
+        qmags.clear();
+        for &code in &walk.codes {
+            qmags.push(if code == 0 {
+                u64::MAX
+            } else {
+                (code as i64 - code_radius).unsigned_abs()
+            });
+        }
+        let cost =
+            crate::ratemodel::candidate_bits_per_value(&qmags, radius, sample_bits, extra_bits);
+        if cost < best_cost {
+            best_cost = cost;
+            best = model;
+        }
     }
+    best
 }
 
 fn compress_quantized<T: Scalar>(
@@ -462,13 +535,13 @@ fn compress_quantized<T: Scalar>(
     } else {
         cfg.quant_bins
     };
-    let pred_kind = select_predictor(field, cfg.predictor, eb_abs);
+    let model = select_model(field.as_slice(), field.shape(), cfg.predictor, eb_abs, bins);
     drop(predict_span);
 
-    // Stage 2 (sz.quantize): the Lorenzo-prediction + linear-scaling
-    // quantization walk over every sample.
+    // Stage 2 (sz.quantize): the prediction + linear-scaling quantization
+    // walk over every sample, replaying whichever predictor was selected.
     let quantize_span = fpsnr_obs::span("sz.quantize");
-    let walk = quantized_walk(field, eb_abs, bins, pred_kind, cfg.escape, false, cfg.kernel);
+    let walk = quantized_walk(field, eb_abs, bins, model, cfg.escape, false, cfg.kernel);
     drop(quantize_span);
 
     // Stage 3 (sz.encode): entropy stage over the code alphabet
@@ -523,7 +596,10 @@ fn compress_quantized<T: Scalar>(
     format::write_header(&mut out, T::TAG, Mode::Quantized, field.shape())?;
     out.extend_from_slice(&eb_abs.to_le_bytes());
     varint::write_u64(&mut out, bins as u64);
-    out.push(pred_kind.tag());
+    out.push(model.tag());
+    // Regression carries its fitted coefficients inline, right after the
+    // predictor tag: the decoder needs them before it can replay the walk.
+    out.extend_from_slice(&model.coeff_bytes());
     // Stage 4 (sz.lossless): LZ pass over the serialized body.
     let lossless_span = fpsnr_obs::span("sz.lossless");
     let (flag, payload) = apply_lossless(body, cfg);
@@ -901,7 +977,15 @@ fn decompress_quantized<T: Scalar>(
     if bins < 4 || bins % 2 != 0 || bins > (1 << 24) {
         return Err(SzError::Format("bad stored bin count"));
     }
-    let pred_kind = PredictorKind::from_tag(take(src, &mut pos, 1)?[0])
+    let pred_tag = take(src, &mut pos, 1)?[0];
+    // Tag 3 (regression) is followed by its fitted-coefficient payload; the
+    // other predictors are stateless and carry no coefficients.
+    let coeffs: &[u8] = if pred_tag == 3 {
+        take(src, &mut pos, REGRESSION_COEFF_BYTES)?
+    } else {
+        &[]
+    };
+    let model = PredictorModel::from_tag_and_coeffs(pred_tag, coeffs)
         .ok_or(SzError::Format("unknown predictor tag"))?;
     let flag = take(src, &mut pos, 1)?[0];
     let len = varint::read_u64(src, &mut pos)? as usize;
@@ -964,7 +1048,7 @@ fn decompress_quantized<T: Scalar>(
         header.shape,
         eb,
         bins,
-        pred_kind,
+        model,
         unpred_values,
     )?;
     Ok(Field::from_vec(header.shape, samples))
@@ -1024,11 +1108,11 @@ pub(crate) fn replay_quantized_walk<T: Scalar>(
     shape: Shape,
     eb: f64,
     bins: usize,
-    pred_kind: PredictorKind,
+    model: PredictorModel,
     unpred: Vec<T>,
 ) -> Result<Vec<T>, SzError> {
     let n = shape.len();
-    let mut dec = kernels::FusedDecoder::new(shape, eb, bins, pred_kind, unpred);
+    let mut dec = kernels::FusedDecoder::new(shape, eb, bins, model, unpred);
     match (stage, codec) {
         (0, Some(codec)) => {
             let mut br = BitReader::new(stream);
@@ -1156,12 +1240,18 @@ pub fn prediction_errors<T: Scalar>(
             "prediction-error probe needs a positive bound".to_string(),
         ));
     }
-    let pred_kind = select_predictor(field, cfg.predictor, eb_abs);
+    let model = select_model(
+        field.as_slice(),
+        field.shape(),
+        cfg.predictor,
+        eb_abs,
+        cfg.quant_bins,
+    );
     let walk = quantized_walk(
         field,
         eb_abs,
         cfg.quant_bins,
-        pred_kind,
+        model,
         cfg.escape,
         true,
         cfg.kernel,
@@ -1196,14 +1286,20 @@ pub fn quantization_probe<T: Scalar>(
     let n = field.len();
     let shape = field.shape();
     let quant = LinearQuantizer::new(eb_abs, cfg.quant_bins);
-    let pred_kind = select_predictor(field, cfg.predictor, eb_abs);
+    let model = select_model(
+        field.as_slice(),
+        shape,
+        cfg.predictor,
+        eb_abs,
+        cfg.quant_bins,
+    );
     let data = field.as_slice();
     let mut recon = vec![0.0f64; n];
     let mut pe = Vec::with_capacity(n);
     let mut pe_recon = Vec::with_capacity(n);
     for lin in 0..n {
         let x = data[lin].to_f64();
-        let pred = predict_with(pred_kind, &recon, shape, lin);
+        let pred = model.predict(&recon, shape, lin);
         let err = x - pred;
         pe.push(err);
         let mut escaped = true;

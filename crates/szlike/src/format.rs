@@ -10,15 +10,16 @@
 //! ```
 //!
 //! Modes:
-//! - **Quantized** — the normal SZ pipeline (Lorenzo + quantization +
+//! - **Quantized** — the normal SZ pipeline (prediction + quantization +
 //!   entropy stage + optional lossless pass). Body: `f64 eb_abs`,
-//!   `varint quant_bins`, `u8 predictor`, `u8 lossless_flag`,
-//!   `varint body_len`, body (entropy stage ‖ escape payload). The entropy
-//!   stage byte is 0 (legacy single-stream Huffman), 1 (adaptive range
-//!   coder) or 2 (multi-stream interleaved Huffman, written since
-//!   container v3); the lossless flag is 0 (stored), 1 (legacy whole-body
-//!   DEFLATE) or 2 (per-chunk backend bake-off,
-//!   [`losslesskit::bakeoff`]).
+//!   `varint quant_bins`, `u8 predictor` (a [`crate::PredictorKind`] tag;
+//!   tag 3 = regression is followed by its 16-byte 4 × f32 LE coefficient
+//!   payload), `u8 lossless_flag`, `varint body_len`, body (entropy
+//!   stage ‖ escape payload). The entropy stage byte is 0 (legacy
+//!   single-stream Huffman), 1 (adaptive range coder) or 2 (multi-stream
+//!   interleaved Huffman, written since container v3); the lossless flag
+//!   is 0 (stored), 1 (legacy whole-body DEFLATE) or 2 (per-chunk backend
+//!   bake-off, [`losslesskit::bakeoff`]).
 //! - **Constant** — the field has zero value range; body is one sample.
 //! - **Raw** — pathological inputs (e.g. zero range but NaNs present);
 //!   body is the lossless-compressed little-endian sample array.
@@ -29,10 +30,14 @@
 //!   into contiguous slabs along the slowest-varying dimension, each slab
 //!   runs its own prediction/quantization walk, and all slabs share one
 //!   Huffman table. Body: `u8 version`, `f64 eb_abs`, `varint quant_bins`,
-//!   `u8 predictor`, `u8 escape`, `u8 stage`, `varint block_rows`,
-//!   `varint n_blocks`, shared-table section, per-block sections. Version
-//!   3 writes entropy stage 2 inside each section; versions 1 and 2
-//!   remain decodable.
+//!   `u8 predictor`, `u8 escape`, `u8 stage`, partition (slab
+//!   `block_rows`/`n_blocks` varints for versions ≤ 3, per-axis chunk
+//!   varints for versions ≥ 4), shared-table section, per-block sections.
+//!   Version 3 writes entropy stage 2 inside each section; version 4
+//!   switches to the chunk grid; version 5 sets the predictor byte to the
+//!   `0xFF` per-block sentinel and prefixes each block body with its own
+//!   predictor tag (+ regression coefficients). Versions 1–4 remain
+//!   decodable.
 //!
 //! The byte-level specification every version of these layouts is held
 //! to lives in `DESIGN.md` §13.

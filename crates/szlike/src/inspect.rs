@@ -10,10 +10,11 @@
 //! The CLI's `fpsnr inspect` prints this report; the layout it walks is
 //! specified byte-for-byte in `DESIGN.md` §13.
 
-use crate::blocked;
-use crate::compressor::{read_f64, split_and_check_crc, take};
+use crate::blocked::{self, BlockPredictors};
+use crate::compressor::{read_f64, split_and_check_crc, take, undo_lossless_bounded};
 use crate::error::SzError;
 use crate::format::{self, Mode};
+use crate::predictor::{Predictor, PredictorKind, REGRESSION_COEFF_BYTES};
 use losslesskit::{bakeoff, varint};
 
 /// One lossless section of a container, as reported by
@@ -34,6 +35,14 @@ pub struct SectionInfo {
     pub chunks: Vec<bakeoff::ChunkInfo>,
 }
 
+/// Human-readable name of a stored predictor tag.
+fn predictor_name(tag: u8) -> String {
+    match PredictorKind::from_tag(tag) {
+        Some(k) => k.name().to_string(),
+        None => format!("unknown({tag})"),
+    }
+}
+
 /// Container-level structure report.
 #[derive(Debug, Clone)]
 pub struct ContainerInfo {
@@ -42,6 +51,10 @@ pub struct ContainerInfo {
     /// Entropy stage byte when the mode records one (0 legacy Huffman,
     /// 1 range, 2 interleaved Huffman).
     pub entropy_stage: Option<u8>,
+    /// Container-level predictor: the stored tag's name for monolithic
+    /// quantized and uniform blocked containers, `"per-block"` for v5
+    /// mixed-predictor containers (see [`inspect_block_predictors`]).
+    pub predictor: Option<String>,
     /// Chunk-grid geometry for blocked containers: per-axis chunk extents
     /// (`rank` entries). Slab containers report `[block_rows, full, ...]`.
     pub chunk_dims: Option<Vec<usize>>,
@@ -92,6 +105,7 @@ pub fn inspect_sections(src: &[u8]) -> Result<ContainerInfo, SzError> {
     let mut info = ContainerInfo {
         blocked_version: None,
         entropy_stage: None,
+        predictor: None,
         chunk_dims: None,
         grid_dims: None,
         sections: Vec::new(),
@@ -105,7 +119,12 @@ pub fn inspect_sections(src: &[u8]) -> Result<ContainerInfo, SzError> {
         Mode::Quantized => {
             read_f64(src, &mut pos)?; // eb
             varint::read_u64(src, &mut pos)?; // bins
-            take(src, &mut pos, 1)?; // predictor tag
+            let tag = take(src, &mut pos, 1)?[0];
+            if tag == 3 {
+                // Regression carries its coefficient payload inline.
+                take(src, &mut pos, REGRESSION_COEFF_BYTES)?;
+            }
+            info.predictor = Some(predictor_name(tag));
             let (flag, payload) = read_flagged(src, &mut pos)?;
             // The entropy stage byte is the first byte of the body, which
             // is only visible without inflating when the body is stored.
@@ -126,6 +145,10 @@ pub fn inspect_sections(src: &[u8]) -> Result<ContainerInfo, SzError> {
             let (version, params) = blocked::read_params(src, &mut pos, &header)?;
             info.blocked_version = Some(version);
             info.entropy_stage = Some(params.stage);
+            info.predictor = Some(match params.pred {
+                BlockPredictors::Uniform(m) => predictor_name(m.tag()),
+                BlockPredictors::PerBlock => "per-block".to_string(),
+            });
             info.chunk_dims = Some(params.grid.chunk_dims());
             info.grid_dims = Some(params.grid.grid_dims());
             match version {
@@ -174,6 +197,80 @@ pub fn inspect_sections(src: &[u8]) -> Result<ContainerInfo, SzError> {
     Ok(info)
 }
 
+/// Per-block payload inflation cap for [`inspect_block_predictors`]: far
+/// above any real block body, far below anything a hostile length field
+/// could use to balloon memory.
+const PREDICTOR_PEEK_MAX_BODY: usize = 64 << 20;
+
+/// The per-block predictor map of a v5 mixed-predictor container.
+///
+/// Returns `None` for anything that is not a blocked container with
+/// per-block predictors (monolithic modes and uniform v1–v4 containers
+/// report their single predictor through
+/// [`ContainerInfo::predictor`]). Each entry is the predictor name for
+/// that block in directory order, or `"damaged"` where the payload fails
+/// its CRC or cannot be inflated.
+///
+/// Unlike [`inspect_sections`] this *does* inflate block payloads (the
+/// predictor tag lives inside the per-block CRC's protection, ahead of the
+/// code stream), bounded per block by a fixed cap so arbitrary bytes still
+/// cannot balloon memory.
+///
+/// # Errors
+/// [`SzError`] when the container framing (header, parameter block,
+/// directory) is malformed — the same failure modes as
+/// [`inspect_sections`].
+pub fn inspect_block_predictors(src: &[u8]) -> Result<Option<Vec<String>>, SzError> {
+    let (src, _crc_ok) = split_and_check_crc(src, false)?;
+    let mut pos = 0usize;
+    let header = format::read_header(src, &mut pos)?;
+    if header.mode != Mode::Blocked {
+        return Ok(None);
+    }
+    let (_, params) = blocked::read_params(src, &mut pos, &header)?;
+    if !matches!(params.pred, BlockPredictors::PerBlock) {
+        return Ok(None);
+    }
+    let table_desc = if params.stage != 1 {
+        Some(blocked::read_section_desc(src, &mut pos)?)
+    } else {
+        None
+    };
+    let mut descs = Vec::with_capacity(params.grid.n_blocks().min(src.len()));
+    for _ in 0..params.grid.n_blocks() {
+        descs.push(blocked::read_section_desc(src, &mut pos)?);
+    }
+    take(src, &mut pos, 4)?; // meta-CRC
+    if let Some(d) = table_desc {
+        take(src, &mut pos, d.comp_len)?; // skip the shared-table payload
+    }
+    Ok(Some(read_block_predictor_names(src, pos, &descs)?))
+}
+
+/// Walk the payloads behind the directory and name each block's predictor.
+fn read_block_predictor_names(
+    src: &[u8],
+    mut pos: usize,
+    descs: &[blocked::SectionDesc],
+) -> Result<Vec<String>, SzError> {
+    let mut names = Vec::with_capacity(descs.len());
+    for d in descs {
+        let payload = take(src, &mut pos, d.comp_len)?;
+        if losslesskit::crc32::crc32(payload) != d.crc {
+            names.push("damaged".to_string());
+            continue;
+        }
+        match undo_lossless_bounded(d.flag, payload, PREDICTOR_PEEK_MAX_BODY) {
+            Ok(body) => match body.first() {
+                Some(&tag) => names.push(predictor_name(tag)),
+                None => names.push("damaged".to_string()),
+            },
+            Err(_) => names.push("damaged".to_string()),
+        }
+    }
+    Ok(names)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,6 +312,32 @@ mod tests {
         assert_eq!(info.sections.len(), 5);
         assert_eq!(info.sections[0].name, "shared table");
         assert_eq!(info.sections[4].name, "block 3");
+    }
+
+    #[test]
+    fn v5_container_reports_per_block_predictor_map() {
+        use crate::predictor::PredictorKind;
+        let cfg = SzConfig::new(ErrorBound::Abs(1e-3))
+            .with_threads(2)
+            .with_block_rows(16)
+            .with_predictor(PredictorKind::Auto);
+        let bytes = compress(&wavy(64, 64), &cfg).unwrap();
+        let info = inspect_sections(&bytes).unwrap();
+        assert_eq!(info.blocked_version, Some(5));
+        assert_eq!(info.predictor.as_deref(), Some("per-block"));
+        let map = inspect_block_predictors(&bytes).unwrap().unwrap();
+        assert_eq!(map.len(), 4);
+        let known = ["lorenzo", "lorenzo2", "regression", "spline"];
+        for name in &map {
+            assert!(known.contains(&name.as_str()), "unexpected predictor {name}");
+        }
+        // Uniform containers have no per-block map.
+        let uniform = compress(
+            &wavy(64, 64),
+            &SzConfig::new(ErrorBound::Abs(1e-3)).with_threads(2),
+        )
+        .unwrap();
+        assert_eq!(inspect_block_predictors(&uniform).unwrap(), None);
     }
 
     #[test]

@@ -67,7 +67,7 @@
 use crate::compressor::quantized_walk_on;
 use crate::config::{EscapeCoding, KernelMode};
 use crate::error::SzError;
-use crate::predictor::{predict_with, PredictorKind};
+use crate::predictor::{predict_with, Predictor, PredictorKind, PredictorModel};
 use crate::quantizer::{LinearQuantizer, ESCAPE};
 use crate::unpredictable;
 use ndfield::{Scalar, Shape};
@@ -298,7 +298,7 @@ impl<T: Scalar> ElementSink for DecodeSink<'_, T> {
 /// chunked decodes only lose pairing at chunk seams, never correctness).
 fn drive_range<S: ElementSink>(
     shape: Shape,
-    kind: PredictorKind,
+    model: PredictorModel,
     start: usize,
     end: usize,
     recon: &mut [f64],
@@ -307,11 +307,39 @@ fn drive_range<S: ElementSink>(
     if start >= end {
         return Ok(());
     }
+    let kind = match model {
+        PredictorModel::Lorenzo1 => PredictorKind::Lorenzo1,
+        PredictorModel::Lorenzo2 => PredictorKind::Lorenzo2,
+        // Coefficient and spline models take the shared per-element driver:
+        // no specialized wavefront loops, but the same predict function and
+        // the same emit as the reference walk, so fused and reference
+        // containers are bit-identical by construction.
+        PredictorModel::Regression(_) | PredictorModel::Spline => {
+            return drive_generic(shape, &model, start, end, recon, sink);
+        }
+    };
     match shape {
         Shape::D1(_) => drive_1d(shape, kind, start, end, recon, sink),
         Shape::D2(_, cols) => walk_2d(kind, cols, start, end, recon, sink),
         Shape::D3(_, d1, d2) => walk_3d(shape, kind, d1, d2, start, end, recon, sink),
     }
+}
+
+/// Per-element driver for predictors without specialized region loops:
+/// exactly the reference walk's predict → emit → write-back sequence.
+fn drive_generic<S: ElementSink>(
+    shape: Shape,
+    model: &PredictorModel,
+    start: usize,
+    end: usize,
+    recon: &mut [f64],
+    sink: &mut S,
+) -> Result<(), SzError> {
+    for lin in start..end {
+        let pred = model.predict(recon, shape, lin);
+        recon[lin] = sink.emit(lin, pred)?;
+    }
+    Ok(())
 }
 
 /// Boundary element: reference stencil on the full reconstruction prefix.
@@ -384,7 +412,7 @@ fn drive_1d<S: ElementSink>(
                 }
             }
         }
-        PredictorKind::Auto => unreachable!("Auto resolves before the walk"),
+        _ => unreachable!("only Lorenzo kinds reach the specialized loops"),
     }
     Ok(())
 }
@@ -819,11 +847,11 @@ fn l2_3d_pair<S: ElementSink>(
 /// full linear range, wavefront pairing included.
 fn drive_walk<S: ElementSink>(
     shape: Shape,
-    kind: PredictorKind,
+    model: PredictorModel,
     recon: &mut [f64],
     sink: &mut S,
 ) -> Result<(), SzError> {
-    drive_range(shape, kind, 0, shape.len(), recon, sink)
+    drive_range(shape, model, 0, shape.len(), recon, sink)
 }
 
 /// 2-D rows `start/cols .. end/cols`, interior rows in wavefront pairs.
@@ -874,7 +902,7 @@ fn walk_2d<S: ElementSink>(
                 i += 1;
             }
         }
-        PredictorKind::Auto => unreachable!("Auto resolves before the walk"),
+        _ => unreachable!("only Lorenzo kinds reach the specialized loops"),
     }
     Ok(())
 }
@@ -899,7 +927,7 @@ fn walk_3d<S: ElementSink>(
         let boundary_plane = match kind {
             PredictorKind::Lorenzo1 => i < 1,
             PredictorKind::Lorenzo2 => i < 2,
-            PredictorKind::Auto => unreachable!("Auto resolves before the walk"),
+            _ => unreachable!("only Lorenzo kinds reach the specialized loops"),
         };
         if boundary_plane {
             for lin in base..base + p {
@@ -940,22 +968,23 @@ fn walk_3d<S: ElementSink>(
                     j += 1;
                 }
             }
-            PredictorKind::Auto => unreachable!("Auto resolves before the walk"),
+            _ => unreachable!("only Lorenzo kinds reach the specialized loops"),
         }
     }
     Ok(())
 }
 
-/// Obs span name for a fused walk, by stencil and rank.
-fn walk_span(kind: PredictorKind, shape: Shape) -> &'static str {
-    match (kind, shape) {
-        (PredictorKind::Lorenzo1, Shape::D1(_)) => "sz.kernel.walk.l1.1d",
-        (PredictorKind::Lorenzo1, Shape::D2(..)) => "sz.kernel.walk.l1.2d",
-        (PredictorKind::Lorenzo1, Shape::D3(..)) => "sz.kernel.walk.l1.3d",
-        (PredictorKind::Lorenzo2, Shape::D1(_)) => "sz.kernel.walk.l2.1d",
-        (PredictorKind::Lorenzo2, Shape::D2(..)) => "sz.kernel.walk.l2.2d",
-        (PredictorKind::Lorenzo2, Shape::D3(..)) => "sz.kernel.walk.l2.3d",
-        (PredictorKind::Auto, _) => "sz.kernel.walk.auto",
+/// Obs span name for a fused walk, by predictor and rank.
+fn walk_span(model: PredictorModel, shape: Shape) -> &'static str {
+    match (model, shape) {
+        (PredictorModel::Lorenzo1, Shape::D1(_)) => "sz.kernel.walk.l1.1d",
+        (PredictorModel::Lorenzo1, Shape::D2(..)) => "sz.kernel.walk.l1.2d",
+        (PredictorModel::Lorenzo1, Shape::D3(..)) => "sz.kernel.walk.l1.3d",
+        (PredictorModel::Lorenzo2, Shape::D1(_)) => "sz.kernel.walk.l2.1d",
+        (PredictorModel::Lorenzo2, Shape::D2(..)) => "sz.kernel.walk.l2.2d",
+        (PredictorModel::Lorenzo2, Shape::D3(..)) => "sz.kernel.walk.l2.3d",
+        (PredictorModel::Regression(_), _) => "sz.kernel.walk.reg",
+        (PredictorModel::Spline, _) => "sz.kernel.walk.spline",
     }
 }
 
@@ -966,15 +995,14 @@ fn walk_span(kind: PredictorKind, shape: Shape) -> &'static str {
 /// decoder will reproduce.
 ///
 /// # Panics
-/// Debug-asserts that `pred` is concrete (`Auto` resolves earlier) and
-/// that `data` matches `shape`.
+/// Debug-asserts that `data` matches `shape`.
 #[allow(clippy::too_many_arguments)]
 pub fn walk_fused<T: Scalar>(
     data: &[T],
     shape: Shape,
     eb: f64,
     bins: usize,
-    pred: PredictorKind,
+    pred: PredictorModel,
     escape: EscapeCoding,
     recon: &mut Vec<f64>,
 ) -> WalkResult<T> {
@@ -1012,7 +1040,7 @@ pub fn walk_reference<T: Scalar>(
     shape: Shape,
     eb: f64,
     bins: usize,
-    pred: PredictorKind,
+    pred: PredictorModel,
     escape: EscapeCoding,
     recon: &mut Vec<f64>,
 ) -> WalkResult<T> {
@@ -1041,7 +1069,7 @@ pub fn walk_reference<T: Scalar>(
 /// instead of materializing the full code array first.
 pub struct FusedDecoder<T: Scalar> {
     shape: Shape,
-    kind: PredictorKind,
+    model: PredictorModel,
     eb: f64,
     radius: i64,
     alphabet: u32,
@@ -1059,12 +1087,12 @@ impl<T: Scalar> FusedDecoder<T> {
     /// # Panics
     /// Panics when `eb`/`bins` are invalid — decoders validate stored
     /// parameters before construction.
-    pub fn new(shape: Shape, eb: f64, bins: usize, kind: PredictorKind, unpred: Vec<T>) -> Self {
+    pub fn new(shape: Shape, eb: f64, bins: usize, model: PredictorModel, unpred: Vec<T>) -> Self {
         let quant = LinearQuantizer::new(eb, bins);
         let n = shape.len();
         FusedDecoder {
             shape,
-            kind,
+            model,
             eb,
             radius: quant.center() as i64,
             alphabet: quant.alphabet() as u32,
@@ -1114,7 +1142,7 @@ impl<T: Scalar> FusedDecoder<T> {
             radius: self.radius,
             alphabet: self.alphabet,
         };
-        drive_range(self.shape, self.kind, start, end, &mut self.recon, &mut sink)?;
+        drive_range(self.shape, self.model, start, end, &mut self.recon, &mut sink)?;
         self.filled = end;
         Ok(())
     }
@@ -1146,12 +1174,12 @@ pub fn reconstruct_fused<T: Scalar>(
     shape: Shape,
     eb: f64,
     bins: usize,
-    kind: PredictorKind,
+    model: PredictorModel,
 ) -> Result<Vec<T>, SzError> {
     if codes.len() != shape.len() {
         return Err(SzError::Format("code count does not match shape"));
     }
-    let mut dec = FusedDecoder::new(shape, eb, bins, kind, unpred);
+    let mut dec = FusedDecoder::new(shape, eb, bins, model, unpred);
     dec.push(codes)?;
     dec.finish()
 }
@@ -1167,7 +1195,7 @@ pub fn reconstruct_reference<T: Scalar>(
     shape: Shape,
     eb: f64,
     bins: usize,
-    kind: PredictorKind,
+    model: PredictorModel,
 ) -> Result<Vec<T>, SzError> {
     let n = shape.len();
     if codes.len() != n {
@@ -1192,7 +1220,7 @@ pub fn reconstruct_reference<T: Scalar>(
             if code >= alphabet {
                 return Err(SzError::Format("quantization code out of range"));
             }
-            let pred = predict_with(kind, &recon, shape, lin);
+            let pred = model.predict(&recon, shape, lin);
             let v = T::from_f64(pred + quant.reconstruct(code));
             out[lin] = v;
             recon[lin] = v.to_f64();
@@ -1218,31 +1246,37 @@ mod tests {
         v.iter().map(|x| x.to_bits()).collect()
     }
 
-    fn check_equivalence(shape: Shape, kind: PredictorKind, eb: f64) {
+    fn check_equivalence(shape: Shape, model: PredictorModel, eb: f64) {
         let data = ramp(shape.len());
         let mut ra = Vec::new();
         let mut rb = Vec::new();
-        let fused = walk_fused(&data, shape, eb, 512, kind, EscapeCoding::Exact, &mut ra);
-        let refw = walk_reference(&data, shape, eb, 512, kind, EscapeCoding::Exact, &mut rb);
-        assert_eq!(fused.codes, refw.codes, "{shape:?} {kind:?} codes");
+        let fused = walk_fused(&data, shape, eb, 512, model, EscapeCoding::Exact, &mut ra);
+        let refw = walk_reference(&data, shape, eb, 512, model, EscapeCoding::Exact, &mut rb);
+        assert_eq!(fused.codes, refw.codes, "{shape:?} {model:?} codes");
         assert_eq!(
             bits(&fused.unpred),
             bits(&refw.unpred),
-            "{shape:?} {kind:?} unpred"
+            "{shape:?} {model:?} unpred"
         );
-        assert_eq!(bits(&ra), bits(&rb), "{shape:?} {kind:?} recon");
+        assert_eq!(bits(&ra), bits(&rb), "{shape:?} {model:?} recon");
         let dec_f =
-            reconstruct_fused(&fused.codes, fused.unpred, shape, eb, 512, kind).unwrap();
-        let dec_r = reconstruct_reference(&refw.codes, &refw.unpred, shape, eb, 512, kind).unwrap();
-        assert_eq!(dec_f, dec_r, "{shape:?} {kind:?} decode");
+            reconstruct_fused(&fused.codes, fused.unpred, shape, eb, 512, model).unwrap();
+        let dec_r =
+            reconstruct_reference(&refw.codes, &refw.unpred, shape, eb, 512, model).unwrap();
+        assert_eq!(dec_f, dec_r, "{shape:?} {model:?} decode");
         for (a, b) in dec_f.iter().zip(&data) {
-            assert!((a - b).abs() <= eb, "{shape:?} {kind:?} bound");
+            assert!((a - b).abs() <= eb, "{shape:?} {model:?} bound");
         }
     }
 
     #[test]
     fn fused_matches_reference_across_shapes() {
-        for kind in [PredictorKind::Lorenzo1, PredictorKind::Lorenzo2] {
+        for kind in [
+            PredictorModel::Lorenzo1,
+            PredictorModel::Lorenzo2,
+            PredictorModel::Spline,
+            PredictorModel::Regression([0.5, 0.01, -0.02, 0.005]),
+        ] {
             for shape in [
                 Shape::D1(257),
                 Shape::D2(17, 23),
@@ -1328,7 +1362,7 @@ mod tests {
             shape,
             1e-4,
             1024,
-            PredictorKind::Lorenzo1,
+            PredictorModel::Lorenzo1,
             EscapeCoding::Exact,
             &mut scratch,
         );
@@ -1338,10 +1372,10 @@ mod tests {
             shape,
             1e-4,
             1024,
-            PredictorKind::Lorenzo1,
+            PredictorModel::Lorenzo1,
         )
         .unwrap();
-        let mut dec = FusedDecoder::new(shape, 1e-4, 1024, PredictorKind::Lorenzo1, w.unpred);
+        let mut dec = FusedDecoder::new(shape, 1e-4, 1024, PredictorModel::Lorenzo1, w.unpred);
         let slice = dec.slice_len();
         for chunk in w.codes.chunks(3 * slice) {
             dec.push(chunk).unwrap();
@@ -1353,7 +1387,7 @@ mod tests {
     fn misaligned_chunk_rejected() {
         let shape = Shape::D2(4, 6);
         let mut dec: FusedDecoder<f32> =
-            FusedDecoder::new(shape, 0.1, 64, PredictorKind::Lorenzo1, Vec::new());
+            FusedDecoder::new(shape, 0.1, 64, PredictorModel::Lorenzo1, Vec::new());
         assert!(dec.push(&[32u32; 5]).is_err());
     }
 
@@ -1361,11 +1395,11 @@ mod tests {
     fn escape_underrun_and_leftover_detected() {
         let shape = Shape::D1(4);
         // An ESCAPE code with no stored value.
-        let err = reconstruct_fused::<f32>(&[ESCAPE; 4], Vec::new(), shape, 0.1, 64, PredictorKind::Lorenzo1);
+        let err = reconstruct_fused::<f32>(&[ESCAPE; 4], Vec::new(), shape, 0.1, 64, PredictorModel::Lorenzo1);
         assert!(err.is_err());
         // A stored value no code consumes.
         let codes = [32u32; 4];
-        let err = reconstruct_fused(&codes, vec![1.0f32], shape, 0.1, 64, PredictorKind::Lorenzo1);
+        let err = reconstruct_fused(&codes, vec![1.0f32], shape, 0.1, 64, PredictorModel::Lorenzo1);
         assert!(err.is_err());
     }
 
@@ -1382,7 +1416,7 @@ mod tests {
             shape,
             1e-3,
             256,
-            PredictorKind::Lorenzo1,
+            PredictorModel::Lorenzo1,
             EscapeCoding::Exact,
             &mut ra,
         );
@@ -1391,7 +1425,7 @@ mod tests {
             shape,
             1e-3,
             256,
-            PredictorKind::Lorenzo1,
+            PredictorModel::Lorenzo1,
             EscapeCoding::Exact,
             &mut rb,
         );

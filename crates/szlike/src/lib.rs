@@ -59,8 +59,10 @@ pub use compressor::{
 pub use config::{EntropyCoder, ErrorBound, EscapeCoding, KernelMode, LosslessBackend, SzConfig};
 pub use error::{DecodeError, SzError};
 pub use grid::{ChunkGrid, Region};
-pub use inspect::{inspect_sections, ContainerInfo, SectionInfo};
+pub use inspect::{
+    inspect_block_predictors, inspect_sections, ContainerInfo, SectionInfo,
+};
 pub use store::{StoreOptions, StoreStats, SzStore};
-pub use predictor::PredictorKind;
+pub use predictor::{Predictor, PredictorKind, PredictorModel};
 pub use quantizer::LinearQuantizer;
 pub use ratemodel::RateModel;

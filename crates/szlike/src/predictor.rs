@@ -1,16 +1,33 @@
-//! Lorenzo prediction (SZ step 1).
+//! The composable prediction stage (SZ step 1).
 //!
-//! The Lorenzo predictor approximates each sample from its preceding
-//! neighbours in the row-major scan. With out-of-grid neighbours treated as
-//! zero, the d-dimensional stencil automatically degrades to the
-//! (d−1)-dimensional one along the boundary faces — at `(0, j)` the 2-D
-//! stencil reduces to `r[0][j−1]`, which is exactly SZ's 1-D fallback for
-//! the first row.
+//! Prediction is a pluggable stage: the pipeline walks carry a
+//! [`PredictorModel`] — a concrete predictor *instance*, coefficients
+//! included — and every model obeys the [`Predictor`] contract: the
+//! encoder's predict half and the decoder's replay half are the same
+//! function of the reconstructed prefix, so both sides compute
+//! bit-identical predictions. That symmetry is the premise of the paper's
+//! Theorem 1 (`Xpred = X̃pred`, hence `X − X̃ = Xpe − X̃pe`), and it holds
+//! per predictor, per block.
 //!
-//! Crucially the stencil reads the *reconstructed* buffer, not the original
-//! data. Compressor and decompressor therefore compute bit-identical
-//! predictions, which is the premise of the paper's Theorem 1
-//! (`Xpred = X̃pred`, hence `X − X̃ = Xpe − X̃pe`).
+//! Four model families are implemented:
+//!
+//! - **Lorenzo** ([`lorenzo_1d`]/[`lorenzo_2d`]/[`lorenzo_3d`]): each
+//!   sample predicted from its preceding row-major neighbours. With
+//!   out-of-grid neighbours treated as zero, the d-dimensional stencil
+//!   automatically degrades to the (d−1)-dimensional one along boundary
+//!   faces.
+//! - **Lorenzo²** ([`lorenzo2_1d`] and friends): the two-layer stencil,
+//!   exact on per-axis quadratics.
+//! - **Regression** ([`fit_regression`]): a per-block least-squares
+//!   hyperplane over the block-local grid coordinates (Tao'17's
+//!   multidimensional regression, restricted to first order). Predictions
+//!   depend only on the coordinates and the stored coefficients — never on
+//!   the reconstruction — so quantization noise cannot feed back.
+//! - **Spline** ([`spline_predict`]): cubic-stencil extrapolation along
+//!   the fastest-varying axis (`3·r[k−1] − 3·r[k−2] + r[k−3]`, the
+//!   three-point tail of the binomial `(1−B)³` filter — exact on per-row
+//!   quadratics), falling back to first-order Lorenzo where fewer than
+//!   three in-row predecessors exist.
 
 use ndfield::Shape;
 
@@ -100,20 +117,27 @@ pub fn predict(recon: &[f64], shape: Shape, lin: usize) -> f64 {
     }
 }
 
-/// Which prediction stencil the pipeline uses.
+/// Which prediction family the pipeline uses.
 ///
 /// SZ's early versions select the best-fit predictor per field among
-/// several curve-fitting orders; this enum reproduces that design space:
-/// first-order Lorenzo (SZ 1.4's default), second-order Lorenzo (exact for
-/// per-axis quadratics), or per-field automatic selection by sampling.
+/// several curve-fitting orders; SZ3 generalizes that into a composable
+/// per-block stage. This enum names the design space: first-order Lorenzo
+/// (SZ 1.4's default), second-order Lorenzo (exact for per-axis
+/// quadratics), a per-block least-squares regression plane (Tao'17), a
+/// cubic-spline extrapolator, or cost-driven automatic selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PredictorKind {
     /// One-layer Lorenzo stencil (SZ 1.4 default).
     Lorenzo1,
     /// Two-layer (second-order) Lorenzo stencil.
     Lorenzo2,
-    /// Sample both stencils on the original data and keep the one with the
-    /// smaller mean absolute prediction error.
+    /// Per-block least-squares hyperplane over the grid coordinates;
+    /// coefficients are fit at encode time and stored in the container.
+    Regression,
+    /// Cubic extrapolation along the fastest-varying axis.
+    Spline,
+    /// Estimate coded bits/value per candidate from sampled prediction
+    /// errors and keep the cheapest (per block on the blocked path).
     Auto,
 }
 
@@ -124,6 +148,8 @@ impl PredictorKind {
         match self {
             PredictorKind::Lorenzo1 => 1,
             PredictorKind::Lorenzo2 => 2,
+            PredictorKind::Regression => 3,
+            PredictorKind::Spline => 4,
             PredictorKind::Auto => 0,
         }
     }
@@ -133,9 +159,305 @@ impl PredictorKind {
         match tag {
             1 => Some(PredictorKind::Lorenzo1),
             2 => Some(PredictorKind::Lorenzo2),
+            3 => Some(PredictorKind::Regression),
+            4 => Some(PredictorKind::Spline),
             _ => None,
         }
     }
+
+    /// Human-readable name (CLI/inspect output).
+    pub fn name(self) -> &'static str {
+        match self {
+            PredictorKind::Lorenzo1 => "lorenzo",
+            PredictorKind::Lorenzo2 => "lorenzo2",
+            PredictorKind::Regression => "regression",
+            PredictorKind::Spline => "spline",
+            PredictorKind::Auto => "auto",
+        }
+    }
+
+    /// Parse a CLI spelling (`lorenzo` means first-order Lorenzo).
+    pub fn parse(s: &str) -> Option<PredictorKind> {
+        match s {
+            "lorenzo" | "lorenzo1" | "l1" => Some(PredictorKind::Lorenzo1),
+            "lorenzo2" | "l2" => Some(PredictorKind::Lorenzo2),
+            "regression" | "reg" => Some(PredictorKind::Regression),
+            "spline" => Some(PredictorKind::Spline),
+            "auto" => Some(PredictorKind::Auto),
+            _ => None,
+        }
+    }
+}
+
+/// Serialized size of a regression coefficient payload: four `f32`
+/// little-endian words. Coefficients are fit in `f64` and *quantized to
+/// `f32`* before storage; the model predicts with the quantized values, so
+/// encoder and decoder replay the identical plane.
+pub const REGRESSION_COEFF_BYTES: usize = 16;
+
+/// The contract every prediction stage obeys.
+///
+/// A predictor has two halves that must be the *same function*:
+///
+/// - the **predict half**, run by the encoder during the quantization walk,
+///   maps the reconstructed prefix `recon[..lin]` (plus any fitted
+///   coefficients the model carries) to a prediction for sample `lin`;
+/// - the **replay half**, run by the decoder while reconstructing, must
+///   return the bit-identical prediction from the bit-identical prefix.
+///
+/// Because both halves read only reconstructed values (never the original
+/// data) and any fitted coefficients travel in the container verbatim, the
+/// decoder replays the exact walk the encoder ran — which is what keeps
+/// the paper's Theorem 1 intact for every predictor, per block.
+///
+/// ```
+/// use szlike::predictor::{Predictor, PredictorModel};
+/// use ndfield::Shape;
+///
+/// let model = PredictorModel::Regression([1.0, 0.5, -0.25, 0.0]);
+/// let shape = Shape::D2(4, 4);
+/// // The encoder's predict half and the decoder's replay half agree
+/// // bit for bit on every sample — regardless of the prefix contents.
+/// let recon = vec![0.0; 16];
+/// for lin in 0..16 {
+///     let p = model.predict(&recon, shape, lin);
+///     let r = model.replay(&recon, shape, lin);
+///     assert_eq!(p.to_bits(), r.to_bits());
+/// }
+/// // Coefficient-carrying models round-trip through their payload.
+/// let bytes = model.coeff_bytes();
+/// let back = PredictorModel::from_tag_and_coeffs(model.tag(), &bytes).unwrap();
+/// assert_eq!(back, model);
+/// ```
+pub trait Predictor {
+    /// Predict sample `lin` from the reconstructed prefix `recon[..lin]`.
+    fn predict(&self, recon: &[f64], shape: Shape, lin: usize) -> f64;
+
+    /// The decoder-side replay half. Must equal [`Predictor::predict`]
+    /// bit for bit; the default implementation guarantees it.
+    #[inline]
+    fn replay(&self, recon: &[f64], shape: Shape, lin: usize) -> f64 {
+        self.predict(recon, shape, lin)
+    }
+
+    /// Stable container tag for this predictor family.
+    fn tag(&self) -> u8;
+
+    /// Serialized coefficient payload (empty for coefficient-free
+    /// predictors). Stored verbatim so the decoder replays the exact fit.
+    fn coeff_bytes(&self) -> Vec<u8>;
+}
+
+/// A concrete predictor instance: the family plus any fitted coefficients.
+///
+/// This is what the walks actually dispatch on — `Copy`, self-contained,
+/// and serializable to (tag, coefficient payload) for the container.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PredictorModel {
+    /// One-layer Lorenzo stencil.
+    Lorenzo1,
+    /// Two-layer Lorenzo stencil.
+    Lorenzo2,
+    /// Least-squares hyperplane `β₀ + β₁·i + β₂·j + β₃·k` over the
+    /// block-local grid coordinates (unused trailing coordinates have zero
+    /// coefficients). Every `βᵢ` is `f32`-exact — see
+    /// [`REGRESSION_COEFF_BYTES`].
+    Regression([f64; 4]),
+    /// Cubic extrapolation along the fastest-varying axis.
+    Spline,
+}
+
+impl PredictorModel {
+    /// The family this model belongs to.
+    pub fn kind(&self) -> PredictorKind {
+        match self {
+            PredictorModel::Lorenzo1 => PredictorKind::Lorenzo1,
+            PredictorModel::Lorenzo2 => PredictorKind::Lorenzo2,
+            PredictorModel::Regression(_) => PredictorKind::Regression,
+            PredictorModel::Spline => PredictorKind::Spline,
+        }
+    }
+
+    /// Reconstruct a model from its container tag and coefficient payload.
+    /// Returns `None` on an unknown tag or a short payload.
+    pub fn from_tag_and_coeffs(tag: u8, coeffs: &[u8]) -> Option<PredictorModel> {
+        match PredictorKind::from_tag(tag)? {
+            PredictorKind::Lorenzo1 => Some(PredictorModel::Lorenzo1),
+            PredictorKind::Lorenzo2 => Some(PredictorModel::Lorenzo2),
+            PredictorKind::Spline => Some(PredictorModel::Spline),
+            PredictorKind::Regression => {
+                if coeffs.len() < REGRESSION_COEFF_BYTES {
+                    return None;
+                }
+                let mut c = [0.0f64; 4];
+                for (a, slot) in c.iter_mut().enumerate() {
+                    let mut w = [0u8; 4];
+                    w.copy_from_slice(&coeffs[a * 4..a * 4 + 4]);
+                    let v = f32::from_le_bytes(w);
+                    if !v.is_finite() {
+                        return None;
+                    }
+                    *slot = v as f64;
+                }
+                Some(PredictorModel::Regression(c))
+            }
+            PredictorKind::Auto => None,
+        }
+    }
+}
+
+impl Predictor for PredictorModel {
+    #[inline(always)]
+    fn predict(&self, recon: &[f64], shape: Shape, lin: usize) -> f64 {
+        match self {
+            PredictorModel::Lorenzo1 => predict(recon, shape, lin),
+            PredictorModel::Lorenzo2 => match shape {
+                Shape::D1(_) => lorenzo2_1d(recon, lin),
+                Shape::D2(_, cols) => lorenzo2_2d(recon, cols, lin / cols, lin % cols),
+                Shape::D3(_, d1, d2) => {
+                    let k = lin % d2;
+                    let rest = lin / d2;
+                    lorenzo2_3d(recon, d1, d2, rest / d1, rest % d1, k)
+                }
+            },
+            PredictorModel::Regression(c) => regression_predict(c, shape, lin),
+            PredictorModel::Spline => spline_predict(recon, shape, lin),
+        }
+    }
+
+    fn tag(&self) -> u8 {
+        self.kind().tag()
+    }
+
+    fn coeff_bytes(&self) -> Vec<u8> {
+        match self {
+            PredictorModel::Regression(c) => {
+                let mut out = Vec::with_capacity(REGRESSION_COEFF_BYTES);
+                for &v in c {
+                    out.extend_from_slice(&(v as f32).to_le_bytes());
+                }
+                out
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// Evaluate a regression plane at linear offset `lin`. The prediction is a
+/// pure function of the coordinates and the stored coefficients — the
+/// reconstruction buffer is never read, so the replay is trivially exact.
+#[inline(always)]
+pub fn regression_predict(c: &[f64; 4], shape: Shape, lin: usize) -> f64 {
+    match shape {
+        Shape::D1(_) => c[0] + c[1] * lin as f64,
+        Shape::D2(_, cols) => c[0] + c[1] * (lin / cols) as f64 + c[2] * (lin % cols) as f64,
+        Shape::D3(_, d1, d2) => {
+            let k = lin % d2;
+            let rest = lin / d2;
+            c[0] + c[1] * (rest / d1) as f64 + c[2] * (rest % d1) as f64 + c[3] * k as f64
+        }
+    }
+}
+
+/// Cubic-stencil extrapolation along the fastest-varying axis:
+/// `3·r[k−1] − 3·r[k−2] + r[k−3]` (setting the third backward difference
+/// to zero, which reproduces per-row polynomials up to degree 2 exactly),
+/// degrading to the first-order Lorenzo stencil where fewer than three
+/// same-row predecessors exist.
+#[inline(always)]
+pub fn spline_predict(recon: &[f64], shape: Shape, lin: usize) -> f64 {
+    let k = match shape {
+        Shape::D1(_) => lin,
+        Shape::D2(_, cols) => lin % cols,
+        Shape::D3(_, _, d2) => lin % d2,
+    };
+    if k >= 3 {
+        3.0 * recon[lin - 1] - 3.0 * recon[lin - 2] + recon[lin - 3]
+    } else {
+        predict(recon, shape, lin)
+    }
+}
+
+/// Fit the least-squares hyperplane `β₀ + β₁·i + β₂·j + β₃·k` over a block
+/// (or whole field) of original samples, then quantize each coefficient
+/// through `f32` so the stored [`REGRESSION_COEFF_BYTES`] payload
+/// reproduces the model exactly.
+///
+/// On a complete grid the coordinate covariance matrix is diagonal
+/// (axes are independent and uniform), so the normal equations decouple:
+/// `βₐ = Σ x·(cₐ − c̄ₐ) / Σ (cₐ − c̄ₐ)²` per axis and
+/// `β₀ = x̄ − Σ βₐ·c̄ₐ`. Non-finite samples are skipped (the fit is a
+/// prediction model, not a correctness dependency); a fit with no finite
+/// samples, or any non-finite coefficient, degrades to the zero plane.
+pub fn fit_regression<T: ndfield::Scalar>(data: &[T], shape: Shape) -> [f64; 4] {
+    let dims = shape.dims();
+    let rank = dims.len();
+    // Axis means over the full grid: (d−1)/2.
+    let mut cbar = [0.0f64; 3];
+    for (a, &d) in dims.iter().enumerate() {
+        cbar[a] = (d as f64 - 1.0) / 2.0;
+    }
+    // Accumulate against grid-centered coordinates u = c − c̄_grid (small
+    // magnitudes), then correct for the mean of the *included* points: when
+    // non-finite samples are skipped the included-coordinate mean shifts
+    // away from the grid mean, and using the raw sums would bias the slope.
+    // On a complete grid Σu is exactly 0 and the correction terms vanish
+    // bit for bit.
+    let mut n = 0.0f64;
+    let mut sx = 0.0f64;
+    let mut su = [0.0f64; 3]; // Σ uₐ over *finite* samples
+    let mut sxu = [0.0f64; 3]; // Σ x·uₐ
+    let mut suu = [0.0f64; 3]; // Σ uₐ²
+    for (lin, v) in data.iter().enumerate() {
+        let x = v.to_f64();
+        if !x.is_finite() {
+            continue;
+        }
+        let coords: [usize; 3] = match shape {
+            Shape::D1(_) => [lin, 0, 0],
+            Shape::D2(_, cols) => [lin / cols, lin % cols, 0],
+            Shape::D3(_, d1, d2) => {
+                let k = lin % d2;
+                let rest = lin / d2;
+                [rest / d1, rest % d1, k]
+            }
+        };
+        n += 1.0;
+        sx += x;
+        for a in 0..rank {
+            let u = coords[a] as f64 - cbar[a];
+            su[a] += u;
+            sxu[a] += x * u;
+            suu[a] += u * u;
+        }
+    }
+    if n == 0.0 {
+        return [0.0; 4];
+    }
+    let xbar = sx / n;
+    let mut beta = [0.0f64; 4];
+    let mut ubar = [0.0f64; 3];
+    for a in 0..rank {
+        ubar[a] = su[a] / n;
+        let var = suu[a] - n * ubar[a] * ubar[a];
+        if var > 0.0 {
+            beta[a + 1] = (sxu[a] - sx * ubar[a]) / var;
+        }
+    }
+    // Quantize the slopes through f32 (the stored precision) and re-derive
+    // the intercept against the quantized slopes so the plane stays
+    // centred on the included points.
+    for b in beta.iter_mut().skip(1) {
+        *b = *b as f32 as f64;
+    }
+    beta[0] = (xbar
+        - (0..rank)
+            .map(|a| beta[a + 1] * (ubar[a] + cbar[a]))
+            .sum::<f64>()) as f32 as f64;
+    if beta.iter().any(|b| !b.is_finite()) {
+        return [0.0; 4];
+    }
+    beta
 }
 
 /// Binomial coefficient `C(2, i)` for the two-layer stencil weights.
@@ -231,6 +553,10 @@ pub fn predict_with(kind: PredictorKind, recon: &[f64], shape: Shape, lin: usize
                 lorenzo2_3d(recon, d1, d2, rest / d1, rest % d1, k)
             }
         },
+        PredictorKind::Spline => spline_predict(recon, shape, lin),
+        PredictorKind::Regression => {
+            unreachable!("Regression predicts through its fitted PredictorModel")
+        }
         PredictorKind::Auto => unreachable!("Auto resolves before prediction"),
     }
 }
@@ -468,8 +794,100 @@ mod tests {
             PredictorKind::from_tag(PredictorKind::Lorenzo2.tag()),
             Some(PredictorKind::Lorenzo2)
         );
+        assert_eq!(
+            PredictorKind::from_tag(PredictorKind::Regression.tag()),
+            Some(PredictorKind::Regression)
+        );
+        assert_eq!(
+            PredictorKind::from_tag(PredictorKind::Spline.tag()),
+            Some(PredictorKind::Spline)
+        );
         assert_eq!(PredictorKind::from_tag(0), None);
         assert_eq!(PredictorKind::from_tag(99), None);
+    }
+
+    #[test]
+    fn regression_fit_is_exact_on_planes_and_f32_stable() {
+        // An exact plane (f32-representable coefficients) fits exactly:
+        // residuals vanish and the stored payload reproduces the model.
+        let cols = 9usize;
+        let plane = |i: usize, j: usize| 2.5 + 0.5 * i as f64 - 0.25 * j as f64;
+        let data: Vec<f64> = (0..7 * cols)
+            .map(|lin| plane(lin / cols, lin % cols))
+            .collect();
+        let shape = Shape::D2(7, cols);
+        let c = fit_regression(&data, shape);
+        let model = PredictorModel::Regression(c);
+        for (lin, &x) in data.iter().enumerate() {
+            let p = model.predict(&[], shape, lin); // prefix unused
+            assert!((p - x).abs() < 1e-9, "lin {lin}: {p} vs {x}");
+        }
+        let back =
+            PredictorModel::from_tag_and_coeffs(model.tag(), &model.coeff_bytes()).unwrap();
+        assert_eq!(back, model);
+    }
+
+    #[test]
+    fn regression_fit_skips_non_finite_and_survives_empty() {
+        let shape = Shape::D1(8);
+        let mut data = vec![1.0f64; 8];
+        data[3] = f64::NAN;
+        let c = fit_regression(&data, shape);
+        assert!(c.iter().all(|b| b.is_finite()));
+        assert!((c[0] - 1.0).abs() < 1e-6);
+        let all_nan = vec![f64::NAN; 8];
+        assert_eq!(fit_regression(&all_nan, shape), [0.0; 4]);
+    }
+
+    #[test]
+    fn spline_exact_on_row_quadratics_with_lorenzo_fallback() {
+        // Zeroing the third backward difference reproduces degree ≤ 2
+        // polynomials exactly (a cubic term would leave a constant 6·a₃
+        // residual per step).
+        let cols = 12usize;
+        let f = |j: usize| 1.0 - 0.5 * j as f64 + 0.125 * (j * j) as f64;
+        let mut recon = vec![0.0; 3 * cols];
+        for i in 0..3 {
+            for j in 0..cols {
+                recon[i * cols + j] = f(j) + i as f64;
+            }
+        }
+        let shape = Shape::D2(3, cols);
+        for i in 0..3 {
+            for j in 3..cols {
+                let lin = i * cols + j;
+                let p = spline_predict(&recon, shape, lin);
+                assert!((p - recon[lin]).abs() < 1e-9, "({i},{j}): {p}");
+            }
+            for j in 0..3 {
+                let lin = i * cols + j;
+                assert_eq!(
+                    spline_predict(&recon, shape, lin).to_bits(),
+                    predict(&recon, shape, lin).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn predictor_model_replay_equals_predict_bitwise() {
+        let recon: Vec<f64> = (0..60).map(|v| ((v as f64) * 0.613).sin() * 40.0).collect();
+        let models = [
+            PredictorModel::Lorenzo1,
+            PredictorModel::Lorenzo2,
+            PredictorModel::Regression([0.5, -0.1, 0.2, 0.0]),
+            PredictorModel::Spline,
+        ];
+        for shape in [Shape::D1(60), Shape::D2(6, 10), Shape::D3(3, 4, 5)] {
+            for m in models {
+                for lin in 0..shape.len() {
+                    assert_eq!(
+                        m.predict(&recon, shape, lin).to_bits(),
+                        m.replay(&recon, shape, lin).to_bits()
+                    );
+                }
+            }
+        }
     }
 
     #[test]

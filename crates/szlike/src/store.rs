@@ -334,7 +334,7 @@ impl<T: Scalar> SzStore<T> {
         &self.params.grid
     }
 
-    /// The blocked-container version byte (2, 3, or 4).
+    /// The blocked-container version byte (2 through 5).
     pub fn version(&self) -> u8 {
         self.version
     }

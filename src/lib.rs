@@ -71,5 +71,5 @@ pub mod prelude {
     pub use fpsnr_core::{ebabs_for_psnr, ebrel_for_psnr, psnr_for_ebrel};
     pub use fpsnr_metrics::{Distortion, PointwiseError, RateStats};
     pub use ndfield::{Field, Scalar, Shape};
-    pub use szlike::{ErrorBound, SzConfig};
+    pub use szlike::{ErrorBound, PredictorKind, SzConfig};
 }

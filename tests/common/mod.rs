@@ -24,7 +24,7 @@
 pub mod corpora;
 
 use ndfield::{Field, Shape};
-use szlike::{ErrorBound, SzConfig};
+use szlike::{ErrorBound, PredictorKind, SzConfig};
 
 /// SplitMix64-style hash → dyadic rational in `[0, 1)` (exact in f64, so
 /// every fixture sample is bit-deterministic on any platform).
@@ -226,6 +226,82 @@ pub fn grid_golden_set() -> Vec<Golden> {
             1e-3,
         ),
     ]
+}
+
+/// Golden fixtures for the mixed-predictor (v5) blocked layout and the
+/// monolithic predictor-tagged layout, kept separate from [`golden_set`]
+/// like [`grid_golden_set`]: the frozen `v1/` and `v2/` directories
+/// predate the predictor framework. The `current/` bytes regenerate
+/// together with the main set via `FPSNR_REGEN_FIXTURES`.
+pub fn mixed_golden_set() -> Vec<Golden> {
+    vec![
+        // Cost-driven auto selection over a slab-partitioned 2-D field:
+        // the per-block bake-off may pick different predictors per block.
+        Golden::f32(
+            "mixed_auto_f32_2d",
+            field_f32(Shape::D2(64, 48)),
+            SzConfig::new(ErrorBound::Abs(1e-3))
+                .with_threads(2)
+                .with_block_rows(16)
+                .with_predictor(PredictorKind::Auto),
+            1e-3,
+        ),
+        // Forced regression over a 3-D chunk grid: every block carries a
+        // quantized coefficient payload (tag 3 + 16 bytes).
+        Golden::f64(
+            "mixed_regression_f64_3d",
+            field_f64(Shape::D3(24, 20, 16)),
+            SzConfig::new(ErrorBound::Abs(1e-6))
+                .with_chunk_dims([8, 8, 8])
+                .with_predictor(PredictorKind::Regression),
+            1e-6,
+        ),
+        // Forced spline on a 1-D series (stencil + Lorenzo fallback rows).
+        Golden::f32(
+            "mixed_spline_f32_1d",
+            field_f32(Shape::D1(2000)),
+            SzConfig::new(ErrorBound::Abs(1e-3))
+                .with_threads(2)
+                .with_block_rows(300)
+                .with_predictor(PredictorKind::Spline),
+            1e-3,
+        ),
+        // Monolithic auto: the predictor tag + optional coefficients live
+        // in the Quantized (non-blocked) layout.
+        Golden::f32(
+            "mixed_auto_f32_mono_2d",
+            field_f32(Shape::D2(40, 50)),
+            SzConfig::new(ErrorBound::Abs(1e-3)).with_predictor(PredictorKind::Auto),
+            1e-3,
+        ),
+        // Two-texture field whose halves favour different predictors, so
+        // the frozen container carries genuinely mixed per-block tags.
+        Golden::f32(
+            "mixed_grain_f32_2d",
+            grain_field(),
+            SzConfig::new(ErrorBound::Abs(1e-3))
+                .with_threads(2)
+                .with_block_rows(16)
+                .with_predictor(PredictorKind::Auto),
+            1e-3,
+        ),
+    ]
+}
+
+/// Deterministic two-texture field (dyadic arithmetic only): the top half
+/// is a plane plus hashed noise (per-block linear regression's natural
+/// territory — the noise defeats neighbour-based predictors), the bottom
+/// half scales a per-row quadratic by a row-dependent factor (the spline
+/// stencil is exact on per-row quadratics while the multiplicative rows
+/// defeat Lorenzo²'s separable exactness).
+pub fn grain_field() -> Field<f32> {
+    Field::from_fn_2d(64, 48, |i, j| {
+        if i < 32 {
+            (i as f64 * 0.125 + j as f64 * 0.1875 + hash01(i * 48 + j) * 0.5) as f32
+        } else {
+            ((1.0 + 0.5 * hash01(i)) * (j * j) as f64 * (1.0 / 128.0)) as f32
+        }
+    })
 }
 
 /// Directory of the frozen v1 fixtures.

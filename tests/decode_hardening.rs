@@ -12,7 +12,7 @@
 
 mod common;
 
-use common::{golden_set, Golden, GoldenField};
+use common::{golden_set, grain_field, mixed_golden_set, Golden, GoldenField};
 use losslesskit::crc32::crc32;
 use ndfield::Shape;
 use proptest::prelude::*;
@@ -323,6 +323,204 @@ fn one_corrupt_block_recovers_all_others() {
 
     // The strict path must refuse the damaged container outright.
     assert!(decompress::<f64>(&flip_bit(&bytes, idx, 3)).is_err());
+}
+
+// ---------------------------------------------------------------------------
+// v5 mixed-predictor containers: the predictor prefix is untrusted too.
+// ---------------------------------------------------------------------------
+
+/// Patch the outer container CRC trailer so tampered bytes get past the
+/// whole-container integrity check and into the per-block machinery.
+fn fix_outer_crc(bytes: &mut [u8]) {
+    let body = bytes.len() - 4;
+    let crc = crc32(&bytes[..body]).to_le_bytes();
+    bytes[body..].copy_from_slice(&crc);
+}
+
+/// The grain field compressed as a v5 container with stored (no-lossless)
+/// payloads, so per-block predictor prefixes sit at known offsets.
+fn grain_v5_stored() -> Vec<u8> {
+    let cfg = szlike::SzConfig::new(szlike::ErrorBound::Abs(1e-3))
+        .with_block_rows(16)
+        .with_lossless(szlike::LosslessBackend::None)
+        .with_predictor(szlike::PredictorKind::Auto);
+    szlike::compress(&grain_field(), &cfg).expect("grain compresses")
+}
+
+/// Byte offset where the payload region starts (table payload first, then
+/// block payloads in directory order), plus each section's offset/length,
+/// derived from the structural inspector rather than private parsers.
+fn section_offsets(bytes: &[u8]) -> Vec<(String, usize, usize)> {
+    let info = szlike::inspect_sections(bytes).expect("sections parse");
+    let total: usize = info.sections.iter().map(|s| s.comp_len).sum();
+    let mut off = bytes.len() - 4 - total;
+    let mut out = Vec::new();
+    for s in &info.sections {
+        out.push((s.name.clone(), off, s.comp_len));
+        off += s.comp_len;
+    }
+    out
+}
+
+/// Bit-flipping the regression-coefficient bytes of one v5 block payload
+/// must NaN-fill exactly that block and recover every other block
+/// bit-exactly — the coefficient prefix lives inside the per-block CRC,
+/// so hostile coefficients read as block damage, never as a panic or as
+/// silently wrong samples elsewhere.
+#[test]
+fn v5_flipped_regression_coefficients_nan_fill_one_block() {
+    let bytes = grain_v5_stored();
+    let (pristine, rep0) = decompress_partial::<f32>(&bytes).unwrap();
+    assert!(rep0.is_clean());
+    let names = szlike::inspect_block_predictors(&bytes)
+        .unwrap()
+        .expect("v5 container");
+    let reg_block = names
+        .iter()
+        .position(|n| n == "regression")
+        .expect("grain fixture has a regression block");
+    let sections = section_offsets(&bytes);
+    let (_, off, len) = sections
+        .iter()
+        .filter(|(name, _, _)| name.starts_with("block"))
+        .nth(reg_block)
+        .expect("regression block section");
+    assert!(*len > 17, "stored payload holds tag + 16 coefficient bytes");
+    // Flip a bit inside the coefficient bytes (offsets 1..17 of the body).
+    for coeff_byte in [1usize, 8, 16] {
+        let mut dam = bytes.clone();
+        dam[off + coeff_byte] ^= 0x40;
+        fix_outer_crc(&mut dam);
+        assert!(decompress::<f32>(&dam).is_err(), "strict decode accepted");
+        let (field, rep) = decompress_partial::<f32>(&dam).expect("partial decode");
+        assert_eq!(rep.damaged.len(), 1, "expected exactly one damaged block");
+        let d = &rep.damaged[0];
+        assert_eq!(d.index, reg_block);
+        for (i, (&a, &b)) in pristine.as_slice().iter().zip(field.as_slice()).enumerate() {
+            if d.sample_range.contains(&i) {
+                assert!(b.is_nan(), "damaged sample {i} not NaN-filled");
+            } else {
+                assert_eq!(a.to_bits(), b.to_bits(), "intact sample {i} diverged");
+            }
+        }
+    }
+}
+
+/// A hostile per-block predictor tag that is *CRC-consistent* (the
+/// attacker recomputed the per-block CRC, the meta CRC, and the outer
+/// trailer) must still read as block damage: the tag parser rejects
+/// unknown tags and the decoder NaN-fills that block without panicking.
+#[test]
+fn v5_hostile_predictor_tags_read_as_block_damage() {
+    let bytes = grain_v5_stored();
+    let (pristine, _) = decompress_partial::<f32>(&bytes).unwrap();
+    let sections = section_offsets(&bytes);
+    let blocks: Vec<&(String, usize, usize)> = sections
+        .iter()
+        .filter(|(name, _, _)| name.starts_with("block"))
+        .collect();
+    let total: usize = sections.iter().map(|(_, _, l)| l).sum();
+    let payload_start = bytes.len() - 4 - total;
+    let meta_crc_at = payload_start - 4;
+    // Tags outside every PredictorModel: 0 (Auto is never stored), 7, 0xEE.
+    for hostile in [0u8, 7, 0xEE] {
+        let (_, off, len) = blocks[blocks.len() - 1];
+        let mut dam = bytes.clone();
+        let old_crc = crc32(&bytes[*off..off + len]).to_le_bytes();
+        dam[*off] = hostile;
+        let new_crc = crc32(&dam[*off..off + len]).to_le_bytes();
+        // Rewrite the block's directory descriptor CRC (it is the only
+        // occurrence of the old payload CRC in the meta region).
+        let meta = &dam[..meta_crc_at];
+        let hits: Vec<usize> = (0..meta.len().saturating_sub(3))
+            .filter(|&i| dam[i..i + 4] == old_crc)
+            .collect();
+        assert_eq!(hits.len(), 1, "payload CRC not unique in directory");
+        dam[hits[0]..hits[0] + 4].copy_from_slice(&new_crc);
+        let meta_crc = crc32(&dam[..meta_crc_at]).to_le_bytes();
+        dam[meta_crc_at..payload_start].copy_from_slice(&meta_crc);
+        fix_outer_crc(&mut dam);
+        // Fully CRC-consistent container with a hostile tag: the strict
+        // path must refuse it, the forgiving path must NaN-fill the block.
+        assert!(
+            decompress::<f32>(&dam).is_err(),
+            "strict decode accepted hostile tag {hostile}"
+        );
+        let (field, rep) = decompress_partial::<f32>(&dam).expect("partial decode");
+        assert_eq!(rep.damaged.len(), 1, "tag {hostile}: expected one damaged block");
+        let d = &rep.damaged[0];
+        assert_eq!(d.index, blocks.len() - 1);
+        for (i, (&a, &b)) in pristine.as_slice().iter().zip(field.as_slice()).enumerate() {
+            if d.sample_range.contains(&i) {
+                assert!(b.is_nan(), "tag {hostile}: damaged sample {i} not NaN-filled");
+            } else {
+                assert_eq!(a.to_bits(), b.to_bits(), "tag {hostile}: sample {i} diverged");
+            }
+        }
+        // The predictor-map inspector must also survive the hostile tag,
+        // labelling it rather than erroring (the payload CRC matches).
+        let names = szlike::inspect_block_predictors(&dam)
+            .expect("inspector must not error on hostile tags")
+            .expect("still a v5 container");
+        assert_eq!(
+            names.last().map(String::as_str),
+            Some(format!("unknown({hostile})").as_str())
+        );
+    }
+}
+
+/// Truncations of the mixed-predictor (v5) fixtures fail cleanly at every
+/// prefix, exactly like the legacy fixtures: the per-block predictor
+/// prefix adds parse states but no panics.
+#[test]
+fn v5_truncations_at_every_prefix_fail_cleanly() {
+    for g in mixed_golden_set() {
+        let bytes = g.compress();
+        for cut in 0..bytes.len() {
+            let prefix = &bytes[..cut];
+            assert!(
+                !strict_decode_ok(&g, prefix),
+                "{}: strict decode accepted a {cut}-byte prefix",
+                g.name
+            );
+            if let Ok(rep) = partial_report(&g, prefix) {
+                assert!(
+                    !rep.is_clean(),
+                    "{}: partial decode reported a {cut}-byte prefix as clean",
+                    g.name
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Single-bit flips of v5 mixed-predictor containers are always
+    /// detected, like the legacy golden set.
+    #[test]
+    fn v5_single_bit_flips_are_always_detected(
+        fixture in 0usize..5,
+        pos01 in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let set = mixed_golden_set();
+        let g = &set[fixture % set.len()];
+        let bytes = g.compress();
+        let idx = ((pos01 * bytes.len() as f64) as usize).min(bytes.len() - 1);
+        let flipped = flip_bit(&bytes, idx, bit);
+        prop_assert!(
+            !strict_decode_ok(g, &flipped),
+            "{}: strict decode accepted a bit flip at byte {idx} bit {bit}",
+            g.name
+        );
+        if let Ok(rep) = partial_report(g, &flipped) {
+            prop_assert!(
+                !rep.is_clean(),
+                "{}: partial decode reported bit flip at byte {idx} as clean",
+                g.name
+            );
+        }
+    }
 }
 
 /// A flip confined to the outer CRC trailer loses no data: every block

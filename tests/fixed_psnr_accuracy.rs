@@ -180,6 +180,92 @@ fn sweep_grf_and_timeseries_corpora() {
 }
 
 #[test]
+fn sweep_auto_predictor_holds_the_same_bands() {
+    // Theorem 1 is predictor-agnostic, so routing the same sweep through
+    // the per-block predictor bake-off (v5 containers) must hold exactly
+    // the accuracy bands the Lorenzo-only paths hold.
+    let auto = FixedPsnrOptions {
+        threads: 0,
+        predictor: PredictorKind::Auto,
+        ..FixedPsnrOptions::default()
+    };
+    assert_sweep("GRF/auto", &corpora::grf(), &auto);
+    assert_sweep("TS/auto", &corpora::timeseries(), &auto);
+    assert_sweep("ATM/auto", &corpora::registry(fixed_psnr::data::DatasetId::Atm), &auto);
+}
+
+#[test]
+fn auto_predictor_never_costs_ratio_at_fixed_psnr() {
+    // At a fixed PSNR target the derived bound is identical for every
+    // predictor, so the cost bake-off can only move the bitrate. Corpus-
+    // wide it must never lose more than the per-block tag bytes to
+    // Lorenzo, and must clearly win where the regression / spline
+    // candidates earn their keep (noisy registry fields at fine bounds,
+    // where Lorenzo's noise feedback doubles the residual entropy).
+    // Floors sit below the measured uplift — ATM −14.7%, TS −9.9% at
+    // 80 dB, see EXPERIMENTS.md — so only a selection regression trips
+    // them.
+    let lorenzo = FixedPsnrOptions {
+        threads: 0,
+        ..FixedPsnrOptions::default()
+    };
+    let auto = FixedPsnrOptions {
+        predictor: PredictorKind::Auto,
+        ..lorenzo
+    };
+    fn total<T: Scalar>(
+        fields: &[(String, Field<T>)],
+        opts: &FixedPsnrOptions,
+        target: f64,
+    ) -> f64 {
+        fields
+            .iter()
+            .map(|(name, f)| {
+                compress_fixed_psnr(f, target, opts)
+                    .unwrap_or_else(|e| panic!("{name} @ {target} dB: {e}"))
+                    .bytes
+                    .len()
+            })
+            .sum::<usize>() as f64
+    }
+    // Guardrail: auto may never regress any corpus by more than 0.5%
+    // (the measured worst case is +0.14% — pure v5 per-block tag bytes).
+    let grf = corpora::grf();
+    let ts = corpora::timeseries();
+    for target in [40.0, 60.0, 80.0, 100.0] {
+        for (label, base, bake) in [
+            (
+                "GRF",
+                total(&grf, &lorenzo, target),
+                total(&grf, &auto, target),
+            ),
+            (
+                "TS",
+                total(&ts, &lorenzo, target),
+                total(&ts, &auto, target),
+            ),
+        ] {
+            assert!(
+                bake <= base * 1.005,
+                "{label} @ {target} dB: auto {bake} bytes vs lorenzo {base} bytes"
+            );
+        }
+    }
+    // Uplift claims at 80 dB.
+    let atm = corpora::registry(fixed_psnr::data::DatasetId::Atm);
+    let (base, bake) = (total(&atm, &lorenzo, 80.0), total(&atm, &auto, 80.0));
+    assert!(
+        bake <= base * 0.90,
+        "ATM @ 80 dB: auto {bake} bytes vs lorenzo {base} bytes — uplift below 10%"
+    );
+    let (base, bake) = (total(&ts, &lorenzo, 80.0), total(&ts, &auto, 80.0));
+    assert!(
+        bake <= base * 0.95,
+        "TS @ 80 dB: auto {bake} bytes vs lorenzo {base} bytes — uplift below 5%"
+    );
+}
+
+#[test]
 fn search_baseline_agrees_with_fixed_psnr_but_costs_more() {
     use fixed_psnr::core::search::search_to_target_psnr;
     let field = &dataset(DatasetId::Hurricane, 26)[8].1; // P

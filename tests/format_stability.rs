@@ -4,7 +4,10 @@
 
 mod common;
 
-use common::{current_dir, golden_set, grid_golden_set, v1_dir, v2_dir, Golden, GoldenField};
+use common::{
+    current_dir, golden_set, grid_golden_set, mixed_golden_set, v1_dir, v2_dir, Golden,
+    GoldenField,
+};
 use fixed_psnr::prelude::*;
 use fixed_psnr::sz::{self, format, LosslessBackend};
 
@@ -175,7 +178,11 @@ fn regenerate_golden_fixtures() {
     };
     let dir = std::path::PathBuf::from(dir);
     std::fs::create_dir_all(&dir).unwrap();
-    for g in golden_set().iter().chain(grid_golden_set().iter()) {
+    for g in golden_set()
+        .iter()
+        .chain(grid_golden_set().iter())
+        .chain(mixed_golden_set().iter())
+    {
         let path = dir.join(format!("{}.szr", g.name));
         std::fs::write(&path, g.compress()).unwrap();
         eprintln!("wrote {}", path.display());
@@ -242,6 +249,104 @@ fn grid_and_slab_layouts_decode_identically_per_block_math() {
             g.name
         );
     }
+}
+
+/// The mixed-predictor (v5) fixtures must be byte-stable: the per-block
+/// predictor tag + coefficient prefix, the `0xFF` per-block sentinel, and
+/// the cost bake-off's deterministic argmin order are all part of the
+/// documented format and must never drift.
+#[test]
+fn mixed_predictor_fixtures_are_byte_stable() {
+    for g in mixed_golden_set() {
+        let path = current_dir().join(format!("{}.szr", g.name));
+        let frozen = std::fs::read(&path)
+            .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()));
+        let fresh = g.compress();
+        assert_eq!(
+            fresh, frozen,
+            "{}: mixed-predictor encoder output drifted from checked-in fixture; \
+             if the format change is intentional, regenerate via \
+             FPSNR_REGEN_FIXTURES=tests/fixtures/current",
+            g.name
+        );
+        assert_decodes_within_tol(g.name, &frozen, &g);
+    }
+}
+
+/// A v5 container must decode bit-identically through the strict decoder,
+/// the forgiving partial decoder, and a whole-domain `SzStore` region
+/// read: all three replay the same per-block predictor choices.
+#[test]
+fn mixed_predictor_fixtures_decode_identically_on_every_path() {
+    for g in mixed_golden_set() {
+        let path = current_dir().join(format!("{}.szr", g.name));
+        let frozen = std::fs::read(&path)
+            .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()));
+        let mut pos = 0;
+        let header = format::read_header(&frozen, &mut pos).unwrap();
+        let strict = decode_bits(&frozen, &g);
+        match &g.field {
+            GoldenField::F32(_) => {
+                let (partial, report) =
+                    sz::decompress_partial::<f32>(&frozen).expect("partial decode");
+                assert!(report.is_clean(), "{}: fixture reported damage", g.name);
+                let partial_bits: Vec<u64> = partial
+                    .as_slice()
+                    .iter()
+                    .map(|v| v.to_bits() as u64)
+                    .collect();
+                assert_eq!(strict, partial_bits, "{}: partial path diverged", g.name);
+                if header.mode == format::Mode::Blocked {
+                    let store = szlike::SzStore::<f32>::open(&frozen).expect("store");
+                    let whole: Vec<std::ops::Range<usize>> =
+                        header.shape.dims().iter().map(|&d| 0..d).collect();
+                    let region = szlike::Region::new(&whole).unwrap();
+                    let got = store.read_region(&region).expect("region read");
+                    let got_bits: Vec<u64> =
+                        got.as_slice().iter().map(|v| v.to_bits() as u64).collect();
+                    assert_eq!(strict, got_bits, "{}: region path diverged", g.name);
+                }
+            }
+            GoldenField::F64(_) => {
+                let (partial, report) =
+                    sz::decompress_partial::<f64>(&frozen).expect("partial decode");
+                assert!(report.is_clean(), "{}: fixture reported damage", g.name);
+                let partial_bits: Vec<u64> =
+                    partial.as_slice().iter().map(|v| v.to_bits()).collect();
+                assert_eq!(strict, partial_bits, "{}: partial path diverged", g.name);
+                if header.mode == format::Mode::Blocked {
+                    let store = szlike::SzStore::<f64>::open(&frozen).expect("store");
+                    let whole: Vec<std::ops::Range<usize>> =
+                        header.shape.dims().iter().map(|&d| 0..d).collect();
+                    let region = szlike::Region::new(&whole).unwrap();
+                    let got = store.read_region(&region).expect("region read");
+                    let got_bits: Vec<u64> =
+                        got.as_slice().iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(strict, got_bits, "{}: region path diverged", g.name);
+                }
+            }
+        }
+    }
+}
+
+/// The two-texture grain fixture must keep carrying genuinely mixed
+/// per-block predictor tags: if the cost bake-off collapses to a single
+/// choice on it, per-block selection has silently stopped doing its job.
+#[test]
+fn grain_fixture_carries_mixed_predictor_tags() {
+    let frozen = std::fs::read(current_dir().join("mixed_grain_f32_2d.szr"))
+        .expect("grain fixture");
+    let names = szlike::inspect_block_predictors(&frozen)
+        .expect("predictor map parses")
+        .expect("grain fixture is a v5 container");
+    let mut distinct: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+    distinct.sort_unstable();
+    distinct.dedup();
+    assert!(
+        distinct.len() >= 2,
+        "grain fixture selected only {distinct:?} across {} blocks",
+        names.len()
+    );
 }
 
 /// Frozen v1-era containers must keep decoding (backward compatibility),
