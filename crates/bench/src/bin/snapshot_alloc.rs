@@ -1,0 +1,300 @@
+//! Snapshot bit-allocation bench: the 79-field CESM-ATM registry
+//! snapshot under one global byte budget, allocator vs oracle.
+//!
+//! ```text
+//! cargo run --release -p fpsnr-bench --bin snapshot_alloc
+//! FPSNR_ALLOC_FACTORS=4,16,64 cargo run --release -p fpsnr-bench --bin snapshot_alloc
+//! ```
+//!
+//! For every budget factor `x` the snapshot gets `raw/x` bytes; the
+//! allocator runs both objectives and the max-min answer is compared
+//! against the *oracle* — the highest shared target PSNR that fits the
+//! budget, found by bisection with real compressions of all 79 fields
+//! (≈ 10 full snapshot compressions, the cost the allocator's
+//! pilot+solve machinery exists to avoid).
+//!
+//! Writes `BENCH_alloc.json` (override with `FPSNR_OUT`) with the
+//! per-field allocation table and the aggregate record. Exits nonzero
+//! if any gate fails at the acceptance factor (16×):
+//!
+//! - **budget** — total ≤ 1.02 × budget;
+//! - **utilization** — ≥ 0.90 of the budget actually spent;
+//! - **pass bound** — no field compresses more than twice;
+//! - **oracle gap** — achieved min PSNR within 1.5 dB of the oracle.
+
+use datagen::{generate, DatasetId, Resolution};
+use fpsnr_core::alloc::{allocate_snapshot, AllocObjective, AllocOptions, AnyField, SnapshotField};
+use fpsnr_core::fixed_psnr::{compress_fixed_psnr, FixedPsnrOptions};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Seed pinned to `tests/common/corpora.rs` so this bench regenerates
+/// the EXPERIMENTS.md table over identical bytes.
+const REGISTRY_SEED: u64 = 27;
+
+/// Acceptance gates, applied at this budget factor only.
+const GATE_FACTOR: u64 = 16;
+const GATE_BUDGET_TOL: f64 = 0.02;
+const GATE_UTILIZATION: f64 = 0.90;
+const GATE_MAX_PASSES: u32 = 2;
+const GATE_ORACLE_GAP_DB: f64 = 1.5;
+
+fn snapshot() -> Vec<SnapshotField> {
+    generate(DatasetId::Atm, Resolution::Small, REGISTRY_SEED)
+        .into_iter()
+        .map(|nf| SnapshotField::f32(nf.name, nf.data))
+        .collect()
+}
+
+fn compress_all_at(fields: &[SnapshotField], target: f64, opts: &FixedPsnrOptions) -> (u64, f64) {
+    let mut total = 0u64;
+    let mut min_psnr = f64::INFINITY;
+    for f in fields {
+        let AnyField::F32(fld) = &f.data else {
+            unreachable!("ATM registry is f32")
+        };
+        let run = compress_fixed_psnr(fld, target, opts)
+            .unwrap_or_else(|e| panic!("{} @ {target} dB: {e}", f.name));
+        total += run.bytes.len() as u64;
+        min_psnr = min_psnr.min(run.outcome.achieved_psnr);
+    }
+    (total, min_psnr)
+}
+
+struct Oracle {
+    target: f64,
+    min_achieved: f64,
+    total: u64,
+    compressions: usize,
+    elapsed_s: f64,
+}
+
+/// Bisect the highest shared target PSNR whose real compressed total
+/// fits the budget.
+fn oracle(fields: &[SnapshotField], budget: u64, opts: &AllocOptions) -> Option<Oracle> {
+    let t0 = Instant::now();
+    let copts = opts.compress;
+    let mut lo = opts.psnr_lo;
+    let mut hi = opts.psnr_lo + opts.psnr_step * (opts.psnr_points - 1) as f64;
+    let mut compressions = fields.len();
+    let (floor_total, floor_min) = compress_all_at(fields, lo, &copts);
+    if floor_total > budget {
+        return None;
+    }
+    let mut best = Oracle {
+        target: lo,
+        min_achieved: floor_min,
+        total: floor_total,
+        compressions,
+        elapsed_s: 0.0,
+    };
+    for _ in 0..10 {
+        let mid = 0.5 * (lo + hi);
+        let (total, min_a) = compress_all_at(fields, mid, &copts);
+        compressions += fields.len();
+        if total <= budget {
+            best.target = mid;
+            best.min_achieved = min_a;
+            best.total = total;
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    best.compressions = compressions;
+    best.elapsed_s = t0.elapsed().as_secs_f64();
+    Some(best)
+}
+
+fn main() {
+    let factors: Vec<u64> = std::env::var("FPSNR_ALLOC_FACTORS")
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .map(|t| t.trim().parse().expect("FPSNR_ALLOC_FACTORS: bad number"))
+                .collect()
+        })
+        .unwrap_or_else(|| vec![GATE_FACTOR]);
+    let out_path = std::env::var("FPSNR_OUT").unwrap_or_else(|_| "BENCH_alloc.json".to_string());
+
+    let fields = snapshot();
+    let raw: u64 = fields.iter().map(|f| f.data.raw_bytes()).sum();
+    println!(
+        "snapshot allocation bench: ATM Small, {} fields, {} raw bytes, factors {factors:?}",
+        fields.len(),
+        raw
+    );
+
+    let mut failures: Vec<String> = Vec::new();
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\n  \"bench\": \"snapshot_alloc\",\n  \"corpus\": \"ATM/Small\",\n  \
+         \"n_fields\": {},\n  \"raw_bytes\": {},\n  \"runs\": [",
+        fields.len(),
+        raw
+    );
+
+    for (fi, &factor) in factors.iter().enumerate() {
+        let budget = raw / factor;
+        let opts = AllocOptions::new(budget);
+
+        let t0 = Instant::now();
+        let run = allocate_snapshot(&fields, &opts).expect("allocation");
+        let alloc_s = t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        let weighted = allocate_snapshot(
+            &fields,
+            &AllocOptions {
+                objective: AllocObjective::WeightedMse,
+                ..opts
+            },
+        )
+        .expect("weighted allocation");
+        let weighted_s = t0.elapsed().as_secs_f64();
+
+        let orc = oracle(&fields, budget, &opts);
+
+        let sm = &run.summary;
+        println!("== {factor}x: budget {budget} bytes ==");
+        println!(
+            "  min-psnr : {}/{} bytes (utilization {:.3}), min assigned {:.2} dB \
+             achieved {:.2} dB, passes max {} total {}, re-solves {}, {:.2}s",
+            sm.total_bytes,
+            sm.budget_bytes,
+            sm.utilization,
+            sm.min_assigned_psnr,
+            sm.min_achieved_psnr,
+            sm.max_passes,
+            sm.total_passes,
+            run.resolves,
+            alloc_s
+        );
+        let wsm = &weighted.summary;
+        println!(
+            "  weighted : {}/{} bytes (utilization {:.3}), min achieved {:.2} dB, \
+             passes max {}, {:.2}s",
+            wsm.total_bytes, wsm.budget_bytes, wsm.utilization, wsm.min_achieved_psnr,
+            wsm.max_passes, weighted_s
+        );
+        match &orc {
+            Some(o) => println!(
+                "  oracle   : target {:.2} dB, min achieved {:.2} dB, {} bytes \
+                 ({} compressions, {:.2}s) — gap {:.2} dB at {:.1}x the allocator's cost",
+                o.target,
+                o.min_achieved,
+                o.total,
+                o.compressions,
+                o.elapsed_s,
+                o.min_achieved - sm.min_achieved_psnr,
+                o.elapsed_s / alloc_s.max(1e-9)
+            ),
+            None => println!("  oracle   : infeasible at the grid floor"),
+        }
+
+        if factor == GATE_FACTOR {
+            if sm.total_bytes as f64 > budget as f64 * (1.0 + GATE_BUDGET_TOL) {
+                failures.push(format!(
+                    "{factor}x: total {} exceeds budget {budget} by more than {:.0}%",
+                    sm.total_bytes,
+                    GATE_BUDGET_TOL * 100.0
+                ));
+            }
+            if sm.utilization < GATE_UTILIZATION {
+                failures.push(format!(
+                    "{factor}x: utilization {:.3} below {GATE_UTILIZATION}",
+                    sm.utilization
+                ));
+            }
+            if sm.max_passes > GATE_MAX_PASSES {
+                failures.push(format!(
+                    "{factor}x: {} passes on some field (bound {GATE_MAX_PASSES})",
+                    sm.max_passes
+                ));
+            }
+            match &orc {
+                Some(o) if sm.min_achieved_psnr < o.min_achieved - GATE_ORACLE_GAP_DB => {
+                    failures.push(format!(
+                        "{factor}x: min PSNR {:.2} trails the oracle {:.2} by more \
+                         than {GATE_ORACLE_GAP_DB} dB",
+                        sm.min_achieved_psnr, o.min_achieved
+                    ));
+                }
+                None => failures.push(format!("{factor}x: oracle infeasible — budget too tight")),
+                _ => {}
+            }
+        }
+
+        let _ = write!(
+            json,
+            "{}\n    {{\"factor\": {factor}, \"budget_bytes\": {budget}, \
+             \"total_bytes\": {}, \"utilization\": {:.4}, \
+             \"min_assigned_psnr\": {:.3}, \"min_achieved_psnr\": {:.3}, \
+             \"max_passes\": {}, \"total_passes\": {}, \"resolves\": {}, \
+             \"quarantined\": {}, \"alloc_s\": {:.4}, \
+             \"weighted_total_bytes\": {}, \"weighted_min_psnr\": {:.3}, \
+             \"weighted_s\": {:.4},",
+            if fi == 0 { "" } else { "," },
+            sm.total_bytes,
+            sm.utilization,
+            sm.min_assigned_psnr,
+            sm.min_achieved_psnr,
+            sm.max_passes,
+            sm.total_passes,
+            run.resolves,
+            sm.n_quarantined,
+            alloc_s,
+            wsm.total_bytes,
+            wsm.min_achieved_psnr,
+            weighted_s
+        );
+        match &orc {
+            Some(o) => {
+                let _ = write!(
+                    json,
+                    "\n     \"oracle_target_db\": {:.3}, \"oracle_min_psnr\": {:.3}, \
+                     \"oracle_bytes\": {}, \"oracle_s\": {:.4},",
+                    o.target, o.min_achieved, o.total, o.elapsed_s
+                );
+            }
+            None => {
+                let _ = write!(json, "\n     \"oracle_target_db\": null,");
+            }
+        }
+        let _ = write!(json, "\n     \"fields\": [");
+        for (i, r) in run.fields.iter().enumerate() {
+            let s = &r.stat;
+            let _ = write!(
+                json,
+                "{}\n      {{\"field\": \"{}\", \"assigned_psnr\": {:.2}, \
+                 \"achieved_psnr\": {:.2}, \"bytes\": {}, \"raw_bytes\": {}, \
+                 \"passes\": {}, \"quarantined\": {}}}",
+                if i == 0 { "" } else { "," },
+                s.field,
+                s.assigned_psnr,
+                s.achieved_psnr,
+                s.achieved_bytes,
+                s.raw_bytes,
+                s.passes,
+                s.quarantined
+            );
+        }
+        let _ = write!(json, "\n     ]}}");
+    }
+
+    let _ = write!(
+        json,
+        "\n  ],\n  \"gates_passed\": {}\n}}\n",
+        failures.is_empty()
+    );
+    std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    println!("wrote {out_path}");
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

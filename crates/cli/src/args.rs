@@ -19,7 +19,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--input", "-i", "--output", "-o", "--recon", "-r", "--type", "--dims", "--mode", "--bins",
     "--dataset", "--res", "--psnr", "--seed", "--threads", "--block-size", "--out-dir",
     "--profile", "--ratio", "--ratio-tol", "--chunks", "--region", "--addr", "--cache-mb",
-    "--predictor",
+    "--predictor", "--budget", "--objective", "--manifest",
 ];
 /// Boolean switches.
 const SWITCHES: &[&str] = &["--no-lz", "--verify", "--quiet", "--transform"];

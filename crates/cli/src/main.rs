@@ -12,13 +12,17 @@
 //! ```
 
 mod args;
+mod manifest;
 mod serve;
 
 use args::Args;
 use datagen::{DatasetId, DatasetSpec, Resolution};
 use fpsnr_core::batch::run_batch_summary;
 use fpsnr_core::fixed_psnr::FixedPsnrOptions;
-use fpsnr_core::{ebrel_for_psnr, psnr_sz_estimate, FixedRatioOptions};
+use fpsnr_core::{
+    allocate_snapshot, ebrel_for_psnr, psnr_sz_estimate, AllocObjective, AllocOptions,
+    FixedRatioOptions, SnapshotField,
+};
 use fpsnr_metrics::{Distortion, PointwiseError, RateStats};
 use ndfield::{io as fio, Field, Scalar, Shape};
 use fpsnr_transform::{transform_compress, transform_decompress, TransformConfig};
@@ -50,6 +54,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "verify" => cmd_verify(&args),
         "gen" => cmd_gen(&args),
         "eval" => cmd_eval(&args),
+        "snapshot" => cmd_snapshot(&args),
         "serve" => cmd_serve(&args),
         "read" => cmd_read(&args),
         other => Err(format!("unknown command {other} (try `fpsnr help`)")),
@@ -117,6 +122,14 @@ COMMANDS
               --out-dir DIR [--seed N]
   eval        --dataset nyx|atm|hurricane --psnr dB
               [--res small|default] [--seed N] [--threads N]
+  snapshot    --budget BYTES (accepts KiB/MiB/GiB/KB/MB/GB suffixes)
+              (--manifest fields.json | --dataset nyx|atm|hurricane
+               [--res small|default] [--seed N])
+              [--objective min-psnr|weighted] [--threads N]
+              [--out-dir DIR]   write one .szr container per field
+                                allocate one byte budget across all fields
+                                of a snapshot (max-min PSNR water-filling
+                                or weighted-MSE, <=2 passes per field)
 
 GLOBAL
   --profile json|pretty   arm fpsnr-obs instrumentation and print
@@ -742,6 +755,149 @@ fn cmd_eval(args: &Args) -> Result<(), String> {
         summary.meet_rate * 100.0,
         summary.n_fields
     );
+    Ok(())
+}
+
+/// Parse a byte-budget string: a plain count, optionally scaled by a
+/// KiB/MiB/GiB (binary) or KB/MB/GB (decimal) suffix; fractional counts
+/// like `1.5GiB` are fine.
+fn parse_budget(raw: &str) -> Result<u64, String> {
+    let trimmed = raw.trim();
+    let (num, scale) = match trimmed.len().checked_sub(3).map(|i| trimmed.split_at(i)) {
+        Some((head, tail)) if tail.eq_ignore_ascii_case("kib") => (head, 1u64 << 10),
+        Some((head, tail)) if tail.eq_ignore_ascii_case("mib") => (head, 1u64 << 20),
+        Some((head, tail)) if tail.eq_ignore_ascii_case("gib") => (head, 1u64 << 30),
+        _ => match trimmed.len().checked_sub(2).map(|i| trimmed.split_at(i)) {
+            Some((head, tail)) if tail.eq_ignore_ascii_case("kb") => (head, 1000u64),
+            Some((head, tail)) if tail.eq_ignore_ascii_case("mb") => (head, 1_000_000),
+            Some((head, tail)) if tail.eq_ignore_ascii_case("gb") => (head, 1_000_000_000),
+            _ => (trimmed.strip_suffix(['b', 'B']).unwrap_or(trimmed), 1),
+        },
+    };
+    let v: f64 = num
+        .trim()
+        .parse()
+        .map_err(|e| format!("bad --budget {raw}: {e}"))?;
+    if !(v.is_finite() && v > 0.0) {
+        return Err(format!("--budget must be positive, got {raw}"));
+    }
+    Ok((v * scale as f64).round() as u64)
+}
+
+/// `fpsnr snapshot`: allocate one byte budget across every field of a
+/// snapshot (from a manifest of raw files or a generated dataset) and
+/// compress each at its assigned PSNR.
+fn cmd_snapshot(args: &Args) -> Result<(), String> {
+    let budget = parse_budget(args.require("--budget")?)?;
+    let objective = match args.get("--objective").unwrap_or("min-psnr") {
+        "min-psnr" => AllocObjective::MinPsnr,
+        "weighted" => AllocObjective::WeightedMse,
+        other => {
+            return Err(format!(
+                "bad --objective {other} (want min-psnr or weighted)"
+            ))
+        }
+    };
+    let threads = parse_threads(args)?.unwrap_or(0);
+    let fields: Vec<SnapshotField> = match args.get("--manifest") {
+        Some(path) => {
+            if args.get("--dataset").is_some() {
+                return Err("--manifest replaces --dataset; give one or the other".into());
+            }
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let base = std::path::Path::new(path)
+                .parent()
+                .map(|p| p.to_path_buf())
+                .unwrap_or_default();
+            manifest::parse_manifest(&text)?
+                .into_iter()
+                .map(|mf| {
+                    let shape = Shape::from_dims(&mf.dims);
+                    let data_path = base.join(&mf.path);
+                    let field = if mf.dtype == "f64" {
+                        let f = fio::read_raw::<f64>(shape, &data_path)
+                            .map_err(|e| format!("reading {}: {e}", data_path.display()))?;
+                        SnapshotField::f64(mf.name, f)
+                    } else {
+                        let f = fio::read_raw::<f32>(shape, &data_path)
+                            .map_err(|e| format!("reading {}: {e}", data_path.display()))?;
+                        SnapshotField::f32(mf.name, f)
+                    };
+                    Ok(field.with_weight(mf.weight))
+                })
+                .collect::<Result<_, String>>()?
+        }
+        None => {
+            let id = parse_dataset(args)?;
+            let res = parse_res(args)?;
+            let seed = parse_seed(args)?;
+            datagen::generate(id, res, seed)
+                .into_iter()
+                .map(|nf| SnapshotField::f32(nf.name, nf.data))
+                .collect()
+        }
+    };
+    let opts = AllocOptions {
+        objective,
+        threads,
+        ..AllocOptions::new(budget)
+    };
+    let run = allocate_snapshot(&fields, &opts).map_err(|e| e.to_string())?;
+    if !args.has("--quiet") {
+        println!("field,assigned_psnr,achieved_psnr,bytes,ratio,passes,status");
+        for r in &run.fields {
+            let s = &r.stat;
+            let status = match (&r.failure, s.quarantined) {
+                (Some(f), _) => f.to_string().replace(',', ";"),
+                (None, true) => "quarantined".to_string(),
+                (None, false) => "ok".to_string(),
+            };
+            println!(
+                "{},{:.2},{:.2},{},{:.2},{},{status}",
+                s.field,
+                s.assigned_psnr,
+                s.achieved_psnr,
+                s.achieved_bytes,
+                s.raw_bytes as f64 / s.achieved_bytes.max(1) as f64,
+                s.passes
+            );
+        }
+    }
+    if let Some(dir) = args.get("--out-dir") {
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir}: {e}"))?;
+        let mut written = 0usize;
+        for r in &run.fields {
+            if let Some(bytes) = &r.bytes {
+                let path = std::path::Path::new(dir).join(format!("{}.szr", r.stat.field));
+                std::fs::write(&path, bytes)
+                    .map_err(|e| format!("writing {}: {e}", path.display()))?;
+                written += 1;
+            }
+        }
+        println!("wrote {written} containers to {dir}");
+    }
+    let s = &run.summary;
+    println!(
+        "allocated {} fields ({} quarantined): {} / {} bytes (utilization {:.1}%), \
+         min PSNR assigned {:.2} achieved {:.2} dB, aggregate ratio {:.2}, \
+         passes max {} total {}, re-solves {}",
+        s.n_fields,
+        s.n_quarantined,
+        s.total_bytes,
+        s.budget_bytes,
+        s.utilization * 100.0,
+        s.min_assigned_psnr,
+        s.min_achieved_psnr,
+        s.aggregate_ratio,
+        s.max_passes,
+        s.total_passes,
+        run.resolves
+    );
+    let failed = run.fields.iter().filter(|r| r.failure.is_some()).count();
+    if failed > 0 {
+        return Err(format!("{failed} field(s) failed (see table)"));
+    }
     Ok(())
 }
 

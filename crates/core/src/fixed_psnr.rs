@@ -132,7 +132,7 @@ impl Default for FixedPsnrOptions {
 }
 
 impl FixedPsnrOptions {
-    fn sz_config(&self, target_psnr: f64) -> SzConfig {
+    pub(crate) fn sz_config(&self, target_psnr: f64) -> SzConfig {
         SzConfig::new(ErrorBound::ValueRangeRel(ebrel_for_psnr(target_psnr)))
             .with_quant_bins(self.quant_bins)
             .with_auto_intervals(self.auto_intervals)
@@ -214,6 +214,7 @@ pub fn compress_fixed_psnr<T: Scalar>(
         target_psnr,
         achieved_psnr: dist.psnr(),
         ratio: rate.ratio(),
+        failure: None,
     };
     let _ = detail;
     Ok(FixedPsnrRun {
@@ -247,6 +248,7 @@ pub fn compress_fixed_psnr_transform<T: Scalar>(
         target_psnr,
         achieved_psnr: dist.psnr(),
         ratio: rate.ratio(),
+        failure: None,
     };
     Ok(FixedPsnrRun {
         bytes,

@@ -31,6 +31,10 @@
 //! 8. [`slab`] — slab-parallel compression of one huge field (independent
 //!    SZ streams along axis 0 sharing one global bound), the within-field
 //!    parallel axis SZ's MPI deployments use.
+//! 9. [`alloc`] — snapshot-level global bit allocation: one byte budget
+//!    across all fields, solved on per-field predicted rate curves
+//!    (max-min PSNR water-filling or weighted-MSE Lagrangian), with one
+//!    bounded feedback correction — ≤ 2 compression passes per field.
 //!
 //! ```
 //! use fpsnr_core::fixed_psnr::{compress_fixed_psnr, FixedPsnrOptions};
@@ -44,6 +48,7 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod alloc;
 pub mod batch;
 pub mod bound;
 pub mod distortion;
@@ -54,6 +59,10 @@ pub mod report;
 pub mod search;
 pub mod slab;
 
+pub use alloc::{
+    allocate_snapshot, AllocFieldRun, AllocObjective, AllocOptions, AnyField, SnapshotAllocation,
+    SnapshotField,
+};
 pub use bound::{ebabs_for_psnr, ebrel_for_psnr, psnr_for_ebrel};
 pub use distortion::{mse_uniform, psnr_sz_estimate, psnr_uniform_estimate};
 pub use fixed_psnr::{compress_fixed_psnr, FixedPsnrOptions, FixedPsnrRun};

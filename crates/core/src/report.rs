@@ -46,16 +46,20 @@ pub fn render_fig2_panel(target: f64, outcomes: &[FieldOutcome]) -> String {
 /// CSV emitter for per-field outcomes (machine-readable companion of the
 /// text reports).
 pub fn outcomes_csv(outcomes: &[FieldOutcome]) -> String {
-    let mut out = String::from("field,target_psnr,achieved_psnr,deviation,ratio,meets\n");
+    let mut out = String::from("field,target_psnr,achieved_psnr,deviation,ratio,meets,error\n");
     for o in outcomes {
         out.push_str(&format!(
-            "{},{},{:.4},{:.4},{:.3},{}\n",
+            "{},{},{:.4},{:.4},{:.3},{},{}\n",
             o.field,
             o.target_psnr,
             o.achieved_psnr,
             o.deviation(),
             o.ratio,
-            o.meets_target()
+            o.meets_target(),
+            o.failure
+                .as_ref()
+                .map(|f| f.to_string().replace(',', ";"))
+                .unwrap_or_default()
         ));
     }
     out
@@ -109,12 +113,14 @@ mod tests {
                 target_psnr: 80.0,
                 achieved_psnr: 81.0,
                 ratio: 5.0,
+                failure: None,
             },
             FieldOutcome {
                 field: "B".into(),
                 target_psnr: 80.0,
                 achieved_psnr: 79.0,
                 ratio: 6.0,
+                failure: None,
             },
         ];
         let s = render_fig2_panel(80.0, &outs);
@@ -129,12 +135,13 @@ mod tests {
             target_psnr: 60.0,
             achieved_psnr: 60.5,
             ratio: 12.0,
+            failure: None,
         }];
         let csv = outcomes_csv(&outs);
         let mut lines = csv.lines();
         assert!(lines.next().unwrap().starts_with("field,"));
         let row = lines.next().unwrap();
         assert!(row.starts_with("X,60,60.5"));
-        assert!(row.ends_with("true"));
+        assert!(row.ends_with("true,"));
     }
 }

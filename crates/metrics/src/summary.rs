@@ -1,7 +1,30 @@
 //! Per-data-set aggregation — the AVG/STDEV columns of Table II and the
-//! per-field meet-rate of Fig. 2.
+//! per-field meet-rate of Fig. 2 — plus the snapshot-level budget
+//! accounting the global bit-allocation driver reports.
 
 use ndfield::stats::mean_stdev;
+
+/// Structured cause of a failed per-field run.
+///
+/// A 79-field snapshot must not abort because one field is degenerate, so
+/// batch drivers report failures per field instead of propagating them —
+/// but "achieved PSNR = NaN" alone tells an operator nothing. This pairs
+/// the pipeline stage that failed with the underlying error message, so
+/// the cause survives aggregation and lands in reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldFailure {
+    /// Pipeline stage that failed (`"compress"`, `"decompress"`,
+    /// `"pilot"`, ...).
+    pub stage: &'static str,
+    /// Human-readable cause (the underlying error's message).
+    pub detail: String,
+}
+
+impl std::fmt::Display for FieldFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} failed: {}", self.stage, self.detail)
+    }
+}
 
 /// Result of one fixed-PSNR run on one field.
 #[derive(Debug, Clone, PartialEq)]
@@ -14,13 +37,16 @@ pub struct FieldOutcome {
     pub achieved_psnr: f64,
     /// Compression ratio achieved.
     pub ratio: f64,
+    /// Why the run failed, when it did (`achieved_psnr` is NaN then).
+    pub failure: Option<FieldFailure>,
 }
 
 impl FieldOutcome {
     /// Whether this field "meets" the demand in the paper's sense: achieved
-    /// PSNR equal or higher than the user-set PSNR.
+    /// PSNR equal or higher than the user-set PSNR. Failed fields never
+    /// meet (their achieved PSNR is NaN).
     pub fn meets_target(&self) -> bool {
-        self.achieved_psnr >= self.target_psnr
+        self.failure.is_none() && self.achieved_psnr >= self.target_psnr
     }
 
     /// Signed deviation `achieved − target` in dB.
@@ -92,6 +118,105 @@ impl DatasetSummary {
     }
 }
 
+/// Per-field record of one snapshot-level bit-allocation run — what the
+/// allocator assigned, what the compressor delivered, and how many real
+/// compression passes it cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllocFieldStat {
+    /// Field name.
+    pub field: String,
+    /// PSNR target the allocator assigned (NaN for quarantined fields —
+    /// degenerate inputs compressed outside the optimization).
+    pub assigned_psnr: f64,
+    /// PSNR measured after decompression (∞ for exactly-reconstructed
+    /// constant fields, NaN for failed fields).
+    pub achieved_psnr: f64,
+    /// Bytes the rate model predicted for the assigned target (NaN for
+    /// quarantined fields, which never enter the model).
+    pub predicted_bytes: f64,
+    /// Bytes the final container actually occupies (0 for failed fields).
+    pub achieved_bytes: u64,
+    /// Raw (uncompressed) bytes of the field.
+    pub raw_bytes: u64,
+    /// Real compression passes spent on this field (pilot excluded).
+    pub passes: u32,
+    /// Whether the field was quarantined out of the allocation problem.
+    pub quarantined: bool,
+}
+
+/// Aggregate of one snapshot-level allocation run: budget compliance,
+/// utilization, and the min-PSNR the `maximize min PSNR` objective
+/// optimizes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotSummary {
+    /// The global byte budget the allocator solved against.
+    pub budget_bytes: u64,
+    /// Total bytes of every produced container (quarantined included).
+    pub total_bytes: u64,
+    /// `total_bytes / budget_bytes`.
+    pub utilization: f64,
+    /// Smallest assigned PSNR over allocated (non-quarantined) fields.
+    pub min_assigned_psnr: f64,
+    /// Smallest *finite* achieved PSNR over allocated fields.
+    pub min_achieved_psnr: f64,
+    /// Aggregate compression ratio, `Σ raw / Σ achieved`.
+    pub aggregate_ratio: f64,
+    /// Largest per-field pass count.
+    pub max_passes: u32,
+    /// Total compression passes across the snapshot.
+    pub total_passes: u64,
+    /// Fields in the snapshot.
+    pub n_fields: usize,
+    /// Fields quarantined out of the allocation.
+    pub n_quarantined: usize,
+}
+
+impl SnapshotSummary {
+    /// Aggregate per-field allocation stats against the budget.
+    ///
+    /// Empty snapshots yield zero totals with NaN min-PSNRs; quarantined
+    /// fields count toward bytes (they still occupy storage) but not
+    /// toward the min-PSNR columns (the allocator never controlled them).
+    pub fn aggregate(budget_bytes: u64, stats: &[AllocFieldStat]) -> Self {
+        let total_bytes: u64 = stats.iter().map(|s| s.achieved_bytes).sum();
+        let raw_total: u64 = stats.iter().map(|s| s.raw_bytes).sum();
+        let allocated = || stats.iter().filter(|s| !s.quarantined);
+        let min_assigned = allocated()
+            .map(|s| s.assigned_psnr)
+            .filter(|p| p.is_finite())
+            .fold(f64::NAN, f64::min);
+        let min_achieved = allocated()
+            .map(|s| s.achieved_psnr)
+            .filter(|p| p.is_finite())
+            .fold(f64::NAN, f64::min);
+        SnapshotSummary {
+            budget_bytes,
+            total_bytes,
+            utilization: if budget_bytes == 0 {
+                f64::NAN
+            } else {
+                total_bytes as f64 / budget_bytes as f64
+            },
+            min_assigned_psnr: min_assigned,
+            min_achieved_psnr: min_achieved,
+            aggregate_ratio: if total_bytes == 0 {
+                f64::NAN
+            } else {
+                raw_total as f64 / total_bytes as f64
+            },
+            max_passes: stats.iter().map(|s| s.passes).max().unwrap_or(0),
+            total_passes: stats.iter().map(|s| s.passes as u64).sum(),
+            n_fields: stats.len(),
+            n_quarantined: stats.iter().filter(|s| s.quarantined).count(),
+        }
+    }
+
+    /// Whether the run stayed within `budget · (1 + tolerance)`.
+    pub fn within_budget(&self, tolerance: f64) -> bool {
+        self.total_bytes as f64 <= self.budget_bytes as f64 * (1.0 + tolerance)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,6 +227,7 @@ mod tests {
             target_psnr: target,
             achieved_psnr: achieved,
             ratio: 10.0,
+            failure: None,
         }
     }
 
@@ -144,5 +270,69 @@ mod tests {
         let s = DatasetSummary::aggregate("X", 40.0, &[]);
         assert_eq!(s.n_fields, 0);
         assert_eq!(s.meet_rate, 0.0);
+    }
+
+    #[test]
+    fn failed_outcome_never_meets_and_displays_cause() {
+        let mut o = outcome(f64::NAN, 80.0);
+        o.failure = Some(FieldFailure {
+            stage: "compress",
+            detail: "bad bound".into(),
+        });
+        assert!(!o.meets_target());
+        assert_eq!(
+            o.failure.as_ref().unwrap().to_string(),
+            "compress failed: bad bound"
+        );
+    }
+
+    fn stat(assigned: f64, achieved: f64, bytes: u64, passes: u32) -> AllocFieldStat {
+        AllocFieldStat {
+            field: "F".into(),
+            assigned_psnr: assigned,
+            achieved_psnr: achieved,
+            predicted_bytes: bytes as f64,
+            achieved_bytes: bytes,
+            raw_bytes: bytes * 16,
+            passes,
+            quarantined: false,
+        }
+    }
+
+    #[test]
+    fn snapshot_summary_aggregates_budget_and_minima() {
+        let stats = vec![
+            stat(62.0, 63.1, 400, 1),
+            stat(62.0, 62.4, 500, 2),
+            AllocFieldStat {
+                quarantined: true,
+                assigned_psnr: f64::NAN,
+                achieved_psnr: f64::INFINITY,
+                ..stat(0.0, 0.0, 50, 1)
+            },
+        ];
+        let s = SnapshotSummary::aggregate(1000, &stats);
+        assert_eq!(s.total_bytes, 950);
+        assert!((s.utilization - 0.95).abs() < 1e-12);
+        assert!((s.min_assigned_psnr - 62.0).abs() < 1e-12);
+        assert!((s.min_achieved_psnr - 62.4).abs() < 1e-12);
+        assert_eq!(s.max_passes, 2);
+        assert_eq!(s.total_passes, 4);
+        assert_eq!(s.n_fields, 3);
+        assert_eq!(s.n_quarantined, 1);
+        assert!((s.aggregate_ratio - 16.0).abs() < 1e-12);
+        assert!(s.within_budget(0.0));
+        let over = SnapshotSummary::aggregate(900, &stats);
+        assert!(!over.within_budget(0.02));
+        assert!(over.within_budget(0.06));
+    }
+
+    #[test]
+    fn empty_snapshot_summary_is_sane() {
+        let s = SnapshotSummary::aggregate(100, &[]);
+        assert_eq!(s.total_bytes, 0);
+        assert_eq!(s.n_fields, 0);
+        assert!(s.min_achieved_psnr.is_nan());
+        assert!(s.aggregate_ratio.is_nan());
     }
 }

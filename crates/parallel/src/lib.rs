@@ -38,6 +38,31 @@ pub fn default_threads() -> usize {
         .min(16)
 }
 
+/// Split a thread budget across two nesting levels — an outer parallel
+/// map over items (fields of a snapshot) each of which runs an inner
+/// parallel stage (blocks of a field) — such that `outer · inner ≤
+/// budget`: the composition can never explode into `budget²` threads.
+///
+/// The outer level is saturated first (item-level parallelism has no
+/// synchronization inside the map, block-level parallelism pays merge
+/// barriers), then whole leftover factors go inner: with 8 threads and 3
+/// items, `(3, 2)` — 3 field tasks, each compressing with 2 block
+/// workers, 6 ≤ 8.
+///
+/// ```
+/// assert_eq!(fpsnr_parallel::nested_split(8, 79), (8, 1));  // wide snapshot
+/// assert_eq!(fpsnr_parallel::nested_split(8, 3), (3, 2));   // few huge fields
+/// assert_eq!(fpsnr_parallel::nested_split(8, 1), (1, 8));   // single field
+/// ```
+pub fn nested_split(budget: usize, items: usize) -> (usize, usize) {
+    let budget = budget.max(1);
+    if items == 0 {
+        return (1, budget);
+    }
+    let outer = budget.min(items);
+    (outer, (budget / outer).max(1))
+}
+
 /// Parallel map over a slice with dynamic (work-stealing-style) scheduling:
 /// each worker repeatedly claims the next unprocessed index from an atomic
 /// cursor, so uneven per-item cost balances automatically (compressing 79
@@ -255,5 +280,32 @@ mod tests {
     fn default_threads_is_positive() {
         let n = default_threads();
         assert!(n >= 1 && n <= 16);
+    }
+
+    #[test]
+    fn nested_split_never_exceeds_budget() {
+        for budget in 1..=32 {
+            for items in 0..=100 {
+                let (outer, inner) = nested_split(budget, items);
+                assert!(outer >= 1 && inner >= 1);
+                assert!(
+                    outer * inner <= budget.max(1),
+                    "budget {budget} items {items} -> {outer}x{inner}"
+                );
+                if items > 0 {
+                    assert!(outer <= items.max(1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nested_split_saturates_outer_first() {
+        assert_eq!(nested_split(16, 79), (16, 1));
+        assert_eq!(nested_split(4, 4), (4, 1));
+        assert_eq!(nested_split(9, 2), (2, 4));
+        assert_eq!(nested_split(1, 50), (1, 1));
+        assert_eq!(nested_split(0, 5), (1, 1));
+        assert_eq!(nested_split(6, 0), (1, 6));
     }
 }

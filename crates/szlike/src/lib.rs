@@ -65,4 +65,4 @@ pub use inspect::{
 pub use store::{StoreOptions, StoreStats, SzStore};
 pub use predictor::{Predictor, PredictorKind, PredictorModel};
 pub use quantizer::LinearQuantizer;
-pub use ratemodel::RateModel;
+pub use ratemodel::{RateCurve, RateModel};

@@ -359,6 +359,52 @@ impl RateModel {
         payload * lz_gain + overhead_bytes * 8.0 / n
     }
 
+    /// Predicted total container bytes at absolute bound `eb_abs` — the
+    /// [`Self::predict_bits_per_value`] rate times the sample count.
+    pub fn predict_bytes(&self, eb_abs: f64, lz_gain: f64) -> f64 {
+        self.predict_bits_per_value(eb_abs, lz_gain) * self.n as f64 / 8.0
+    }
+
+    /// Sample the whole predicted bytes-vs-PSNR curve on a uniform PSNR
+    /// grid (`psnr_lo + i·step` for `i in 0..points`), mapping each grid
+    /// PSNR to its Eq. 8 bound (`eb_abs = √3·10^(−PSNR/20)·vr`) and
+    /// evaluating the rate model there.
+    ///
+    /// This is the snapshot-allocation interface: the fixed-ratio driver
+    /// needs one inversion ([`Self::invert_for_ratio`]), but a global
+    /// bit-allocation solver probes *many* (PSNR, bytes) points per field
+    /// while water-filling a shared budget, so it wants the whole curve
+    /// materialized once — every later probe is an array lookup, not a
+    /// histogram rebin. Bytes are forced monotone non-decreasing in PSNR
+    /// (the model is monotone up to floating-point noise; solvers rely on
+    /// it exactly).
+    ///
+    /// # Panics
+    /// Panics when `points == 0` or `step` is not finite and positive.
+    pub fn curve(&self, psnr_lo: f64, step: f64, points: usize, lz_gain: f64) -> RateCurve {
+        assert!(points > 0, "curve needs at least one grid point");
+        assert!(
+            step.is_finite() && step > 0.0,
+            "curve step must be finite and positive"
+        );
+        let mut bytes = Vec::with_capacity(points);
+        let mut prev = 0.0f64;
+        for i in 0..points {
+            let psnr = psnr_lo + step * i as f64;
+            let eb_abs = 3f64.sqrt() * 10f64.powf(-psnr / 20.0) * self.value_range;
+            let b = self.predict_bytes(eb_abs, lz_gain).max(prev);
+            bytes.push(b);
+            prev = b;
+        }
+        RateCurve {
+            psnr_lo,
+            step,
+            bytes,
+            value_range: self.value_range,
+            n_samples: self.n,
+        }
+    }
+
     /// Invert the curve: the absolute bound whose predicted rate meets
     /// `target_ratio`, found by bisection on `ln eb` (the rate is monotone
     /// non-increasing in the bound). Clamped to `[vr·1e-12, 2·vr]` when
@@ -384,6 +430,92 @@ impl RateModel {
             }
         }
         (0.5 * (lo + hi)).exp()
+    }
+}
+
+/// One field's predicted bytes-vs-PSNR curve, sampled by
+/// [`RateModel::curve`] on a uniform PSNR grid.
+///
+/// The curve is immutable and cheap to probe (array lookups), which is
+/// what lets a snapshot-level allocator sum and scan curves for dozens of
+/// fields per solver iteration. Grid PSNRs map to bounds via Eq. 8, so
+/// compressing a field at grid point `i` means running fixed-PSNR mode at
+/// `psnr_at(i)`.
+#[derive(Debug, Clone)]
+pub struct RateCurve {
+    /// PSNR of grid index 0, in dB.
+    psnr_lo: f64,
+    /// Grid spacing in dB.
+    step: f64,
+    /// Predicted container bytes per grid point, non-decreasing.
+    bytes: Vec<f64>,
+    /// Value range of the piloted field.
+    value_range: f64,
+    /// Samples in the piloted field.
+    n_samples: u64,
+}
+
+impl RateCurve {
+    /// Number of grid points.
+    pub fn points(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// PSNR of grid index `i` (dB).
+    pub fn psnr_at(&self, i: usize) -> f64 {
+        self.psnr_lo + self.step * i as f64
+    }
+
+    /// Predicted container bytes at grid index `i`.
+    ///
+    /// # Panics
+    /// Panics when `i` is out of range.
+    pub fn bytes_at(&self, i: usize) -> f64 {
+        self.bytes[i]
+    }
+
+    /// Largest grid index whose predicted bytes fit within `budget`, or
+    /// `None` when even index 0 exceeds it. Binary search over the
+    /// monotone byte array.
+    pub fn max_index_within(&self, budget: f64) -> Option<usize> {
+        if self.bytes[0] > budget {
+            return None;
+        }
+        let (mut lo, mut hi) = (0usize, self.bytes.len() - 1);
+        while lo < hi {
+            let mid = (lo + hi + 1) / 2;
+            if self.bytes[mid] <= budget {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        Some(lo)
+    }
+
+    /// A copy of the curve with every predicted byte count multiplied by
+    /// `gain` — the allocation driver's feedback correction: after one
+    /// real compression pass, `gain = achieved / predicted` re-anchors the
+    /// curve so it passes through the measured point while keeping the
+    /// pilot-derived shape.
+    pub fn scaled(&self, gain: f64) -> RateCurve {
+        RateCurve {
+            psnr_lo: self.psnr_lo,
+            step: self.step,
+            bytes: self.bytes.iter().map(|b| b * gain).collect(),
+            value_range: self.value_range,
+            n_samples: self.n_samples,
+        }
+    }
+
+    /// Value range of the piloted field.
+    pub fn value_range(&self) -> f64 {
+        self.value_range
+    }
+
+    /// Samples in the piloted field.
+    pub fn n_samples(&self) -> u64 {
+        self.n_samples
     }
 }
 
@@ -475,6 +607,61 @@ mod tests {
         let mono_mass: u64 = mono.mags.iter().map(|&(_, c)| c).sum();
         let blk_mass: u64 = blocked.mags.iter().map(|&(_, c)| c).sum();
         assert_eq!(mono_mass + mono.pilot_escapes, blk_mass + blocked.pilot_escapes);
+    }
+
+    #[test]
+    fn curve_is_monotone_and_matches_pointwise_prediction() {
+        let f = textured(96, 96);
+        let model = RateModel::pilot(&f, &cfg()).unwrap();
+        let curve = model.curve(20.0, 0.25, 481, 1.0);
+        assert_eq!(curve.points(), 481);
+        assert!((curve.psnr_at(0) - 20.0).abs() < 1e-12);
+        assert!((curve.psnr_at(480) - 140.0).abs() < 1e-9);
+        let mut prev = 0.0;
+        for i in 0..curve.points() {
+            assert!(curve.bytes_at(i) >= prev, "bytes dipped at index {i}");
+            prev = curve.bytes_at(i);
+        }
+        // Away from the monotonicity clamp, the grid must agree with a
+        // direct model evaluation at the same Eq. 8 bound.
+        let psnr = curve.psnr_at(200);
+        let eb = 3f64.sqrt() * 10f64.powf(-psnr / 20.0) * model.value_range();
+        let direct = model.predict_bytes(eb, 1.0);
+        assert!(
+            (curve.bytes_at(200) - direct).abs() <= direct * 1e-9 + 1e-6,
+            "grid {} vs direct {direct}",
+            curve.bytes_at(200)
+        );
+    }
+
+    #[test]
+    fn curve_inverse_lookup_brackets_the_budget() {
+        let f = textured(64, 96);
+        let model = RateModel::pilot(&f, &cfg()).unwrap();
+        let curve = model.curve(20.0, 0.5, 241, 1.0);
+        // A budget below the cheapest point is infeasible.
+        assert!(curve.max_index_within(curve.bytes_at(0) - 1.0).is_none());
+        // Any point's own byte count maps back to at least that index.
+        for i in [0, 17, 120, 240] {
+            let j = curve.max_index_within(curve.bytes_at(i)).unwrap();
+            assert!(j >= i, "index {i} inverted to {j}");
+            if j + 1 < curve.points() {
+                assert!(curve.bytes_at(j + 1) > curve.bytes_at(i));
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_curve_multiplies_bytes() {
+        let f = textured(48, 48);
+        let model = RateModel::pilot(&f, &cfg()).unwrap();
+        let curve = model.curve(30.0, 1.0, 50, 1.0);
+        let scaled = curve.scaled(1.5);
+        for i in 0..curve.points() {
+            assert!((scaled.bytes_at(i) - curve.bytes_at(i) * 1.5).abs() < 1e-6);
+        }
+        assert_eq!(scaled.points(), curve.points());
+        assert_eq!(scaled.n_samples(), curve.n_samples());
     }
 
     #[test]

@@ -60,7 +60,11 @@ pub use fpsnr_transform as transform;
 
 /// One-stop imports for typical use.
 pub mod prelude {
-    pub use fpsnr_core::batch::{run_batch, run_batch_summary};
+    pub use fpsnr_core::alloc::{
+        allocate_snapshot, solve_min_psnr, solve_weighted_mse, AllocFieldRun, AllocObjective,
+        AllocOptions, AnyField, SnapshotAllocation, SnapshotField,
+    };
+    pub use fpsnr_core::batch::{run_batch, run_batch_full, run_batch_summary, FieldRun};
     pub use fpsnr_core::fixed_psnr::{
         compress_fixed_psnr, compress_fixed_psnr_only, compress_fixed_psnr_transform,
         FixedPsnrOptions, FixedPsnrRun,
@@ -69,6 +73,7 @@ pub mod prelude {
     pub use fpsnr_core::mode::{compress_with_mode, CompressionMode, ModeReport};
     pub use fpsnr_core::slab::{compress_slabs, compress_slabs_fixed_psnr, decompress_slabs};
     pub use fpsnr_core::{ebabs_for_psnr, ebrel_for_psnr, psnr_for_ebrel};
+    pub use fpsnr_metrics::summary::{AllocFieldStat, FieldFailure, FieldOutcome, SnapshotSummary};
     pub use fpsnr_metrics::{Distortion, PointwiseError, RateStats};
     pub use ndfield::{Field, Scalar, Shape};
     pub use szlike::{ErrorBound, PredictorKind, SzConfig};
