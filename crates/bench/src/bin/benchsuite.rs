@@ -1,0 +1,82 @@
+//! One-shot perf suite: runs every machine-readable bench binary and
+//! merges their JSON outputs into a single `BENCH_summary.json`
+//! (override with `FPSNR_OUT`), so the perf trajectory is comparable
+//! across PRs from one artifact.
+//!
+//! Each member bench runs as a subprocess (the sibling binary next to
+//! this one) with `FPSNR_OUT` pointed at a scratch file; its JSON is
+//! embedded verbatim under `benches.<name>`. Member env knobs
+//! (`FPSNR_REPS`, `FPSNR_GRF_DIM`, …) pass through unchanged. A member
+//! that fails records an `"error"` object instead of aborting the suite
+//! — a perf artifact with one hole beats no artifact.
+//!
+//! The active SIMD dispatch level is recorded at the top level: perf
+//! numbers are meaningless across PRs without knowing which kernel tier
+//! produced them.
+
+use losslesskit::simd;
+use std::fmt::Write as _;
+use std::path::Path;
+use std::process::Command;
+
+/// Member benches: `(key, binary, default FPSNR_REPS if unset)`.
+const MEMBERS: [(&str, &str, &str); 5] = [
+    ("hotloop", "hotloop", "5"),
+    ("bakeoff", "bakeoff", "3"),
+    ("regionread", "regionread", "3"),
+    ("predictors", "predictors", "3"),
+    ("alloc", "snapshot_alloc", "3"),
+];
+
+fn run_member(bin_dir: &Path, key: &str, bin: &str, default_reps: &str) -> String {
+    let exe = bin_dir.join(bin);
+    if !exe.exists() {
+        return format!("{{\"error\": \"missing binary {bin}\"}}");
+    }
+    let scratch = std::env::temp_dir().join(format!("fpsnr_benchsuite_{key}.json"));
+    let _ = std::fs::remove_file(&scratch);
+    let mut cmd = Command::new(&exe);
+    cmd.env("FPSNR_OUT", &scratch);
+    if std::env::var("FPSNR_REPS").is_err() {
+        cmd.env("FPSNR_REPS", default_reps);
+    }
+    let status = match cmd.status() {
+        Ok(s) => s,
+        Err(e) => return format!("{{\"error\": \"spawn {bin}: {e}\"}}"),
+    };
+    if !status.success() {
+        return format!("{{\"error\": \"{bin} exited with {status}\"}}");
+    }
+    match std::fs::read_to_string(&scratch) {
+        Ok(json) => json.trim_end().to_string(),
+        Err(e) => format!("{{\"error\": \"read {bin} output: {e}\"}}"),
+    }
+}
+
+fn main() {
+    let out_path =
+        std::env::var("FPSNR_OUT").unwrap_or_else(|_| "BENCH_summary.json".to_string());
+    let bin_dir = std::env::current_exe()
+        .expect("current_exe")
+        .parent()
+        .expect("binary has a parent dir")
+        .to_path_buf();
+
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"bench\": \"suite\",").unwrap();
+    writeln!(json, "  \"simd_detected\": \"{}\",", simd::detect().name()).unwrap();
+    writeln!(json, "  \"simd_active\": \"{}\",", simd::active().name()).unwrap();
+    writeln!(json, "  \"benches\": {{").unwrap();
+    for (i, (key, bin, reps)) in MEMBERS.iter().enumerate() {
+        eprintln!("benchsuite: running {bin} …");
+        let body = run_member(&bin_dir, key, bin, reps);
+        let comma = if i + 1 < MEMBERS.len() { "," } else { "" };
+        writeln!(json, "  \"{key}\": {body}{comma}").unwrap();
+    }
+    writeln!(json, "  }}").unwrap();
+    writeln!(json, "}}").unwrap();
+
+    std::fs::write(&out_path, &json).expect("write summary");
+    println!("wrote {out_path}");
+}

@@ -1,107 +1,159 @@
 //! Single-thread hot-loop benchmark: fused kernels vs the per-element
-//! reference walk, stage by stage and end to end.
+//! reference walk, stage by stage and end to end, swept across every
+//! available SIMD dispatch level.
 //!
 //! ```text
 //! cargo run --release -p fpsnr-bench --bin hotloop
 //! FPSNR_GRF_DIM=32 FPSNR_REPS=2 cargo run --release -p fpsnr-bench --bin hotloop   # CI smoke
 //! ```
 //!
+//! Levels are forced in-process (`losslesskit::simd::force`) and the
+//! repetitions interleave level sweeps, so every level sees the same
+//! thermal/steal conditions — on a shared single-core host, back-to-back
+//! whole-process runs disagree by far more than the effects measured here.
+//!
 //! Writes `BENCH_hotloop.json` (override with `FPSNR_OUT`) recording, per
-//! corpus: walk / reconstruct / full-compress wall time and MB/s for both
-//! kernel modes, the fused-over-reference speedups, the decompress
-//! throughput, and whether the two modes produced byte-identical
-//! containers. Exits nonzero if any container pair differs — the bench
+//! corpus: walk / reconstruct / compress / decompress wall time per
+//! dispatch level, the reference-kernel times, the SIMD-over-forced-scalar
+//! speedups, and whether every (level × kernel-mode) container was
+//! byte-identical. Exits nonzero if any container pair differs — the bench
 //! doubles as the bit-identity tripwire CI runs on every push.
 
 use datagen::grf::{grf_2d, grf_3d};
 use datagen::timeseries::DriftField;
+use losslesskit::simd::{self, SimdLevel};
 use ndfield::{Field, Shape};
 use std::fmt::Write as _;
 use std::time::Instant;
 use szlike::kernels::{reconstruct_fused, reconstruct_reference, walk_fused, walk_reference};
 use szlike::{ErrorBound, EscapeCoding, KernelMode, PredictorModel, SzConfig};
 
-/// Best-of-N wall-clock for one closure, in seconds.
-fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
-    let mut best = f64::INFINITY;
-    let mut out = None;
-    for _ in 0..reps {
-        let t0 = Instant::now();
-        let r = f();
-        best = best.min(t0.elapsed().as_secs_f64());
-        out = Some(r);
+const EB_REL: f64 = 1e-4;
+const BINS: usize = 65536;
+
+/// Per-level best-of wall times for the four measured stages, seconds.
+#[derive(Clone)]
+struct StageTimes {
+    walk_s: f64,
+    recon_s: f64,
+    compress_s: f64,
+    decompress_s: f64,
+}
+
+impl StageTimes {
+    fn inf() -> Self {
+        StageTimes {
+            walk_s: f64::INFINITY,
+            recon_s: f64::INFINITY,
+            compress_s: f64::INFINITY,
+            decompress_s: f64::INFINITY,
+        }
     }
-    (best, out.unwrap())
 }
 
 struct CorpusResult {
     name: &'static str,
     shape: String,
     raw_bytes: usize,
-    walk_fused_s: f64,
-    walk_reference_s: f64,
-    recon_fused_s: f64,
-    recon_reference_s: f64,
-    compress_fused_s: f64,
-    compress_reference_s: f64,
-    decompress_s: f64,
+    /// Reference-kernel times (level-independent; measured every rep).
+    reference: StageTimes,
+    /// Fused-kernel times, one entry per swept level.
+    per_level: Vec<StageTimes>,
     compressed_bytes: usize,
     containers_identical: bool,
 }
 
-const EB_REL: f64 = 1e-4;
-const BINS: usize = 65536;
+/// One timed call, folded into the running best.
+fn timed<R>(best: &mut f64, f: impl FnOnce() -> R) -> R {
+    let t0 = Instant::now();
+    let r = f();
+    *best = best.min(t0.elapsed().as_secs_f64());
+    r
+}
 
-fn run_corpus(name: &'static str, field: &Field<f32>, reps: usize) -> CorpusResult {
+fn run_corpus(
+    name: &'static str,
+    field: &Field<f32>,
+    levels: &[SimdLevel],
+    reps: usize,
+) -> CorpusResult {
     let raw_bytes = field.len() * 4;
     let shape = field.shape();
     let eb = EB_REL * field.value_range();
     let data = field.as_slice();
     let pred = PredictorModel::Lorenzo1;
-
-    // Stage benches: raw walk and raw reconstruct, outside the container.
-    let mut scratch = Vec::new();
-    let (walk_fused_s, wf) = time_best(reps, || {
-        walk_fused::<f32>(data, shape, eb, BINS, pred, EscapeCoding::Exact, &mut scratch)
-    });
-    let (walk_reference_s, wr) = time_best(reps, || {
-        walk_reference::<f32>(data, shape, eb, BINS, pred, EscapeCoding::Exact, &mut scratch)
-    });
-    assert_eq!(wf.codes, wr.codes, "{name}: walk codes diverged");
-
-    let (recon_fused_s, rf) = time_best(reps, || {
-        reconstruct_fused(&wf.codes, wf.unpred.clone(), shape, eb, BINS, pred).unwrap()
-    });
-    let (recon_reference_s, rr) = time_best(reps, || {
-        reconstruct_reference(&wr.codes, &wr.unpred, shape, eb, BINS, pred).unwrap()
-    });
-    assert_eq!(rf, rr, "{name}: reconstructions diverged");
-
-    // End-to-end container benches.
     let cfg = SzConfig::new(ErrorBound::ValueRangeRel(EB_REL)).with_auto_intervals(true);
-    let (compress_fused_s, fused_bytes) = time_best(reps, || {
-        szlike::compress(field, &cfg.with_kernel(KernelMode::Fused)).unwrap()
-    });
-    let (compress_reference_s, reference_bytes) = time_best(reps, || {
-        szlike::compress(field, &cfg.with_kernel(KernelMode::Reference)).unwrap()
-    });
-    let containers_identical = fused_bytes == reference_bytes;
-    let (decompress_s, _back) =
-        time_best(reps, || szlike::decompress::<f32>(&fused_bytes).unwrap());
+
+    // Correctness pass first, untimed: every level's walk and container
+    // must be byte-identical to the forced-scalar ones and to the
+    // reference kernel's.
+    let mut scratch = Vec::new();
+    simd::force(Some(SimdLevel::Off));
+    let w0 = walk_fused::<f32>(data, shape, eb, BINS, pred, EscapeCoding::Exact, &mut scratch);
+    let bytes0 = szlike::compress(field, &cfg.with_kernel(KernelMode::Fused)).unwrap();
+    let wr = walk_reference::<f32>(data, shape, eb, BINS, pred, EscapeCoding::Exact, &mut scratch);
+    let bytes_ref = szlike::compress(field, &cfg.with_kernel(KernelMode::Reference)).unwrap();
+    let mut identical = w0.codes == wr.codes && bytes0 == bytes_ref;
+    for &level in &levels[1..] {
+        simd::force(Some(level));
+        let w = walk_fused::<f32>(data, shape, eb, BINS, pred, EscapeCoding::Exact, &mut scratch);
+        let bytes = szlike::compress(field, &cfg.with_kernel(KernelMode::Fused)).unwrap();
+        identical &= w.codes == w0.codes && bytes == bytes0;
+        let back = szlike::decompress::<f32>(&bytes).unwrap();
+        let back0 = {
+            simd::force(Some(SimdLevel::Off));
+            szlike::decompress::<f32>(&bytes0).unwrap()
+        };
+        identical &= back == back0;
+    }
+
+    // Timed pass: each repetition sweeps reference + every level once, so
+    // all columns share drift. The level order rotates per repetition:
+    // on a busy single-core host, frequency drift within one repetition
+    // otherwise biases whichever level is always measured last.
+    let mut reference = StageTimes::inf();
+    let mut per_level = vec![StageTimes::inf(); levels.len()];
+    for rep in 0..reps {
+        simd::force(Some(SimdLevel::Off));
+        timed(&mut reference.walk_s, || {
+            walk_reference::<f32>(data, shape, eb, BINS, pred, EscapeCoding::Exact, &mut scratch)
+        });
+        timed(&mut reference.recon_s, || {
+            reconstruct_reference(&w0.codes, &w0.unpred, shape, eb, BINS, pred).unwrap()
+        });
+        timed(&mut reference.compress_s, || {
+            szlike::compress(field, &cfg.with_kernel(KernelMode::Reference)).unwrap()
+        });
+        reference.decompress_s = 0.0; // reference kernel has no decode path of its own
+        for idx in 0..levels.len() {
+            let li = (idx + rep) % levels.len();
+            let level = levels[li];
+            simd::force(Some(level));
+            let t = &mut per_level[li];
+            timed(&mut t.walk_s, || {
+                walk_fused::<f32>(data, shape, eb, BINS, pred, EscapeCoding::Exact, &mut scratch)
+            });
+            timed(&mut t.recon_s, || {
+                reconstruct_fused(&w0.codes, w0.unpred.clone(), shape, eb, BINS, pred).unwrap()
+            });
+            timed(&mut t.compress_s, || {
+                szlike::compress(field, &cfg.with_kernel(KernelMode::Fused)).unwrap()
+            });
+            timed(&mut t.decompress_s, || {
+                szlike::decompress::<f32>(&bytes0).unwrap()
+            });
+        }
+    }
+    simd::force(None);
 
     CorpusResult {
         name,
         shape: format!("{shape:?}"),
         raw_bytes,
-        walk_fused_s,
-        walk_reference_s,
-        recon_fused_s,
-        recon_reference_s,
-        compress_fused_s,
-        compress_reference_s,
-        decompress_s,
-        compressed_bytes: fused_bytes.len(),
-        containers_identical,
+        reference,
+        per_level,
+        compressed_bytes: bytes0.len(),
+        containers_identical: identical,
     }
 }
 
@@ -116,6 +168,13 @@ fn main() {
         .unwrap_or(3);
     let out_path =
         std::env::var("FPSNR_OUT").unwrap_or_else(|_| "BENCH_hotloop.json".to_string());
+
+    let detected = simd::detect();
+    let levels: Vec<SimdLevel> = SimdLevel::ALL
+        .iter()
+        .copied()
+        .filter(|&l| l <= detected)
+        .collect();
 
     let grf3: Vec<f32> = grf_3d(dim, dim, dim, 3.0, 20180713)
         .into_iter()
@@ -147,32 +206,48 @@ fn main() {
 
     let mut results = Vec::new();
     for (name, field) in corpora {
-        results.push(run_corpus(name, field, reps));
+        results.push(run_corpus(name, field, &levels, reps));
     }
 
     let mib = |bytes: usize, s: f64| bytes as f64 / (1024.0 * 1024.0) / s;
-    println!("hot-loop kernels, eb_rel {EB_REL}, best of {reps}, single thread");
+    println!(
+        "hot-loop kernels, eb_rel {EB_REL}, best of {reps}, single thread, \
+         simd detected: {}",
+        detected.name()
+    );
     for r in &results {
         println!(
-            "{}: {} ({:.1} MiB)\n  walk       fused {:.1} MiB/s vs reference {:.1} MiB/s ({:.2}x)\n  \
-             reconstruct fused {:.1} MiB/s vs reference {:.1} MiB/s ({:.2}x)\n  \
-             compress   fused {:.1} MiB/s vs reference {:.1} MiB/s ({:.2}x), decompress {:.1} MiB/s\n  \
-             {} bytes, containers identical: {}",
+            "{}: {} ({:.1} MiB), {} bytes, containers identical: {}",
             r.name,
             r.shape,
             r.raw_bytes as f64 / (1024.0 * 1024.0),
-            mib(r.raw_bytes, r.walk_fused_s),
-            mib(r.raw_bytes, r.walk_reference_s),
-            r.walk_reference_s / r.walk_fused_s,
-            mib(r.raw_bytes, r.recon_fused_s),
-            mib(r.raw_bytes, r.recon_reference_s),
-            r.recon_reference_s / r.recon_fused_s,
-            mib(r.raw_bytes, r.compress_fused_s),
-            mib(r.raw_bytes, r.compress_reference_s),
-            r.compress_reference_s / r.compress_fused_s,
-            mib(r.raw_bytes, r.decompress_s),
             r.compressed_bytes,
             r.containers_identical,
+        );
+        println!(
+            "  reference  walk {:7.1} MiB/s  reconstruct {:7.1} MiB/s  compress {:7.1} MiB/s",
+            mib(r.raw_bytes, r.reference.walk_s),
+            mib(r.raw_bytes, r.reference.recon_s),
+            mib(r.raw_bytes, r.reference.compress_s),
+        );
+        for (li, t) in r.per_level.iter().enumerate() {
+            println!(
+                "  fused/{:<5} walk {:7.1} MiB/s  reconstruct {:7.1} MiB/s  compress {:7.1} MiB/s  decompress {:7.1} MiB/s",
+                levels[li].name(),
+                mib(r.raw_bytes, t.walk_s),
+                mib(r.raw_bytes, t.recon_s),
+                mib(r.raw_bytes, t.compress_s),
+                mib(r.raw_bytes, t.decompress_s),
+            );
+        }
+        let last = r.per_level.last().unwrap();
+        let off = &r.per_level[0];
+        println!(
+            "  simd vs scalar: walk {:.2}x  reconstruct {:.2}x  compress {:.2}x  decompress {:.2}x",
+            off.walk_s / last.walk_s,
+            off.recon_s / last.recon_s,
+            off.compress_s / last.compress_s,
+            off.decompress_s / last.decompress_s,
         );
     }
 
@@ -180,35 +255,57 @@ fn main() {
     let _ = write!(
         json,
         "{{\n  \"bench\": \"hotloop\",\n  \"grf_dim\": {dim},\n  \"reps\": {reps},\n  \
-         \"eb_rel\": {EB_REL},\n  \"corpora\": ["
+         \"eb_rel\": {EB_REL},\n  \"simd_detected\": \"{}\",\n  \"levels\": [{}],\n  \"corpora\": [",
+        detected.name(),
+        levels
+            .iter()
+            .map(|l| format!("\"{}\"", l.name()))
+            .collect::<Vec<_>>()
+            .join(", "),
     );
     for (i, r) in results.iter().enumerate() {
+        let last = r.per_level.last().unwrap();
+        let off = &r.per_level[0];
         let _ = write!(
             json,
             "{}\n    {{\"name\": \"{}\", \"shape\": \"{}\", \"raw_bytes\": {},\n     \
-             \"walk\": {{\"fused_s\": {:.6}, \"reference_s\": {:.6}, \"speedup\": {:.4}}},\n     \
-             \"reconstruct\": {{\"fused_s\": {:.6}, \"reference_s\": {:.6}, \"speedup\": {:.4}}},\n     \
-             \"compress\": {{\"fused_s\": {:.6}, \"reference_s\": {:.6}, \"speedup\": {:.4}, \
-             \"fused_mib_s\": {:.2}, \"reference_mib_s\": {:.2}}},\n     \
-             \"decompress_s\": {:.6}, \"decompress_mib_s\": {:.2},\n     \
-             \"compressed_bytes\": {}, \"containers_identical\": {}}}",
+             \"reference\": {{\"walk_s\": {:.6}, \"reconstruct_s\": {:.6}, \"compress_s\": {:.6}}},\n     \
+             \"levels\": {{",
             if i == 0 { "" } else { "," },
             r.name,
             r.shape,
             r.raw_bytes,
-            r.walk_fused_s,
-            r.walk_reference_s,
-            r.walk_reference_s / r.walk_fused_s,
-            r.recon_fused_s,
-            r.recon_reference_s,
-            r.recon_reference_s / r.recon_fused_s,
-            r.compress_fused_s,
-            r.compress_reference_s,
-            r.compress_reference_s / r.compress_fused_s,
-            mib(r.raw_bytes, r.compress_fused_s),
-            mib(r.raw_bytes, r.compress_reference_s),
-            r.decompress_s,
-            mib(r.raw_bytes, r.decompress_s),
+            r.reference.walk_s,
+            r.reference.recon_s,
+            r.reference.compress_s,
+        );
+        for (li, t) in r.per_level.iter().enumerate() {
+            let _ = write!(
+                json,
+                "{}\n       \"{}\": {{\"walk_s\": {:.6}, \"reconstruct_s\": {:.6}, \
+                 \"compress_s\": {:.6}, \"decompress_s\": {:.6}, \
+                 \"compress_mib_s\": {:.2}, \"decompress_mib_s\": {:.2}}}",
+                if li == 0 { "" } else { "," },
+                levels[li].name(),
+                t.walk_s,
+                t.recon_s,
+                t.compress_s,
+                t.decompress_s,
+                mib(r.raw_bytes, t.compress_s),
+                mib(r.raw_bytes, t.decompress_s),
+            );
+        }
+        let _ = write!(
+            json,
+            "\n     }},\n     \"simd_speedup\": {{\"walk\": {:.4}, \"reconstruct\": {:.4}, \
+             \"compress\": {:.4}, \"decompress\": {:.4}}},\n     \
+             \"fused_vs_reference_walk\": {:.4},\n     \
+             \"compressed_bytes\": {}, \"containers_identical\": {}}}",
+            off.walk_s / last.walk_s,
+            off.recon_s / last.recon_s,
+            off.compress_s / last.compress_s,
+            off.decompress_s / last.decompress_s,
+            r.reference.walk_s / last.walk_s,
             r.compressed_bytes,
             r.containers_identical,
         );
@@ -222,7 +319,7 @@ fn main() {
     println!("wrote {out_path}");
 
     if !all_identical {
-        eprintln!("FAIL: fused and reference kernels produced different container bytes");
+        eprintln!("FAIL: containers differed across kernels or SIMD dispatch levels");
         std::process::exit(1);
     }
 }

@@ -30,6 +30,7 @@
 //! assert!(r.read_bits(4).is_err()); // reading past it is EOF, not a panic
 //! ```
 
+use crate::simd::{self, SimdLevel};
 use crate::CodecError;
 
 /// Accumulates bits into a byte buffer, LSB-first.
@@ -38,12 +39,17 @@ pub struct BitWriter {
     buf: Vec<u8>,
     acc: u64,
     nbits: u32,
+    /// Dispatch-level sample (≥ SSE2) taken at construction: drain with a
+    /// fixed-width 8-byte store instead of a variable-length copy. The
+    /// bytes appended are identical either way — the wide store's excess
+    /// bytes are truncated off before they are ever observable.
+    wide_drain: bool,
 }
 
 impl BitWriter {
     /// A fresh writer.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_capacity(0)
     }
 
     /// A fresh writer with `cap` bytes preallocated.
@@ -52,6 +58,7 @@ impl BitWriter {
             buf: Vec::with_capacity(cap),
             acc: 0,
             nbits: 0,
+            wide_drain: simd::active() >= SimdLevel::Sse2,
         }
     }
 
@@ -68,7 +75,16 @@ impl BitWriter {
         // construction, so its LE byte image is exactly the wire form).
         let nbytes = (self.nbits / 8) as usize;
         if nbytes > 0 {
-            self.buf.extend_from_slice(&self.acc.to_le_bytes()[..nbytes]);
+            if self.wide_drain {
+                // Store the full accumulator word unconditionally, then
+                // chop the `8 − nbytes` over-stored bytes: one fixed-size
+                // copy and a length adjustment instead of a 1–8 byte
+                // variable-length copy per drain.
+                self.buf.extend_from_slice(&self.acc.to_le_bytes());
+                self.buf.truncate(self.buf.len() - (8 - nbytes));
+            } else {
+                self.buf.extend_from_slice(&self.acc.to_le_bytes()[..nbytes]);
+            }
             self.acc = if nbytes == 8 { 0 } else { self.acc >> (nbytes * 8) };
             self.nbits -= (nbytes * 8) as u32;
         }
@@ -117,24 +133,6 @@ impl<'a> BitReader<'a> {
             acc: 0,
             nbits: 0,
         }
-    }
-
-    /// True when a [`BitReader::refill`] is guaranteed to leave ≥ 56 bits
-    /// buffered: at least 8 unread bytes remain, so the word-level load
-    /// tops the accumulator up regardless of its current fill. Gate for
-    /// the no-EOF-check decode rounds in [`crate::mshuf`].
-    #[inline]
-    pub(crate) fn fast_ready(&self) -> bool {
-        self.data.len() - self.pos >= 8
-    }
-
-    /// Peek `n ≤ 56` already-buffered bits without touching the input.
-    /// Callers must have established the fill via [`BitReader::refill`]
-    /// after a positive [`BitReader::fast_ready`].
-    #[inline]
-    pub(crate) fn peek_buffered(&self, n: u32) -> u64 {
-        debug_assert!(self.nbits >= n, "peek_buffered past fill");
-        self.acc & ((1u64 << n) - 1)
     }
 
     #[inline]
@@ -219,6 +217,31 @@ impl<'a> BitReader<'a> {
     pub fn bits_remaining(&self) -> usize {
         self.nbits as usize + (self.data.len() - self.pos) * 8
     }
+
+    /// The underlying input slice (for [`crate::mshuf`]'s SoA fast path,
+    /// which mirrors four readers' state into flat arrays).
+    pub(crate) fn data(&self) -> &'a [u8] {
+        self.data
+    }
+
+    /// Raw `(pos, acc, nbits)` decode state, paired with
+    /// [`BitReader::set_raw_state`].
+    pub(crate) fn raw_state(&self) -> (usize, u64, u32) {
+        (self.pos, self.acc, self.nbits)
+    }
+
+    /// Restore state captured (and possibly advanced) externally. The SoA
+    /// fast path performs exactly the [`BitReader::refill`] /
+    /// [`BitReader::consume`] transitions on its mirror, so any state
+    /// written back here is one this reader could have reached itself.
+    pub(crate) fn set_raw_state(&mut self, pos: usize, acc: u64, nbits: u32) {
+        debug_assert!(pos <= self.data.len());
+        debug_assert!(nbits <= 64);
+        self.pos = pos;
+        self.acc = acc;
+        self.nbits = nbits;
+    }
+
 }
 
 #[cfg(test)]

@@ -3,11 +3,62 @@
 //! The Huffman coder consumes frequency tables built here; the experiment
 //! harness also uses the Shannon entropy as a lower bound when reporting
 //! how close the entropy stage gets to optimal.
+//!
+//! The multi-table counting paths are part of the dispatch-gated hot-loop
+//! layer: at `FPSNR_SIMD=off` ([`crate::simd::active`] <
+//! [`crate::simd::SimdLevel::Sse2`]) the single-table reference loops run
+//! instead. Counts are exact on either path, so the choice is invisible
+//! downstream.
+
+use crate::simd::{self, SimdLevel};
+
+/// Alphabets up to this size take the 4-table counting path. The split
+/// tables cost `4 × alphabet × 4` bytes of scratch; past the quantizer's
+/// largest real alphabet (2^16 bins + escape ⇒ 1 MiB scratch) the cache
+/// pressure outweighs the dependency-breaking win, so bigger alphabets
+/// fall back to the single-table loop.
+const MULTI_TABLE_MAX_ALPHABET: usize = (1 << 16) + 1;
+
+/// Inputs shorter than this skip the multi-table setup (its `4 × alphabet`
+/// zero-fill dominates on tiny slices).
+const MULTI_TABLE_MIN_LEN: usize = 4096;
 
 /// Count occurrences of each `u32` symbol in `symbols`, returning a dense
 /// table of length `alphabet` (symbols ≥ `alphabet` panic — the caller fixed
 /// the alphabet when it configured the quantizer).
+///
+/// Long inputs over quantizer-sized alphabets are counted into four
+/// interleaved sub-tables merged at the end. Repeated symbols (the common
+/// case: quantization codes cluster hard around the zero-error bin) then
+/// hit four independent counter slots instead of one, breaking the
+/// store-to-load dependency chain that serializes the naive loop. Counts
+/// are exact either way — addition is associative over a partition of the
+/// input — so the result is identical to the single-table loop.
 pub fn count_dense(symbols: &[u32], alphabet: usize) -> Vec<u64> {
+    if simd::active() >= SimdLevel::Sse2
+        && symbols.len() >= MULTI_TABLE_MIN_LEN
+        && alphabet <= MULTI_TABLE_MAX_ALPHABET
+        && symbols.len() <= u32::MAX as usize
+    {
+        // u32 sub-counters: the length gate above makes overflow impossible.
+        let mut t = vec![0u32; alphabet * 4];
+        let (t0, rest) = t.split_at_mut(alphabet);
+        let (t1, rest) = rest.split_at_mut(alphabet);
+        let (t2, t3) = rest.split_at_mut(alphabet);
+        let mut quads = symbols.chunks_exact(4);
+        for q in &mut quads {
+            t0[q[0] as usize] += 1;
+            t1[q[1] as usize] += 1;
+            t2[q[2] as usize] += 1;
+            t3[q[3] as usize] += 1;
+        }
+        for &s in quads.remainder() {
+            t0[s as usize] += 1;
+        }
+        return (0..alphabet)
+            .map(|i| t0[i] as u64 + t1[i] as u64 + t2[i] as u64 + t3[i] as u64)
+            .collect();
+    }
     let mut counts = vec![0u64; alphabet];
     for &s in symbols {
         counts[s as usize] += 1;
@@ -16,10 +67,32 @@ pub fn count_dense(symbols: &[u32], alphabet: usize) -> Vec<u64> {
 }
 
 /// Count occurrences of each byte value.
+///
+/// Uses four split tables (the scratch is 8 KiB, always cache-resident)
+/// for the same dependency-breaking reason as [`count_dense`]; the
+/// single-table loop is the `FPSNR_SIMD=off` reference path.
 pub fn count_bytes(bytes: &[u8]) -> [u64; 256] {
+    if simd::active() < SimdLevel::Sse2 {
+        let mut counts = [0u64; 256];
+        for &b in bytes {
+            counts[b as usize] += 1;
+        }
+        return counts;
+    }
+    let mut t = [[0u64; 256]; 4];
+    let mut quads = bytes.chunks_exact(4);
+    for q in &mut quads {
+        t[0][q[0] as usize] += 1;
+        t[1][q[1] as usize] += 1;
+        t[2][q[2] as usize] += 1;
+        t[3][q[3] as usize] += 1;
+    }
+    for &b in quads.remainder() {
+        t[0][b as usize] += 1;
+    }
     let mut counts = [0u64; 256];
-    for &b in bytes {
-        counts[b as usize] += 1;
+    for i in 0..256 {
+        counts[i] = t[0][i] + t[1][i] + t[2][i] + t[3][i];
     }
     counts
 }
@@ -65,6 +138,35 @@ mod tests {
     #[should_panic]
     fn dense_counts_panics_out_of_alphabet() {
         count_dense(&[5], 4);
+    }
+
+    #[test]
+    fn multi_table_matches_single_table() {
+        // Long enough to take the 4-table path; compare against a local
+        // single-counter loop over the same pseudo-random symbols.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let symbols: Vec<u32> = (0..MULTI_TABLE_MIN_LEN + 37)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % 97) as u32
+            })
+            .collect();
+        let alphabet = 97;
+        let mut naive = vec![0u64; alphabet];
+        for &s in &symbols {
+            naive[s as usize] += 1;
+        }
+        assert_eq!(count_dense(&symbols, alphabet), naive);
+    }
+
+    #[test]
+    #[should_panic]
+    fn multi_table_still_panics_out_of_alphabet() {
+        let mut symbols = vec![1u32; MULTI_TABLE_MIN_LEN];
+        symbols.push(4);
+        count_dense(&symbols, 4);
     }
 
     #[test]

@@ -318,17 +318,21 @@ impl HuffmanCodec {
         Ok(sym)
     }
 
-    /// [`HuffmanCodec::decode_one`] without per-symbol EOF accounting:
-    /// assumes the reader has ≥ [`MAX_CODE_LEN`] bits buffered (the caller
-    /// refilled after [`BitReader::fast_ready`]), so any table miss is
-    /// genuine corruption, never a truncated stream. Hot path of the
-    /// multi-stream decode rounds in [`crate::mshuf`].
+    /// [`HuffmanCodec::decode_one`] on a raw `(acc, nbits)` accumulator,
+    /// without per-symbol EOF accounting. The SoA quad fast path in
+    /// [`crate::mshuf`] mirrors four readers into flat arrays so their
+    /// refills can be vectorized; this is the per-lane table walk it runs
+    /// between refills. Precondition: ≥ [`MAX_CODE_LEN`] bits buffered
+    /// (the caller checked ≥ 8 unread bytes per lane and refilled), so a table
+    /// miss is corruption, never truncation.
     #[inline]
-    pub(crate) fn decode_one_buffered(&self, r: &mut BitReader<'_>) -> Result<u32, CodecError> {
-        let peek = r.peek_buffered(FAST_BITS) as usize;
+    pub(crate) fn decode_one_raw(&self, acc: &mut u64, nbits: &mut u32) -> Result<u32, CodecError> {
+        let peek = (*acc & ((1u64 << FAST_BITS) - 1)) as usize;
         let (payload, len) = self.fast_table[peek];
         if len > 0 {
-            r.consume(len as u32);
+            debug_assert!(*nbits >= len as u32, "decode_one_raw past fill");
+            *acc >>= len as u32;
+            *nbits -= len as u32;
             return Ok(payload);
         }
         if payload == INVALID {
@@ -336,12 +340,14 @@ impl HuffmanCodec {
         }
         let sub_bits = payload & 0x1f;
         let base = (payload >> 5) as usize;
-        let ext = r.peek_buffered(FAST_BITS + sub_bits) as usize;
+        let ext = (*acc & ((1u64 << (FAST_BITS + sub_bits)) - 1)) as usize;
         let (sym, total) = self.sub_table[base + (ext >> FAST_BITS)];
         if total == 0 {
             return Err(CodecError::Corrupt("bit pattern matches no Huffman code"));
         }
-        r.consume(total as u32);
+        debug_assert!(*nbits >= total as u32, "decode_one_raw past fill");
+        *acc >>= total as u32;
+        *nbits -= total as u32;
         Ok(sym)
     }
 

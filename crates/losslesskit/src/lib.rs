@@ -26,7 +26,10 @@
 //! - [`range`]/[`fenwick`] — an adaptive range coder (fractional-bit
 //!   entropy stage) used by the entropy-coder ablation,
 //! - [`crc32`] — IEEE CRC-32 integrity trailers (bit rot in archived lossy
-//!   streams must fail loudly, not decode into plausible garbage).
+//!   streams must fail loudly, not decode into plausible garbage),
+//! - [`simd`] — the runtime SIMD dispatch level (`off`/`sse2`/`avx2`)
+//!   shared by every vectorized hot loop in the workspace; all levels
+//!   produce byte-identical output, so the level is purely a speed knob.
 //!
 //! # The never-panic decode guarantee
 //!
@@ -52,6 +55,7 @@ pub mod lz77;
 pub mod mshuf;
 pub mod range;
 pub mod rle;
+pub mod simd;
 pub mod varint;
 
 pub use bitio::{BitReader, BitWriter};

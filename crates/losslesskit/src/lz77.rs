@@ -4,6 +4,16 @@
 //! matcher mirrors zlib's design: a rolling 3-byte hash indexes chains of
 //! previous positions inside a 32 KiB window; match length is capped at 258
 //! so the container can reuse DEFLATE's length alphabet.
+//!
+//! Match extension (`common_prefix`) dispatches on
+//! [`crate::simd::active`]: SSE2/AVX2 variants compare 16/32 bytes per
+//! step via `pcmpeqb` + `movemask`. Equality comparison is exact at any
+//! width, so every level returns the same prefix length and the token
+//! stream — and therefore the compressed bytes — are identical across
+//! levels. [`MatchStats::probe_bytes`] counts *matched bytes*, not loads,
+//! so the work counters are level-independent too.
+
+use crate::simd::{self, SimdLevel};
 
 /// Maximum look-back distance (DEFLATE window).
 pub const MAX_DIST: usize = 32 * 1024;
@@ -111,6 +121,7 @@ fn chain_search(
     i: usize,
     max_chain: usize,
     budget: u64,
+    level: SimdLevel,
     stats: &mut MatchStats,
 ) -> (usize, usize, usize) {
     let n = data.len();
@@ -138,7 +149,7 @@ fn chain_search(
             best_len == 0 || data.get(c + best_len) == data.get(i + best_len)
         };
         if viable {
-            let len = common_prefix(data, c, i);
+            let len = common_prefix_at(data, c, i, level);
             pos_probes += len as u64 + 1; // matched bytes + mismatch
             if len > best_len {
                 best_len = len;
@@ -188,6 +199,10 @@ pub fn tokenize_with_stats(data: &[u8], effort: Effort) -> (Vec<Token>, MatchSta
     }
     let max_chain = effort.max_chain();
     let budget = probe_budget(max_chain);
+    // Dispatch level sampled once per call: the variants are equivalent,
+    // so a concurrent override mid-call could only mix equally-correct
+    // compare widths.
+    let level = simd::active();
     let lazy = !matches!(effort, Effort::Fast);
     // u32 chain tables: half the memory traffic of `usize` tables, and the
     // chains are where the matcher spends its cache budget. `u32::MAX` is
@@ -206,7 +221,8 @@ pub fn tokenize_with_stats(data: &[u8], effort: Effort) -> (Vec<Token>, MatchSta
         // reused by the literal path's chain insert below.
         let mut h = 0usize;
         if i + MIN_MATCH <= n {
-            (best_len, best_dist, h) = chain_search(data, &head, &prev, i, max_chain, budget, &mut stats);
+            (best_len, best_dist, h) =
+                chain_search(data, &head, &prev, i, max_chain, budget, level, &mut stats);
         }
         if best_len >= MIN_MATCH {
             // First covered position not yet on its hash chain.
@@ -215,7 +231,7 @@ pub fn tokenize_with_stats(data: &[u8], effort: Effort) -> (Vec<Token>, MatchSta
                 chain_insert(data, &mut head, &mut prev, i);
                 insert_from = i + 1;
                 let (len1, dist1, _) =
-                    chain_search(data, &head, &prev, i + 1, max_chain, budget, &mut stats);
+                    chain_search(data, &head, &prev, i + 1, max_chain, budget, level, &mut stats);
                 if len1 > best_len {
                     tokens.push(Token::Literal(data[i]));
                     i += 1;
@@ -253,7 +269,13 @@ pub fn tokenize_with_stats(data: &[u8], effort: Effort) -> (Vec<Token>, MatchSta
 #[inline]
 fn common_prefix(data: &[u8], a: usize, b: usize) -> usize {
     let max = MAX_MATCH.min(data.len() - b);
-    let mut l = 0usize;
+    prefix_scalar_from(data, a, b, 0, max)
+}
+
+/// [`common_prefix`] continued from offset `l`: the shared scalar tail
+/// every wide variant finishes with, and the whole walk at level `Off`.
+#[inline]
+fn prefix_scalar_from(data: &[u8], a: usize, b: usize, mut l: usize, max: usize) -> usize {
     // 8-byte-at-a-time comparison (perf-book: avoid per-byte loops).
     while l + 8 <= max {
         let x = u64::from_le_bytes(data[a + l..a + l + 8].try_into().expect("8 bytes"));
@@ -268,6 +290,75 @@ fn common_prefix(data: &[u8], a: usize, b: usize) -> usize {
         l += 1;
     }
     l
+}
+
+/// [`common_prefix`] at the given dispatch level. Every variant returns
+/// the exact prefix length — equality compares are width-agnostic — so
+/// the choice never changes the token stream.
+#[inline]
+fn common_prefix_at(data: &[u8], a: usize, b: usize, level: SimdLevel) -> usize {
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: AVX2 presence was established by `simd::active()`'s
+        // clamp to `simd::detect()`.
+        SimdLevel::Avx2 => unsafe { common_prefix_avx2(data, a, b) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Sse2 => common_prefix_sse2(data, a, b),
+        _ => common_prefix(data, a, b),
+    }
+}
+
+/// 16-byte match extension via SSE2 `pcmpeqb` + `movemask`. SSE2 is part
+/// of the x86_64 baseline, so no runtime gate is needed.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn common_prefix_sse2(data: &[u8], a: usize, b: usize) -> usize {
+    use std::arch::x86_64::{_mm_cmpeq_epi8, _mm_loadu_si128, _mm_movemask_epi8};
+    let max = MAX_MATCH.min(data.len() - b);
+    let mut l = 0usize;
+    while l + 16 <= max {
+        // SAFETY: `a < b` and `b + l + 16 <= data.len()` (loop guard), so
+        // both 16-byte unaligned loads are in bounds.
+        let mask = unsafe {
+            let x = _mm_loadu_si128(data.as_ptr().add(a + l).cast());
+            let y = _mm_loadu_si128(data.as_ptr().add(b + l).cast());
+            _mm_movemask_epi8(_mm_cmpeq_epi8(x, y)) as u32
+        };
+        if mask != 0xFFFF {
+            // First zero bit = first differing byte; < 16, so within max.
+            return l + (!mask).trailing_zeros() as usize;
+        }
+        l += 16;
+    }
+    prefix_scalar_from(data, a, b, l, max)
+}
+
+/// 32-byte match extension via AVX2 `vpcmpeqb` + `vpmovmskb`.
+///
+/// # Safety
+/// Caller must have verified AVX2 support (the dispatch in
+/// [`common_prefix_at`] only reaches this arm after detection).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn common_prefix_avx2(data: &[u8], a: usize, b: usize) -> usize {
+    use std::arch::x86_64::{_mm256_cmpeq_epi8, _mm256_loadu_si256, _mm256_movemask_epi8};
+    let max = MAX_MATCH.min(data.len() - b);
+    let mut l = 0usize;
+    while l + 32 <= max {
+        // SAFETY: `a < b` and `b + l + 32 <= data.len()` (loop guard), so
+        // both 32-byte unaligned loads are in bounds.
+        let mask = unsafe {
+            let x = _mm256_loadu_si256(data.as_ptr().add(a + l).cast());
+            let y = _mm256_loadu_si256(data.as_ptr().add(b + l).cast());
+            _mm256_movemask_epi8(_mm256_cmpeq_epi8(x, y)) as u32
+        };
+        if mask != u32::MAX {
+            // First zero bit = first differing byte; < 32, so within max.
+            return l + (!mask).trailing_zeros() as usize;
+        }
+        l += 32;
+    }
+    prefix_scalar_from(data, a, b, l, max)
 }
 
 /// Expand a token stream back into bytes. `expected_len` preallocates and is
@@ -405,6 +496,61 @@ mod tests {
                 assert!(stats.chain_steps <= stats.positions * effort.max_chain() as u64);
                 assert_eq!(tokens, tokenize(data, effort));
                 assert_eq!(&detokenize(&tokens, data.len()), data);
+            }
+        }
+    }
+
+    #[test]
+    fn tokens_identical_across_simd_levels() {
+        // Mixed structure: long runs (deep prefixes), a periodic region
+        // (mid-length matches hitting the wide-compare tails at every
+        // width), and noise (rejects). Tokens and stats must be identical
+        // at every dispatch level; levels above the CPU clamp to the best
+        // supported one, which keeps this portable.
+        let mut data = vec![0x5Au8; 700];
+        data.extend((0..4096usize).map(|i| (i % 23) as u8));
+        let mut x = 99991u32;
+        data.extend((0..2048).map(|_| {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            (x >> 24) as u8
+        }));
+        data.extend_from_slice(&data.clone()[100..400]);
+        let _g = simd::test_guard();
+        let baseline = {
+            simd::force(Some(SimdLevel::Off));
+            tokenize_with_stats(&data, Effort::Default)
+        };
+        for level in SimdLevel::ALL {
+            simd::force(Some(level));
+            for effort in [Effort::Fast, Effort::Default, Effort::Best] {
+                let (tokens, stats) = tokenize_with_stats(&data, effort);
+                assert_eq!(&detokenize(&tokens, data.len()), &data, "{level:?}");
+                if matches!(effort, Effort::Default) {
+                    assert_eq!(tokens, baseline.0, "tokens diverged at {level:?}");
+                    assert_eq!(stats, baseline.1, "stats diverged at {level:?}");
+                }
+            }
+        }
+        simd::force(None);
+    }
+
+    #[test]
+    fn wide_prefix_variants_match_scalar_exactly() {
+        // Every mismatch offset 0..=40 across both 16- and 32-byte step
+        // boundaries, plus the no-mismatch cap case.
+        for mism in 0..=40usize {
+            let mut data = vec![7u8; 600];
+            let b = 300usize;
+            if mism < 300 {
+                data[b + mism] = 8; // diverge copies at offset `mism`
+            }
+            let want = common_prefix(&data, 0, b);
+            for level in SimdLevel::ALL {
+                assert_eq!(
+                    common_prefix_at(&data, 0, b, level.min(simd::detect())),
+                    want,
+                    "mism={mism} level={level:?}"
+                );
             }
         }
     }

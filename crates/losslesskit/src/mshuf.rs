@@ -40,6 +40,7 @@
 
 use crate::bitio::{BitReader, BitWriter};
 use crate::huffman::HuffmanCodec;
+use crate::simd::{self, SimdLevel};
 use crate::varint;
 use crate::CodecError;
 
@@ -189,27 +190,26 @@ impl<'a> InterleavedReader<'a> {
                 // max-length codes — so the eight decodes below skip all
                 // per-symbol EOF accounting and refill branches. Stream
                 // tails fall through to the careful loop.
-                let mut buf = [0u32; 8];
-                while remaining >= 8
-                    && r0.fast_ready()
-                    && r1.fast_ready()
-                    && r2.fast_ready()
-                    && r3.fast_ready()
-                {
-                    r0.refill();
-                    r1.refill();
-                    r2.refill();
-                    r3.refill();
-                    buf[0] = codec.decode_one_buffered(r0)?;
-                    buf[1] = codec.decode_one_buffered(r1)?;
-                    buf[2] = codec.decode_one_buffered(r2)?;
-                    buf[3] = codec.decode_one_buffered(r3)?;
-                    buf[4] = codec.decode_one_buffered(r0)?;
-                    buf[5] = codec.decode_one_buffered(r1)?;
-                    buf[6] = codec.decode_one_buffered(r2)?;
-                    buf[7] = codec.decode_one_buffered(r3)?;
-                    out.extend_from_slice(&buf);
-                    remaining -= 8;
+                //
+                // The four readers' hot state lives in a SoA mirror for
+                // the duration of the fast rounds. Every transition on
+                // the mirror is exactly a reader refill/consume, so the
+                // bytes consumed and symbols produced are identical to
+                // driving the readers directly. `FPSNR_SIMD=off` keeps
+                // the per-symbol reference loop below as the only path.
+                if simd::active() >= SimdLevel::Sse2 {
+                    let mut q = QuadState::capture(r0, r1, r2, r3);
+                    let mut buf = [0u32; 8];
+                    while remaining >= 8 && q.fast_ready() {
+                        q.refill();
+                        if let Err(e) = q.decode_round(codec, &mut buf) {
+                            q.restore(r0, r1, r2, r3);
+                            return Err(e);
+                        }
+                        out.extend_from_slice(&buf);
+                        remaining -= 8;
+                    }
+                    q.restore(r0, r1, r2, r3);
                 }
                 while remaining >= 4 {
                     let s0 = codec.decode_one(r0);
@@ -239,6 +239,110 @@ impl<'a> InterleavedReader<'a> {
             self.next = (self.next + 1) % ns;
             remaining -= 1;
         }
+        Ok(())
+    }
+}
+
+/// Structure-of-arrays mirror of four [`BitReader`]s' hot state, alive
+/// only for the duration of the no-EOF-check decode rounds.
+///
+/// The per-lane transitions are *exactly* [`BitReader::refill`]'s
+/// word-level fast path — same `take`, same mask, same splice — so
+/// consumed byte positions and decoded symbols are identical to driving
+/// the readers directly. The refill is deliberately scalar: an AVX2
+/// variant (vpsllvq mask/splice over the `acc`/`nbits` arrays) was
+/// measured consistently *slower* — the loadu/storeu round-trip through
+/// the arrays sits between decode rounds that are already serial per
+/// lane, so the vector step adds latency without adding parallelism
+/// (see DESIGN.md §17).
+struct QuadState<'b> {
+    data: [&'b [u8]; 4],
+    pos: [usize; 4],
+    acc: [u64; 4],
+    nbits: [u32; 4],
+}
+
+impl<'b> QuadState<'b> {
+    fn capture(
+        r0: &BitReader<'b>,
+        r1: &BitReader<'b>,
+        r2: &BitReader<'b>,
+        r3: &BitReader<'b>,
+    ) -> Self {
+        let mut q = QuadState {
+            data: [r0.data(), r1.data(), r2.data(), r3.data()],
+            pos: [0; 4],
+            acc: [0; 4],
+            nbits: [0; 4],
+        };
+        for (k, r) in [r0, r1, r2, r3].into_iter().enumerate() {
+            let (pos, acc, nbits) = r.raw_state();
+            q.pos[k] = pos;
+            q.acc[k] = acc;
+            q.nbits[k] = nbits;
+        }
+        q
+    }
+
+    /// Write the mirrored state back into the readers.
+    fn restore(
+        &self,
+        r0: &mut BitReader<'b>,
+        r1: &mut BitReader<'b>,
+        r2: &mut BitReader<'b>,
+        r3: &mut BitReader<'b>,
+    ) {
+        r0.set_raw_state(self.pos[0], self.acc[0], self.nbits[0]);
+        r1.set_raw_state(self.pos[1], self.acc[1], self.nbits[1]);
+        r2.set_raw_state(self.pos[2], self.acc[2], self.nbits[2]);
+        r3.set_raw_state(self.pos[3], self.acc[3], self.nbits[3]);
+    }
+
+    /// All four lanes have ≥ 8 unread bytes, so a refill leaves every
+    /// lane with ≥ 56 buffered bits.
+    #[inline]
+    fn fast_ready(&self) -> bool {
+        (0..4).all(|k| self.data[k].len() - self.pos[k] >= 8)
+    }
+
+    /// Top every lane up to ≥ 56 buffered bits: per lane,
+    /// [`BitReader::refill`]'s word-level path verbatim (the
+    /// `fast_ready` gate guarantees 8 loadable bytes, so the
+    /// byte-at-a-time fallback is unreachable). Caller checked
+    /// [`QuadState::fast_ready`].
+    #[inline]
+    fn refill(&mut self) {
+        for k in 0..4 {
+            let word = u64::from_le_bytes(
+                self.data[k][self.pos[k]..self.pos[k] + 8]
+                    .try_into()
+                    .expect("slice is 8 bytes"),
+            );
+            let take = ((64 - self.nbits[k]) / 8) as usize;
+            let mask = if take == 8 {
+                u64::MAX
+            } else {
+                (1u64 << (take * 8)) - 1
+            };
+            self.acc[k] |= (word & mask) << self.nbits[k];
+            self.pos[k] += take;
+            self.nbits[k] += (take * 8) as u32;
+        }
+    }
+
+    /// Decode two symbols per lane in stream order (the eight decodes of
+    /// one fast round). On error the lanes keep their partial progress so
+    /// [`QuadState::restore`] reflects exactly what was consumed.
+    #[inline]
+    fn decode_round(&mut self, codec: &HuffmanCodec, buf: &mut [u32; 8]) -> Result<(), CodecError> {
+        buf[0] = codec.decode_one_raw(&mut self.acc[0], &mut self.nbits[0])?;
+        buf[1] = codec.decode_one_raw(&mut self.acc[1], &mut self.nbits[1])?;
+        buf[2] = codec.decode_one_raw(&mut self.acc[2], &mut self.nbits[2])?;
+        buf[3] = codec.decode_one_raw(&mut self.acc[3], &mut self.nbits[3])?;
+        buf[4] = codec.decode_one_raw(&mut self.acc[0], &mut self.nbits[0])?;
+        buf[5] = codec.decode_one_raw(&mut self.acc[1], &mut self.nbits[1])?;
+        buf[6] = codec.decode_one_raw(&mut self.acc[2], &mut self.nbits[2])?;
+        buf[7] = codec.decode_one_raw(&mut self.acc[3], &mut self.nbits[3])?;
         Ok(())
     }
 }
@@ -330,6 +434,23 @@ mod tests {
         let four = encode(&symbols, &codec, 4);
         // 3 extra padded stream tails + 3 extra length varints, bounded.
         assert!(four.len() <= one.len() + 3 * 4 + 3);
+    }
+
+    #[test]
+    fn decode_identical_across_simd_levels() {
+        // Covers the SoA quad fast path: enough symbols for many fast
+        // rounds, long-tail codes, a non-round count for the careful
+        // tail. The output must be identical at every dispatch level
+        // (levels above the CPU clamp down, so this is portable).
+        let symbols = mixed_symbols(40_003);
+        let codec = codec_for(&symbols, 500);
+        let blob = encode(&symbols, &codec, 4);
+        for level in SimdLevel::ALL {
+            simd::force(Some(level));
+            let back = decode_all(&blob, &codec, symbols.len()).unwrap();
+            assert_eq!(back, symbols, "decode diverged at {level:?}");
+        }
+        simd::force(None);
     }
 
     #[test]

@@ -1,0 +1,179 @@
+//! Runtime SIMD dispatch shared by every vectorized hot loop in the tree.
+//!
+//! The contract every dispatch-level consumer must uphold: **output bytes
+//! are identical at every level**. SIMD variants here are restricted to
+//! transformations that provably preserve the scalar result bit-for-bit
+//! (integer-domain loops, lane-per-row wavefronts that execute the exact
+//! scalar FP operation sequence per lane, wide equality compares). A level
+//! is therefore only ever a *speed* choice, never a *format* choice; the
+//! scalar path remains the normative definition of every codec.
+//!
+//! Level selection, in priority order:
+//!
+//! 1. a programmatic override installed via [`force`] (tests and benches
+//!    sweep levels in-process this way),
+//! 2. the `FPSNR_SIMD` environment variable (`off`|`sse2`|`avx2`, read
+//!    once), and
+//! 3. runtime CPU detection (`is_x86_feature_detected!`).
+//!
+//! Requests are clamped to what the CPU supports, so forcing `avx2` on a
+//! non-AVX2 machine degrades to the best supported level rather than
+//! executing illegal instructions. On non-x86_64 targets every query
+//! returns [`SimdLevel::Off`] and no `unsafe` intrinsic block is reachable.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// A dispatch level, ordered from scalar to widest.
+///
+/// `Off` is the mandatory scalar fallback: no intrinsics, no `unsafe`.
+/// `Sse2` is the x86_64 baseline (always available there); `Avx2` is
+/// runtime-detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SimdLevel {
+    /// Scalar only — the normative reference path.
+    Off = 0,
+    /// 128-bit SSE2 lanes (x86_64 baseline, statically available).
+    Sse2 = 1,
+    /// 256-bit AVX2 lanes (runtime-detected).
+    Avx2 = 2,
+}
+
+impl SimdLevel {
+    /// Stable lowercase name, matching the `FPSNR_SIMD` spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdLevel::Off => "off",
+            SimdLevel::Sse2 => "sse2",
+            SimdLevel::Avx2 => "avx2",
+        }
+    }
+
+    /// All levels, narrowest first — the sweep order tests use.
+    pub const ALL: [SimdLevel; 3] = [SimdLevel::Off, SimdLevel::Sse2, SimdLevel::Avx2];
+
+    fn from_u8(v: u8) -> SimdLevel {
+        match v {
+            1 => SimdLevel::Sse2,
+            2 => SimdLevel::Avx2,
+            _ => SimdLevel::Off,
+        }
+    }
+}
+
+/// Sentinel in [`FORCED`] meaning "no programmatic override installed".
+const UNFORCED: u8 = 0xFF;
+
+/// Programmatic override slot. A plain relaxed atomic: concurrent tests
+/// racing on it can only change which *speed* path runs, never the bytes
+/// produced, so the race is benign by the module contract.
+static FORCED: AtomicU8 = AtomicU8::new(UNFORCED);
+
+/// Best level the executing CPU supports.
+pub fn detect() -> SimdLevel {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx2") {
+            return SimdLevel::Avx2;
+        }
+        // SSE2 is part of the x86_64 baseline; no runtime check needed.
+        SimdLevel::Sse2
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        SimdLevel::Off
+    }
+}
+
+/// The level selected by `FPSNR_SIMD` (or detection when unset/unknown),
+/// clamped to [`detect`]. Read once and cached.
+fn env_default() -> SimdLevel {
+    static ENV: OnceLock<SimdLevel> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        let requested = match std::env::var("FPSNR_SIMD").ok().as_deref() {
+            Some("off") | Some("scalar") | Some("0") => Some(SimdLevel::Off),
+            Some("sse2") => Some(SimdLevel::Sse2),
+            Some("avx2") | Some("auto") => Some(SimdLevel::Avx2),
+            _ => None,
+        };
+        match requested {
+            Some(l) => l.min(detect()),
+            None => detect(),
+        }
+    })
+}
+
+/// The dispatch level hot loops should use right now.
+///
+/// Override precedence: [`force`] > `FPSNR_SIMD` > [`detect`], always
+/// clamped to what the CPU supports.
+#[inline]
+pub fn active() -> SimdLevel {
+    let forced = FORCED.load(Ordering::Relaxed);
+    if forced == UNFORCED {
+        env_default()
+    } else {
+        SimdLevel::from_u8(forced).min(detect())
+    }
+}
+
+/// Install (`Some(level)`) or clear (`None`) the programmatic override.
+///
+/// Intended for tests and benches that sweep every level in one process;
+/// requests above the CPU's capability are clamped by [`active`], which
+/// keeps sweeps portable (the clamped levels still pass because every
+/// level produces identical bytes).
+pub fn force(level: Option<SimdLevel>) {
+    let v = match level {
+        None => UNFORCED,
+        Some(l) => l as u8,
+    };
+    FORCED.store(v, Ordering::Relaxed);
+}
+
+/// Serializes tests that install a [`force`] override (the slot is
+/// process-global and the test harness is threaded). Tests that only
+/// assert *output equality* across levels don't need it — that race is
+/// benign — but tests asserting what [`active`] returns do.
+#[cfg(test)]
+pub(crate) fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn force_overrides_and_clears() {
+        let _g = test_guard();
+        force(Some(SimdLevel::Off));
+        assert_eq!(active(), SimdLevel::Off);
+        force(Some(SimdLevel::Sse2));
+        assert!(active() <= SimdLevel::Sse2);
+        force(None);
+        assert_eq!(active(), env_default());
+    }
+
+    #[test]
+    fn requests_clamp_to_cpu() {
+        let _g = test_guard();
+        force(Some(SimdLevel::Avx2));
+        assert!(active() <= detect());
+        force(None);
+    }
+
+    #[test]
+    fn names_match_env_spellings() {
+        assert_eq!(SimdLevel::Off.name(), "off");
+        assert_eq!(SimdLevel::Sse2.name(), "sse2");
+        assert_eq!(SimdLevel::Avx2.name(), "avx2");
+    }
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(SimdLevel::Off < SimdLevel::Sse2);
+        assert!(SimdLevel::Sse2 < SimdLevel::Avx2);
+    }
+}

@@ -388,6 +388,16 @@ pub(crate) fn compress_blocked<T: Scalar>(
     let pool = (threads > 1).then(|| ThreadPool::new(threads));
 
     // Phase 1 (sz.block.walk): independent per-block walks.
+    // Record which kernel tier drives them — telemetry only, the dispatch
+    // level never influences container bytes (DESIGN.md §17).
+    if fpsnr_obs::is_enabled() {
+        let tier = match losslesskit::simd::active() {
+            losslesskit::simd::SimdLevel::Off => "sz.block.simd.off",
+            losslesskit::simd::SimdLevel::Sse2 => "sz.block.simd.sse2",
+            losslesskit::simd::SimdLevel::Avx2 => "sz.block.simd.avx2",
+        };
+        fpsnr_obs::add(tier, n_blocks as u64);
+    }
     let walk_span = fpsnr_obs::span("sz.block.walk");
     let walks = run_walks(
         field,

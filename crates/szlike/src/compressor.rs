@@ -219,6 +219,14 @@ pub fn compress_with_detail<T: Scalar>(
         fpsnr_obs::add("sz.fields", 1);
         fpsnr_obs::add("sz.bytes_in", (field.len() * T::BYTES) as u64);
         fpsnr_obs::add("sz.bytes_out", bytes.len() as u64);
+        // Telemetry only: the dispatch tier never reaches container bytes
+        // (byte-identity contract, DESIGN.md §17), but perf traces are
+        // meaningless without knowing which kernel tier produced them.
+        match losslesskit::simd::active() {
+            losslesskit::simd::SimdLevel::Off => fpsnr_obs::add("sz.simd.off", 1),
+            losslesskit::simd::SimdLevel::Sse2 => fpsnr_obs::add("sz.simd.sse2", 1),
+            losslesskit::simd::SimdLevel::Avx2 => fpsnr_obs::add("sz.simd.avx2", 1),
+        }
     }
     Ok((bytes, detail))
 }

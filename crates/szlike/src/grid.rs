@@ -392,6 +392,32 @@ impl ChunkGrid {
         let (r0, _) = region.axis(0);
         let (r1, _) = region.axis(1);
         let (r2, _) = region.axis(2);
+        // Hierarchical coalescing: when the innermost runs tile axis 2 of
+        // both the block and the region wall-to-wall (`run == d[2] ==
+        // rdim[2]`, which forces the axis-2 offsets to 0 on both sides),
+        // consecutive `j` rows are contiguous in both buffers and a whole
+        // (j, k)-plane moves in one `copy_from_slice`; when the planes
+        // tile axis 1 the same way, the entire intersection is one copy.
+        // This is what rescues rank-1 and rank-2 fields, whose padded
+        // leading axes make `run == 1` and would otherwise degrade the
+        // row loop into per-element copies.
+        if run == d[2] && run == rdim[2] {
+            let rows = hi[1] - lo[1];
+            let plane = rows * run;
+            if rows == d[1] && rows == rdim[1] {
+                let src = (lo[0] - o[0]) * d[1] * d[2];
+                let dst = (lo[0] - r0) * rdim[1] * rdim[2];
+                let n = (hi[0] - lo[0]) * plane;
+                out[dst..dst + n].copy_from_slice(&block[src..src + n]);
+                return;
+            }
+            for i in lo[0]..hi[0] {
+                let src = ((i - o[0]) * d[1] + (lo[1] - o[1])) * d[2];
+                let dst = ((i - r0) * rdim[1] + (lo[1] - r1)) * rdim[2];
+                out[dst..dst + plane].copy_from_slice(&block[src..src + plane]);
+            }
+            return;
+        }
         for i in lo[0]..hi[0] {
             for j in lo[1]..hi[1] {
                 let src = ((i - o[0]) * d[1] + (j - o[1])) * d[2] + (lo[2] - o[2]);

@@ -63,6 +63,21 @@
 //!   folds that cursor back into the main one.
 //!
 //! Either way the schedule is invisible in the bytes and in the samples.
+//!
+//! # Wavefront row quads and SIMD dispatch
+//!
+//! At dispatch levels ≥ SSE2 (`losslesskit::simd::active()`), interior
+//! Lorenzo¹ rows run four at a time, lane *t* trailing the leader by *t*
+//! columns — the pair argument generalized: every input a lane reads was
+//! finalized in an earlier step, so values are bit-identical to the
+//! sequential order, and the escape stream routes through three deferred
+//! buffers (compress) or three precomputed lagging cursors (decode). At
+//! `Avx2` the four independent steady-state stencils evaluate as one
+//! 4-lane `__m256d` chain in the same operand order — lane-wise IEEE
+//! vector adds, so the same bits again. `FPSNR_SIMD=off` (or non-x86-64)
+//! skips the quads entirely and keeps the pair schedule with no `unsafe`
+//! reachable. Containers are byte-identical at every level; only the
+//! wall clock changes.
 
 use crate::compressor::quantized_walk_on;
 use crate::config::{EscapeCoding, KernelMode};
@@ -70,6 +85,7 @@ use crate::error::SzError;
 use crate::predictor::{predict_with, Predictor, PredictorKind, PredictorModel};
 use crate::quantizer::{LinearQuantizer, ESCAPE};
 use crate::unpredictable;
+use losslesskit::simd::{self, SimdLevel};
 use ndfield::{Scalar, Shape};
 
 /// Output of a prediction + quantization walk (either implementation).
@@ -111,6 +127,31 @@ trait ElementSink {
     /// any buffered or forked lagging-row state back into scan order.
     #[inline]
     fn flush_pair(&mut self) {}
+
+    /// [`Self::emit`] for an element of lagging lane `lane ∈ 1..=3` of a
+    /// wavefront row *quad*. Generalizes [`Self::emit_lagged`] (which is
+    /// lane 1 of a pair): identical arithmetic, but order-sensitive side
+    /// effects route through per-lane state so the escape stream stays in
+    /// scan order. The default forwards to `emit`, which is only correct
+    /// for sinks with no order-sensitive state.
+    #[inline(always)]
+    fn emit_lane(&mut self, _lane: usize, lin: usize, pred: f64) -> Result<f64, SzError> {
+        self.emit(lin, pred)
+    }
+
+    /// Called at the start of a wavefront quad — before any element of
+    /// any of the four rows is emitted — with the linear index of the
+    /// leading row's first element and the row stride. Rows `t ∈ 0..4`
+    /// occupy `a_start + t·row_len .. a_start + (t+1)·row_len`. Sinks
+    /// that consume an ordered stream use the three leading rows' codes
+    /// to place their per-lane cursors; producers ignore it.
+    #[inline]
+    fn begin_quad(&mut self, _a_start: usize, _row_len: usize) {}
+
+    /// Called once all four rows of a wavefront quad have completed;
+    /// folds per-lane state back into scan order (lane 1, then 2, then 3).
+    #[inline]
+    fn flush_quad(&mut self) {}
 }
 
 /// Largest `f64` strictly below one half (`0.5 − 2⁻⁵⁴`). Adding it with
@@ -129,10 +170,11 @@ struct WalkSink<'a, T: Scalar> {
     data: &'a [T],
     codes: &'a mut [u32],
     unpred: &'a mut Vec<T>,
-    /// Escapes from the lagging row of the wavefront pair in flight,
-    /// appended to `unpred` at [`ElementSink::flush_pair`] so the escape
-    /// stream stays in scan order.
-    deferred: Vec<T>,
+    /// Escapes from the lagging rows of the wavefront pair or quad in
+    /// flight, one buffer per lagging lane, appended to `unpred` in lane
+    /// order at [`ElementSink::flush_pair`]/[`ElementSink::flush_quad`]
+    /// so the escape stream stays in scan order.
+    deferred: [Vec<T>; 3],
     eb: f64,
     inv_bin: f64,
     /// Largest representable |q|: `radius − 1`.
@@ -143,12 +185,12 @@ struct WalkSink<'a, T: Scalar> {
 
 impl<T: Scalar> WalkSink<'_, T> {
     #[cold]
-    fn emit_escape(&mut self, lin: usize, xv: T, x: f64, defer: bool) -> f64 {
+    fn emit_escape(&mut self, lin: usize, xv: T, x: f64, lane: usize) -> f64 {
         self.codes[lin] = ESCAPE;
-        if defer {
-            self.deferred.push(xv);
-        } else {
+        if lane == 0 {
             self.unpred.push(xv);
+        } else {
+            self.deferred[lane - 1].push(xv);
         }
         // The walk must see the value the decoder will reconstruct: the
         // exact bits, or the bound-respecting truncation.
@@ -161,7 +203,7 @@ impl<T: Scalar> WalkSink<'_, T> {
     }
 
     #[inline(always)]
-    fn quantize_emit(&mut self, lin: usize, pred: f64, defer: bool) -> f64 {
+    fn quantize_emit(&mut self, lin: usize, pred: f64, lane: usize) -> f64 {
         let xv = self.data[lin];
         let x = xv.to_f64();
         let err = x - pred;
@@ -185,24 +227,36 @@ impl<T: Scalar> WalkSink<'_, T> {
                 return xrf;
             }
         }
-        self.emit_escape(lin, xv, x, defer)
+        self.emit_escape(lin, xv, x, lane)
     }
 }
 
 impl<T: Scalar> ElementSink for WalkSink<'_, T> {
     #[inline(always)]
     fn emit(&mut self, lin: usize, pred: f64) -> Result<f64, SzError> {
-        Ok(self.quantize_emit(lin, pred, false))
+        Ok(self.quantize_emit(lin, pred, 0))
     }
 
     #[inline(always)]
     fn emit_lagged(&mut self, lin: usize, pred: f64) -> Result<f64, SzError> {
-        Ok(self.quantize_emit(lin, pred, true))
+        Ok(self.quantize_emit(lin, pred, 1))
+    }
+
+    #[inline(always)]
+    fn emit_lane(&mut self, lane: usize, lin: usize, pred: f64) -> Result<f64, SzError> {
+        Ok(self.quantize_emit(lin, pred, lane))
     }
 
     #[inline]
     fn flush_pair(&mut self) {
-        self.unpred.append(&mut self.deferred);
+        self.unpred.append(&mut self.deferred[0]);
+    }
+
+    #[inline]
+    fn flush_quad(&mut self) {
+        for lane in &mut self.deferred {
+            self.unpred.append(lane);
+        }
     }
 }
 
@@ -216,12 +270,14 @@ struct DecodeSink<'a, T: Scalar> {
     out: &'a mut [T],
     unpred: &'a [T],
     next_unpred: &'a mut usize,
-    /// Escape cursor for the lagging row of the wavefront pair in flight.
-    /// [`ElementSink::begin_pair`] places it past the leading row's
-    /// escapes (counted from the codes, which the decoder holds before
-    /// reconstructing); [`ElementSink::flush_pair`] folds it back into
-    /// `next_unpred`.
-    lag_unpred: usize,
+    /// Escape cursors for the lagging rows of the wavefront pair or quad
+    /// in flight (lane `t` uses `lag_unpred[t − 1]`).
+    /// [`ElementSink::begin_pair`]/[`ElementSink::begin_quad`] place each
+    /// past the preceding rows' escapes (counted from the codes, which
+    /// the decoder holds before reconstructing);
+    /// [`ElementSink::flush_pair`]/[`ElementSink::flush_quad`] fold the
+    /// last back into `next_unpred`.
+    lag_unpred: [usize; 3],
     eb: f64,
     radius: i64,
     alphabet: u32,
@@ -229,27 +285,27 @@ struct DecodeSink<'a, T: Scalar> {
 
 impl<T: Scalar> DecodeSink<'_, T> {
     #[cold]
-    fn emit_escape(&mut self, lin: usize, lagged: bool) -> Result<f64, SzError> {
-        let cursor = if lagged {
-            self.lag_unpred
-        } else {
+    fn emit_escape(&mut self, lin: usize, lane: usize) -> Result<f64, SzError> {
+        let cursor = if lane == 0 {
             *self.next_unpred
+        } else {
+            self.lag_unpred[lane - 1]
         };
         if cursor >= self.unpred.len() {
             return Err(SzError::Format("more escapes than stored values"));
         }
         let v = self.unpred[cursor];
-        if lagged {
-            self.lag_unpred = cursor + 1;
-        } else {
+        if lane == 0 {
             *self.next_unpred = cursor + 1;
+        } else {
+            self.lag_unpred[lane - 1] = cursor + 1;
         }
         self.out[lin] = v;
         Ok(v.to_f64())
     }
 
     #[inline(always)]
-    fn emit_at(&mut self, lin: usize, pred: f64, lagged: bool) -> Result<f64, SzError> {
+    fn emit_at(&mut self, lin: usize, pred: f64, lane: usize) -> Result<f64, SzError> {
         let code = self.codes[lin - self.base];
         if code != ESCAPE {
             if code >= self.alphabet {
@@ -259,20 +315,33 @@ impl<T: Scalar> DecodeSink<'_, T> {
             self.out[lin] = v;
             Ok(v.to_f64())
         } else {
-            self.emit_escape(lin, lagged)
+            self.emit_escape(lin, lane)
         }
+    }
+
+    /// Escape count of the code span `start..start + len` (linear indices).
+    fn span_escapes(&self, start: usize, len: usize) -> usize {
+        self.codes[start - self.base..start - self.base + len]
+            .iter()
+            .filter(|&&c| c == ESCAPE)
+            .count()
     }
 }
 
 impl<T: Scalar> ElementSink for DecodeSink<'_, T> {
     #[inline(always)]
     fn emit(&mut self, lin: usize, pred: f64) -> Result<f64, SzError> {
-        self.emit_at(lin, pred, false)
+        self.emit_at(lin, pred, 0)
     }
 
     #[inline(always)]
     fn emit_lagged(&mut self, lin: usize, pred: f64) -> Result<f64, SzError> {
-        self.emit_at(lin, pred, true)
+        self.emit_at(lin, pred, 1)
+    }
+
+    #[inline(always)]
+    fn emit_lane(&mut self, lane: usize, lin: usize, pred: f64) -> Result<f64, SzError> {
+        self.emit_at(lin, pred, lane)
     }
 
     #[inline]
@@ -280,14 +349,30 @@ impl<T: Scalar> ElementSink for DecodeSink<'_, T> {
         // Every escape the leading row will consume is already visible in
         // its codes, so the lagging row's first escape index is computable
         // up front — this is what makes decode-side pairing sound.
-        let lead = &self.codes[a_start - self.base..a_end - self.base];
-        let lead_escapes = lead.iter().filter(|&&c| c == ESCAPE).count();
-        self.lag_unpred = *self.next_unpred + lead_escapes;
+        let lead_escapes = self.span_escapes(a_start, a_end - a_start);
+        self.lag_unpred[0] = *self.next_unpred + lead_escapes;
     }
 
     #[inline]
     fn flush_pair(&mut self) {
-        *self.next_unpred = self.lag_unpred;
+        *self.next_unpred = self.lag_unpred[0];
+    }
+
+    #[inline]
+    fn begin_quad(&mut self, a_start: usize, row_len: usize) {
+        // Same reasoning as `begin_pair`, one row deeper each lane: lane
+        // t's escapes start after every escape of rows 0..t, all of which
+        // are visible in the codes before reconstruction begins.
+        let mut cursor = *self.next_unpred;
+        for t in 0..3 {
+            cursor += self.span_escapes(a_start + t * row_len, row_len);
+            self.lag_unpred[t] = cursor;
+        }
+    }
+
+    #[inline]
+    fn flush_quad(&mut self) {
+        *self.next_unpred = self.lag_unpred[2];
     }
 }
 
@@ -318,10 +403,16 @@ fn drive_range<S: ElementSink>(
             return drive_generic(shape, &model, start, end, recon, sink);
         }
     };
+    // One dispatch-level sample per range: the quad wavefront (and its
+    // AVX2 prediction body) engages at SSE2 and above; `Off` keeps the
+    // pair schedule, which is the mandatory no-`unsafe` fallback. Every
+    // level produces byte-identical containers (see the module docs), so
+    // the sample point is a pure performance choice.
+    let level = simd::active();
     match shape {
         Shape::D1(_) => drive_1d(shape, kind, start, end, recon, sink),
-        Shape::D2(_, cols) => walk_2d(kind, cols, start, end, recon, sink),
-        Shape::D3(_, d1, d2) => walk_3d(shape, kind, d1, d2, start, end, recon, sink),
+        Shape::D2(_, cols) => walk_2d(kind, cols, start, end, recon, sink, level),
+        Shape::D3(_, d1, d2) => walk_3d(shape, kind, d1, d2, start, end, recon, sink, level),
     }
 }
 
@@ -523,6 +614,32 @@ fn l1_stencil_3d(recon: &[f64], left: f64, rjm1: usize, pj: usize, pjm1: usize, 
         - recon[pj + k - 1]
         - recon[pjm1 + k]
         + recon[pjm1 + k - 1]
+}
+
+/// [`l1_stencil_3d`] with unchecked loads — operand order and
+/// associativity identical, so the result bits are identical.
+///
+/// # Safety
+/// `off + k` and `off + k − 1` must be in bounds for all three row
+/// offsets. The quad drivers establish this with one hoisted assertion
+/// (`last_row + row_len ≤ recon.len()`) at quad entry; every stencil
+/// read sits below that bound.
+#[inline(always)]
+unsafe fn l1_stencil_3d_unchecked(
+    recon: &[f64],
+    left: f64,
+    rjm1: usize,
+    pj: usize,
+    pjm1: usize,
+    k: usize,
+) -> f64 {
+    unsafe {
+        left + *recon.get_unchecked(rjm1 + k) + *recon.get_unchecked(pj + k)
+            - *recon.get_unchecked(rjm1 + k - 1)
+            - *recon.get_unchecked(pj + k - 1)
+            - *recon.get_unchecked(pjm1 + k)
+            + *recon.get_unchecked(pjm1 + k - 1)
+    }
 }
 
 /// The 26-point two-layer 3-D Lorenzo² stencil, weights constant-folded,
@@ -843,6 +960,238 @@ fn l2_3d_pair<S: ElementSink>(
     Ok(())
 }
 
+// ---------------------------------------------------------------------
+// Wavefront row quads (SIMD dispatch levels ≥ SSE2).
+//
+// The pair schedule leaves the pipeline half-empty on wide rows: two
+// serial reconstruction chains cover only part of the FP latency. The
+// quad generalizes it to four adjacent rows, lane t trailing the leader
+// by t columns — the same anti-diagonal independence argument applies,
+// so per-element values stay bit-identical to the sequential order, and
+// escape routing generalizes from one deferred buffer / lagging cursor
+// to three (`emit_lane`, `begin_quad`, `flush_quad`). In the steady
+// state the four lane predictions are mutually independent (lane t at
+// column k−t never reads anything emitted this step), which is what the
+// AVX2 body exploits: the four scalar stencil chains become one 4-lane
+// `__m256d` chain of the exact same left-associated IEEE adds, so each
+// lane's bits are the scalar bits. At `SimdLevel::Sse2` the same quad
+// schedule runs with the scalar four-chain body (the x86-64 SSE2
+// baseline the compiler already targets); at `Off` the quad is skipped
+// entirely and rows fall through to the pair/row loops — the mandatory
+// no-`unsafe` fallback. Only the first-order stencils get quads: the
+// 26-point Lorenzo² gather dominates its own chain, so the pair is
+// already port-bound there.
+// ---------------------------------------------------------------------
+
+/// [`boundary`] for lane `lane` of a wavefront quad (lane 0 = leading).
+#[inline]
+fn boundary_lane<S: ElementSink>(
+    shape: Shape,
+    kind: PredictorKind,
+    lane: usize,
+    lin: usize,
+    recon: &mut [f64],
+    sink: &mut S,
+) -> Result<(), SzError> {
+    let pred = predict_with(kind, recon, shape, lin);
+    recon[lin] = sink.emit_lane(lane, lin, pred)?;
+    Ok(())
+}
+
+/// First-order rows `a = rowa/cols ≥ 1` through `a+3` as a wavefront
+/// quad. Requires `cols ≥ 4`. The spine is deliberately spelled out in
+/// per-lane scalars (`la`/`lb`/`lc`/`ld`), exactly like [`l1_pair`]: an
+/// earlier array-of-lanes formulation forced the loop-carried left
+/// values through the stack, inserting a store-to-load forward into
+/// every lane's serial FP chain and erasing the schedule's gain.
+fn l1_quad<S: ElementSink>(
+    cols: usize,
+    rowa: usize,
+    recon: &mut [f64],
+    sink: &mut S,
+) -> Result<(), SzError> {
+    let (rowb, rowc, rowd) = (rowa + cols, rowa + 2 * cols, rowa + 3 * cols);
+    // Lane t's "row above" is lane t−1's row (the leader's is finalized).
+    let a_up = rowa - cols;
+    let (b_up, c_up, d_up) = (rowa, rowb, rowc);
+    // Hoisted bounds check for the unchecked steady loop: every index it
+    // touches — writes ≤ rowd + cols − 4, reads on rows at lower offsets
+    // — is < rowd + cols. One test here replaces three per-element
+    // bounds checks per lane. (This path is only reachable at dispatch
+    // levels ≥ SSE2; the scalar fallback stays fully checked.)
+    assert!(rowd + cols <= recon.len());
+    sink.begin_quad(rowa, cols);
+    // Lane preambles: lane t runs columns 0..4−t ahead of the steady
+    // state (column 0 degrades to the above neighbour, as in `l1_row`).
+    let r = sink.emit(rowa, recon[a_up])?;
+    recon[rowa] = r;
+    let mut la = r;
+    for j in 1..4 {
+        let pred = la + recon[a_up + j] - recon[a_up + j - 1];
+        let r = sink.emit(rowa + j, pred)?;
+        recon[rowa + j] = r;
+        la = r;
+    }
+    let r = sink.emit_lane(1, rowb, recon[b_up])?;
+    recon[rowb] = r;
+    let mut lb = r;
+    for j in 1..3 {
+        let pred = lb + recon[b_up + j] - recon[b_up + j - 1];
+        let r = sink.emit_lane(1, rowb + j, pred)?;
+        recon[rowb + j] = r;
+        lb = r;
+    }
+    let r = sink.emit_lane(2, rowc, recon[c_up])?;
+    recon[rowc] = r;
+    let mut lc = r;
+    let pred = lc + recon[c_up + 1] - recon[c_up];
+    let r = sink.emit_lane(2, rowc + 1, pred)?;
+    recon[rowc + 1] = r;
+    lc = r;
+    let r = sink.emit_lane(3, rowd, recon[d_up])?;
+    recon[rowd] = r;
+    let mut ld = r;
+    // Steady state: columns k, k−1, k−2, k−3 of rows A–D each step —
+    // four independent reconstruction chains in flight.
+    for k in 4..cols {
+        // SAFETY: k < cols and every row offset here is ≤ rowd, so all
+        // indices are < rowd + cols ≤ recon.len() (entry assertion).
+        unsafe {
+            let pa = la + *recon.get_unchecked(a_up + k) - *recon.get_unchecked(a_up + k - 1);
+            let ra = sink.emit(rowa + k, pa)?;
+            *recon.get_unchecked_mut(rowa + k) = ra;
+            la = ra;
+            let pb = lb + *recon.get_unchecked(b_up + k - 1) - *recon.get_unchecked(b_up + k - 2);
+            let rb = sink.emit_lane(1, rowb + k - 1, pb)?;
+            *recon.get_unchecked_mut(rowb + k - 1) = rb;
+            lb = rb;
+            let pc = lc + *recon.get_unchecked(c_up + k - 2) - *recon.get_unchecked(c_up + k - 3);
+            let rc = sink.emit_lane(2, rowc + k - 2, pc)?;
+            *recon.get_unchecked_mut(rowc + k - 2) = rc;
+            lc = rc;
+            let pd = ld + *recon.get_unchecked(d_up + k - 3) - *recon.get_unchecked(d_up + k - 4);
+            let rd = sink.emit_lane(3, rowd + k - 3, pd)?;
+            *recon.get_unchecked_mut(rowd + k - 3) = rd;
+            ld = rd;
+        }
+    }
+    // Lane tails: lane t still owes columns cols−t..cols; every input is
+    // final by now, so ascending-lane order only serves escape routing.
+    let pb = lb + recon[b_up + cols - 1] - recon[b_up + cols - 2];
+    let rb = sink.emit_lane(1, rowb + cols - 1, pb)?;
+    recon[rowb + cols - 1] = rb;
+    for j in cols - 2..cols {
+        let pred = lc + recon[c_up + j] - recon[c_up + j - 1];
+        let r = sink.emit_lane(2, rowc + j, pred)?;
+        recon[rowc + j] = r;
+        lc = r;
+    }
+    for j in cols - 3..cols {
+        let pred = ld + recon[d_up + j] - recon[d_up + j - 1];
+        let r = sink.emit_lane(3, rowd + j, pred)?;
+        recon[rowd + j] = r;
+        ld = r;
+    }
+    sink.flush_quad();
+    Ok(())
+}
+
+/// First-order plane rows `j ≥ 1` through `j+3` (plane `i ≥ 1`) as a
+/// wavefront quad. Requires `d2 ≥ 4`. Spelled out in per-lane scalars
+/// for the same store-forward reason as [`l1_quad`].
+fn l1_3d_quad<S: ElementSink>(
+    shape: Shape,
+    kind: PredictorKind,
+    d2: usize,
+    p: usize,
+    rowa: usize,
+    recon: &mut [f64],
+    sink: &mut S,
+) -> Result<(), SzError> {
+    let (rowb, rowc, rowd) = (rowa + d2, rowa + 2 * d2, rowa + 3 * d2);
+    // Lane t's (i, j−1, ·) row is lane t−1's row; the plane-above rows
+    // all sit in plane i−1, finalized long before the quad.
+    let (a_rjm1, a_pj, a_pjm1) = (rowa - d2, rowa - p, rowa - p - d2);
+    let (b_rjm1, b_pj, b_pjm1) = (rowa, rowb - p, rowa - p);
+    let (c_rjm1, c_pj, c_pjm1) = (rowb, rowc - p, rowb - p);
+    let (d_rjm1, d_pj, d_pjm1) = (rowc, rowd - p, rowc - p);
+    // Hoisted bounds check for the unchecked steady loop: writes reach
+    // at most rowd + d2 − 4, and every stencil read sits on a row offset
+    // ≤ rowc (p ≥ d2 makes rowd − p ≤ rowc), so all indices are
+    // < rowd + d2. One test here replaces seven per-element bounds
+    // checks per lane. (Only reachable at dispatch levels ≥ SSE2; the
+    // scalar fallback stays fully checked.)
+    assert!(rowd + d2 <= recon.len());
+    sink.begin_quad(rowa, d2);
+    // Lane preambles: lane t runs columns 0..4−t ahead of the steady
+    // state (column 0 is a boundary element on every row).
+    boundary(shape, kind, rowa, recon, sink)?;
+    let mut la = recon[rowa];
+    for kt in 1..4 {
+        let pred = l1_stencil_3d(recon, la, a_rjm1, a_pj, a_pjm1, kt);
+        let r = sink.emit(rowa + kt, pred)?;
+        recon[rowa + kt] = r;
+        la = r;
+    }
+    boundary_lane(shape, kind, 1, rowb, recon, sink)?;
+    let mut lb = recon[rowb];
+    for kt in 1..3 {
+        let pred = l1_stencil_3d(recon, lb, b_rjm1, b_pj, b_pjm1, kt);
+        let r = sink.emit_lane(1, rowb + kt, pred)?;
+        recon[rowb + kt] = r;
+        lb = r;
+    }
+    boundary_lane(shape, kind, 2, rowc, recon, sink)?;
+    let mut lc = recon[rowc];
+    let pred = l1_stencil_3d(recon, lc, c_rjm1, c_pj, c_pjm1, 1);
+    let r = sink.emit_lane(2, rowc + 1, pred)?;
+    recon[rowc + 1] = r;
+    lc = r;
+    boundary_lane(shape, kind, 3, rowd, recon, sink)?;
+    let mut ld = recon[rowd];
+    // Steady state: columns k, k−1, k−2, k−3 of rows A–D each step.
+    for k in 4..d2 {
+        // SAFETY: k < d2 and every index is < rowd + d2 ≤ recon.len()
+        // (entry assertion; see the bounds note above).
+        unsafe {
+            let pa = l1_stencil_3d_unchecked(recon, la, a_rjm1, a_pj, a_pjm1, k);
+            let ra = sink.emit(rowa + k, pa)?;
+            *recon.get_unchecked_mut(rowa + k) = ra;
+            la = ra;
+            let pb = l1_stencil_3d_unchecked(recon, lb, b_rjm1, b_pj, b_pjm1, k - 1);
+            let rb = sink.emit_lane(1, rowb + k - 1, pb)?;
+            *recon.get_unchecked_mut(rowb + k - 1) = rb;
+            lb = rb;
+            let pc = l1_stencil_3d_unchecked(recon, lc, c_rjm1, c_pj, c_pjm1, k - 2);
+            let rc = sink.emit_lane(2, rowc + k - 2, pc)?;
+            *recon.get_unchecked_mut(rowc + k - 2) = rc;
+            lc = rc;
+            let pd = l1_stencil_3d_unchecked(recon, ld, d_rjm1, d_pj, d_pjm1, k - 3);
+            let rd = sink.emit_lane(3, rowd + k - 3, pd)?;
+            *recon.get_unchecked_mut(rowd + k - 3) = rd;
+            ld = rd;
+        }
+    }
+    // Lane tails: lane t still owes columns d2−t..d2.
+    let pb = l1_stencil_3d(recon, lb, b_rjm1, b_pj, b_pjm1, d2 - 1);
+    let rb = sink.emit_lane(1, rowb + d2 - 1, pb)?;
+    recon[rowb + d2 - 1] = rb;
+    for kt in d2 - 2..d2 {
+        let pred = l1_stencil_3d(recon, lc, c_rjm1, c_pj, c_pjm1, kt);
+        let r = sink.emit_lane(2, rowc + kt, pred)?;
+        recon[rowc + kt] = r;
+        lc = r;
+    }
+    for kt in d2 - 3..d2 {
+        let pred = l1_stencil_3d(recon, ld, d_rjm1, d_pj, d_pjm1, kt);
+        let r = sink.emit_lane(3, rowd + kt, pred)?;
+        recon[rowd + kt] = r;
+        ld = r;
+    }
+    sink.flush_quad();
+    Ok(())
+}
+
 /// Region-decomposed walk over a whole field — [`drive_range`] over the
 /// full linear range, wavefront pairing included.
 fn drive_walk<S: ElementSink>(
@@ -854,7 +1203,8 @@ fn drive_walk<S: ElementSink>(
     drive_range(shape, model, 0, shape.len(), recon, sink)
 }
 
-/// 2-D rows `start/cols .. end/cols`, interior rows in wavefront pairs.
+/// 2-D rows `start/cols .. end/cols`, interior rows in wavefront quads
+/// (dispatch level permitting) then pairs.
 fn walk_2d<S: ElementSink>(
     kind: PredictorKind,
     cols: usize,
@@ -862,6 +1212,7 @@ fn walk_2d<S: ElementSink>(
     end: usize,
     recon: &mut [f64],
     sink: &mut S,
+    level: SimdLevel,
 ) -> Result<(), SzError> {
     let (r0, r1) = (start / cols, end / cols);
     let mut i = r0;
@@ -870,6 +1221,12 @@ fn walk_2d<S: ElementSink>(
             if i == 0 && i < r1 {
                 first_row(cols, cols, recon, sink)?;
                 i = 1;
+            }
+            if cols >= 4 && level >= SimdLevel::Sse2 {
+                while i + 3 < r1 {
+                    l1_quad(cols, i * cols, recon, sink)?;
+                    i += 4;
+                }
             }
             if cols >= 2 {
                 while i + 1 < r1 {
@@ -908,8 +1265,8 @@ fn walk_2d<S: ElementSink>(
 }
 
 /// 3-D planes `start/(d1·d2) .. end/(d1·d2)`, plane-interior rows in
-/// wavefront pairs (pairing never crosses a plane, so any whole-plane
-/// range is safe).
+/// wavefront quads (dispatch level permitting) then pairs (neither ever
+/// crosses a plane, so any whole-plane range is safe).
 fn walk_3d<S: ElementSink>(
     shape: Shape,
     kind: PredictorKind,
@@ -919,6 +1276,7 @@ fn walk_3d<S: ElementSink>(
     end: usize,
     recon: &mut [f64],
     sink: &mut S,
+    level: SimdLevel,
 ) -> Result<(), SzError> {
     let p = d1 * d2;
     let (p0, p1) = (start / p, end / p);
@@ -941,6 +1299,12 @@ fn walk_3d<S: ElementSink>(
                     boundary(shape, kind, lin, recon, sink)?;
                 }
                 let mut j = 1;
+                if d2 >= 4 && level >= SimdLevel::Sse2 {
+                    while j + 3 < d1 {
+                        l1_3d_quad(shape, kind, d2, p, base + j * d2, recon, sink)?;
+                        j += 4;
+                    }
+                }
                 if d2 >= 2 {
                     while j + 1 < d1 {
                         l1_3d_pair(shape, kind, d2, p, base + j * d2, recon, sink)?;
@@ -1023,12 +1387,12 @@ pub fn walk_fused<T: Scalar>(
         qmax: (quant.center() - 1) as u64,
         radius: quant.center() as i64,
         escape,
-        deferred: Vec::new(),
+        deferred: [Vec::new(), Vec::new(), Vec::new()],
     };
     drive_walk(shape, pred, recon, &mut sink).expect("walk sink is infallible");
     debug_assert!(
-        sink.deferred.is_empty(),
-        "every wavefront pair must flush its deferred escapes"
+        sink.deferred.iter().all(Vec::is_empty),
+        "every wavefront pair/quad must flush its deferred escapes"
     );
     WalkResult { codes, unpred }
 }
@@ -1137,7 +1501,7 @@ impl<T: Scalar> FusedDecoder<T> {
             out: &mut self.out,
             unpred: &self.unpred,
             next_unpred: &mut self.next_unpred,
-            lag_unpred: 0,
+            lag_unpred: [0; 3],
             eb: self.eb,
             radius: self.radius,
             alphabet: self.alphabet,
@@ -1350,6 +1714,126 @@ mod tests {
         assert_eq!(magic_round(f64::INFINITY), i64::MAX);
         assert_eq!(magic_round(f64::NEG_INFINITY), i64::MIN);
         assert_eq!(magic_round(f64::NAN), 0);
+    }
+
+    #[test]
+    fn quad_levels_bit_identical() {
+        // Sweep every dispatch level over shapes that exercise the quad
+        // steady state, its preamble/tail, and the pair/row remainders —
+        // with non-finite samples scattered across quad lanes so the
+        // per-lane deferred-escape routing is exercised too. `Off` is the
+        // baseline; every other level must reproduce its exact bytes.
+        let shapes = [
+            Shape::D2(11, 37),
+            Shape::D2(9, 4),
+            Shape::D3(3, 9, 23),
+            Shape::D3(5, 6, 4),
+            Shape::D3(2, 4, 5),
+        ];
+        for shape in shapes {
+            let mut data = ramp(shape.len());
+            let n = data.len();
+            data[n / 3] = f64::NAN;
+            data[n / 2] = f64::INFINITY;
+            data[2 * n / 3] = f64::NEG_INFINITY;
+            for eb in [1e-3, 1e-7] {
+                let mut scratch = Vec::new();
+                simd::force(Some(SimdLevel::Off));
+                let base = walk_fused(
+                    &data,
+                    shape,
+                    eb,
+                    512,
+                    PredictorModel::Lorenzo1,
+                    EscapeCoding::Exact,
+                    &mut scratch,
+                );
+                let base_recon = bits(&scratch);
+                let base_dec = reconstruct_fused(
+                    &base.codes,
+                    base.unpred.clone(),
+                    shape,
+                    eb,
+                    512,
+                    PredictorModel::Lorenzo1,
+                )
+                .unwrap();
+                for level in SimdLevel::ALL {
+                    simd::force(Some(level));
+                    let w = walk_fused(
+                        &data,
+                        shape,
+                        eb,
+                        512,
+                        PredictorModel::Lorenzo1,
+                        EscapeCoding::Exact,
+                        &mut scratch,
+                    );
+                    assert_eq!(w.codes, base.codes, "{shape:?} {level:?} codes");
+                    assert_eq!(
+                        bits(&w.unpred),
+                        bits(&base.unpred),
+                        "{shape:?} {level:?} unpred"
+                    );
+                    assert_eq!(bits(&scratch), base_recon, "{shape:?} {level:?} recon");
+                    let dec = reconstruct_fused(
+                        &w.codes,
+                        w.unpred,
+                        shape,
+                        eb,
+                        512,
+                        PredictorModel::Lorenzo1,
+                    )
+                    .unwrap();
+                    assert_eq!(bits(&dec), bits(&base_dec), "{shape:?} {level:?} decode");
+                }
+                simd::force(None);
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_decode_regroups_quads_identically() {
+        // A chunked 2-D decode regroups rows into different quads/pairs
+        // than the one-shot decode (grouping restarts at each chunk), so
+        // this pins that the escape-cursor bookkeeping is schedule-free.
+        let shape = Shape::D2(13, 29);
+        let mut data = ramp(shape.len());
+        data[40] = f64::NAN;
+        data[200] = f64::INFINITY;
+        let mut scratch = Vec::new();
+        let w = walk_fused(
+            &data,
+            shape,
+            1e-6,
+            256,
+            PredictorModel::Lorenzo1,
+            EscapeCoding::Exact,
+            &mut scratch,
+        );
+        let whole = reconstruct_fused(
+            &w.codes,
+            w.unpred.clone(),
+            shape,
+            1e-6,
+            256,
+            PredictorModel::Lorenzo1,
+        )
+        .unwrap();
+        for rows_per_push in [1usize, 2, 3, 5] {
+            let mut dec =
+                FusedDecoder::new(shape, 1e-6, 256, PredictorModel::Lorenzo1, w.unpred.clone());
+            for chunk in w.codes.chunks(rows_per_push * 29) {
+                dec.push(chunk).unwrap();
+            }
+            // Bit compare: the stored NaN must round-trip, and NaN != NaN
+            // would fail a value compare even on identical outputs.
+            assert_eq!(
+                bits(&dec.finish().unwrap()),
+                bits(&whole),
+                "{rows_per_push} rows/push"
+            );
+        }
     }
 
     #[test]

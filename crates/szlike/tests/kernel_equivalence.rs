@@ -9,6 +9,7 @@
 //! dims of 1 and 2, where interior regions vanish) so the whole
 //! encode path — walk, entropy stage, container framing — is compared.
 
+use losslesskit::simd::{self, SimdLevel};
 use ndfield::{Field, Shape};
 use proptest::prelude::*;
 use szlike::{compress, decompress, ErrorBound, KernelMode, PredictorKind, SzConfig};
@@ -35,7 +36,10 @@ const PREDICTORS: [PredictorKind; 2] = [PredictorKind::Lorenzo1, PredictorKind::
 
 /// Compress with both kernel modes and assert the containers match byte
 /// for byte, then round-trip and assert the decoded samples are bit-equal
-/// and within the error bound.
+/// and within the error bound. Finally sweep every available
+/// `FPSNR_SIMD` dispatch level and assert each one reproduces the same
+/// container bytes and the same decoded bits — the byte-identity
+/// contract of the SIMD layer (DESIGN.md §17).
 fn assert_kernels_agree(field: &Field<f32>, base: SzConfig, label: &str) -> Result<(), String> {
     let fused = compress(field, &base.with_kernel(KernelMode::Fused))
         .map_err(|e| format!("{label}: fused compress failed: {e}"))?;
@@ -57,6 +61,41 @@ fn assert_kernels_agree(field: &Field<f32>, base: SzConfig, label: &str) -> Resu
         let err = (*a as f64 - *b as f64).abs();
         if err > EB {
             return Err(format!("{label}: sample {i}: |{a} - {b}| = {err} > {EB}"));
+        }
+    }
+    let result = simd_levels_agree(field, &base, label, &fused, &back);
+    simd::force(None);
+    result
+}
+
+/// Sweep every dispatch level the host supports: container bytes and
+/// decoded sample bits must match the ambient-level baseline exactly.
+fn simd_levels_agree(
+    field: &Field<f32>,
+    base: &SzConfig,
+    label: &str,
+    baseline: &[u8],
+    back: &Field<f32>,
+) -> Result<(), String> {
+    for &level in SimdLevel::ALL.iter().filter(|&&l| l <= simd::detect()) {
+        simd::force(Some(level));
+        let bytes = compress(field, &base.with_kernel(KernelMode::Fused))
+            .map_err(|e| format!("{label}: compress at {level:?} failed: {e}"))?;
+        if bytes != baseline {
+            return Err(format!(
+                "{label}: container bytes differ at FPSNR_SIMD={}",
+                level.name()
+            ));
+        }
+        let dec: Field<f32> =
+            decompress(&bytes).map_err(|e| format!("{label}: decompress at {level:?} failed: {e}"))?;
+        for (i, (a, b)) in back.as_slice().iter().zip(dec.as_slice()).enumerate() {
+            if a.to_bits() != b.to_bits() {
+                return Err(format!(
+                    "{label}: decode bit {i} differs at FPSNR_SIMD={}: {a} vs {b}",
+                    level.name()
+                ));
+            }
         }
     }
     Ok(())

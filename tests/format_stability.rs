@@ -209,6 +209,36 @@ fn current_fixtures_are_byte_stable() {
     }
 }
 
+/// Every checked-in fixture regenerates byte-for-byte with SIMD forced
+/// off AND at the autodetected level: the dispatch layer's byte-identity
+/// contract (DESIGN.md §17) holds over the full frozen corpus, so the
+/// fixtures double as the dispatch oracle.
+#[test]
+fn fixtures_are_byte_stable_at_every_simd_level() {
+    use losslesskit::simd::{self, SimdLevel};
+    for g in golden_set()
+        .iter()
+        .chain(grid_golden_set().iter())
+        .chain(mixed_golden_set().iter())
+    {
+        let path = current_dir().join(format!("{}.szr", g.name));
+        let frozen = std::fs::read(&path)
+            .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()));
+        for forced in [Some(SimdLevel::Off), None] {
+            simd::force(forced);
+            let fresh = g.compress();
+            simd::force(None);
+            assert_eq!(
+                fresh, frozen,
+                "{}: encoder output at FPSNR_SIMD={} drifted from checked-in \
+                 fixture — the dispatch levels no longer agree byte-for-byte",
+                g.name,
+                forced.map_or("auto", SimdLevel::name),
+            );
+        }
+    }
+}
+
 /// The chunk-grid (v4) fixtures must also be byte-stable: the grid layout
 /// is part of the documented format, and its directory order (row-major
 /// grid coordinates) and per-axis chunk varints must never drift.

@@ -220,6 +220,43 @@ proptest! {
         let reference = sz::compress(&field, &cfg.with_kernel(KernelMode::Reference)).unwrap();
         prop_assert_eq!(fused, reference);
     }
+
+    /// (6): containers and decoded bits are identical at every
+    /// `FPSNR_SIMD` dispatch level, for every predictor, monolithic and
+    /// blocked — the byte-identity contract of the SIMD layer.
+    #[test]
+    fn simd_levels_produce_identical_containers_for_every_predictor(
+        kind_idx in 0usize..5,
+        seed in any::<u64>(),
+        rank in 1usize..4,
+        n in 8usize..14,
+        blocked in proptest::bool::ANY,
+    ) {
+        use losslesskit::simd::{self, SimdLevel};
+        let kind = KINDS[kind_idx];
+        let field = textured_field(shape_for(rank, n), seed);
+        let mut cfg = SzConfig::new(ErrorBound::Abs(1e-3)).with_predictor(kind);
+        if blocked {
+            cfg = cfg.with_block_rows(8);
+        }
+        simd::force(Some(SimdLevel::Off));
+        let baseline = sz::compress(&field, &cfg).unwrap();
+        let base_dec: Field<f32> = sz::decompress(&baseline).unwrap();
+        for &level in SimdLevel::ALL.iter().filter(|&&l| l <= simd::detect()) {
+            simd::force(Some(level));
+            let bytes = sz::compress(&field, &cfg).unwrap();
+            let dec: Field<f32> = sz::decompress(&bytes).unwrap();
+            simd::force(None);
+            prop_assert!(bytes == baseline, "{:?} container bytes differ at {:?}", kind, level);
+            prop_assert!(
+                bits_of(&dec) == bits_of(&base_dec),
+                "{:?} decoded bits differ at {:?}",
+                kind,
+                level
+            );
+        }
+        simd::force(None);
+    }
 }
 
 /// Forcing each predictor on the two-texture grain field round-trips
